@@ -1,0 +1,98 @@
+package rept
+
+import (
+	"fmt"
+
+	"rept/internal/baselines"
+)
+
+// This file exposes the baseline estimators the paper compares REPT
+// against. All satisfy Counter, so they are drop-in replacements for the
+// REPT Estimator in benchmarks and applications.
+
+// Mascot is the improved MASCOT estimator (Lim & Kang, KDD'15): count
+// first, then keep each edge with fixed probability p.
+type Mascot = baselines.Mascot
+
+// Triest is TRIÈST-IMPR (De Stefani et al., KDD'16): reservoir sampling
+// with a fixed edge budget and weighted increments.
+type Triest = baselines.Triest
+
+// GPS is Graph Priority Sampling, In-Stream variant (Ahmed et al.,
+// VLDB'17): weighted priority sampling with a fixed edge budget.
+type GPS = baselines.GPS
+
+// ParallelBaseline runs c independent instances of a baseline and averages
+// their estimates — the paper's "parallelize in a direct manner".
+type ParallelBaseline = baselines.Parallel
+
+// NewMascot builds a MASCOT estimator with sampling probability p ∈ (0,1].
+func NewMascot(p float64, seed int64, trackLocal bool) (*Mascot, error) {
+	m, err := baselines.NewMascot(p, seed, trackLocal)
+	if err != nil {
+		return nil, fmt.Errorf("rept: %w", err)
+	}
+	return m, nil
+}
+
+// NewTriest builds a TRIÈST-IMPR estimator with reservoir budget k >= 2.
+func NewTriest(k int, seed int64, trackLocal bool) (*Triest, error) {
+	tr, err := baselines.NewTriest(k, seed, trackLocal)
+	if err != nil {
+		return nil, fmt.Errorf("rept: %w", err)
+	}
+	return tr, nil
+}
+
+// NewGPS builds a GPS In-Stream estimator with edge budget k >= 2.
+func NewGPS(k int, seed int64, trackLocal bool) (*GPS, error) {
+	g, err := baselines.NewGPS(k, seed, trackLocal)
+	if err != nil {
+		return nil, fmt.Errorf("rept: %w", err)
+	}
+	return g, nil
+}
+
+// BaselineKind names a baseline algorithm for NewParallel.
+type BaselineKind string
+
+// Baseline algorithm names accepted by NewParallel.
+const (
+	KindMascot BaselineKind = "mascot"
+	KindTriest BaselineKind = "triest"
+	KindGPS    BaselineKind = "gps"
+)
+
+// NewParallel builds the direct parallelization of a baseline: c
+// independent instances with derived seeds, estimates averaged. For
+// MASCOT, budget is interpreted as 1/p (the paper's m); for TRIÈST and
+// GPS it is the per-instance edge budget k. workers <= 1 runs
+// single-threaded.
+func NewParallel(kind BaselineKind, c int, budget int, seed int64, trackLocal bool, workers int) (*ParallelBaseline, error) {
+	var factory baselines.Factory
+	switch kind {
+	case KindMascot:
+		if budget < 1 {
+			return nil, fmt.Errorf("rept: MASCOT budget (1/p) = %d, need >= 1", budget)
+		}
+		p := 1 / float64(budget)
+		factory = func(_ int, s int64) (baselines.Estimator, error) {
+			return baselines.NewMascot(p, s, trackLocal)
+		}
+	case KindTriest:
+		factory = func(_ int, s int64) (baselines.Estimator, error) {
+			return baselines.NewTriest(budget, s, trackLocal)
+		}
+	case KindGPS:
+		factory = func(_ int, s int64) (baselines.Estimator, error) {
+			return baselines.NewGPS(budget, s, trackLocal)
+		}
+	default:
+		return nil, fmt.Errorf("rept: unknown baseline kind %q", kind)
+	}
+	p, err := baselines.NewParallelFrom(c, seed, workers, factory)
+	if err != nil {
+		return nil, fmt.Errorf("rept: %w", err)
+	}
+	return p, nil
+}

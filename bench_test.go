@@ -1,0 +1,221 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (Section IV) at the quick profile, plus micro-benchmarks of
+// the estimators' per-edge cost. Run:
+//
+//	go test -bench=. -benchmem
+//
+// For full-size reproductions use cmd/reptbench with -profile default or
+// -profile full; EXPERIMENTS.md records paper-vs-measured outcomes.
+package rept_test
+
+import (
+	"io"
+	"testing"
+
+	"rept"
+	"rept/internal/baselines"
+	"rept/internal/core"
+	"rept/internal/exper"
+	"rept/internal/gen"
+	"rept/internal/graph"
+)
+
+// benchProfile is the quick profile with a fixed tiny scale so benchmark
+// timings are comparable across runs.
+var benchProfile = exper.Quick
+
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		if err := exper.Run(id, benchProfile, 1, io.Discard, ""); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable2 regenerates paper Table II (dataset statistics).
+func BenchmarkTable2(b *testing.B) { runExperiment(b, "table2") }
+
+// BenchmarkFig1 regenerates paper Figure 1 (τ vs η, variance terms).
+func BenchmarkFig1(b *testing.B) { runExperiment(b, "fig1") }
+
+// BenchmarkFig3 regenerates paper Figure 3 (global NRMSE vs c, p=0.01).
+func BenchmarkFig3(b *testing.B) { runExperiment(b, "fig3") }
+
+// BenchmarkFig4 regenerates paper Figure 4 (global NRMSE vs c, p=0.1).
+func BenchmarkFig4(b *testing.B) { runExperiment(b, "fig4") }
+
+// BenchmarkFig5 regenerates paper Figure 5 (local NRMSE vs c, p=0.01).
+func BenchmarkFig5(b *testing.B) { runExperiment(b, "fig5") }
+
+// BenchmarkFig6 regenerates paper Figure 6 (local NRMSE vs c, p=0.1).
+func BenchmarkFig6(b *testing.B) { runExperiment(b, "fig6") }
+
+// BenchmarkFig7 regenerates paper Figure 7 (runtime vs 1/p, c=10).
+func BenchmarkFig7(b *testing.B) { runExperiment(b, "fig7") }
+
+// BenchmarkFig8 regenerates paper Figure 8 (REPT vs single-threaded
+// equal-memory baselines on the Flickr analog).
+func BenchmarkFig8(b *testing.B) { runExperiment(b, "fig8") }
+
+// BenchmarkVariance regenerates the Theorem 3 validation experiment.
+func BenchmarkVariance(b *testing.B) { runExperiment(b, "variance") }
+
+// BenchmarkAblationCombine regenerates the combination-strategy ablation.
+func BenchmarkAblationCombine(b *testing.B) { runExperiment(b, "ablation-combine") }
+
+// BenchmarkAblationHash regenerates the hash-quality ablation.
+func BenchmarkAblationHash(b *testing.B) { runExperiment(b, "ablation-hash") }
+
+// BenchmarkVariants regenerates the improved-vs-basic baseline comparison.
+func BenchmarkVariants(b *testing.B) { runExperiment(b, "variants") }
+
+// BenchmarkLimits regenerates the paper §III-D streaming-vs-static
+// comparison (REPT vs wedge sampling).
+func BenchmarkLimits(b *testing.B) { runExperiment(b, "limits") }
+
+// BenchmarkCoverage regenerates the confidence-interval coverage
+// validation of the plug-in variance.
+func BenchmarkCoverage(b *testing.B) { runExperiment(b, "coverage") }
+
+// --- Micro-benchmarks: per-edge processing cost of each estimator. ---
+
+var microStream = gen.Shuffle(gen.HolmeKim(4000, 8, 0.5, 3), 5)
+
+func feedCounter(b *testing.B, mk func(seed int64) rept.Counter) {
+	b.Helper()
+	b.ReportAllocs()
+	edges := microStream
+	b.ResetTimer()
+	done := 0
+	for done < b.N {
+		c := mk(int64(done))
+		for _, e := range edges {
+			c.Add(e.U, e.V)
+			done++
+			if done >= b.N {
+				break
+			}
+		}
+		if cl, ok := c.(interface{ Close() }); ok {
+			cl.Close()
+		}
+	}
+}
+
+// BenchmarkREPTPerEdge measures REPT's per-edge cost (m=10, c=10, the
+// covariance-free configuration), sequential.
+func BenchmarkREPTPerEdge(b *testing.B) {
+	feedCounter(b, func(seed int64) rept.Counter {
+		est, err := rept.New(rept.Config{M: 10, C: 10, Seed: seed})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return est
+	})
+}
+
+// BenchmarkREPTPerEdgeParallel is the same configuration spread over
+// worker goroutines.
+func BenchmarkREPTPerEdgeParallel(b *testing.B) {
+	feedCounter(b, func(seed int64) rept.Counter {
+		est, err := rept.New(rept.Config{M: 10, C: 10, Seed: seed, Workers: 2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return est
+	})
+}
+
+// BenchmarkMascotPerEdge measures MASCOT's per-edge cost at p = 0.1.
+func BenchmarkMascotPerEdge(b *testing.B) {
+	feedCounter(b, func(seed int64) rept.Counter {
+		m, err := rept.NewMascot(0.1, seed, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return m
+	})
+}
+
+// BenchmarkTriestPerEdge measures TRIÈST-IMPR's per-edge cost at budget
+// |E|/10.
+func BenchmarkTriestPerEdge(b *testing.B) {
+	k := len(microStream) / 10
+	feedCounter(b, func(seed int64) rept.Counter {
+		tr, err := rept.NewTriest(k, seed, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return tr
+	})
+}
+
+// BenchmarkGPSPerEdge measures GPS's per-edge cost at budget |E|/20.
+func BenchmarkGPSPerEdge(b *testing.B) {
+	k := len(microStream) / 20
+	feedCounter(b, func(seed int64) rept.Counter {
+		g, err := rept.NewGPS(k, seed, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return g
+	})
+}
+
+// BenchmarkSimPerEdge measures the Monte-Carlo sim engine's per-edge cost
+// for the same configuration as BenchmarkREPTPerEdge.
+func BenchmarkSimPerEdge(b *testing.B) {
+	b.ReportAllocs()
+	edges := microStream
+	b.ResetTimer()
+	done := 0
+	for done < b.N {
+		sim, err := core.NewSim(core.Config{M: 10, C: 10, Seed: int64(done), TrackEta: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, e := range edges {
+			sim.Add(e.U, e.V)
+			done++
+			if done >= b.N {
+				break
+			}
+		}
+	}
+}
+
+// BenchmarkExactCount measures the exact counter (with η) used for ground
+// truth.
+func BenchmarkExactCount(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = graph.CountExact(microStream, graph.ExactOptions{Local: true, Eta: true})
+	}
+	b.ReportMetric(float64(len(microStream)), "edges/op")
+}
+
+// BenchmarkParallelBaselineBroadcast measures the c-instance broadcast
+// wrapper (c = 10 MASCOT instances over 2 workers).
+func BenchmarkParallelBaselineBroadcast(b *testing.B) {
+	b.ReportAllocs()
+	edges := microStream
+	b.ResetTimer()
+	done := 0
+	for done < b.N {
+		par, err := baselines.NewParallelFrom(10, int64(done), 2, func(_ int, s int64) (baselines.Estimator, error) {
+			return baselines.NewMascot(0.1, s, false)
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, e := range edges {
+			par.Add(e.U, e.V)
+			done++
+			if done >= b.N {
+				break
+			}
+		}
+		par.Close()
+	}
+}

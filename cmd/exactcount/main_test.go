@@ -1,0 +1,43 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"rept/internal/gen"
+	"rept/internal/graph"
+)
+
+func TestRunExactCount(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "edges.txt")
+	if err := graph.WriteEdgeListFile(path, gen.Complete(10)); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-in", path, "-local", "-top", "2"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	// K10: τ = C(10,3) = 120, τ_v = C(9,2) = 36.
+	if !strings.Contains(s, "triangles=120") {
+		t.Errorf("wrong τ in %q", s)
+	}
+	if !strings.Contains(s, "τ_v=36") {
+		t.Errorf("wrong τ_v in %q", s)
+	}
+}
+
+func TestRunExactCountErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, &out); err == nil {
+		t.Error("missing -in: got nil error")
+	}
+	if err := run([]string{"-in", "/nonexistent"}, &out); err == nil {
+		t.Error("missing file: got nil error")
+	}
+	if err := run([]string{"-bogusflag"}, &out); err == nil {
+		t.Error("unknown flag: got nil error")
+	}
+}

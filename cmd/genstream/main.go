@@ -1,0 +1,102 @@
+// Command genstream generates synthetic graph streams: either one of the
+// named dataset analogs from the experiment registry, or a raw model with
+// explicit parameters.
+//
+// Usage:
+//
+//	genstream -dataset sim-flickr -scale 0.5 -out flickr.txt
+//	genstream -model holmekim -n 10000 -k 8 -pt 0.5 -seed 7 -out hk.txt
+//	genstream -model er -n 1000 -edges 5000 -out er.txt
+//	genstream -model cohub -n 1000 -pairs 3 -followers 200 -out hubs.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"rept/internal/exper"
+	"rept/internal/gen"
+	"rept/internal/graph"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "genstream:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out, errOut io.Writer) error {
+	fs := flag.NewFlagSet("genstream", flag.ContinueOnError)
+	var (
+		dataset   = fs.String("dataset", "", "named dataset analog (one of the registry names)")
+		scale     = fs.Float64("scale", 1.0, "dataset scale factor")
+		model     = fs.String("model", "", "raw model: er|ba|holmekim|ws|cohub")
+		n         = fs.Int("n", 1000, "nodes")
+		k         = fs.Int("k", 4, "edges per node (ba/holmekim/ws)")
+		edges     = fs.Int("edges", 0, "edge count (er)")
+		pt        = fs.Float64("pt", 0.5, "triad-formation probability (holmekim)")
+		beta      = fs.Float64("beta", 0.1, "rewiring probability (ws)")
+		pairs     = fs.Int("pairs", 2, "hub pairs (cohub)")
+		followers = fs.Int("followers", 100, "followers per hub pair (cohub)")
+		seed      = fs.Uint64("seed", 1, "generator seed")
+		shuffle   = fs.Bool("shuffle", true, "shuffle stream order")
+		out2      = fs.String("out", "", "output path (default stdout)")
+		list      = fs.Bool("list", false, "list registry datasets and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		for _, s := range exper.Registry {
+			fmt.Fprintf(out, "%-16s %-12s %s\n", s.Name, s.PaperRef, s.Desc)
+		}
+		return nil
+	}
+
+	var stream []graph.Edge
+	switch {
+	case *dataset != "":
+		d, err := exper.Load(*dataset, *scale)
+		if err != nil {
+			return err
+		}
+		stream = d.Edges
+	case *model != "":
+		switch *model {
+		case "er":
+			if *edges <= 0 {
+				return fmt.Errorf("er model needs -edges > 0")
+			}
+			stream = gen.ErdosRenyi(*n, *edges, *seed)
+		case "ba":
+			stream = gen.BarabasiAlbert(*n, *k, *seed)
+		case "holmekim":
+			stream = gen.HolmeKim(*n, *k, *pt, *seed)
+		case "ws":
+			stream = gen.WattsStrogatz(*n, *k, *beta, *seed)
+		case "cohub":
+			stream = gen.CoHubOverlay(*n, *pairs, *followers, graph.NodeID(*n), *seed)
+		default:
+			return fmt.Errorf("unknown -model %q", *model)
+		}
+		if *shuffle {
+			stream = gen.Shuffle(stream, *seed^0xabcd)
+		}
+	default:
+		fs.Usage()
+		return fmt.Errorf("need -dataset or -model")
+	}
+
+	if *out2 == "" {
+		return graph.WriteEdgeList(out, stream)
+	}
+	if err := graph.WriteEdgeListFile(*out2, stream); err != nil {
+		return err
+	}
+	fmt.Fprintf(errOut, "wrote %d edges to %s\n", len(stream), *out2)
+	return nil
+}

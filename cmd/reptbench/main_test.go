@@ -1,0 +1,48 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestList(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-list"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"table2", "fig1", "fig8", "ablation-hash"} {
+		if !strings.Contains(out.String(), id) {
+			t.Errorf("list output missing %s", id)
+		}
+	}
+}
+
+func TestRunTable2Quick(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	if err := run([]string{"-exp", "table2", "-profile", "quick", "-csv", dir}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "sim-flickr") {
+		t.Errorf("table2 output missing dataset: %q", out.String())
+	}
+	if _, err := os.Stat(filepath.Join(dir, "table2.csv")); err != nil {
+		t.Errorf("CSV not written: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-profile", "bogus"}, &out); err == nil {
+		t.Error("unknown profile: got nil error")
+	}
+	if err := run([]string{"-exp", "bogus", "-profile", "quick"}, &out); err == nil {
+		t.Error("unknown experiment: got nil error")
+	}
+	if err := run([]string{"-badflag"}, &out); err == nil {
+		t.Error("unknown flag: got nil error")
+	}
+}

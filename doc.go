@@ -1,0 +1,36 @@
+// Package rept is a Go implementation of REPT ("random edge partition and
+// triangle counting"), the one-pass parallel streaming algorithm for
+// approximating global and local (per-node) triangle counts from:
+//
+//	Pinghui Wang, Peng Jia, Yiyan Qi, Yu Sun, Jing Tao, Xiaohong Guan.
+//	"REPT: A Streaming Algorithm of Approximating Global and Local
+//	Triangle Counts in Parallel." ICDE 2019 (arXiv:1811.09136).
+//
+// REPT distributes the edges of a graph stream across c logical
+// processors with a shared hash function so that each processor samples
+// edges with probability p = 1/m, and estimates triangle counts from the
+// semi-triangles each processor observes. The dependence between the
+// processors' samples cancels the covariance term that dominates the
+// error of naively parallelized samplers such as MASCOT and TRIÈST: for
+// c = m the variance drops from (τ(m²−1)+2η(m−1))/c to τ(m−1).
+//
+// # Quick start
+//
+//	est, err := rept.New(rept.Config{M: 10, C: 10, Seed: 1, TrackLocal: true})
+//	if err != nil { ... }
+//	defer est.Close()
+//	for _, e := range edges {
+//		est.Add(e.U, e.V)
+//	}
+//	res := est.Result()
+//	fmt.Println("triangles ≈", res.Global)
+//
+// The package also exposes the baselines the paper compares against
+// (NewMascot, NewTriest, NewGPS, and NewParallel for the "c independent
+// instances" parallelization), exact counting for ground truth
+// (ExactCount), and the paper's closed-form variance expressions
+// (TheoreticalVariance, ParallelMascotVariance).
+//
+// Reproduction of the paper's tables and figures lives in cmd/reptbench
+// and the root-level benchmarks; see DESIGN.md and EXPERIMENTS.md.
+package rept

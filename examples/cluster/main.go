@@ -1,0 +1,130 @@
+// Simulated cluster deployment of REPT — the distributed setting the
+// paper targets ("a processor, referring to either a thread on a
+// multi-core machine or a machine in a distributed computing
+// environment", Section I).
+//
+// Each "machine" is a goroutine hosting one full REPT processor group
+// (m processors sharing an independent group hash, i.e. rept.New with
+// C = M), fed by a coordinator that broadcasts the edge stream over
+// channels. Group estimates are independent and unbiased with variance
+// τ(m−1) (paper Theorem 3, c = m), so averaging K machines reproduces
+// exactly REPT(p = 1/m, c = K·m): variance τ(m−1)/K, the c₂ = 0 case of
+// Section III-B. Within a machine, each of the m processors stores only
+// ≈ |E|/m sampled edges — the paper's per-processor memory model.
+//
+//	go run ./examples/cluster
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+
+	"rept"
+	"rept/internal/gen"
+)
+
+const (
+	machines  = 4
+	m         = 8 // per-processor sampling probability p = 1/8
+	batchSize = 4096
+)
+
+type result struct {
+	machine      int
+	est          *rept.Estimator
+	estimate     float64
+	sampledEdges int
+}
+
+func main() {
+	edges := gen.Shuffle(gen.HolmeKim(8000, 8, 0.5, 21), 13)
+	exact := rept.ExactCount(edges, rept.ExactOptions{Eta: true})
+	fmt.Printf("stream: %d edges, exact triangles: %d\n", len(edges), exact.Tau)
+
+	// One broadcast channel per machine (machines consume at their own
+	// pace; batches are read-only).
+	chans := make([]chan []rept.Edge, machines)
+	results := make(chan result, machines)
+	var wg sync.WaitGroup
+	for k := 0; k < machines; k++ {
+		chans[k] = make(chan []rept.Edge, 4)
+		wg.Add(1)
+		go func(id int, in <-chan []rept.Edge) {
+			defer wg.Done()
+			// Every machine runs one full group: C = M with its own seed,
+			// so group hashes are independent across machines.
+			est, err := rept.New(rept.Config{M: m, C: m, Seed: int64(1000 + id), TrackEta: true})
+			if err != nil {
+				log.Fatal(err)
+			}
+			for batch := range in {
+				for _, e := range batch {
+					est.Add(e.U, e.V)
+				}
+			}
+			// Hand the estimator back to the coordinator for merging;
+			// the coordinator closes it after Merge.
+			results <- result{id, est, est.Global(), est.SampledEdges()}
+		}(k, chans[k])
+	}
+
+	// Coordinator: broadcast the stream in batches.
+	for lo := 0; lo < len(edges); lo += batchSize {
+		hi := lo + batchSize
+		if hi > len(edges) {
+			hi = len(edges)
+		}
+		batch := edges[lo:hi]
+		for _, ch := range chans {
+			ch <- batch
+		}
+	}
+	for _, ch := range chans {
+		close(ch)
+	}
+	wg.Wait()
+	close(results)
+
+	totalMem := 0
+	fmt.Println("\nmachine  estimate   edges-per-processor")
+	collected := make([]result, 0, machines)
+	for r := range results {
+		collected = append(collected, r)
+	}
+	ests := make([]*rept.Estimator, machines)
+	for _, r := range collected {
+		fmt.Printf("%7d  %9.0f  %19d\n", r.machine, r.estimate, r.sampledEdges/m)
+		totalMem += r.sampledEdges
+		ests[r.machine] = r.est
+	}
+
+	// Merge the machines' counters into the exact REPT(c = K·m) estimate,
+	// including a plug-in variance for a confidence interval.
+	merged, err := rept.Merge(ests...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, e := range ests {
+		e.Close()
+	}
+
+	tau := float64(exact.Tau)
+	fmt.Printf("\ncluster estimate (merged, %d machines) = %.0f (%.2f%% error)\n",
+		machines, merged.Global, 100*abs(merged.Global-tau)/tau)
+	fmt.Printf("95%% CI: %.0f ± %.0f\n", merged.Global, 1.96*merged.StdErr())
+	fmt.Printf("cluster memory: %d processors × ≈%d edges each (stream: %d)\n",
+		machines*m, totalMem/(machines*m), len(edges))
+
+	// The cluster is statistically REPT with c = K·m processors.
+	v := rept.TheoreticalVariance(m, machines*m, tau, float64(exact.Eta))
+	fmt.Printf("theoretical NRMSE for c = %d: %.4f\n",
+		machines*m, rept.TheoreticalNRMSE(v, tau))
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,52 @@
+// Package baselines implements the streaming triangle-count estimators the
+// REPT paper compares against — MASCOT (Lim & Kang, KDD'15), TRIÈST-IMPR
+// (De Stefani et al., KDD'16) and GPS In-Stream (Ahmed et al., VLDB'17) —
+// together with the "parallelize in a direct manner" wrapper that runs c
+// independent instances and averages their estimates (paper Section I and
+// IV-B).
+package baselines
+
+import "rept/internal/graph"
+
+// Estimator is the interface shared by all single-instance baselines (and
+// satisfied by their parallel wrapper).
+type Estimator interface {
+	// Add feeds one stream edge. Self-loops are skipped.
+	Add(u, v graph.NodeID)
+	// Global returns the current estimate of the global triangle count τ.
+	Global() float64
+	// Local returns the current estimate of τ_v (0 for unseen nodes).
+	Local(v graph.NodeID) float64
+	// Locals returns the full map of non-zero local estimates, or nil if
+	// local tracking is disabled.
+	Locals() map[graph.NodeID]float64
+}
+
+// AddAll feeds a slice of stream edges in order.
+func AddAll(e Estimator, edges []graph.Edge) {
+	for _, edge := range edges {
+		e.Add(edge.U, edge.V)
+	}
+}
+
+// localTracker is shared per-node estimate bookkeeping.
+type localTracker struct {
+	m map[graph.NodeID]float64
+}
+
+func newLocalTracker(enabled bool) localTracker {
+	if !enabled {
+		return localTracker{}
+	}
+	return localTracker{m: make(map[graph.NodeID]float64)}
+}
+
+func (l localTracker) add(v graph.NodeID, x float64) {
+	if l.m != nil {
+		l.m[v] += x
+	}
+}
+
+func (l localTracker) get(v graph.NodeID) float64 { return l.m[v] }
+
+func (l localTracker) all() map[graph.NodeID]float64 { return l.m }

@@ -1,0 +1,338 @@
+package baselines
+
+import (
+	"math"
+	"testing"
+
+	"rept/internal/gen"
+	"rept/internal/graph"
+)
+
+func exactOf(stream []graph.Edge) *graph.ExactResult {
+	return graph.CountExact(stream, graph.ExactOptions{Local: true, Eta: true})
+}
+
+// meanEstimate runs the factory over `runs` seeds and returns the mean
+// global estimate and the per-run estimates.
+func meanEstimate(t *testing.T, stream []graph.Edge, runs int, factory Factory) (float64, []float64) {
+	t.Helper()
+	vals := make([]float64, runs)
+	sum := 0.0
+	for r := 0; r < runs; r++ {
+		est, err := factory(r, int64(100+r))
+		if err != nil {
+			t.Fatal(err)
+		}
+		AddAll(est, stream)
+		vals[r] = est.Global()
+		sum += vals[r]
+	}
+	return sum / float64(runs), vals
+}
+
+func checkUnbiased(t *testing.T, name string, mean, tau float64, vals []float64) {
+	t.Helper()
+	varSum := 0.0
+	for _, v := range vals {
+		varSum += (v - tau) * (v - tau)
+	}
+	sigma := math.Sqrt(varSum / float64(len(vals)))
+	bound := 5 * sigma / math.Sqrt(float64(len(vals)))
+	if math.Abs(mean-tau) > bound && math.Abs(mean-tau) > 0.02*tau {
+		t.Errorf("%s: mean = %.1f, want %.1f ± %.1f", name, mean, tau, bound)
+	}
+}
+
+func TestMascotValidation(t *testing.T) {
+	for _, p := range []float64{0, -1, 1.5} {
+		if _, err := NewMascot(p, 1, false); err == nil {
+			t.Errorf("NewMascot(p=%v): got nil error", p)
+		}
+	}
+}
+
+func TestMascotExactAtP1(t *testing.T) {
+	stream := gen.Shuffle(gen.Complete(15), 3)
+	exact := exactOf(stream)
+	m, err := NewMascot(1.0, 1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	AddAll(m, stream)
+	if m.Global() != float64(exact.Tau) {
+		t.Errorf("MASCOT p=1 Global = %v, want %d", m.Global(), exact.Tau)
+	}
+	for v, want := range exact.TauV {
+		if got := m.Local(v); got != float64(want) {
+			t.Errorf("MASCOT p=1 Local[%d] = %v, want %d", v, got, want)
+		}
+	}
+	if m.SampledEdges() != exact.Edges {
+		t.Errorf("MASCOT p=1 sampled %d edges, want %d", m.SampledEdges(), exact.Edges)
+	}
+}
+
+func TestMascotUnbiased(t *testing.T) {
+	stream := gen.Shuffle(gen.HolmeKim(120, 5, 0.6, 2), 4)
+	exact := exactOf(stream)
+	mean, vals := meanEstimate(t, stream, 300, func(_ int, seed int64) (Estimator, error) {
+		return NewMascot(0.3, seed, false)
+	})
+	checkUnbiased(t, "MASCOT", mean, float64(exact.Tau), vals)
+}
+
+// TestMascotVarianceMatchesLemma6 checks the closed form
+// Var = τ(p⁻²−1) + 2η(p⁻¹−1) that both the paper's analysis and our
+// harness rely on.
+func TestMascotVarianceMatchesLemma6(t *testing.T) {
+	stream := gen.Shuffle(gen.Complete(30), 7)
+	exact := exactOf(stream)
+	tau, eta := float64(exact.Tau), float64(exact.Eta)
+	const p = 0.2
+	want := tau*(1/(p*p)-1) + 2*eta*(1/p-1)
+	const runs = 400
+	sumSq := 0.0
+	for r := 0; r < runs; r++ {
+		m, err := NewMascot(p, int64(500+r), false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		AddAll(m, stream)
+		d := m.Global() - tau
+		sumSq += d * d
+	}
+	mse := sumSq / runs
+	if mse < want/2 || mse > want*2 {
+		t.Errorf("MASCOT empirical MSE %.1f vs Lemma 6 variance %.1f (ratio %.2f)", mse, want, mse/want)
+	}
+}
+
+func TestMascotSampleSize(t *testing.T) {
+	stream := gen.ErdosRenyi(300, 3000, 9)
+	m, _ := NewMascot(0.1, 42, false)
+	AddAll(m, stream)
+	got := float64(m.SampledEdges())
+	want := 300.0 // p·|E|
+	sigma := math.Sqrt(3000 * 0.1 * 0.9)
+	if math.Abs(got-want) > 6*sigma {
+		t.Errorf("MASCOT sample size %v, want %v ± %v", got, want, 6*sigma)
+	}
+}
+
+func TestTriestValidation(t *testing.T) {
+	if _, err := NewTriest(1, 1, false); err == nil {
+		t.Error("NewTriest(k=1): got nil error")
+	}
+}
+
+func TestTriestExactWithLargeBudget(t *testing.T) {
+	stream := gen.Shuffle(gen.Complete(15), 3)
+	exact := exactOf(stream)
+	tr, err := NewTriest(len(stream)+10, 1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	AddAll(tr, stream)
+	if tr.Global() != float64(exact.Tau) {
+		t.Errorf("TRIÈST k≥|E| Global = %v, want %d", tr.Global(), exact.Tau)
+	}
+	for v, want := range exact.TauV {
+		if got := tr.Local(v); got != float64(want) {
+			t.Errorf("TRIÈST k≥|E| Local[%d] = %v, want %d", v, got, want)
+		}
+	}
+}
+
+func TestTriestReservoirInvariant(t *testing.T) {
+	stream := gen.ErdosRenyi(200, 2000, 5)
+	const k = 150
+	tr, _ := NewTriest(k, 7, false)
+	for i, e := range stream {
+		tr.Add(e.U, e.V)
+		want := i + 1
+		if want > k {
+			want = k
+		}
+		if got := tr.SampledEdges(); got != want {
+			t.Fatalf("after %d edges reservoir holds %d, want %d", i+1, got, want)
+		}
+	}
+}
+
+func TestTriestUnbiased(t *testing.T) {
+	stream := gen.Shuffle(gen.HolmeKim(120, 5, 0.6, 2), 4)
+	exact := exactOf(stream)
+	k := len(stream) / 4
+	mean, vals := meanEstimate(t, stream, 300, func(_ int, seed int64) (Estimator, error) {
+		return NewTriest(k, seed, false)
+	})
+	checkUnbiased(t, "TRIÈST", mean, float64(exact.Tau), vals)
+}
+
+func TestGPSValidation(t *testing.T) {
+	if _, err := NewGPS(1, 1, false); err == nil {
+		t.Error("NewGPS(k=1): got nil error")
+	}
+}
+
+func TestGPSExactWithLargeBudget(t *testing.T) {
+	stream := gen.Shuffle(gen.Complete(15), 3)
+	exact := exactOf(stream)
+	g, err := NewGPS(len(stream)+10, 1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	AddAll(g, stream)
+	// With the sample never overflowing, z* stays 0 and every q = 1.
+	if g.Global() != float64(exact.Tau) {
+		t.Errorf("GPS k≥|E| Global = %v, want %d", g.Global(), exact.Tau)
+	}
+	for v, want := range exact.TauV {
+		if got := g.Local(v); got != float64(want) {
+			t.Errorf("GPS k≥|E| Local[%d] = %v, want %d", v, got, want)
+		}
+	}
+}
+
+func TestGPSBudgetInvariant(t *testing.T) {
+	stream := gen.ErdosRenyi(200, 2000, 6)
+	const k = 100
+	g, _ := NewGPS(k, 3, false)
+	for i, e := range stream {
+		g.Add(e.U, e.V)
+		if got := g.SampledEdges(); got > k {
+			t.Fatalf("after %d edges GPS holds %d > k=%d", i+1, got, k)
+		}
+	}
+	if got := g.SampledEdges(); got != k {
+		t.Errorf("final GPS sample %d, want full budget %d", got, k)
+	}
+}
+
+func TestGPSApproximatelyUnbiased(t *testing.T) {
+	// GPS's HT estimator is approximately unbiased; accept a loose band.
+	stream := gen.Shuffle(gen.HolmeKim(120, 5, 0.6, 2), 4)
+	exact := exactOf(stream)
+	k := len(stream) / 3
+	mean, _ := meanEstimate(t, stream, 200, func(_ int, seed int64) (Estimator, error) {
+		return NewGPS(k, seed, false)
+	})
+	tau := float64(exact.Tau)
+	if mean < 0.8*tau || mean > 1.2*tau {
+		t.Errorf("GPS mean = %.1f, want within 20%% of %.1f", mean, tau)
+	}
+}
+
+func TestParallelAveragesInstances(t *testing.T) {
+	stream := gen.Shuffle(gen.HolmeKim(100, 4, 0.5, 3), 8)
+	par, err := NewParallelFrom(5, 17, 1, func(_ int, seed int64) (Estimator, error) {
+		return NewMascot(0.5, seed, true)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	AddAll(par, stream)
+	sum := 0.0
+	for _, in := range par.Instances() {
+		sum += in.Global()
+	}
+	want := sum / 5
+	if math.Abs(par.Global()-want) > 1e-9 {
+		t.Errorf("Parallel.Global = %v, want mean of instances %v", par.Global(), want)
+	}
+	// Locals are averaged with missing entries as zero.
+	locals := par.Locals()
+	var v graph.NodeID
+	for v = range locals {
+		break
+	}
+	sumV := 0.0
+	for _, in := range par.Instances() {
+		sumV += in.Local(v)
+	}
+	if math.Abs(locals[v]-sumV/5) > 1e-9 {
+		t.Errorf("Parallel.Locals[%d] = %v, want %v", v, locals[v], sumV/5)
+	}
+	if math.Abs(par.Local(v)-sumV/5) > 1e-9 {
+		t.Errorf("Parallel.Local(%d) = %v, want %v", v, par.Local(v), sumV/5)
+	}
+}
+
+// TestParallelWorkersEquivalent: worker count must not change results.
+func TestParallelWorkersEquivalent(t *testing.T) {
+	stream := gen.Shuffle(gen.HolmeKim(150, 4, 0.5, 3), 8)
+	build := func(workers int) *Parallel {
+		par, err := NewParallelFrom(6, 23, workers, func(_ int, seed int64) (Estimator, error) {
+			return NewMascot(0.3, seed, false)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		AddAll(par, stream)
+		return par
+	}
+	seq := build(1)
+	parl := build(4)
+	defer parl.Close()
+	if seq.Global() != parl.Global() {
+		t.Errorf("sequential %v != parallel %v", seq.Global(), parl.Global())
+	}
+}
+
+// TestParallelVarianceReduction: averaging c independent instances cuts the
+// MSE by about 1/c.
+func TestParallelVarianceReduction(t *testing.T) {
+	stream := gen.Shuffle(gen.HolmeKim(120, 5, 0.6, 2), 4)
+	exact := exactOf(stream)
+	tau := float64(exact.Tau)
+	mseOf := func(c, runs int) float64 {
+		sumSq := 0.0
+		for r := 0; r < runs; r++ {
+			par, err := NewParallelFrom(c, int64(r*1000), 1, func(_ int, seed int64) (Estimator, error) {
+				return NewMascot(0.2, seed, false)
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			AddAll(par, stream)
+			d := par.Global() - tau
+			sumSq += d * d
+		}
+		return sumSq / float64(runs)
+	}
+	mse1 := mseOf(1, 150)
+	mse8 := mseOf(8, 60)
+	if mse8 > mse1/3 {
+		t.Errorf("averaging 8 instances: MSE %.1f not well below single-instance %.1f", mse8, mse1)
+	}
+}
+
+func TestParallelValidation(t *testing.T) {
+	if _, err := NewParallel(nil, 1); err == nil {
+		t.Error("NewParallel(nil): got nil error")
+	}
+	if _, err := NewParallelFrom(0, 1, 1, nil); err == nil {
+		t.Error("NewParallelFrom(c=0): got nil error")
+	}
+}
+
+func TestSelfLoopsIgnoredByAll(t *testing.T) {
+	factories := map[string]func() (Estimator, error){
+		"mascot": func() (Estimator, error) { return NewMascot(1, 1, false) },
+		"triest": func() (Estimator, error) { return NewTriest(10, 1, false) },
+		"gps":    func() (Estimator, error) { return NewGPS(10, 1, false) },
+	}
+	for name, f := range factories {
+		est, err := f()
+		if err != nil {
+			t.Fatal(err)
+		}
+		est.Add(1, 1)
+		est.Add(1, 2)
+		est.Add(2, 3)
+		est.Add(3, 1)
+		if est.Global() != 1 {
+			t.Errorf("%s with self-loop: Global = %v, want 1", name, est.Global())
+		}
+	}
+}

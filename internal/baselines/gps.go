@@ -1,0 +1,141 @@
+package baselines
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand/v2"
+
+	"rept/internal/graph"
+)
+
+// GPS is the In-Stream variant of Graph Priority Sampling (Ahmed et al.,
+// VLDB'17) in the priority-sampling / Horvitz–Thompson form the paper
+// benchmarks: every arriving edge is assigned weight
+// w(e) = wBase + wTri·(#triangles e closes against the sample) and
+// priority r(e) = w(e)/Uniform(0,1]; the k highest-priority edges are
+// retained (min-heap), with z* tracking the highest evicted priority.
+// Estimation happens in-stream, before the sampling update: each triangle
+// the arriving edge closes contributes 1/(q(e₁)q(e₂)) with
+// q(e) = min(1, w(e)/z*) (q = 1 while the sample has never overflowed).
+//
+// Per the paper's memory accounting (Section IV-B), GPS must store a
+// weight and priority alongside every sampled edge, so under an equal
+// memory budget the harness gives GPS half the edge budget of the other
+// methods.
+type GPS struct {
+	k       int
+	wBase   float64
+	wTri    float64
+	rng     *rand.Rand
+	adj     *graph.Adjacency
+	h       gpsHeap
+	entries map[uint64]*gpsEntry
+	zstar   float64
+	est     float64
+	locals  localTracker
+	scratch []graph.NodeID
+}
+
+type gpsEntry struct {
+	key    uint64
+	e      graph.Edge
+	weight float64
+	prio   float64
+	idx    int // heap index
+}
+
+// NewGPS builds a GPS In-Stream estimator with edge budget k >= 2, using
+// the customary weights w(e) = 1 + 9·(#triangles closed at arrival).
+func NewGPS(k int, seed int64, trackLocal bool) (*GPS, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("baselines: GPS budget k = %d, need k >= 2", k)
+	}
+	return &GPS{
+		k:       k,
+		wBase:   1,
+		wTri:    9,
+		rng:     rand.New(rand.NewPCG(uint64(seed), uint64(seed)^0x3c6ef372fe94f82b)),
+		adj:     graph.NewAdjacency(),
+		entries: make(map[uint64]*gpsEntry, k+1),
+		locals:  newLocalTracker(trackLocal),
+	}, nil
+}
+
+// snapProb returns q(e) = min(1, w(e)/z*) for a sampled edge.
+func (g *GPS) snapProb(key uint64) float64 {
+	if g.zstar == 0 {
+		return 1
+	}
+	q := g.entries[key].weight / g.zstar
+	if q > 1 {
+		return 1
+	}
+	return q
+}
+
+// Add implements Estimator.
+func (g *GPS) Add(u, v graph.NodeID) {
+	if u == v {
+		return
+	}
+	key := graph.Key(u, v)
+	if _, dup := g.entries[key]; dup {
+		// Edge already sampled: count it once; re-processing would corrupt
+		// the sample. (Streams are assumed simple, as in the paper.)
+		return
+	}
+	g.scratch = g.adj.CommonNeighbors(u, v, g.scratch[:0])
+	closed := len(g.scratch)
+	for _, w := range g.scratch {
+		q1 := g.snapProb(graph.Key(u, w))
+		q2 := g.snapProb(graph.Key(v, w))
+		inc := 1 / (q1 * q2)
+		g.est += inc
+		g.locals.add(u, inc)
+		g.locals.add(v, inc)
+		g.locals.add(w, inc)
+	}
+	// Sampling update.
+	weight := g.wBase + g.wTri*float64(closed)
+	u01 := 1 - g.rng.Float64() // uniform in (0, 1]
+	ent := &gpsEntry{key: key, e: graph.Edge{U: u, V: v}, weight: weight, prio: weight / u01}
+	heap.Push(&g.h, ent)
+	g.entries[key] = ent
+	g.adj.Add(u, v)
+	if g.h.Len() > g.k {
+		min := heap.Pop(&g.h).(*gpsEntry)
+		if min.prio > g.zstar {
+			g.zstar = min.prio
+		}
+		delete(g.entries, min.key)
+		g.adj.Remove(min.e.U, min.e.V)
+	}
+}
+
+// Global implements Estimator.
+func (g *GPS) Global() float64 { return g.est }
+
+// Local implements Estimator.
+func (g *GPS) Local(v graph.NodeID) float64 { return g.locals.get(v) }
+
+// Locals implements Estimator.
+func (g *GPS) Locals() map[graph.NodeID]float64 { return g.locals.all() }
+
+// SampledEdges returns the current sample size (≤ k).
+func (g *GPS) SampledEdges() int { return g.h.Len() }
+
+// gpsHeap is a min-heap of entries keyed by priority.
+type gpsHeap []*gpsEntry
+
+func (h gpsHeap) Len() int           { return len(h) }
+func (h gpsHeap) Less(i, j int) bool { return h[i].prio < h[j].prio }
+func (h gpsHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i]; h[i].idx = i; h[j].idx = j }
+func (h *gpsHeap) Push(x any)        { e := x.(*gpsEntry); e.idx = len(*h); *h = append(*h, e) }
+func (h *gpsHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}

@@ -1,0 +1,167 @@
+package baselines
+
+import (
+	"fmt"
+	"sync"
+
+	"rept/internal/graph"
+)
+
+// Parallel runs c independent instances of a baseline estimator and
+// averages their estimates — the paper's direct parallelization
+// ("conduct multiple independent trials and obtain a triangle count
+// estimation by averaging", Section I). Instances are spread over up to
+// Workers goroutines with batched broadcast, mirroring core.Engine so
+// that runtime comparisons are apples-to-apples.
+type Parallel struct {
+	insts   []Estimator
+	workers int
+	batch   []graph.Edge
+	chans   []chan []graph.Edge
+	wg      sync.WaitGroup
+	closed  bool
+}
+
+const parallelBatchSize = 2048
+
+// NewParallel wraps the given independently-seeded instances. workers <= 1
+// selects sequential execution.
+func NewParallel(insts []Estimator, workers int) (*Parallel, error) {
+	if len(insts) == 0 {
+		return nil, fmt.Errorf("baselines: NewParallel needs at least one instance")
+	}
+	p := &Parallel{insts: insts, workers: workers}
+	if p.workers > len(insts) {
+		p.workers = len(insts)
+	}
+	if p.workers > 1 {
+		p.batch = make([]graph.Edge, 0, parallelBatchSize)
+		p.chans = make([]chan []graph.Edge, p.workers)
+		for w := 0; w < p.workers; w++ {
+			p.chans[w] = make(chan []graph.Edge)
+			go p.worker(w, p.chans[w])
+		}
+	}
+	return p, nil
+}
+
+func (p *Parallel) worker(w int, ch <-chan []graph.Edge) {
+	for batch := range ch {
+		for _, e := range batch {
+			for i := w; i < len(p.insts); i += p.workers {
+				p.insts[i].Add(e.U, e.V)
+			}
+		}
+		p.wg.Done()
+	}
+}
+
+// Add implements Estimator.
+func (p *Parallel) Add(u, v graph.NodeID) {
+	if p.closed {
+		panic("baselines: Add after Close")
+	}
+	if p.workers <= 1 {
+		for _, in := range p.insts {
+			in.Add(u, v)
+		}
+		return
+	}
+	p.batch = append(p.batch, graph.Edge{U: u, V: v})
+	if len(p.batch) == cap(p.batch) {
+		p.flush()
+	}
+}
+
+func (p *Parallel) flush() {
+	if len(p.batch) == 0 {
+		return
+	}
+	p.wg.Add(p.workers)
+	for _, ch := range p.chans {
+		ch <- p.batch
+	}
+	p.wg.Wait()
+	p.batch = p.batch[:0]
+}
+
+// Global implements Estimator: the mean of the instance estimates.
+func (p *Parallel) Global() float64 {
+	p.drain()
+	sum := 0.0
+	for _, in := range p.insts {
+		sum += in.Global()
+	}
+	return sum / float64(len(p.insts))
+}
+
+// Local implements Estimator: the mean of the instance estimates.
+func (p *Parallel) Local(v graph.NodeID) float64 {
+	p.drain()
+	sum := 0.0
+	for _, in := range p.insts {
+		sum += in.Local(v)
+	}
+	return sum / float64(len(p.insts))
+}
+
+// Locals implements Estimator: per-node means over all instances (a node
+// missing from an instance contributes 0).
+func (p *Parallel) Locals() map[graph.NodeID]float64 {
+	p.drain()
+	out := make(map[graph.NodeID]float64)
+	for _, in := range p.insts {
+		for v, x := range in.Locals() {
+			out[v] += x
+		}
+	}
+	inv := 1 / float64(len(p.insts))
+	for v := range out {
+		out[v] *= inv
+	}
+	return out
+}
+
+func (p *Parallel) drain() {
+	if p.workers > 1 && !p.closed {
+		p.flush()
+	}
+}
+
+// Instances returns the wrapped estimators (for tests and diagnostics).
+func (p *Parallel) Instances() []Estimator { return p.insts }
+
+// Close stops the worker goroutines; the wrapper must not receive further
+// Adds, but Global/Local remain valid. Idempotent.
+func (p *Parallel) Close() {
+	if p.closed {
+		return
+	}
+	if p.workers > 1 {
+		p.flush()
+		for _, ch := range p.chans {
+			close(ch)
+		}
+	}
+	p.closed = true
+}
+
+// Factory builds independently seeded estimator instances.
+type Factory func(instance int, seed int64) (Estimator, error)
+
+// NewParallelFrom builds c instances via factory with seeds derived from
+// baseSeed and wraps them in a Parallel runner.
+func NewParallelFrom(c int, baseSeed int64, workers int, factory Factory) (*Parallel, error) {
+	if c < 1 {
+		return nil, fmt.Errorf("baselines: NewParallelFrom needs c >= 1, got %d", c)
+	}
+	insts := make([]Estimator, c)
+	for i := range insts {
+		in, err := factory(i, baseSeed+int64(i)*0x9e3779b9)
+		if err != nil {
+			return nil, err
+		}
+		insts[i] = in
+	}
+	return NewParallel(insts, workers)
+}

@@ -1,0 +1,96 @@
+package baselines
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"rept/internal/graph"
+)
+
+// Triest is TRIÈST-IMPR (De Stefani et al., KDD'16): reservoir sampling of
+// at most k edges with the improved unbiased weighting. On the t-th edge
+// arrival it credits q_t = max(1, (t−1)(t−2)/(k(k−1))) per triangle closed
+// against the reservoir (before the sampling step), then reservoir-samples
+// the edge: always insert while t ≤ k, otherwise insert with probability
+// k/t, evicting a uniformly random reservoir edge. IMPR never decrements
+// counters on eviction.
+type Triest struct {
+	k       int
+	t       uint64
+	rng     *rand.Rand
+	adj     *graph.Adjacency
+	res     []graph.Edge
+	est     float64
+	locals  localTracker
+	scratch []graph.NodeID
+}
+
+// NewTriest builds a TRIÈST-IMPR estimator with reservoir budget k >= 2.
+func NewTriest(k int, seed int64, trackLocal bool) (*Triest, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("baselines: TRIÈST budget k = %d, need k >= 2", k)
+	}
+	return &Triest{
+		k:      k,
+		rng:    rand.New(rand.NewPCG(uint64(seed), uint64(seed)^0xbb67ae8584caa73b)),
+		adj:    graph.NewAdjacency(),
+		res:    make([]graph.Edge, 0, k),
+		locals: newLocalTracker(trackLocal),
+	}, nil
+}
+
+// Add implements Estimator.
+func (tr *Triest) Add(u, v graph.NodeID) {
+	if u == v {
+		return
+	}
+	tr.t++
+	q := 1.0
+	if tr.t > uint64(tr.k) {
+		t := float64(tr.t)
+		q = (t - 1) * (t - 2) / (float64(tr.k) * float64(tr.k-1))
+		if q < 1 {
+			q = 1
+		}
+	}
+	tr.scratch = tr.adj.CommonNeighbors(u, v, tr.scratch[:0])
+	if n := len(tr.scratch); n > 0 {
+		inc := float64(n) * q
+		tr.est += inc
+		tr.locals.add(u, inc)
+		tr.locals.add(v, inc)
+		for _, w := range tr.scratch {
+			tr.locals.add(w, q)
+		}
+	}
+	// Reservoir step.
+	switch {
+	case tr.t <= uint64(tr.k):
+		if tr.adj.Add(u, v) {
+			tr.res = append(tr.res, graph.Edge{U: u, V: v})
+		}
+	case tr.rng.Float64() < float64(tr.k)/float64(tr.t):
+		j := tr.rng.IntN(len(tr.res))
+		old := tr.res[j]
+		tr.adj.Remove(old.U, old.V)
+		if tr.adj.Add(u, v) {
+			tr.res[j] = graph.Edge{U: u, V: v}
+		} else {
+			// Duplicate of an edge already in the reservoir: restore the
+			// evicted edge to keep the sample consistent.
+			tr.adj.Add(old.U, old.V)
+		}
+	}
+}
+
+// Global implements Estimator.
+func (tr *Triest) Global() float64 { return tr.est }
+
+// Local implements Estimator.
+func (tr *Triest) Local(v graph.NodeID) float64 { return tr.locals.get(v) }
+
+// Locals implements Estimator.
+func (tr *Triest) Locals() map[graph.NodeID]float64 { return tr.locals.all() }
+
+// SampledEdges returns the current reservoir occupancy (≤ k).
+func (tr *Triest) SampledEdges() int { return len(tr.res) }

@@ -1,0 +1,193 @@
+package baselines
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"rept/internal/graph"
+)
+
+// This file implements the *basic* variants of MASCOT and TRIÈST. The
+// paper benchmarks only the improved variants ("we only study their
+// improved variants (e.g. Trièst-IMPR)", Section IV-B); the basic ones are
+// implemented so the harness can justify that choice empirically
+// (experiment "variants").
+
+// MascotC is MASCOT-C (Lim & Kang, KDD'15, basic Monte-Carlo variant):
+// each edge is first sampled with probability p; a triangle is counted
+// only when its last edge is sampled and both earlier edges are in the
+// sample, weighted 1/p³. Unbiased, but with strictly higher variance than
+// the improved MASCOT (which counts before sampling with weight 1/p²).
+type MascotC struct {
+	p       float64
+	invP3   float64
+	rng     *rand.Rand
+	adj     *graph.Adjacency
+	est     float64
+	locals  localTracker
+	scratch []graph.NodeID
+}
+
+// NewMascotC builds a MASCOT-C estimator with sampling probability
+// p ∈ (0, 1].
+func NewMascotC(p float64, seed int64, trackLocal bool) (*MascotC, error) {
+	if p <= 0 || p > 1 {
+		return nil, fmt.Errorf("baselines: MASCOT-C p = %v out of (0, 1]", p)
+	}
+	return &MascotC{
+		p:      p,
+		invP3:  1 / (p * p * p),
+		rng:    rand.New(rand.NewPCG(uint64(seed), uint64(seed)^0x510e527fade682d1)),
+		adj:    graph.NewAdjacency(),
+		locals: newLocalTracker(trackLocal),
+	}, nil
+}
+
+// Add implements Estimator.
+func (m *MascotC) Add(u, v graph.NodeID) {
+	if u == v {
+		return
+	}
+	if m.rng.Float64() >= m.p {
+		return
+	}
+	m.scratch = m.adj.CommonNeighbors(u, v, m.scratch[:0])
+	if n := len(m.scratch); n > 0 {
+		inc := float64(n) * m.invP3
+		m.est += inc
+		m.locals.add(u, inc)
+		m.locals.add(v, inc)
+		for _, w := range m.scratch {
+			m.locals.add(w, m.invP3)
+		}
+	}
+	m.adj.Add(u, v)
+}
+
+// Global implements Estimator.
+func (m *MascotC) Global() float64 { return m.est }
+
+// Local implements Estimator.
+func (m *MascotC) Local(v graph.NodeID) float64 { return m.locals.get(v) }
+
+// Locals implements Estimator.
+func (m *MascotC) Locals() map[graph.NodeID]float64 { return m.locals.all() }
+
+// SampledEdges returns the current sample size.
+func (m *MascotC) SampledEdges() int { return m.adj.Edges() }
+
+// TriestBase is TRIÈST-BASE (De Stefani et al., KDD'16): a counter of the
+// triangles fully inside the reservoir, incremented on insertion and
+// decremented on eviction, rescaled at query time by
+// ξ_t = max(1, t(t−1)(t−2)/(k(k−1)(k−2))). Unbiased, but noisier than
+// TRIÈST-IMPR because evictions throw information away.
+type TriestBase struct {
+	k       int
+	t       uint64
+	rng     *rand.Rand
+	adj     *graph.Adjacency
+	res     []graph.Edge
+	tauS    float64 // triangles currently inside the reservoir
+	tauSV   map[graph.NodeID]float64
+	track   bool
+	scratch []graph.NodeID
+}
+
+// NewTriestBase builds a TRIÈST-BASE estimator with reservoir budget
+// k >= 3 (the rescaling needs k−2 > 0).
+func NewTriestBase(k int, seed int64, trackLocal bool) (*TriestBase, error) {
+	if k < 3 {
+		return nil, fmt.Errorf("baselines: TRIÈST-BASE budget k = %d, need k >= 3", k)
+	}
+	tb := &TriestBase{
+		k:     k,
+		rng:   rand.New(rand.NewPCG(uint64(seed), uint64(seed)^0x9b05688c2b3e6c1f)),
+		adj:   graph.NewAdjacency(),
+		res:   make([]graph.Edge, 0, k),
+		track: trackLocal,
+	}
+	if trackLocal {
+		tb.tauSV = make(map[graph.NodeID]float64)
+	}
+	return tb, nil
+}
+
+// Add implements Estimator.
+func (tb *TriestBase) Add(u, v graph.NodeID) {
+	if u == v {
+		return
+	}
+	tb.t++
+	switch {
+	case tb.t <= uint64(tb.k):
+		tb.insert(u, v)
+	case tb.rng.Float64() < float64(tb.k)/float64(tb.t):
+		j := tb.rng.IntN(len(tb.res))
+		old := tb.res[j]
+		tb.remove(old.U, old.V)
+		tb.res[j] = tb.res[len(tb.res)-1]
+		tb.res = tb.res[:len(tb.res)-1]
+		tb.insert(u, v)
+	}
+}
+
+func (tb *TriestBase) insert(u, v graph.NodeID) {
+	if tb.adj.Has(u, v) {
+		return // duplicate of a reservoir edge; keep sample consistent
+	}
+	tb.updateCounters(u, v, 1)
+	tb.adj.Add(u, v)
+	tb.res = append(tb.res, graph.Edge{U: u, V: v})
+}
+
+func (tb *TriestBase) remove(u, v graph.NodeID) {
+	tb.updateCounters(u, v, -1)
+	tb.adj.Remove(u, v)
+}
+
+func (tb *TriestBase) updateCounters(u, v graph.NodeID, sign float64) {
+	tb.scratch = tb.adj.CommonNeighbors(u, v, tb.scratch[:0])
+	if n := len(tb.scratch); n > 0 {
+		tb.tauS += sign * float64(n)
+		if tb.track {
+			tb.tauSV[u] += sign * float64(n)
+			tb.tauSV[v] += sign * float64(n)
+			for _, w := range tb.scratch {
+				tb.tauSV[w] += sign
+			}
+		}
+	}
+}
+
+// xi returns the rescaling factor ξ_t.
+func (tb *TriestBase) xi() float64 {
+	t, k := float64(tb.t), float64(tb.k)
+	if tb.t <= uint64(tb.k) {
+		return 1
+	}
+	return t * (t - 1) * (t - 2) / (k * (k - 1) * (k - 2))
+}
+
+// Global implements Estimator.
+func (tb *TriestBase) Global() float64 { return tb.xi() * tb.tauS }
+
+// Local implements Estimator.
+func (tb *TriestBase) Local(v graph.NodeID) float64 { return tb.xi() * tb.tauSV[v] }
+
+// Locals implements Estimator.
+func (tb *TriestBase) Locals() map[graph.NodeID]float64 {
+	if tb.tauSV == nil {
+		return nil
+	}
+	out := make(map[graph.NodeID]float64, len(tb.tauSV))
+	xi := tb.xi()
+	for v, x := range tb.tauSV {
+		if x != 0 {
+			out[v] = xi * x
+		}
+	}
+	return out
+}
+
+// SampledEdges returns the current reservoir occupancy.
+func (tb *TriestBase) SampledEdges() int { return len(tb.res) }

@@ -1,0 +1,184 @@
+package baselines
+
+import (
+	"math"
+	"testing"
+
+	"rept/internal/gen"
+	"rept/internal/graph"
+)
+
+func TestMascotCValidation(t *testing.T) {
+	if _, err := NewMascotC(0, 1, false); err == nil {
+		t.Error("NewMascotC(0): got nil error")
+	}
+	if _, err := NewMascotC(1.01, 1, false); err == nil {
+		t.Error("NewMascotC(1.01): got nil error")
+	}
+}
+
+func TestMascotCExactAtP1(t *testing.T) {
+	stream := gen.Shuffle(gen.Complete(12), 3)
+	exact := exactOf(stream)
+	m, err := NewMascotC(1.0, 1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	AddAll(m, stream)
+	if m.Global() != float64(exact.Tau) {
+		t.Errorf("MASCOT-C p=1 Global = %v, want %d", m.Global(), exact.Tau)
+	}
+	for v, want := range exact.TauV {
+		if got := m.Local(v); got != float64(want) {
+			t.Errorf("MASCOT-C p=1 Local[%d] = %v, want %d", v, got, want)
+		}
+	}
+}
+
+func TestMascotCUnbiased(t *testing.T) {
+	stream := gen.Shuffle(gen.HolmeKim(100, 5, 0.6, 2), 4)
+	exact := exactOf(stream)
+	mean, vals := meanEstimate(t, stream, 400, func(_ int, seed int64) (Estimator, error) {
+		return NewMascotC(0.4, seed, false)
+	})
+	checkUnbiased(t, "MASCOT-C", mean, float64(exact.Tau), vals)
+}
+
+// TestMascotCWorseThanImproved pins the reason the paper benchmarks the
+// improved variant: at equal p, MASCOT-C has strictly higher MSE.
+func TestMascotCWorseThanImproved(t *testing.T) {
+	stream := gen.Shuffle(gen.HolmeKim(150, 6, 0.6, 7), 9)
+	exact := exactOf(stream)
+	tau := float64(exact.Tau)
+	const p, runs = 0.25, 250
+	mseOf := func(mk func(seed int64) (Estimator, error)) float64 {
+		sum := 0.0
+		for r := 0; r < runs; r++ {
+			est, err := mk(int64(100 + r))
+			if err != nil {
+				t.Fatal(err)
+			}
+			AddAll(est, stream)
+			d := est.Global() - tau
+			sum += d * d
+		}
+		return sum / runs
+	}
+	mseC := mseOf(func(s int64) (Estimator, error) { return NewMascotC(p, s, false) })
+	mseI := mseOf(func(s int64) (Estimator, error) { return NewMascot(p, s, false) })
+	if mseC < 1.5*mseI {
+		t.Errorf("MASCOT-C MSE %.1f not clearly above improved MASCOT %.1f", mseC, mseI)
+	}
+}
+
+func TestTriestBaseValidation(t *testing.T) {
+	if _, err := NewTriestBase(2, 1, false); err == nil {
+		t.Error("NewTriestBase(2): got nil error")
+	}
+}
+
+func TestTriestBaseExactWithLargeBudget(t *testing.T) {
+	stream := gen.Shuffle(gen.Complete(12), 5)
+	exact := exactOf(stream)
+	tb, err := NewTriestBase(len(stream)+5, 1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	AddAll(tb, stream)
+	if tb.Global() != float64(exact.Tau) {
+		t.Errorf("TRIÈST-BASE k≥|E| Global = %v, want %d", tb.Global(), exact.Tau)
+	}
+	locals := tb.Locals()
+	for v, want := range exact.TauV {
+		if got := locals[v]; got != float64(want) {
+			t.Errorf("TRIÈST-BASE k≥|E| Local[%d] = %v, want %d", v, got, want)
+		}
+	}
+}
+
+// TestTriestBaseCounterConsistency: after any prefix, the internal τ_S
+// equals the exact triangle count of the reservoir graph.
+func TestTriestBaseCounterConsistency(t *testing.T) {
+	stream := gen.Shuffle(gen.HolmeKim(80, 5, 0.6, 3), 6)
+	tb, err := NewTriestBase(60, 9, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range stream {
+		tb.Add(e.U, e.V)
+		if i%37 != 0 {
+			continue
+		}
+		res := make([]graph.Edge, len(tb.res))
+		copy(res, tb.res)
+		want := graph.CountExact(res, graph.ExactOptions{}).Tau
+		if tb.tauS != float64(want) {
+			t.Fatalf("after %d edges: τ_S = %v, reservoir holds %d triangles", i+1, tb.tauS, want)
+		}
+	}
+}
+
+func TestTriestBaseUnbiased(t *testing.T) {
+	stream := gen.Shuffle(gen.HolmeKim(100, 5, 0.6, 2), 4)
+	exact := exactOf(stream)
+	k := len(stream) / 2
+	mean, vals := meanEstimate(t, stream, 400, func(_ int, seed int64) (Estimator, error) {
+		return NewTriestBase(k, seed, false)
+	})
+	checkUnbiased(t, "TRIÈST-BASE", mean, float64(exact.Tau), vals)
+}
+
+func TestWedgeSamplerValidation(t *testing.T) {
+	if _, err := NewWedgeSampler(nil); err == nil {
+		t.Error("NewWedgeSampler(empty): got nil error")
+	}
+}
+
+func TestWedgeSamplerCompleteGraph(t *testing.T) {
+	// In K_n every wedge is closed: the estimate is exactly W/3 = C(n,3)
+	// regardless of sampling noise.
+	const n = 12
+	ws, err := NewWedgeSampler(gen.Complete(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantW := float64(n) * float64((n-1)*(n-2)) / 2
+	if ws.TotalWedges() != wantW {
+		t.Errorf("TotalWedges = %v, want %v", ws.TotalWedges(), wantW)
+	}
+	got := ws.Estimate(500, 1)
+	want := float64(n*(n-1)*(n-2)) / 6
+	if got != want {
+		t.Errorf("Estimate = %v, want exact %v", got, want)
+	}
+	// Triangle-free graph: estimate 0.
+	star, err := NewWedgeSampler(gen.Star(30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := star.Estimate(200, 1); got != 0 {
+		t.Errorf("star Estimate = %v, want 0", got)
+	}
+}
+
+func TestWedgeSamplerUnbiased(t *testing.T) {
+	stream := gen.Shuffle(gen.HolmeKim(150, 6, 0.5, 5), 2)
+	exact := exactOf(stream)
+	tau := float64(exact.Tau)
+	const runs = 200
+	sum, sumSq := 0.0, 0.0
+	ws, err := NewWedgeSampler(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < runs; r++ {
+		est := ws.Estimate(2000, int64(300+r))
+		sum += est
+		sumSq += (est - tau) * (est - tau)
+	}
+	mean := sum / runs
+	sigma := math.Sqrt(sumSq / runs)
+	if math.Abs(mean-tau) > 5*sigma/math.Sqrt(runs) {
+		t.Errorf("wedge mean = %v, want %v ± %v", mean, tau, 5*sigma/math.Sqrt(runs))
+	}
+}

@@ -1,0 +1,98 @@
+package baselines
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"rept/internal/graph"
+)
+
+// WedgeSampler implements static wedge sampling (Seshadhri, Pinar & Kolda
+// 2014), the method paper Section III-D recommends over REPT when the
+// whole graph fits in memory: sample k wedges (paths of length two)
+// proportionally to each node's wedge count C(d_v, 2), measure the
+// fraction κ̂ that are closed, and estimate τ̂ = κ̂ · W / 3 where W is the
+// total wedge count. It is NOT a streaming algorithm — it needs random
+// access to the final graph — and exists here to reproduce the paper's
+// scope/limitations comparison (experiment "limits").
+type WedgeSampler struct {
+	adj    *graph.Adjacency
+	nodes  []graph.NodeID
+	nbrs   map[graph.NodeID][]graph.NodeID
+	cumW   []float64 // cumulative wedge counts aligned with nodes
+	totalW float64
+}
+
+// NewWedgeSampler indexes the (deduped, loop-free) graph for sampling.
+func NewWedgeSampler(edges []graph.Edge) (*WedgeSampler, error) {
+	adj := graph.NewAdjacency()
+	for _, e := range edges {
+		if !e.IsSelfLoop() {
+			adj.Add(e.U, e.V)
+		}
+	}
+	if adj.Edges() == 0 {
+		return nil, fmt.Errorf("baselines: wedge sampler needs at least one edge")
+	}
+	ws := &WedgeSampler{adj: adj, nbrs: make(map[graph.NodeID][]graph.NodeID)}
+	seen := make(map[graph.NodeID]struct{})
+	collect := func(v graph.NodeID) {
+		if _, done := seen[v]; done {
+			return
+		}
+		seen[v] = struct{}{}
+		var ns []graph.NodeID
+		adj.Neighbors(v, func(w graph.NodeID) { ns = append(ns, w) })
+		if len(ns) >= 2 {
+			ws.nodes = append(ws.nodes, v)
+			ws.nbrs[v] = ns
+			d := float64(len(ns))
+			ws.totalW += d * (d - 1) / 2
+			ws.cumW = append(ws.cumW, ws.totalW)
+		}
+	}
+	for _, e := range edges {
+		collect(e.U)
+		collect(e.V)
+	}
+	return ws, nil
+}
+
+// TotalWedges returns W = Σ_v C(d_v, 2).
+func (ws *WedgeSampler) TotalWedges() float64 { return ws.totalW }
+
+// Estimate samples k wedges with the given seed and returns the triangle
+// count estimate κ̂·W/3 (0 if the graph has no wedges).
+func (ws *WedgeSampler) Estimate(k int, seed int64) float64 {
+	if ws.totalW == 0 || k < 1 {
+		return 0
+	}
+	rng := rand.New(rand.NewPCG(uint64(seed), uint64(seed)^0x1f83d9abfb41bd6b))
+	closed := 0
+	for i := 0; i < k; i++ {
+		// Pick a center proportional to its wedge count via binary search
+		// on the cumulative weights.
+		x := rng.Float64() * ws.totalW
+		lo, hi := 0, len(ws.cumW)-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if ws.cumW[mid] <= x {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		center := ws.nodes[lo]
+		ns := ws.nbrs[center]
+		a := rng.IntN(len(ns))
+		b := rng.IntN(len(ns) - 1)
+		if b >= a {
+			b++
+		}
+		if ws.adj.Has(ns[a], ns[b]) {
+			closed++
+		}
+	}
+	kappa := float64(closed) / float64(k)
+	return kappa * ws.totalW / 3
+}

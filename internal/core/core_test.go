@@ -1,0 +1,199 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestConfigValidate(t *testing.T) {
+	cases := []struct {
+		cfg Config
+		ok  bool
+	}{
+		{Config{M: 1, C: 1}, true},
+		{Config{M: 10, C: 320}, true},
+		{Config{M: 0, C: 1}, false},
+		{Config{M: 1, C: 0}, false},
+		{Config{M: -3, C: 4}, false},
+		{Config{M: MaxM + 1, C: 1}, false},
+	}
+	for _, c := range cases {
+		err := c.cfg.Validate()
+		if (err == nil) != c.ok {
+			t.Errorf("Validate(%+v) = %v, want ok=%v", c.cfg, err, c.ok)
+		}
+	}
+}
+
+func TestLayout(t *testing.T) {
+	cases := []struct {
+		m, c           int
+		c1, c2, groups int
+		needsEta       bool
+		partialProcs   []int
+	}{
+		{m: 10, c: 3, c1: 0, c2: 3, groups: 1, needsEta: false, partialProcs: []int{0, 1, 2}},
+		{m: 10, c: 10, c1: 1, c2: 0, groups: 1, needsEta: false, partialProcs: nil},
+		{m: 10, c: 20, c1: 2, c2: 0, groups: 2, needsEta: false, partialProcs: nil},
+		{m: 10, c: 24, c1: 2, c2: 4, groups: 3, needsEta: true, partialProcs: []int{20, 21, 22, 23}},
+		{m: 1, c: 5, c1: 5, c2: 0, groups: 5, needsEta: false, partialProcs: nil},
+	}
+	for _, c := range cases {
+		l := newLayout(c.m, c.c)
+		if l.c1 != c.c1 || l.c2 != c.c2 || l.groups != c.groups {
+			t.Errorf("newLayout(%d,%d) = {c1:%d c2:%d groups:%d}, want {%d %d %d}",
+				c.m, c.c, l.c1, l.c2, l.groups, c.c1, c.c2, c.groups)
+		}
+		if l.needsEta() != c.needsEta {
+			t.Errorf("newLayout(%d,%d).needsEta() = %v, want %v", c.m, c.c, l.needsEta(), c.needsEta)
+		}
+		partial := map[int]bool{}
+		for _, p := range c.partialProcs {
+			partial[p] = true
+		}
+		for i := 0; i < c.c; i++ {
+			if l.isPartialProc(i) != partial[i] {
+				t.Errorf("layout(%d,%d).isPartialProc(%d) = %v, want %v",
+					c.m, c.c, i, l.isPartialProc(i), partial[i])
+			}
+			if g := l.groupOf(i); g != i/c.m {
+				t.Errorf("groupOf(%d) = %d, want %d", i, g, i/c.m)
+			}
+			if j := l.colorOf(i); j != i%c.m {
+				t.Errorf("colorOf(%d) = %d, want %d", i, j, i%c.m)
+			}
+		}
+		// Active colors sum to c.
+		total := 0
+		for g := 0; g < l.groups; g++ {
+			total += l.activeColors(g)
+		}
+		if total != c.c {
+			t.Errorf("layout(%d,%d): Σ activeColors = %d, want %d", c.m, c.c, total, c.c)
+		}
+	}
+}
+
+func TestNewEngineRejectsBadConfig(t *testing.T) {
+	if _, err := NewEngine(Config{M: 0, C: 1}); err == nil {
+		t.Error("NewEngine with M=0: got nil error")
+	}
+	if _, err := NewSim(Config{M: 1, C: 0}); err == nil {
+		t.Error("NewSim with C=0: got nil error")
+	}
+}
+
+func TestVarREPTFormulas(t *testing.T) {
+	const tau, eta = 1000.0, 50000.0
+	// c = m: τ(m−1).
+	if got, want := VarREPT(10, 10, tau, eta), tau*9; got != want {
+		t.Errorf("VarREPT(10,10) = %v, want %v", got, want)
+	}
+	// c ≤ m: (τ(m²−c)+2η(m−c))/c.
+	if got, want := VarREPT(10, 4, tau, eta), (tau*96+2*eta*6)/4; got != want {
+		t.Errorf("VarREPT(10,4) = %v, want %v", got, want)
+	}
+	// c = c₁m: τ(m−1)/c₁.
+	if got, want := VarREPT(10, 30, tau, eta), tau*9/3; got != want {
+		t.Errorf("VarREPT(10,30) = %v, want %v", got, want)
+	}
+	// c₂ ≠ 0: harmonic combination.
+	v1 := tau * 9 / 2
+	v2 := (tau*(100-4) + 2*eta*(10-4)) / 4
+	if got, want := VarREPT(10, 24, tau, eta), v1*v2/(v1+v2); got != want {
+		t.Errorf("VarREPT(10,24) = %v, want %v", got, want)
+	}
+	// Combination is never worse than its best component.
+	if VarREPT(10, 24, tau, eta) > v1 {
+		t.Error("combined variance exceeds component variance")
+	}
+	// Parallel MASCOT: (τ(m²−1)+2η(m−1))/c.
+	if got, want := VarParallelMascot(10, 5, tau, eta), (tau*99+2*eta*9)/5; got != want {
+		t.Errorf("VarParallelMascot(10,5) = %v, want %v", got, want)
+	}
+	// REPT strictly better than parallel MASCOT whenever η > 0, c > 1.
+	for _, c := range []int{2, 5, 10, 15, 20, 24, 30} {
+		if VarREPT(10, c, tau, eta) >= VarParallelMascot(10, c, tau, eta) {
+			t.Errorf("c=%d: VarREPT %v not below VarParallelMascot %v",
+				c, VarREPT(10, c, tau, eta), VarParallelMascot(10, c, tau, eta))
+		}
+	}
+	// Degenerate exact case m=1: zero variance.
+	if got := VarREPT(1, 4, tau, eta); got != 0 {
+		t.Errorf("VarREPT(1,4) = %v, want 0", got)
+	}
+	// NRMSE helper.
+	if got := NRMSETheory(400, 100); got != 0.2 {
+		t.Errorf("NRMSETheory(400,100) = %v, want 0.2", got)
+	}
+}
+
+func TestEstimateCombination(t *testing.T) {
+	// Hand-computed Graybill–Deal combination: m=3, c=7 (c1=2, c2=1).
+	agg := &Aggregates{
+		M:       3,
+		C:       7,
+		TauProc: []uint64{5, 7, 3, 6, 4, 5, 2}, // sum1=30 (first 6), sum2=2
+		EtaProc: []uint64{1, 0, 2, 1, 1, 0, 1}, // total 6
+	}
+	if err := agg.SanityCheck(); err != nil {
+		t.Fatal(err)
+	}
+	est := agg.Estimate()
+	m := 3.0
+	t1 := m / 2 * 30    // 45
+	t2 := m * m / 1 * 2 // 18
+	etaHat := m * m * m * 6 / 7
+	w1 := t1 * (m - 1) / 2
+	w2 := (t1*(m*m-1) + 2*etaHat*(m-1)) / 1
+	want := (w2*t1 + w1*t2) / (w1 + w2)
+	if !closeTo(est.Global, want, 1e-9) {
+		t.Errorf("Global = %v, want %v", est.Global, want)
+	}
+	if !est.Combined {
+		t.Error("Combined = false, want true")
+	}
+	if !closeTo(est.EtaHat, etaHat, 1e-9) {
+		t.Errorf("EtaHat = %v, want %v", est.EtaHat, etaHat)
+	}
+}
+
+func TestEstimatePureCases(t *testing.T) {
+	// c ≤ m: τ̂ = m²/c Σ.
+	agg := &Aggregates{M: 10, C: 4, TauProc: []uint64{1, 2, 3, 4}}
+	if est := agg.Estimate(); est.Global != 100.0*10/4 || est.Combined {
+		t.Errorf("c≤m: Global = %v (combined=%v), want 250 (false)", est.Global, est.Combined)
+	}
+	// c = c₁m: τ̂ = m/c₁ Σ.
+	tp := make([]uint64, 20)
+	for i := range tp {
+		tp[i] = 2
+	}
+	agg = &Aggregates{M: 10, C: 20, TauProc: tp}
+	if est := agg.Estimate(); est.Global != 10.0/2*40 {
+		t.Errorf("c=c1m: Global = %v, want 200", est.Global)
+	}
+	// All-zero counters with combination: falls back to pooled 0.
+	agg = &Aggregates{M: 3, C: 7, TauProc: make([]uint64, 7), EtaProc: make([]uint64, 7)}
+	if est := agg.Estimate(); est.Global != 0 || est.Combined {
+		t.Errorf("zero counters: Global = %v (combined=%v), want 0 (false)", est.Global, est.Combined)
+	}
+}
+
+func TestAggregatesSanityCheck(t *testing.T) {
+	bad := &Aggregates{M: 2, C: 3, TauProc: make([]uint64, 2)}
+	if err := bad.SanityCheck(); err == nil {
+		t.Error("SanityCheck accepted wrong TauProc length")
+	}
+	bad = &Aggregates{M: 2, C: 3, TauProc: make([]uint64, 3), EtaProc: make([]uint64, 1)}
+	if err := bad.SanityCheck(); err == nil {
+		t.Error("SanityCheck accepted wrong EtaProc length")
+	}
+}
+
+func closeTo(a, b, tol float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= tol
+}

@@ -1,0 +1,219 @@
+package core
+
+import (
+	"sync"
+
+	"rept/internal/graph"
+)
+
+const defaultBatchSize = 2048
+
+// Engine is the deployable parallel REPT implementation: C logical
+// processors, each with its own sampled edge set, fed by batched
+// broadcast over up to Workers goroutines.
+//
+// Engine is not safe for concurrent use by multiple callers; a single
+// streaming caller drives Add, and the engine parallelizes internally.
+type Engine struct {
+	cfg      Config
+	lay      layout
+	trackEta bool
+	procs    []*proc
+	fam      []Hasher
+	seqCols  []int // per-group color scratch for the sequential path
+
+	workers int
+	batch   []graph.Edge
+	chans   []chan []graph.Edge
+	wg      sync.WaitGroup
+	closed  bool
+
+	processed uint64
+	selfLoops uint64
+}
+
+// NewEngine builds an Engine for cfg. The hash family (one hash per
+// processor group) is derived deterministically from cfg.Seed.
+func NewEngine(cfg Config) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	lay := newLayout(cfg.M, cfg.C)
+	trackEta := cfg.TrackEta || lay.needsEta()
+	fam := cfg.hashFamily(lay.groups)
+
+	e := &Engine{cfg: cfg, lay: lay, trackEta: trackEta, fam: fam}
+	e.seqCols = make([]int, lay.groups)
+	e.procs = make([]*proc, cfg.C)
+	for i := range e.procs {
+		e.procs[i] = newProc(lay.groupOf(i), lay.colorOf(i), cfg.TrackLocal, trackEta)
+	}
+
+	e.workers = cfg.Workers
+	if e.workers > cfg.C {
+		e.workers = cfg.C
+	}
+	if e.workers > 1 {
+		bs := cfg.BatchSize
+		if bs <= 0 {
+			bs = defaultBatchSize
+		}
+		e.batch = make([]graph.Edge, 0, bs)
+		e.chans = make([]chan []graph.Edge, e.workers)
+		for w := 0; w < e.workers; w++ {
+			e.chans[w] = make(chan []graph.Edge)
+			go e.worker(w, e.chans[w])
+		}
+	}
+	return e, nil
+}
+
+// worker processes the logical processors owned by worker w (those with
+// index ≡ w mod workers) for every broadcast batch. Batches are read-only
+// shared slices; the coordinator waits for all workers before reusing the
+// buffer, so no copies are needed.
+func (e *Engine) worker(w int, ch <-chan []graph.Edge) {
+	cols := make([]int, len(e.fam))
+	for batch := range ch {
+		for _, edge := range batch {
+			key := edge.Key()
+			for g, h := range e.fam {
+				cols[g] = h.Color(key)
+			}
+			for i := w; i < len(e.procs); i += e.workers {
+				p := e.procs[i]
+				p.processEdge(edge.U, edge.V, key, cols[p.group])
+			}
+		}
+		e.wg.Done()
+	}
+}
+
+// Add feeds one stream edge to the estimator. Self-loops are skipped (a
+// self-loop cannot be part of a triangle).
+func (e *Engine) Add(u, v graph.NodeID) {
+	if e.closed {
+		panic(ErrClosed)
+	}
+	if u == v {
+		e.selfLoops++
+		return
+	}
+	e.processed++
+	if e.workers <= 1 {
+		key := graph.Key(u, v)
+		for g, h := range e.fam {
+			e.seqCols[g] = h.Color(key)
+		}
+		for _, p := range e.procs {
+			p.processEdge(u, v, key, e.seqCols[p.group])
+		}
+		return
+	}
+	e.batch = append(e.batch, graph.Edge{U: u, V: v})
+	if len(e.batch) == cap(e.batch) {
+		e.flush()
+	}
+}
+
+// AddEdge feeds one stream edge.
+func (e *Engine) AddEdge(edge graph.Edge) { e.Add(edge.U, edge.V) }
+
+// AddAll feeds a slice of stream edges in order.
+func (e *Engine) AddAll(edges []graph.Edge) {
+	for _, edge := range edges {
+		e.Add(edge.U, edge.V)
+	}
+}
+
+// flush broadcasts the pending batch to all workers and waits for them,
+// after which the batch buffer can be reused.
+func (e *Engine) flush() {
+	if len(e.batch) == 0 {
+		return
+	}
+	e.wg.Add(e.workers)
+	for _, ch := range e.chans {
+		ch <- e.batch
+	}
+	e.wg.Wait()
+	e.batch = e.batch[:0]
+}
+
+// Aggregates drains pending work and gathers the per-processor counters.
+// The engine remains usable afterwards, so interval workloads can snapshot
+// estimates mid-stream.
+func (e *Engine) Aggregates() *Aggregates {
+	if e.closed {
+		panic(ErrClosed)
+	}
+	if e.workers > 1 {
+		e.flush()
+	}
+	agg := &Aggregates{M: e.cfg.M, C: e.cfg.C, TauProc: make([]uint64, e.cfg.C)}
+	if e.trackEta {
+		agg.EtaProc = make([]uint64, e.cfg.C)
+	}
+	if e.cfg.TrackLocal {
+		agg.TauV1 = make(map[graph.NodeID]uint64)
+		agg.TauV2 = make(map[graph.NodeID]uint64)
+		if e.trackEta {
+			agg.EtaV = make(map[graph.NodeID]uint64)
+		}
+	}
+	for i, p := range e.procs {
+		agg.TauProc[i] = p.tau
+		if e.trackEta {
+			agg.EtaProc[i] = p.eta
+		}
+		if e.cfg.TrackLocal {
+			dst := agg.TauV1
+			if e.lay.isPartialProc(i) {
+				dst = agg.TauV2
+			}
+			for v, t := range p.tauV {
+				dst[v] += t
+			}
+			if e.trackEta {
+				for v, h := range p.etaV {
+					agg.EtaV[v] += h
+				}
+			}
+		}
+	}
+	return agg
+}
+
+// Result drains pending work and evaluates the REPT estimators.
+func (e *Engine) Result() Estimate { return e.Aggregates().Estimate() }
+
+// Processed returns the number of non-loop edges fed so far.
+func (e *Engine) Processed() uint64 { return e.processed }
+
+// SelfLoops returns the number of self-loop arrivals skipped.
+func (e *Engine) SelfLoops() uint64 { return e.selfLoops }
+
+// SampledEdges returns the total number of edges currently stored across
+// all logical processors (expected ≈ C·|E|/M), a memory diagnostic.
+func (e *Engine) SampledEdges() int {
+	total := 0
+	for _, p := range e.procs {
+		total += p.adj.Edges()
+	}
+	return total
+}
+
+// Close stops the worker goroutines. The engine must not be used after
+// Close. Close is idempotent.
+func (e *Engine) Close() {
+	if e.closed {
+		return
+	}
+	if e.workers > 1 {
+		e.flush()
+		for _, ch := range e.chans {
+			close(ch)
+		}
+	}
+	e.closed = true
+}

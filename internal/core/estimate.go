@@ -1,0 +1,167 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"rept/internal/graph"
+)
+
+// Aggregates holds the per-processor counters gathered from an engine,
+// reduced just enough to evaluate the paper's estimators. TauProc[i] is
+// τ⁽ⁱ⁾, the number of semi-triangles observed by logical processor i;
+// EtaProc[i] is η⁽ⁱ⁾ (nil when η was not tracked).
+//
+// Local counters are pre-summed over the two processor classes the
+// estimators distinguish: class 1 is the c₁ full groups (τ̂⁽¹⁾), class 2
+// the partial group (τ̂⁽²⁾). For c ≤ m all processors form one partial
+// group (c₁ = 0), so TauV1 is empty and TauV2 carries everything, which
+// makes Algorithm 1 the c₁ = 0 special case of Algorithm 2.
+type Aggregates struct {
+	M, C    int
+	TauProc []uint64
+	EtaProc []uint64
+
+	TauV1 map[graph.NodeID]uint64 // Σ τ⁽ⁱ⁾_v over full-group processors
+	TauV2 map[graph.NodeID]uint64 // Σ τ⁽ⁱ⁾_v over partial-group processors
+	EtaV  map[graph.NodeID]uint64 // Σ η⁽ⁱ⁾_v over all processors
+}
+
+// Estimate holds the REPT output.
+type Estimate struct {
+	// Global is τ̂, the estimated number of triangles in the stream.
+	Global float64
+	// Local is τ̂_v for every node that appeared in at least one sampled
+	// semi-triangle; absent nodes have estimate 0. Nil unless the engine
+	// tracked local counts.
+	Local map[graph.NodeID]float64
+	// EtaHat is η̂ = (m³/c)·Σ η⁽ⁱ⁾ when η was tracked, else 0.
+	EtaHat float64
+	// Variance is the plug-in estimate of Var(τ̂): the paper's closed form
+	// (Theorem 3 / Section III-B) with τ̂ and η̂ substituted for τ and η.
+	// It supports confidence intervals (τ̂ ± z·sqrt(Variance)) without a
+	// second pass. NaN when the needed η counters were not tracked (set
+	// Config.TrackEta to force them); the c = c₁m case needs no η and is
+	// always available.
+	Variance float64
+	// Combined reports whether the Graybill–Deal inverse-variance
+	// combination of τ̂⁽¹⁾ and τ̂⁽²⁾ was used (c > m with c % m ≠ 0).
+	Combined bool
+}
+
+// Estimate evaluates the paper's estimators on the gathered counters.
+func (a *Aggregates) Estimate() Estimate {
+	lay := newLayout(a.M, a.C)
+	m := float64(a.M)
+
+	var sum1, sum2, etaSum uint64
+	for i, t := range a.TauProc {
+		if lay.isPartialProc(i) {
+			sum2 += t
+		} else {
+			sum1 += t
+		}
+	}
+	for _, h := range a.EtaProc {
+		etaSum += h
+	}
+
+	est := Estimate{}
+	if a.EtaProc != nil {
+		est.EtaHat = m * m * m * float64(etaSum) / float64(a.C)
+	}
+	est.Global, est.Combined = combine(lay, float64(sum1), float64(sum2), est.EtaHat)
+	est.Variance = plugInVariance(lay, a.EtaProc != nil, est.Global, est.EtaHat)
+
+	if a.TauV1 != nil || a.TauV2 != nil {
+		est.Local = make(map[graph.NodeID]float64, maxLen(a.TauV1, a.TauV2))
+		fill := func(src map[graph.NodeID]uint64) {
+			for v := range src {
+				if _, done := est.Local[v]; done {
+					continue
+				}
+				var etaV float64
+				if a.EtaV != nil {
+					etaV = m * m * m * float64(a.EtaV[v]) / float64(a.C)
+				}
+				g, _ := combine(lay, float64(a.TauV1[v]), float64(a.TauV2[v]), etaV)
+				est.Local[v] = g
+			}
+		}
+		fill(a.TauV1)
+		fill(a.TauV2)
+	}
+	return est
+}
+
+// combine evaluates τ̂ from the class sums. sum1 is Σ τ⁽ⁱ⁾ over full-group
+// processors, sum2 over partial-group processors, etaHat the η̂ estimate
+// (used only when both classes are non-empty).
+//
+// Paper estimators:
+//
+//	c ≤ m:          τ̂ = (m²/c)·Σ τ⁽ⁱ⁾                       (Algorithm 1)
+//	c = c₁m:        τ̂ = (m/c₁)·Σ τ⁽ⁱ⁾                        (Section III-B.1)
+//	c = c₁m + c₂:   τ̂⁽¹⁾ = (m/c₁)·Σ₁,  τ̂⁽²⁾ = (m²/c₂)·Σ₂,
+//	                w⁽¹⁾ = τ̂⁽¹⁾(m−1)/c₁,
+//	                w⁽²⁾ = (τ̂⁽¹⁾(m²−c₂) + 2η̂(m−c₂))/c₂,
+//	                τ̂ = (w⁽²⁾τ̂⁽¹⁾ + w⁽¹⁾τ̂⁽²⁾)/(w⁽¹⁾+w⁽²⁾)   (Algorithm 2)
+//
+// When both variance proxies are zero (e.g. no semi-triangles were seen)
+// the combination degenerates; we fall back to the unbiased pooled
+// estimator m²·(Σ₁+Σ₂)/c, which coincides with the paper's estimator in
+// the pure cases.
+func combine(lay layout, sum1, sum2, etaHat float64) (float64, bool) {
+	m := float64(lay.m)
+	pooled := m * m * (sum1 + sum2) / float64(lay.c)
+	if lay.c1 == 0 || lay.c2 == 0 {
+		// Single-class cases: pooled is exactly the paper's estimator.
+		return pooled, false
+	}
+	c1, c2 := float64(lay.c1), float64(lay.c2)
+	t1 := m / c1 * sum1
+	t2 := m * m / c2 * sum2
+	w1 := t1 * (m - 1) / c1
+	w2 := (t1*(m*m-c2) + 2*etaHat*(m-c2)) / c2
+	if w1+w2 <= 0 {
+		return pooled, false
+	}
+	return (w2*t1 + w1*t2) / (w1 + w2), true
+}
+
+// plugInVariance evaluates the paper's closed-form variance with the
+// estimates substituted for the true τ and η. Negative plug-ins are
+// clamped to zero; NaN when η is required but was not tracked.
+func plugInVariance(lay layout, haveEta bool, tauHat, etaHat float64) float64 {
+	if tauHat < 0 {
+		tauHat = 0
+	}
+	if etaHat < 0 {
+		etaHat = 0
+	}
+	// The c = c₁m case (including m = 1) needs no η.
+	etaFree := lay.c1 > 0 && lay.c2 == 0
+	if !haveEta && !etaFree {
+		return math.NaN()
+	}
+	return VarREPT(lay.m, lay.c, tauHat, etaHat)
+}
+
+func maxLen(a, b map[graph.NodeID]uint64) int {
+	if len(a) > len(b) {
+		return len(a)
+	}
+	return len(b)
+}
+
+// SanityCheck verifies structural invariants of the aggregates (lengths
+// consistent with C, non-nil slices). It is used by tests and the harness.
+func (a *Aggregates) SanityCheck() error {
+	if len(a.TauProc) != a.C {
+		return fmt.Errorf("core: TauProc has %d entries, want C=%d", len(a.TauProc), a.C)
+	}
+	if a.EtaProc != nil && len(a.EtaProc) != a.C {
+		return fmt.Errorf("core: EtaProc has %d entries, want C=%d", len(a.EtaProc), a.C)
+	}
+	return nil
+}

@@ -1,0 +1,91 @@
+package core
+
+import "rept/internal/graph"
+
+// proc is the state of one logical REPT processor in the parallel Engine.
+// It sees every stream edge (to count semi-triangles closed against its
+// sampled set) but stores only the edges its group hash colors with its
+// own color — the paper's distributed-memory model where each processor
+// keeps an expected p·|E| edges.
+type proc struct {
+	group      int
+	color      int
+	trackLocal bool
+	trackEta   bool
+
+	adj *graph.Adjacency
+
+	tau  uint64
+	eta  uint64
+	tauV map[graph.NodeID]uint64
+	etaV map[graph.NodeID]uint64
+	// tcnt[g] is τ⁽ⁱ⁾_g: the number of triangles in Δ⁽ⁱ⁾ containing the
+	// sampled edge g — the per-edge counters Algorithm 2 uses to maintain
+	// η⁽ⁱ⁾ incrementally.
+	tcnt map[uint64]uint32
+
+	scratch []graph.NodeID
+}
+
+func newProc(group, color int, trackLocal, trackEta bool) *proc {
+	p := &proc{
+		group:      group,
+		color:      color,
+		trackLocal: trackLocal,
+		trackEta:   trackEta,
+		adj:        graph.NewAdjacency(),
+	}
+	if trackLocal {
+		p.tauV = make(map[graph.NodeID]uint64)
+		if trackEta {
+			p.etaV = make(map[graph.NodeID]uint64)
+		}
+	}
+	if trackEta {
+		p.tcnt = make(map[uint64]uint32)
+	}
+	return p
+}
+
+// processEdge implements UpdateTriangleCNT / UpdateTrianglePairCNT from
+// Algorithms 1 and 2 followed by the conditional insertion of the edge
+// into E⁽ⁱ⁾. The caller filters self-loops and precomputes the edge's
+// color under the processor's group hash once per (edge, group), since
+// all m processors of a group share the hash.
+func (p *proc) processEdge(u, v graph.NodeID, key uint64, color int) {
+	p.scratch = p.adj.CommonNeighbors(u, v, p.scratch[:0])
+	n := uint64(len(p.scratch))
+	p.tau += n
+	if p.trackLocal && n > 0 {
+		p.tauV[u] += n
+		p.tauV[v] += n
+		for _, w := range p.scratch {
+			p.tauV[w]++
+		}
+	}
+	if p.trackEta {
+		for _, w := range p.scratch {
+			kuw, kvw := graph.Key(u, w), graph.Key(v, w)
+			a, b := p.tcnt[kuw], p.tcnt[kvw]
+			p.eta += uint64(a) + uint64(b)
+			if p.etaV != nil {
+				if ab := uint64(a) + uint64(b); ab > 0 {
+					p.etaV[w] += ab
+				}
+				if a > 0 {
+					p.etaV[u] += uint64(a)
+				}
+				if b > 0 {
+					p.etaV[v] += uint64(b)
+				}
+			}
+			p.tcnt[kuw] = a + 1
+			p.tcnt[kvw] = b + 1
+		}
+	}
+	if color == p.color {
+		if p.adj.Add(u, v) && p.trackEta {
+			p.tcnt[key] = uint32(n)
+		}
+	}
+}

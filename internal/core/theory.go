@@ -1,0 +1,62 @@
+package core
+
+import "math"
+
+// This file exposes the paper's closed-form variance expressions. They are
+// used by the variance-validation experiment (empirical vs theoretical)
+// and to overlay theory curves on the accuracy figures.
+
+// VarREPT returns the theoretical Var(τ̂) of REPT with sampling probability
+// p = 1/m on c processors, for a stream with triangle count tau and
+// shared-edge pair count eta (paper Theorem 3 and Section III-B):
+//
+//	c ≤ m:        (τ(m²−c) + 2η(m−c)) / c
+//	c = c₁m:      τ(m−1)/c₁
+//	c = c₁m+c₂:   harmonic combination of the two cases above
+//	              (inverse-variance optimal combination of independent
+//	              unbiased estimates, Graybill–Deal).
+func VarREPT(m, c int, tau, eta float64) float64 {
+	if m < 1 || c < 1 {
+		return math.NaN()
+	}
+	mf := float64(m)
+	c1, c2 := c/m, c%m
+	switch {
+	case c1 == 0:
+		cf := float64(c)
+		return (tau*(mf*mf-cf) + 2*eta*(mf-cf)) / cf
+	case c2 == 0:
+		return tau * (mf - 1) / float64(c1)
+	default:
+		v1 := tau * (mf - 1) / float64(c1)
+		v2 := (tau*(mf*mf-float64(c2)) + 2*eta*(mf-float64(c2))) / float64(c2)
+		if v1 == 0 && v2 == 0 {
+			return 0
+		}
+		return v1 * v2 / (v1 + v2)
+	}
+}
+
+// VarParallelMascot returns the theoretical variance of averaging c
+// independent MASCOT estimates with sampling probability p = 1/m
+// (Section III-C, derived from MASCOT's Lemma 6):
+//
+//	(τ(m²−1) + 2η(m−1)) / c
+//
+// The 2η(m−1) term is the covariance contribution REPT eliminates.
+func VarParallelMascot(m, c int, tau, eta float64) float64 {
+	if m < 1 || c < 1 {
+		return math.NaN()
+	}
+	mf := float64(m)
+	return (tau*(mf*mf-1) + 2*eta*(mf-1)) / float64(c)
+}
+
+// NRMSETheory converts a variance of an unbiased estimator of tau into the
+// paper's error metric NRMSE = sqrt(MSE)/τ.
+func NRMSETheory(variance, tau float64) float64 {
+	if tau <= 0 {
+		return math.NaN()
+	}
+	return math.Sqrt(variance) / tau
+}

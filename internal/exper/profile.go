@@ -1,0 +1,111 @@
+package exper
+
+import "fmt"
+
+// Profile sizes an experiment run. The paper's absolute workloads (up to
+// 1.2B edges, 320 cores) are scaled to laptop budgets; Quick is meant for
+// benchmarks and CI, Default for an interactive full reproduction, Full
+// for a patient machine.
+type Profile struct {
+	Name string
+	// Scale multiplies dataset node counts.
+	Scale float64
+	// Datasets used by the global-accuracy, fig1 and table2 experiments.
+	Datasets []string
+	// LocalDatasets used by the (more expensive) local-accuracy figures.
+	LocalDatasets []string
+	// RuntimeDatasets used by the runtime figure.
+	RuntimeDatasets []string
+
+	// GlobalRuns is the number of REPT Monte-Carlo runs per dataset for
+	// global NRMSE; LocalRuns the per-(dataset, c) runs for local NRMSE.
+	GlobalRuns int
+	LocalRuns  int
+	// Trials is the number of independent single-instance baseline trials
+	// from which parallel-baseline errors are derived analytically.
+	Trials int
+
+	// CSmallP are the processor counts for p = 0.01 figures (paper: 20..320),
+	// CLargeP for p = 0.1 figures (paper: 2..32).
+	CSmallP []int
+	CLargeP []int
+	// CLocalSmallP/CLocalLargeP are the (usually sparser) c grids for the
+	// local figures.
+	CLocalSmallP []int
+	CLocalLargeP []int
+
+	// InvPs are the 1/p values of the runtime figure (paper: 2..32).
+	InvPs []int
+	// RuntimeC is the processor count of the runtime figure (paper: 10).
+	RuntimeC int
+	// Workers is the goroutine budget for runtime experiments (0 = NumCPU).
+	Workers int
+}
+
+// Quick is sized for unit-test and benchmark latency: two datasets at
+// small scale and few runs. Error bands are wide but orderings hold.
+var Quick = Profile{
+	Name:            "quick",
+	Scale:           0.12,
+	Datasets:        []string{"sim-flickr", "sim-youtube"},
+	LocalDatasets:   []string{"sim-youtube"},
+	RuntimeDatasets: []string{"sim-flickr"},
+	GlobalRuns:      8,
+	LocalRuns:       6,
+	Trials:          24,
+	CSmallP:         []int{20, 100, 320},
+	CLargeP:         []int{2, 10, 32},
+	CLocalSmallP:    []int{20, 320},
+	CLocalLargeP:    []int{2, 32},
+	InvPs:           []int{2, 8, 32},
+	RuntimeC:        10,
+}
+
+// Default reproduces every figure on all eight datasets in minutes.
+var Default = Profile{
+	Name:            "default",
+	Scale:           0.5,
+	Datasets:        Names(),
+	LocalDatasets:   Names(),
+	RuntimeDatasets: []string{"sim-twitter", "sim-flickr", "sim-youtube"},
+	GlobalRuns:      30,
+	LocalRuns:       12,
+	Trials:          60,
+	CSmallP:         []int{20, 80, 160, 240, 320},
+	CLargeP:         []int{2, 8, 16, 24, 32},
+	CLocalSmallP:    []int{20, 80, 320},
+	CLocalLargeP:    []int{2, 8, 32},
+	InvPs:           []int{2, 4, 8, 16, 32},
+	RuntimeC:        10,
+}
+
+// Full runs closer to paper scale (full synthetic sizes, more runs).
+var Full = Profile{
+	Name:            "full",
+	Scale:           1.0,
+	Datasets:        Names(),
+	LocalDatasets:   Names(),
+	RuntimeDatasets: Names(),
+	GlobalRuns:      60,
+	LocalRuns:       25,
+	Trials:          150,
+	CSmallP:         []int{20, 80, 160, 240, 320},
+	CLargeP:         []int{2, 8, 16, 24, 32},
+	CLocalSmallP:    []int{20, 80, 160, 320},
+	CLocalLargeP:    []int{2, 8, 16, 32},
+	InvPs:           []int{2, 4, 8, 16, 32},
+	RuntimeC:        10,
+}
+
+// ProfileByName resolves quick/default/full.
+func ProfileByName(name string) (Profile, error) {
+	switch name {
+	case "quick":
+		return Quick, nil
+	case "default", "":
+		return Default, nil
+	case "full":
+		return Full, nil
+	}
+	return Profile{}, fmt.Errorf("exper: unknown profile %q (quick|default|full)", name)
+}

@@ -1,0 +1,114 @@
+package exper
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Table is a rendered experiment result: the textual analog of one paper
+// table or figure (each figure becomes the table of the series it plots).
+type Table struct {
+	ID      string // experiment id, e.g. "fig3"
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// Render writes a fixed-width view of the table.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	b.WriteByte('\n')
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteCSV writes the table (without notes) as <dir>/<id>.csv.
+func (t *Table) WriteCSV(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("exper: %w", err)
+	}
+	path := filepath.Join(dir, t.ID+".csv")
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("exper: %w", err)
+	}
+	w := csv.NewWriter(f)
+	if err := w.Write(t.Columns); err != nil {
+		f.Close()
+		return fmt.Errorf("exper: %w", err)
+	}
+	for _, row := range t.Rows {
+		if err := w.Write(row); err != nil {
+			f.Close()
+			return fmt.Errorf("exper: %w", err)
+		}
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		f.Close()
+		return fmt.Errorf("exper: %w", err)
+	}
+	return f.Close()
+}
+
+// fmtFloat renders a float compactly: scientific for very small/large
+// magnitudes, fixed otherwise.
+func fmtFloat(x float64) string {
+	switch {
+	case math.IsNaN(x):
+		return "n/a"
+	case x == 0:
+		return "0"
+	case math.Abs(x) < 1e-3 || math.Abs(x) >= 1e7:
+		return fmt.Sprintf("%.3e", x)
+	case math.Abs(x) < 1:
+		return fmt.Sprintf("%.4f", x)
+	case math.Abs(x) < 100:
+		return fmt.Sprintf("%.2f", x)
+	default:
+		return fmt.Sprintf("%.0f", x)
+	}
+}
+
+func fmtInt(x int) string { return fmt.Sprintf("%d", x) }

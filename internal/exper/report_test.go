@@ -1,0 +1,86 @@
+package exper
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestFmtFloat(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{math.NaN(), "n/a"},
+		{0, "0"},
+		{0.00001, "1.000e-05"},
+		{0.1234, "0.1234"},
+		{12.345, "12.35"},
+		{12345, "12345"},
+		{1.23e9, "1.230e+09"},
+		{-0.5, "-0.5000"},
+	}
+	for _, c := range cases {
+		if got := fmtFloat(c.in); got != c.want {
+			t.Errorf("fmtFloat(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+	if got := fmtInt(42); got != "42" {
+		t.Errorf("fmtInt(42) = %q", got)
+	}
+}
+
+func TestTableRenderAlignment(t *testing.T) {
+	tb := &Table{
+		ID:      "demo",
+		Title:   "demo table",
+		Columns: []string{"a", "long-column"},
+		Rows:    [][]string{{"x", "1"}, {"yyyyyyyyyy", "2"}},
+		Notes:   []string{"a note"},
+	}
+	var buf bytes.Buffer
+	if err := tb.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"== demo: demo table ==", "long-column", "yyyyyyyyyy", "note: a note"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+	// Header separator spans the widest cell.
+	if !strings.Contains(out, strings.Repeat("-", 10)) {
+		t.Error("separator not widened to the longest cell")
+	}
+}
+
+func TestWriteCSVCreatesDir(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "nested", "out")
+	tb := &Table{ID: "x", Columns: []string{"a"}, Rows: [][]string{{"1"}}}
+	if err := tb.WriteCSV(dir); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "x.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := string(data); got != "a\n1\n" {
+		t.Errorf("CSV content = %q", got)
+	}
+}
+
+func TestWriteCSVBadDir(t *testing.T) {
+	// A file where the directory should be forces MkdirAll to fail.
+	base := t.TempDir()
+	blocker := filepath.Join(base, "blocked")
+	if err := os.WriteFile(blocker, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tb := &Table{ID: "x", Columns: []string{"a"}}
+	if err := tb.WriteCSV(filepath.Join(blocker, "sub")); err == nil {
+		t.Error("WriteCSV into a file path: got nil error")
+	}
+}

@@ -1,0 +1,144 @@
+package exper
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"rept/internal/baselines"
+	"rept/internal/core"
+	"rept/internal/graph"
+)
+
+// RuntimePoint is one (dataset, 1/p) cell of the runtime figure: seconds
+// to process the full stream with c = Profile.RuntimeC logical processors.
+type RuntimePoint struct {
+	Dataset                   string
+	InvP                      int
+	REPT, Mascot, Triest, GPS float64 // seconds
+	Edges                     int
+}
+
+// RuntimeResult is the data behind paper Figure 7.
+type RuntimeResult struct {
+	C      int
+	Points []RuntimePoint
+}
+
+// RuntimeFig7 measures wall-clock runtime of the four parallel methods for
+// varying 1/p at fixed c (paper: c = 10). All methods run over the same
+// worker-goroutine budget so the comparison is per-edge work, as in the
+// paper. Expected shape: REPT ≈ MASCOT < TRIÈST < GPS.
+func RuntimeFig7(p Profile, seed int64) (*RuntimeResult, error) {
+	workers := p.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	res := &RuntimeResult{C: p.RuntimeC}
+	warmed := false
+	for _, name := range p.RuntimeDatasets {
+		d, err := Load(name, p.Scale)
+		if err != nil {
+			return nil, err
+		}
+		edges := d.Edges
+		if !warmed {
+			// Untimed warmup so the first measured cell does not pay
+			// one-time allocator and code-path costs.
+			warm := edges
+			if len(warm) > 4096 {
+				warm = warm[:4096]
+			}
+			eng, err := core.NewEngine(core.Config{M: 4, C: p.RuntimeC, Seed: seed, Workers: workers})
+			if err != nil {
+				return nil, err
+			}
+			eng.AddAll(warm)
+			_ = eng.Result()
+			eng.Close()
+			if _, err := timeParallel(warm, p.RuntimeC, workers, func(_ int, s int64) (baselines.Estimator, error) {
+				return baselines.NewMascot(0.25, s, false)
+			}); err != nil {
+				return nil, err
+			}
+			warmed = true
+		}
+
+		pt := RuntimePoint{Dataset: name, Edges: len(edges)}
+		for _, invP := range p.InvPs {
+			pt.InvP = invP
+
+			// REPT.
+			start := time.Now()
+			eng, err := core.NewEngine(core.Config{
+				M: invP, C: p.RuntimeC, Seed: seed, Workers: workers,
+			})
+			if err != nil {
+				return nil, err
+			}
+			eng.AddAll(edges)
+			_ = eng.Result()
+			eng.Close()
+			pt.REPT = time.Since(start).Seconds()
+
+			// Parallel MASCOT.
+			pt.Mascot, err = timeParallel(edges, p.RuntimeC, workers, func(_ int, s int64) (baselines.Estimator, error) {
+				return baselines.NewMascot(1/float64(invP), s, false)
+			})
+			if err != nil {
+				return nil, err
+			}
+			// Parallel TRIÈST.
+			kT := budgetEdges(len(edges), invP, 1)
+			pt.Triest, err = timeParallel(edges, p.RuntimeC, workers, func(_ int, s int64) (baselines.Estimator, error) {
+				return baselines.NewTriest(kT, s, false)
+			})
+			if err != nil {
+				return nil, err
+			}
+			// Parallel GPS (half budget).
+			kG := budgetEdges(len(edges), invP, 2)
+			pt.GPS, err = timeParallel(edges, p.RuntimeC, workers, func(_ int, s int64) (baselines.Estimator, error) {
+				return baselines.NewGPS(kG, s, false)
+			})
+			if err != nil {
+				return nil, err
+			}
+			res.Points = append(res.Points, pt)
+		}
+	}
+	return res, nil
+}
+
+func timeParallel(edges []graph.Edge, c, workers int, factory baselines.Factory) (float64, error) {
+	start := time.Now()
+	par, err := baselines.NewParallelFrom(c, 99, workers, factory)
+	if err != nil {
+		return 0, err
+	}
+	for _, e := range edges {
+		par.Add(e.U, e.V)
+	}
+	_ = par.Global()
+	par.Close()
+	return time.Since(start).Seconds(), nil
+}
+
+// Table renders the result in paper-figure layout.
+func (r *RuntimeResult) Table(id string) *Table {
+	t := &Table{
+		ID:      id,
+		Title:   fmt.Sprintf("runtime (seconds) vs 1/p, c = %d logical processors", r.C),
+		Columns: []string{"dataset", "edges", "1/p", "REPT", "MASCOT", "Triest", "GPS"},
+		Notes: []string{
+			"wall-clock on this machine; the paper's shape is REPT ≈ MASCOT < Triest < GPS",
+		},
+	}
+	for _, pt := range r.Points {
+		t.Rows = append(t.Rows, []string{
+			pt.Dataset, fmtInt(pt.Edges), fmtInt(pt.InvP),
+			fmtFloat(pt.REPT), fmtFloat(pt.Mascot), fmtFloat(pt.Triest), fmtFloat(pt.GPS),
+		})
+	}
+	return t
+}

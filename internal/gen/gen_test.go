@@ -1,0 +1,213 @@
+package gen
+
+import (
+	"testing"
+
+	"rept/internal/graph"
+)
+
+// checkSimple verifies a generated stream has no self-loops or duplicates
+// and node ids below n.
+func checkSimple(t *testing.T, edges []graph.Edge, n int) {
+	t.Helper()
+	seen := make(map[uint64]struct{}, len(edges))
+	for i, e := range edges {
+		if e.IsSelfLoop() {
+			t.Fatalf("edge %d is a self-loop: %v", i, e)
+		}
+		if int(e.U) >= n || int(e.V) >= n {
+			t.Fatalf("edge %d out of range: %v (n=%d)", i, e, n)
+		}
+		k := e.Key()
+		if _, dup := seen[k]; dup {
+			t.Fatalf("edge %d duplicated: %v", i, e)
+		}
+		seen[k] = struct{}{}
+	}
+}
+
+func TestErdosRenyi(t *testing.T) {
+	edges := ErdosRenyi(50, 200, 1)
+	if len(edges) != 200 {
+		t.Fatalf("got %d edges, want 200", len(edges))
+	}
+	checkSimple(t, edges, 50)
+	// Determinism.
+	again := ErdosRenyi(50, 200, 1)
+	for i := range edges {
+		if edges[i] != again[i] {
+			t.Fatal("ErdosRenyi not deterministic")
+		}
+	}
+	other := ErdosRenyi(50, 200, 2)
+	diff := false
+	for i := range edges {
+		if edges[i] != other[i] {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Error("different seeds produced identical streams")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("ErdosRenyi with m > C(n,2) did not panic")
+		}
+	}()
+	ErdosRenyi(3, 4, 1)
+}
+
+func TestHolmeKim(t *testing.T) {
+	const n, k = 300, 5
+	edges := HolmeKim(n, k, 0.7, 3)
+	checkSimple(t, edges, n)
+	wantEdges := k*(k+1)/2 + (n-k-1)*k
+	if len(edges) != wantEdges {
+		t.Fatalf("got %d edges, want %d", len(edges), wantEdges)
+	}
+	// Triad formation must produce substantially more triangles than pure
+	// preferential attachment at the same density.
+	tauCluster := graph.CountExact(edges, graph.ExactOptions{}).Tau
+	tauBA := graph.CountExact(BarabasiAlbert(n, k, 3), graph.ExactOptions{}).Tau
+	if tauCluster <= tauBA {
+		t.Errorf("HolmeKim pt=0.7 τ=%d not above BA τ=%d", tauCluster, tauBA)
+	}
+	// Degrees are skewed: max degree well above the mean.
+	s := graph.Summarize(edges)
+	if float64(s.MaxDegree) < 3*s.AvgDegree {
+		t.Errorf("max degree %d not heavy-tailed (avg %.1f)", s.MaxDegree, s.AvgDegree)
+	}
+}
+
+func TestHolmeKimPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("HolmeKim(3, 5, ...) did not panic")
+		}
+	}()
+	HolmeKim(3, 5, 0.5, 1)
+}
+
+func TestWattsStrogatz(t *testing.T) {
+	const n, k = 200, 4
+	edges := WattsStrogatz(n, k, 0.1, 4)
+	checkSimple(t, edges, n)
+	if len(edges) < n*k*9/10 {
+		t.Fatalf("got %d edges, want close to %d", len(edges), n*k)
+	}
+	// Low-beta WS is highly clustered: many triangles.
+	tau := graph.CountExact(edges, graph.ExactOptions{}).Tau
+	if tau < uint64(n) {
+		t.Errorf("WS τ=%d unexpectedly low", tau)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("WattsStrogatz(8,4,...) did not panic")
+		}
+	}()
+	WattsStrogatz(8, 4, 0.1, 1)
+}
+
+func TestDegenerateGraphs(t *testing.T) {
+	if tau := graph.CountExact(Complete(7), graph.ExactOptions{}).Tau; tau != 35 {
+		t.Errorf("K7 τ=%d, want 35", tau)
+	}
+	if tau := graph.CountExact(Star(20), graph.ExactOptions{}).Tau; tau != 0 {
+		t.Errorf("Star τ=%d, want 0", tau)
+	}
+	if tau := graph.CountExact(Cycle(10), graph.ExactOptions{}).Tau; tau != 0 {
+		t.Errorf("C10 τ=%d, want 0", tau)
+	}
+	if tau := graph.CountExact(Cycle(3), graph.ExactOptions{}).Tau; tau != 1 {
+		t.Errorf("C3 τ=%d, want 1", tau)
+	}
+	res := graph.CountExact(DisjointTriangles(9), graph.ExactOptions{Local: true, Eta: true})
+	if res.Tau != 9 || res.Eta != 0 {
+		t.Errorf("DisjointTriangles τ=%d η=%d, want 9, 0", res.Tau, res.Eta)
+	}
+	for v, c := range res.TauV {
+		if c != 1 {
+			t.Errorf("DisjointTriangles τ_%d = %d, want 1", v, c)
+		}
+	}
+}
+
+func TestCoHubOverlay(t *testing.T) {
+	const baseNodes, pairs, followers = 500, 3, 100
+	edges := CoHubOverlay(baseNodes, pairs, followers, baseNodes, 9)
+	if len(edges) != pairs*(2*followers+1) {
+		t.Fatalf("got %d edges, want %d", len(edges), pairs*(2*followers+1))
+	}
+	// No duplicates among hub edges (followers may repeat across pairs).
+	res := graph.CountExact(edges, graph.ExactOptions{Local: true, Eta: true})
+	// Each follower closes exactly one triangle per pair it belongs to.
+	if res.Tau < pairs*followers {
+		t.Errorf("τ = %d, want >= %d", res.Tau, pairs*followers)
+	}
+	// In hub-edge-first order every triangle pair of a hub shares a
+	// non-last edge: η = pairs · C(F, 2) exactly (no cross-pair overlap
+	// unless two followers coincide across pairs, which only adds).
+	wantEta := uint64(pairs) * uint64(followers) * uint64(followers-1) / 2
+	if res.Eta < wantEta {
+		t.Errorf("η = %d, want >= %d", res.Eta, wantEta)
+	}
+	// η/τ ratio is ~F/2 — the mechanism behind paper Figure 1.
+	ratio := float64(res.Eta) / float64(res.Tau)
+	if ratio < float64(followers)/4 {
+		t.Errorf("η/τ = %.1f, want >= %d", ratio, followers/4)
+	}
+	// Hub local counts are huge, follower counts small.
+	hub := graph.NodeID(baseNodes)
+	if res.TauV[hub] < uint64(followers) {
+		t.Errorf("hub τ_v = %d, want >= %d", res.TauV[hub], followers)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("CoHubOverlay(baseNodes=1) did not panic")
+		}
+	}()
+	CoHubOverlay(1, 1, 1, 10, 1)
+}
+
+func TestShuffle(t *testing.T) {
+	edges := Complete(10)
+	sh := Shuffle(edges, 5)
+	if len(sh) != len(edges) {
+		t.Fatal("Shuffle changed length")
+	}
+	// Same multiset.
+	seen := make(map[uint64]int)
+	for _, e := range edges {
+		seen[e.Key()]++
+	}
+	for _, e := range sh {
+		seen[e.Key()]--
+	}
+	for k, c := range seen {
+		if c != 0 {
+			t.Fatalf("Shuffle changed multiset at key %d", k)
+		}
+	}
+	// Original untouched, order actually changed.
+	if edges[0] != (graph.Edge{U: 0, V: 1}) {
+		t.Error("Shuffle mutated its input")
+	}
+	same := true
+	for i := range edges {
+		if sh[i] != edges[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("Shuffle produced identical order")
+	}
+	// Deterministic.
+	sh2 := Shuffle(edges, 5)
+	for i := range sh {
+		if sh[i] != sh2[i] {
+			t.Fatal("Shuffle not deterministic")
+		}
+	}
+}

@@ -1,0 +1,114 @@
+package graph
+
+// Adjacency is a dynamic undirected adjacency structure supporting edge
+// insertion, removal (needed by reservoir-based samplers) and
+// common-neighbor enumeration in O(min(deg u, deg v)) expected time.
+//
+// The zero value is not usable; call NewAdjacency.
+type Adjacency struct {
+	nbr   map[NodeID]map[NodeID]struct{}
+	edges int
+}
+
+// NewAdjacency returns an empty adjacency structure.
+func NewAdjacency() *Adjacency {
+	return &Adjacency{nbr: make(map[NodeID]map[NodeID]struct{})}
+}
+
+// Add inserts the undirected edge {u, v}. It returns false (and does
+// nothing) for self-loops and edges already present.
+func (a *Adjacency) Add(u, v NodeID) bool {
+	if u == v {
+		return false
+	}
+	if _, dup := a.nbr[u][v]; dup {
+		return false
+	}
+	a.link(u, v)
+	a.link(v, u)
+	a.edges++
+	return true
+}
+
+func (a *Adjacency) link(u, v NodeID) {
+	s := a.nbr[u]
+	if s == nil {
+		s = make(map[NodeID]struct{})
+		a.nbr[u] = s
+	}
+	s[v] = struct{}{}
+}
+
+// Remove deletes the undirected edge {u, v}, reporting whether it existed.
+// Nodes left with no incident edges are dropped from the structure.
+func (a *Adjacency) Remove(u, v NodeID) bool {
+	if _, ok := a.nbr[u][v]; !ok {
+		return false
+	}
+	a.unlink(u, v)
+	a.unlink(v, u)
+	a.edges--
+	return true
+}
+
+func (a *Adjacency) unlink(u, v NodeID) {
+	s := a.nbr[u]
+	delete(s, v)
+	if len(s) == 0 {
+		delete(a.nbr, u)
+	}
+}
+
+// Has reports whether the undirected edge {u, v} is present.
+func (a *Adjacency) Has(u, v NodeID) bool {
+	_, ok := a.nbr[u][v]
+	return ok
+}
+
+// Degree returns the number of neighbors of u.
+func (a *Adjacency) Degree(u NodeID) int { return len(a.nbr[u]) }
+
+// Edges returns the number of edges currently stored.
+func (a *Adjacency) Edges() int { return a.edges }
+
+// Nodes returns the number of nodes with at least one incident edge.
+func (a *Adjacency) Nodes() int { return len(a.nbr) }
+
+// Neighbors calls fn for every neighbor of u, in unspecified order.
+func (a *Adjacency) Neighbors(u NodeID, fn func(w NodeID)) {
+	for w := range a.nbr[u] {
+		fn(w)
+	}
+}
+
+// CommonNeighbors appends every node adjacent to both u and v to dst and
+// returns the extended slice. It iterates the smaller neighborhood and
+// probes the larger, so the cost is O(min(deg u, deg v)) expected.
+// Passing a reusable dst[:0] avoids per-call allocation.
+func (a *Adjacency) CommonNeighbors(u, v NodeID, dst []NodeID) []NodeID {
+	nu, nv := a.nbr[u], a.nbr[v]
+	if len(nu) > len(nv) {
+		nu, nv = nv, nu
+	}
+	for w := range nu {
+		if _, ok := nv[w]; ok {
+			dst = append(dst, w)
+		}
+	}
+	return dst
+}
+
+// CommonCount returns |N(u) ∩ N(v)|.
+func (a *Adjacency) CommonCount(u, v NodeID) int {
+	nu, nv := a.nbr[u], a.nbr[v]
+	if len(nu) > len(nv) {
+		nu, nv = nv, nu
+	}
+	n := 0
+	for w := range nu {
+		if _, ok := nv[w]; ok {
+			n++
+		}
+	}
+	return n
+}

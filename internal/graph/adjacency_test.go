@@ -1,0 +1,161 @@
+package graph
+
+import (
+	"math/rand/v2"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestAdjacencyBasics(t *testing.T) {
+	a := NewAdjacency()
+	if !a.Add(1, 2) {
+		t.Fatal("Add(1,2) = false, want true")
+	}
+	if a.Add(2, 1) {
+		t.Error("Add(2,1) after Add(1,2) = true, want false (duplicate)")
+	}
+	if a.Add(3, 3) {
+		t.Error("Add(3,3) = true, want false (self-loop)")
+	}
+	if !a.Has(2, 1) {
+		t.Error("Has(2,1) = false, want true")
+	}
+	if a.Edges() != 1 {
+		t.Errorf("Edges() = %d, want 1", a.Edges())
+	}
+	if a.Nodes() != 2 {
+		t.Errorf("Nodes() = %d, want 2", a.Nodes())
+	}
+	if a.Degree(1) != 1 || a.Degree(2) != 1 || a.Degree(99) != 0 {
+		t.Error("unexpected degrees")
+	}
+}
+
+func TestAdjacencyRemove(t *testing.T) {
+	a := NewAdjacency()
+	a.Add(1, 2)
+	a.Add(1, 3)
+	if !a.Remove(2, 1) {
+		t.Fatal("Remove(2,1) = false, want true")
+	}
+	if a.Remove(1, 2) {
+		t.Error("second Remove(1,2) = true, want false")
+	}
+	if a.Has(1, 2) {
+		t.Error("edge still present after Remove")
+	}
+	if a.Edges() != 1 {
+		t.Errorf("Edges() = %d, want 1", a.Edges())
+	}
+	if a.Nodes() != 2 { // node 2 dropped, nodes 1 and 3 remain
+		t.Errorf("Nodes() = %d, want 2", a.Nodes())
+	}
+}
+
+func TestAdjacencyCommonNeighbors(t *testing.T) {
+	a := NewAdjacency()
+	// Wheel: 0 connected to 1..4, plus rim edges 1-2, 2-3.
+	for _, e := range []Edge{{0, 1}, {0, 2}, {0, 3}, {0, 4}, {1, 2}, {2, 3}} {
+		a.Add(e.U, e.V)
+	}
+	got := a.CommonNeighbors(1, 3, nil)
+	sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+	want := []NodeID{0, 2}
+	if len(got) != len(want) {
+		t.Fatalf("CommonNeighbors(1,3) = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("CommonNeighbors(1,3) = %v, want %v", got, want)
+		}
+	}
+	if n := a.CommonCount(1, 3); n != 2 {
+		t.Errorf("CommonCount(1,3) = %d, want 2", n)
+	}
+	if n := a.CommonCount(1, 4); n != 1 { // only the hub
+		t.Errorf("CommonCount(1,4) = %d, want 1", n)
+	}
+}
+
+// TestAdjacencyMatchesNaive cross-checks Add/Remove/Has/CommonCount against
+// a naive edge-set model under a random operation sequence.
+func TestAdjacencyMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 7))
+	a := NewAdjacency()
+	naive := make(map[uint64]struct{})
+	const nodes = 12
+	for i := 0; i < 4000; i++ {
+		u := NodeID(rng.IntN(nodes))
+		v := NodeID(rng.IntN(nodes))
+		switch rng.IntN(3) {
+		case 0, 1: // add twice as often as remove
+			got := a.Add(u, v)
+			want := false
+			if u != v {
+				if _, ok := naive[Key(u, v)]; !ok {
+					naive[Key(u, v)] = struct{}{}
+					want = true
+				}
+			}
+			if got != want {
+				t.Fatalf("op %d: Add(%d,%d) = %v, want %v", i, u, v, got, want)
+			}
+		case 2:
+			got := a.Remove(u, v)
+			_, want := naive[Key(u, v)]
+			delete(naive, Key(u, v))
+			if got != want {
+				t.Fatalf("op %d: Remove(%d,%d) = %v, want %v", i, u, v, got, want)
+			}
+		}
+		if a.Edges() != len(naive) {
+			t.Fatalf("op %d: Edges() = %d, want %d", i, a.Edges(), len(naive))
+		}
+	}
+	// Common-neighbor counts against naive computation.
+	for u := NodeID(0); u < nodes; u++ {
+		for v := u + 1; v < nodes; v++ {
+			want := 0
+			for w := NodeID(0); w < nodes; w++ {
+				if w == u || w == v {
+					continue
+				}
+				_, a1 := naive[Key(u, w)]
+				_, a2 := naive[Key(v, w)]
+				if a1 && a2 {
+					want++
+				}
+			}
+			if got := a.CommonCount(u, v); got != want {
+				t.Fatalf("CommonCount(%d,%d) = %d, want %d", u, v, got, want)
+			}
+		}
+	}
+}
+
+func TestEdgeKeyRoundTrip(t *testing.T) {
+	f := func(u, v uint32) bool {
+		e := Edge{NodeID(u), NodeID(v)}
+		k := e.Key()
+		back := KeyEdge(k)
+		canon := e.Canonical()
+		return back == canon && k == Edge{NodeID(v), NodeID(u)}.Key()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKeyInjective(t *testing.T) {
+	f := func(u1, v1, u2, v2 uint32) bool {
+		k1 := Key(NodeID(u1), NodeID(v1))
+		k2 := Key(NodeID(u2), NodeID(v2))
+		c1 := Edge{NodeID(u1), NodeID(v1)}.Canonical()
+		c2 := Edge{NodeID(u2), NodeID(v2)}.Canonical()
+		return (k1 == k2) == (c1 == c2)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,160 @@
+package graph
+
+// This file holds deliberately slow, obviously-correct reference
+// implementations used to validate CountExact and the streaming estimators
+// in tests. They enumerate triangles explicitly and compute η from the
+// definition (all pairs of distinct triangles), so they are only suitable
+// for small inputs.
+
+// TriEdge is one edge of a triangle together with its stream position.
+type TriEdge struct {
+	Key uint64
+	Pos int
+}
+
+// Triangle is a triangle with its three edges ordered by arrival, so
+// Edges[2] is the triangle's last edge on the stream.
+type Triangle struct {
+	Nodes [3]NodeID // ascending node ids
+	Edges [3]TriEdge
+}
+
+// BruteTriangles enumerates all triangles of the (deduped, loop-free view
+// of the) stream together with the arrival positions of their edges.
+func BruteTriangles(stream []Edge) []Triangle {
+	pos := make(map[uint64]int) // first arrival position of each edge
+	for i, e := range stream {
+		if e.IsSelfLoop() {
+			continue
+		}
+		k := e.Key()
+		if _, ok := pos[k]; !ok {
+			pos[k] = i
+		}
+	}
+	adj := NewAdjacency()
+	nodeSet := make(map[NodeID]struct{})
+	for k := range pos {
+		e := KeyEdge(k)
+		adj.Add(e.U, e.V)
+		nodeSet[e.U] = struct{}{}
+		nodeSet[e.V] = struct{}{}
+	}
+	nodes := make([]NodeID, 0, len(nodeSet))
+	for n := range nodeSet {
+		nodes = append(nodes, n)
+	}
+	var out []Triangle
+	for i := 0; i < len(nodes); i++ {
+		for j := i + 1; j < len(nodes); j++ {
+			if !adj.Has(nodes[i], nodes[j]) {
+				continue
+			}
+			for l := j + 1; l < len(nodes); l++ {
+				if adj.Has(nodes[i], nodes[l]) && adj.Has(nodes[j], nodes[l]) {
+					a, b, c := nodes[i], nodes[j], nodes[l]
+					sort3(&a, &b, &c)
+					es := [3]TriEdge{
+						{Key(a, b), pos[Key(a, b)]},
+						{Key(a, c), pos[Key(a, c)]},
+						{Key(b, c), pos[Key(b, c)]},
+					}
+					sortTriEdges(&es)
+					out = append(out, Triangle{Nodes: [3]NodeID{a, b, c}, Edges: es})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// LastEdge returns the key of the triangle's last stream edge.
+func (t Triangle) LastEdge() uint64 { return t.Edges[2].Key }
+
+// Contains reports whether v is a vertex of the triangle.
+func (t Triangle) Contains(v NodeID) bool {
+	return t.Nodes[0] == v || t.Nodes[1] == v || t.Nodes[2] == v
+}
+
+// BruteExact computes the same statistics as CountExact from the triangle
+// list, straight from the definitions in paper Table I. O(T²) in the
+// number of triangles.
+func BruteExact(stream []Edge) *ExactResult {
+	tris := BruteTriangles(stream)
+	res := &ExactResult{
+		TauV: make(map[NodeID]uint64),
+		EtaV: make(map[NodeID]uint64),
+		Tau:  uint64(len(tris)),
+	}
+	adj := NewAdjacency()
+	for _, e := range stream {
+		if e.IsSelfLoop() {
+			res.SelfLoops++
+			continue
+		}
+		if !adj.Add(e.U, e.V) {
+			res.Duplicates++
+		}
+	}
+	res.Nodes = adj.Nodes()
+	res.Edges = adj.Edges()
+	for _, t := range tris {
+		for _, v := range t.Nodes {
+			res.TauV[v]++
+		}
+	}
+	// η: unordered pairs of distinct triangles sharing an edge g where g is
+	// the last edge of neither. Two distinct triangles share at most one
+	// edge, so the first shared key found decides the pair.
+	for i := 0; i < len(tris); i++ {
+		for j := i + 1; j < len(tris); j++ {
+			if !pairCountsForEta(tris[i], tris[j]) {
+				continue
+			}
+			res.Eta++
+			for _, v := range tris[i].Nodes {
+				if tris[j].Contains(v) {
+					res.EtaV[v]++
+				}
+			}
+		}
+	}
+	return res
+}
+
+// pairCountsForEta reports whether the two distinct triangles share an edge
+// that is the last stream edge of neither.
+func pairCountsForEta(a, b Triangle) bool {
+	for _, ea := range a.Edges {
+		for _, eb := range b.Edges {
+			if ea.Key == eb.Key {
+				return ea.Key != a.LastEdge() && eb.Key != b.LastEdge()
+			}
+		}
+	}
+	return false
+}
+
+func sortTriEdges(es *[3]TriEdge) {
+	if es[0].Pos > es[1].Pos {
+		es[0], es[1] = es[1], es[0]
+	}
+	if es[1].Pos > es[2].Pos {
+		es[1], es[2] = es[2], es[1]
+	}
+	if es[0].Pos > es[1].Pos {
+		es[0], es[1] = es[1], es[0]
+	}
+}
+
+func sort3(a, b, c *NodeID) {
+	if *a > *b {
+		*a, *b = *b, *a
+	}
+	if *b > *c {
+		*b, *c = *c, *b
+	}
+	if *a > *b {
+		*a, *b = *b, *a
+	}
+}

@@ -1,0 +1,177 @@
+package graph
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+var allOpts = ExactOptions{Local: true, Eta: true, EtaLocal: true}
+
+func TestCountExactSingleTriangle(t *testing.T) {
+	stream := []Edge{{0, 1}, {1, 2}, {0, 2}}
+	res := CountExact(stream, allOpts)
+	if res.Tau != 1 {
+		t.Fatalf("Tau = %d, want 1", res.Tau)
+	}
+	for v := NodeID(0); v <= 2; v++ {
+		if res.TauV[v] != 1 {
+			t.Errorf("TauV[%d] = %d, want 1", v, res.TauV[v])
+		}
+	}
+	if res.Eta != 0 {
+		t.Errorf("Eta = %d, want 0 (a single triangle has no pairs)", res.Eta)
+	}
+	if res.Nodes != 3 || res.Edges != 3 {
+		t.Errorf("Nodes,Edges = %d,%d want 3,3", res.Nodes, res.Edges)
+	}
+}
+
+// TestCountExactEtaOrderDependence pins the stream-order dependence of η.
+// Two triangles {0,1,2} and {0,1,3} share edge (0,1).
+func TestCountExactEtaOrderDependence(t *testing.T) {
+	// Case A: shared edge first => it is the last edge of neither triangle
+	// => the pair counts, η = 1.
+	a := []Edge{{0, 1}, {0, 2}, {1, 2}, {0, 3}, {1, 3}}
+	resA := CountExact(a, allOpts)
+	if resA.Tau != 2 || resA.Eta != 1 {
+		t.Errorf("case A: Tau,Eta = %d,%d want 2,1", resA.Tau, resA.Eta)
+	}
+	// Shared edge (0,1): both triangles contain nodes 0 and 1.
+	if resA.EtaV[0] != 1 || resA.EtaV[1] != 1 || resA.EtaV[2] != 0 || resA.EtaV[3] != 0 {
+		t.Errorf("case A EtaV = %v, want η_0=η_1=1, others 0", resA.EtaV)
+	}
+
+	// Case B: shared edge (0,1) arrives last overall => it is the last edge
+	// of triangle {0,1,3} (and of {0,1,2}) => pair does not count, η = 0.
+	b := []Edge{{0, 2}, {1, 2}, {0, 3}, {1, 3}, {0, 1}}
+	resB := CountExact(b, allOpts)
+	if resB.Tau != 2 || resB.Eta != 0 {
+		t.Errorf("case B: Tau,Eta = %d,%d want 2,0", resB.Tau, resB.Eta)
+	}
+
+	// Case C: shared edge in the middle — last edge of {0,1,2} but not of
+	// {0,1,3} => still does not count (must be last edge of *neither*).
+	c := []Edge{{0, 2}, {1, 2}, {0, 1}, {0, 3}, {1, 3}}
+	resC := CountExact(c, allOpts)
+	if resC.Tau != 2 || resC.Eta != 0 {
+		t.Errorf("case C: Tau,Eta = %d,%d want 2,0", resC.Tau, resC.Eta)
+	}
+}
+
+func TestCountExactBookkeeping(t *testing.T) {
+	stream := []Edge{{0, 1}, {0, 1}, {2, 2}, {1, 0}, {1, 2}, {0, 2}}
+	res := CountExact(stream, allOpts)
+	if res.Duplicates != 2 {
+		t.Errorf("Duplicates = %d, want 2", res.Duplicates)
+	}
+	if res.SelfLoops != 1 {
+		t.Errorf("SelfLoops = %d, want 1", res.SelfLoops)
+	}
+	if res.Tau != 1 {
+		t.Errorf("Tau = %d, want 1", res.Tau)
+	}
+}
+
+func TestCountExactCompleteGraph(t *testing.T) {
+	// K6: τ = C(6,3) = 20, τ_v = C(5,2) = 10.
+	var stream []Edge
+	for u := NodeID(0); u < 6; u++ {
+		for v := u + 1; v < 6; v++ {
+			stream = append(stream, Edge{u, v})
+		}
+	}
+	res := CountExact(stream, allOpts)
+	if res.Tau != 20 {
+		t.Fatalf("Tau = %d, want 20", res.Tau)
+	}
+	for v := NodeID(0); v < 6; v++ {
+		if res.TauV[v] != 10 {
+			t.Errorf("TauV[%d] = %d, want 10", v, res.TauV[v])
+		}
+	}
+	// Cross-check η against the brute-force reference.
+	brute := BruteExact(stream)
+	if res.Eta != brute.Eta {
+		t.Errorf("Eta = %d, brute = %d", res.Eta, brute.Eta)
+	}
+}
+
+// TestCountExactMatchesBrute compares the streaming exact counter against
+// the O(n³)+O(T²) reference on many random graphs and stream orders.
+func TestCountExactMatchesBrute(t *testing.T) {
+	rng := rand.New(rand.NewPCG(42, 1))
+	for trial := 0; trial < 60; trial++ {
+		n := 5 + rng.IntN(12)
+		prob := 0.15 + 0.5*rng.Float64()
+		var stream []Edge
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if rng.Float64() < prob {
+					stream = append(stream, Edge{NodeID(u), NodeID(v)})
+				}
+			}
+		}
+		rng.Shuffle(len(stream), func(i, j int) { stream[i], stream[j] = stream[j], stream[i] })
+
+		got := CountExact(stream, allOpts)
+		want := BruteExact(stream)
+		if got.Tau != want.Tau {
+			t.Fatalf("trial %d: Tau = %d, want %d", trial, got.Tau, want.Tau)
+		}
+		if got.Eta != want.Eta {
+			t.Fatalf("trial %d: Eta = %d, want %d (n=%d edges=%d)", trial, got.Eta, want.Eta, n, len(stream))
+		}
+		for v, w := range want.TauV {
+			if got.TauV[v] != w {
+				t.Fatalf("trial %d: TauV[%d] = %d, want %d", trial, v, got.TauV[v], w)
+			}
+		}
+		for v, w := range want.EtaV {
+			if got.EtaV[v] != w {
+				t.Fatalf("trial %d: EtaV[%d] = %d, want %d", trial, v, got.EtaV[v], w)
+			}
+		}
+		for v, w := range got.EtaV {
+			if w != 0 && want.EtaV[v] != w {
+				t.Fatalf("trial %d: extra EtaV[%d] = %d", trial, v, w)
+			}
+		}
+	}
+}
+
+// TestTauVSumInvariant checks Σ_v τ_v = 3τ (each triangle has 3 nodes).
+func TestTauVSumInvariant(t *testing.T) {
+	rng := rand.New(rand.NewPCG(9, 9))
+	for trial := 0; trial < 20; trial++ {
+		var stream []Edge
+		n := 20 + rng.IntN(20)
+		for i := 0; i < 4*n; i++ {
+			stream = append(stream, Edge{NodeID(rng.IntN(n)), NodeID(rng.IntN(n))})
+		}
+		res := CountExact(stream, ExactOptions{Local: true})
+		var sum uint64
+		for _, c := range res.TauV {
+			sum += c
+		}
+		if sum != 3*res.Tau {
+			t.Fatalf("Σ τ_v = %d, want 3τ = %d", sum, 3*res.Tau)
+		}
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	stream := []Edge{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {0, 1}, {4, 4}}
+	s := Summarize(stream)
+	if s.Nodes != 4 || s.Edges != 4 {
+		t.Errorf("Nodes,Edges = %d,%d want 4,4", s.Nodes, s.Edges)
+	}
+	if s.MaxDegree != 3 {
+		t.Errorf("MaxDegree = %d, want 3", s.MaxDegree)
+	}
+	if s.AvgDegree != 2 {
+		t.Errorf("AvgDegree = %v, want 2", s.AvgDegree)
+	}
+	if MaxNodeID(stream) != 4 {
+		t.Errorf("MaxNodeID = %d, want 4", MaxNodeID(stream))
+	}
+}

@@ -1,0 +1,56 @@
+package graph
+
+import (
+	"testing"
+)
+
+// decodeStream turns fuzz bytes into a small edge stream over 16 nodes.
+func decodeStream(data []byte) []Edge {
+	edges := make([]Edge, 0, len(data))
+	for _, b := range data {
+		edges = append(edges, Edge{U: NodeID(b & 0xf), V: NodeID(b >> 4)})
+	}
+	return edges
+}
+
+// FuzzCountExactVsBrute cross-checks the streaming exact counter against
+// the brute-force reference on arbitrary streams (duplicates, self-loops
+// and arbitrary orders included).
+func FuzzCountExactVsBrute(f *testing.F) {
+	f.Add([]byte{0x10, 0x21, 0x20})             // one triangle
+	f.Add([]byte{0x10, 0x21, 0x20, 0x31, 0x30}) // two triangles sharing an edge
+	f.Add([]byte{0x00, 0x10, 0x10})             // self-loop + duplicate
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 64 {
+			data = data[:64] // keep the O(T²) reference fast
+		}
+		stream := decodeStream(data)
+		got := CountExact(stream, ExactOptions{Local: true, Eta: true, EtaLocal: true})
+		want := BruteExact(stream)
+		if got.Tau != want.Tau {
+			t.Fatalf("Tau = %d, brute = %d (stream %v)", got.Tau, want.Tau, stream)
+		}
+		if got.Eta != want.Eta {
+			t.Fatalf("Eta = %d, brute = %d (stream %v)", got.Eta, want.Eta, stream)
+		}
+		for v, x := range want.TauV {
+			if got.TauV[v] != x {
+				t.Fatalf("TauV[%d] = %d, brute = %d", v, got.TauV[v], x)
+			}
+		}
+		for v, x := range want.EtaV {
+			if got.EtaV[v] != x {
+				t.Fatalf("EtaV[%d] = %d, brute = %d", v, got.EtaV[v], x)
+			}
+		}
+		// Σ τ_v = 3τ always.
+		var sum uint64
+		for _, x := range got.TauV {
+			sum += x
+		}
+		if sum != 3*got.Tau {
+			t.Fatalf("Σ τ_v = %d, want %d", sum, 3*got.Tau)
+		}
+	})
+}

@@ -1,0 +1,49 @@
+// Package graph provides the streaming-graph substrate used by the REPT
+// reproduction: node and edge types, dynamic adjacency structures with fast
+// common-neighbor queries, exact triangle/η counting in stream order, and
+// edge-list I/O.
+//
+// Throughout the package a "stream" is an ordered slice of undirected edges;
+// order matters because the paper's η statistic (pairs of triangles sharing
+// a non-last edge) depends on arrival order.
+package graph
+
+// NodeID identifies a node. Generators emit dense ids in [0, n).
+type NodeID uint32
+
+// Edge is one undirected stream edge. The (U, V) orientation carries no
+// meaning; Key and Canonical normalize it.
+type Edge struct {
+	U, V NodeID
+}
+
+// Canonical returns the edge with endpoints ordered so that U <= V.
+func (e Edge) Canonical() Edge {
+	if e.U > e.V {
+		return Edge{e.V, e.U}
+	}
+	return e
+}
+
+// Key returns the canonical 64-bit key of the edge, suitable for hashing
+// and map indexing. Both orientations of an edge map to the same key.
+func (e Edge) Key() uint64 {
+	return Key(e.U, e.V)
+}
+
+// Key returns the canonical 64-bit key for the undirected edge {u, v}.
+func Key(u, v NodeID) uint64 {
+	if u > v {
+		u, v = v, u
+	}
+	return uint64(u)<<32 | uint64(v)
+}
+
+// KeyEdge is the inverse of Edge.Key.
+func KeyEdge(k uint64) Edge {
+	return Edge{NodeID(k >> 32), NodeID(k & 0xffffffff)}
+}
+
+// IsSelfLoop reports whether both endpoints coincide. Self-loops cannot be
+// part of a triangle and are skipped by every consumer in this module.
+func (e Edge) IsSelfLoop() bool { return e.U == e.V }

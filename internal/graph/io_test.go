@@ -1,0 +1,101 @@
+package graph
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestReadEdgeList(t *testing.T) {
+	in := `# comment
+% another comment
+0 1
+1 2	extra-col-ignored
+2 0
+
+0 1
+3 3
+`
+	edges, err := ReadEdgeList(strings.NewReader(in), ReadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Edge{{0, 1}, {1, 2}, {2, 0}, {0, 1}, {3, 3}}
+	if len(edges) != len(want) {
+		t.Fatalf("got %d edges, want %d", len(edges), len(want))
+	}
+	for i := range want {
+		if edges[i] != want[i] {
+			t.Errorf("edge %d = %v, want %v", i, edges[i], want[i])
+		}
+	}
+}
+
+func TestReadEdgeListDedupAndLoops(t *testing.T) {
+	in := "0 1\n1 0\n2 2\n1 2\n"
+	edges, err := ReadEdgeList(strings.NewReader(in), ReadOptions{Dedup: true, DropLoops: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Edge{{0, 1}, {1, 2}}
+	if len(edges) != len(want) {
+		t.Fatalf("got %v, want %v", edges, want)
+	}
+	for i := range want {
+		if edges[i] != want[i] {
+			t.Fatalf("got %v, want %v", edges, want)
+		}
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	cases := []string{
+		"0\n",             // single field
+		"a b\n",           // non-numeric
+		"1 99999999999\n", // overflows uint32
+	}
+	for _, in := range cases {
+		if _, err := ReadEdgeList(strings.NewReader(in), ReadOptions{}); err == nil {
+			t.Errorf("ReadEdgeList(%q): got nil error", in)
+		}
+	}
+}
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	stream := []Edge{{5, 1}, {2, 7}, {0, 0}, {1, 5}}
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, stream); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadEdgeList(&buf, ReadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(stream) {
+		t.Fatalf("round trip length %d, want %d", len(back), len(stream))
+	}
+	for i := range stream {
+		if back[i] != stream[i] {
+			t.Errorf("edge %d = %v, want %v", i, back[i], stream[i])
+		}
+	}
+}
+
+func TestEdgeListFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "g.txt")
+	stream := []Edge{{1, 2}, {3, 4}}
+	if err := WriteEdgeListFile(path, stream); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadEdgeListFile(path, ReadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 2 || back[0] != stream[0] || back[1] != stream[1] {
+		t.Fatalf("got %v, want %v", back, stream)
+	}
+	if _, err := ReadEdgeListFile(filepath.Join(t.TempDir(), "missing"), ReadOptions{}); err == nil {
+		t.Error("reading missing file: got nil error")
+	}
+}

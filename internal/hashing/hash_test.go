@@ -1,0 +1,153 @@
+package hashing
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMix64Bijective(t *testing.T) {
+	// Spot-check injectivity on sequential keys (a bijection cannot
+	// collide; any collision would be a real implementation bug).
+	seen := make(map[uint64]uint64, 1<<16)
+	for i := uint64(0); i < 1<<16; i++ {
+		h := Mix64(i)
+		if prev, ok := seen[h]; ok {
+			t.Fatalf("Mix64 collision: %d and %d -> %#x", prev, i, h)
+		}
+		seen[h] = i
+	}
+}
+
+func TestColorRange(t *testing.T) {
+	f := func(seed, key uint64, m uint8) bool {
+		mm := int(m%64) + 1
+		c := New(seed, mm).Color(key)
+		return c >= 0 && c < mm
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestColorDeterministic(t *testing.T) {
+	h1 := New(12345, 10)
+	h2 := New(12345, 10)
+	for key := uint64(0); key < 1000; key++ {
+		if h1.Color(key) != h2.Color(key) {
+			t.Fatalf("same seed, different colors for key %d", key)
+		}
+	}
+}
+
+// TestColorUniform checks per-bucket occupancy of sequential (worst-case
+// structured) keys via a chi-square-style bound.
+func TestColorUniform(t *testing.T) {
+	const n = 200000
+	for _, m := range []int{2, 7, 10, 100} {
+		h := New(0xfeedbeef, m)
+		counts := make([]int, m)
+		for key := uint64(0); key < n; key++ {
+			counts[h.Color(key)]++
+		}
+		expect := float64(n) / float64(m)
+		chi2 := 0.0
+		for _, c := range counts {
+			d := float64(c) - expect
+			chi2 += d * d / expect
+		}
+		// For m-1 degrees of freedom, mean is m-1 and stddev sqrt(2(m-1));
+		// allow a generous 6-sigma band.
+		limit := float64(m-1) + 6*math.Sqrt(2*float64(m-1)) + 6
+		if chi2 > limit {
+			t.Errorf("m=%d: chi2 = %.1f exceeds %.1f; counts %v...", m, chi2, limit, counts[:min(8, m)])
+		}
+	}
+}
+
+// TestColorPairwise estimates P(h(k1)=i ∧ h(k2)=i') ≈ 1/m² on random key
+// pairs, the pairwise-independence property Theorem 1 relies on.
+func TestColorPairwise(t *testing.T) {
+	const m = 8
+	const n = 400000
+	h := New(99, m)
+	hits := 0
+	state := uint64(123)
+	for i := 0; i < n; i++ {
+		k1 := SplitMix64(&state)
+		k2 := SplitMix64(&state)
+		if h.Color(k1) == 3 && h.Color(k2) == 5 {
+			hits++
+		}
+	}
+	got := float64(hits) / n
+	want := 1.0 / (m * m)
+	sigma := math.Sqrt(want * (1 - want) / n)
+	if math.Abs(got-want) > 6*sigma {
+		t.Errorf("pairwise rate = %.5f, want %.5f ± %.5f", got, want, 6*sigma)
+	}
+}
+
+func TestFamilyIndependence(t *testing.T) {
+	fam := Family(42, 4, 10)
+	if len(fam) != 4 {
+		t.Fatalf("len(Family) = %d, want 4", len(fam))
+	}
+	// Different family members must disagree on many keys.
+	same := 0
+	const n = 10000
+	for key := uint64(0); key < n; key++ {
+		if fam[0].Color(key) == fam[1].Color(key) {
+			same++
+		}
+	}
+	// Expected agreement 1/m = 10%; 20% would indicate correlated seeds.
+	if same > n/5 {
+		t.Errorf("families agree on %d/%d keys; seeds look correlated", same, n)
+	}
+	// Same master seed must reproduce the family.
+	fam2 := Family(42, 4, 10)
+	for i := range fam {
+		if fam[i] != fam2[i] {
+			t.Errorf("Family not deterministic at index %d", i)
+		}
+	}
+	// Different master seed must give a different family.
+	fam3 := Family(43, 4, 10)
+	if fam[0] == fam3[0] {
+		t.Error("different master seeds produced identical hash")
+	}
+}
+
+func TestNewPanicsOnBadM(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New(seed, 0) did not panic")
+		}
+	}()
+	New(1, 0)
+}
+
+func TestWeakModHash(t *testing.T) {
+	h := NewWeakMod(10)
+	for key := uint64(0); key < 100; key++ {
+		if got, want := h.Color(key), int(key%10); got != want {
+			t.Fatalf("WeakMod.Color(%d) = %d, want %d", key, got, want)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("NewWeakMod(0) did not panic")
+		}
+	}()
+	NewWeakMod(0)
+}
+
+func BenchmarkColor(b *testing.B) {
+	h := New(7, 100)
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += h.Color(uint64(i))
+	}
+	_ = sink
+}

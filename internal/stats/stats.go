@@ -1,0 +1,128 @@
+// Package stats provides the estimation-error accumulators used by the
+// experiment harness: Welford mean/variance, MSE against a known truth,
+// the paper's NRMSE metric, and the analytic NRMSE of an average of c
+// independent trials.
+package stats
+
+import "math"
+
+// Welford accumulates mean and variance online (Welford's algorithm).
+type Welford struct {
+	n    uint64
+	mean float64
+	m2   float64
+}
+
+// Add incorporates one observation.
+func (w *Welford) Add(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// N returns the number of observations.
+func (w *Welford) N() uint64 { return w.n }
+
+// Mean returns the sample mean (0 with no observations).
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Var returns the unbiased sample variance (n−1 denominator); 0 with
+// fewer than two observations.
+func (w *Welford) Var() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// Std returns the sample standard deviation.
+func (w *Welford) Std() float64 { return math.Sqrt(w.Var()) }
+
+// MSE accumulates squared error of estimates against a known true value.
+type MSE struct {
+	truth float64
+	n     uint64
+	sumSq float64
+}
+
+// NewMSE returns an accumulator for estimates of truth.
+func NewMSE(truth float64) *MSE { return &MSE{truth: truth} }
+
+// Add incorporates one estimate.
+func (m *MSE) Add(estimate float64) {
+	d := estimate - m.truth
+	m.n++
+	m.sumSq += d * d
+}
+
+// N returns the number of estimates.
+func (m *MSE) N() uint64 { return m.n }
+
+// Value returns the mean squared error (NaN with no observations).
+func (m *MSE) Value() float64 {
+	if m.n == 0 {
+		return math.NaN()
+	}
+	return m.sumSq / float64(m.n)
+}
+
+// NRMSE returns sqrt(MSE)/truth, the paper's error metric (Section IV-C).
+// NaN when the truth is zero or nothing was observed.
+func (m *MSE) NRMSE() float64 {
+	if m.truth == 0 {
+		return math.NaN()
+	}
+	return math.Sqrt(m.Value()) / m.truth
+}
+
+// NRMSEOfAverage returns sqrt(MSE/c)/truth: the exact NRMSE of averaging
+// c iid *unbiased* estimators whose single-instance MSE (around the known
+// truth) this accumulator measured. For unbiased estimators
+// MSE_single = Var_single, so MSE_c = Var_single/c; unlike
+// TrialStats.NRMSEOfAverage this form has no spurious bias floor when the
+// trial count is much smaller than c, which matters for the heavy-tailed
+// p = 0.01 sampling regime.
+func (m *MSE) NRMSEOfAverage(c int) float64 {
+	if m.truth == 0 || c < 1 {
+		return math.NaN()
+	}
+	return math.Sqrt(m.Value()/float64(c)) / m.truth
+}
+
+// NRMSE computes sqrt(E[(est−truth)²])/truth from a sample of estimates.
+func NRMSE(estimates []float64, truth float64) float64 {
+	if len(estimates) == 0 || truth == 0 {
+		return math.NaN()
+	}
+	acc := NewMSE(truth)
+	for _, e := range estimates {
+		acc.Add(e)
+	}
+	return acc.NRMSE()
+}
+
+// TrialStats summarizes N independent single-instance trials of an
+// estimator, enough to derive the error of averaging c of them.
+type TrialStats struct {
+	N    uint64
+	Mean float64
+	Var  float64 // unbiased sample variance of a single trial
+}
+
+// FromWelford converts a Welford accumulator.
+func FromWelford(w *Welford) TrialStats {
+	return TrialStats{N: w.n, Mean: w.Mean(), Var: w.Var()}
+}
+
+// NRMSEOfAverage returns the analytic NRMSE of the average of c iid
+// trials: MSE_c = Var/c + bias², which is exact for independent instances
+// (the paper's direct parallelization). NaN when truth is zero.
+func (t TrialStats) NRMSEOfAverage(c int, truth float64) float64 {
+	if truth == 0 || c < 1 {
+		return math.NaN()
+	}
+	bias := t.Mean - truth
+	mse := t.Var/float64(c) + bias*bias
+	return math.Sqrt(mse) / truth
+}

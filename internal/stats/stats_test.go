@@ -1,0 +1,167 @@
+package stats
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestWelfordAgainstDirect(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	xs := make([]float64, 500)
+	var w Welford
+	for i := range xs {
+		xs[i] = rng.NormFloat64()*3 + 10
+		w.Add(xs[i])
+	}
+	mean := 0.0
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	varSum := 0.0
+	for _, x := range xs {
+		varSum += (x - mean) * (x - mean)
+	}
+	wantVar := varSum / float64(len(xs)-1)
+	if math.Abs(w.Mean()-mean) > 1e-9 {
+		t.Errorf("Mean = %v, want %v", w.Mean(), mean)
+	}
+	if math.Abs(w.Var()-wantVar) > 1e-9 {
+		t.Errorf("Var = %v, want %v", w.Var(), wantVar)
+	}
+	if w.N() != 500 {
+		t.Errorf("N = %d, want 500", w.N())
+	}
+	if math.Abs(w.Std()-math.Sqrt(wantVar)) > 1e-9 {
+		t.Errorf("Std = %v, want %v", w.Std(), math.Sqrt(wantVar))
+	}
+}
+
+func TestWelfordEdgeCases(t *testing.T) {
+	var w Welford
+	if w.Mean() != 0 || w.Var() != 0 {
+		t.Error("empty Welford not zero")
+	}
+	w.Add(5)
+	if w.Mean() != 5 || w.Var() != 0 {
+		t.Error("single observation: Mean/Var wrong")
+	}
+}
+
+func TestMSE(t *testing.T) {
+	m := NewMSE(10)
+	if !math.IsNaN(m.Value()) {
+		t.Error("empty MSE not NaN")
+	}
+	m.Add(8)  // err -2
+	m.Add(13) // err 3
+	if got, want := m.Value(), (4.0+9.0)/2; got != want {
+		t.Errorf("Value = %v, want %v", got, want)
+	}
+	if got, want := m.NRMSE(), math.Sqrt(6.5)/10; math.Abs(got-want) > 1e-12 {
+		t.Errorf("NRMSE = %v, want %v", got, want)
+	}
+	if m.N() != 2 {
+		t.Errorf("N = %d, want 2", m.N())
+	}
+	if !math.IsNaN(NewMSE(0).NRMSE()) {
+		t.Error("NRMSE with zero truth not NaN")
+	}
+}
+
+func TestNRMSESlice(t *testing.T) {
+	got := NRMSE([]float64{8, 13}, 10)
+	want := math.Sqrt(6.5) / 10
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("NRMSE = %v, want %v", got, want)
+	}
+	if !math.IsNaN(NRMSE(nil, 10)) {
+		t.Error("NRMSE(nil) not NaN")
+	}
+}
+
+// TestMSENRMSEOfAverage: for unbiased estimators, sqrt(MSE/c)/truth must
+// match the directly simulated error of a c-average, with no bias floor.
+func TestMSENRMSEOfAverage(t *testing.T) {
+	rng := rand.New(rand.NewPCG(9, 1))
+	const truth = 50.0
+	const sigma = 20.0
+	draw := func() float64 { return truth + rng.NormFloat64()*sigma }
+
+	acc := NewMSE(truth)
+	for i := 0; i < 30000; i++ {
+		acc.Add(draw())
+	}
+	for _, c := range []int{1, 10, 100, 1000} {
+		got := acc.NRMSEOfAverage(c)
+		want := sigma / math.Sqrt(float64(c)) / truth
+		if math.Abs(got-want) > 0.05*want {
+			t.Errorf("c=%d: NRMSEOfAverage = %v, want %v", c, got, want)
+		}
+	}
+	if !math.IsNaN(acc.NRMSEOfAverage(0)) {
+		t.Error("NRMSEOfAverage(0) not NaN")
+	}
+	if !math.IsNaN(NewMSE(0).NRMSEOfAverage(2)) {
+		t.Error("zero-truth NRMSEOfAverage not NaN")
+	}
+}
+
+// TestNRMSEOfAverageMatchesDirect: the analytic error of averaging c iid
+// trials must match the directly simulated one. This justifies the
+// harness's cheap analytic mode for parallel baselines.
+func TestNRMSEOfAverageMatchesDirect(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	const truth = 100.0
+	const sigma = 15.0
+	const bias = 2.0
+	draw := func() float64 { return truth + bias + rng.NormFloat64()*sigma }
+
+	var w Welford
+	for i := 0; i < 20000; i++ {
+		w.Add(draw())
+	}
+	ts := FromWelford(&w)
+	for _, c := range []int{1, 4, 16} {
+		analytic := ts.NRMSEOfAverage(c, truth)
+		direct := NewMSE(truth)
+		for r := 0; r < 4000; r++ {
+			sum := 0.0
+			for j := 0; j < c; j++ {
+				sum += draw()
+			}
+			direct.Add(sum / float64(c))
+		}
+		if d := math.Abs(analytic - direct.NRMSE()); d > 0.15*analytic {
+			t.Errorf("c=%d: analytic NRMSE %v vs direct %v", c, analytic, direct.NRMSE())
+		}
+	}
+	if !math.IsNaN(ts.NRMSEOfAverage(0, truth)) {
+		t.Error("NRMSEOfAverage(c=0) not NaN")
+	}
+	if !math.IsNaN(ts.NRMSEOfAverage(1, 0)) {
+		t.Error("NRMSEOfAverage(truth=0) not NaN")
+	}
+}
+
+// Property: NRMSEOfAverage is non-increasing in c (averaging never hurts
+// for iid trials).
+func TestNRMSEOfAverageMonotone(t *testing.T) {
+	f := func(meanOff float64, v float64) bool {
+		ts := TrialStats{N: 100, Mean: 100 + math.Mod(math.Abs(meanOff), 50), Var: math.Abs(v)}
+		prev := math.Inf(1)
+		for c := 1; c <= 64; c *= 2 {
+			cur := ts.NRMSEOfAverage(c, 100)
+			if cur > prev+1e-12 {
+				return false
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

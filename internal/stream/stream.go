@@ -1,0 +1,206 @@
+// Package stream provides edge-stream sources for the REPT reproduction:
+// in-memory slices, text edge-list files, and helpers to split a stream
+// into time intervals (the interval-based use case from paper Section II).
+package stream
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"rept/internal/graph"
+)
+
+// Source is a one-pass edge stream. Next returns the next edge until the
+// stream is exhausted, after which ok is false and Err reports any I/O or
+// parse failure encountered.
+type Source interface {
+	Next() (e graph.Edge, ok bool)
+	Err() error
+}
+
+// SliceSource streams edges from an in-memory slice. It is resettable and
+// never fails.
+type SliceSource struct {
+	edges []graph.Edge
+	i     int
+}
+
+// FromSlice returns a SliceSource over edges (not copied).
+func FromSlice(edges []graph.Edge) *SliceSource {
+	return &SliceSource{edges: edges}
+}
+
+// Next implements Source.
+func (s *SliceSource) Next() (graph.Edge, bool) {
+	if s.i >= len(s.edges) {
+		return graph.Edge{}, false
+	}
+	e := s.edges[s.i]
+	s.i++
+	return e, true
+}
+
+// Err implements Source; it is always nil.
+func (s *SliceSource) Err() error { return nil }
+
+// Reset rewinds the source to the beginning of the stream.
+func (s *SliceSource) Reset() { s.i = 0 }
+
+// Len returns the total number of edges in the stream.
+func (s *SliceSource) Len() int { return len(s.edges) }
+
+// FileSource streams edges from a SNAP-style text edge list without
+// loading the whole file into memory.
+type FileSource struct {
+	f    *os.File
+	sc   *bufio.Scanner
+	err  error
+	line int
+}
+
+// OpenFile opens path as an edge stream. Callers must Close it.
+func OpenFile(path string) (*FileSource, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("stream: %w", err)
+	}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	return &FileSource{f: f, sc: sc}, nil
+}
+
+// Next implements Source.
+func (s *FileSource) Next() (graph.Edge, bool) {
+	if s.err != nil {
+		return graph.Edge{}, false
+	}
+	for s.sc.Scan() {
+		s.line++
+		txt := strings.TrimSpace(s.sc.Text())
+		if txt == "" || txt[0] == '#' || txt[0] == '%' {
+			continue
+		}
+		fields := strings.Fields(txt)
+		if len(fields) < 2 {
+			s.err = fmt.Errorf("stream: line %d: expected two node ids, got %q", s.line, txt)
+			return graph.Edge{}, false
+		}
+		u, err := strconv.ParseUint(fields[0], 10, 32)
+		if err != nil {
+			s.err = fmt.Errorf("stream: line %d: %w", s.line, err)
+			return graph.Edge{}, false
+		}
+		v, err := strconv.ParseUint(fields[1], 10, 32)
+		if err != nil {
+			s.err = fmt.Errorf("stream: line %d: %w", s.line, err)
+			return graph.Edge{}, false
+		}
+		return graph.Edge{U: graph.NodeID(u), V: graph.NodeID(v)}, true
+	}
+	s.err = s.sc.Err()
+	return graph.Edge{}, false
+}
+
+// Err implements Source.
+func (s *FileSource) Err() error {
+	if s.err == io.EOF {
+		return nil
+	}
+	return s.err
+}
+
+// Close releases the underlying file.
+func (s *FileSource) Close() error { return s.f.Close() }
+
+// Drain feeds every edge of src to fn and returns the stream error, if any.
+func Drain(src Source, fn func(graph.Edge)) error {
+	for {
+		e, ok := src.Next()
+		if !ok {
+			return src.Err()
+		}
+		fn(e)
+	}
+}
+
+// Collect reads the whole stream into memory.
+func Collect(src Source) ([]graph.Edge, error) {
+	var out []graph.Edge
+	err := Drain(src, func(e graph.Edge) { out = append(out, e) })
+	return out, err
+}
+
+// DedupSource filters duplicate edges (and optionally self-loops) out of
+// an inner source, keeping first arrivals. REPT and the baselines assume
+// simple streams (paper Section II); wrap noisy real-world streams in a
+// DedupSource to enforce that. Exact dedup costs one hash-set entry per
+// distinct edge; for streams too large for that, use an approximate
+// pre-filter upstream (cf. PartitionCT, paper Section V-A).
+type DedupSource struct {
+	inner     Source
+	seen      map[uint64]struct{}
+	dropLoops bool
+
+	dups  int
+	loops int
+}
+
+// Dedup wraps src with exact duplicate filtering. If dropLoops is true,
+// self-loops are removed as well.
+func Dedup(src Source, dropLoops bool) *DedupSource {
+	return &DedupSource{inner: src, seen: make(map[uint64]struct{}), dropLoops: dropLoops}
+}
+
+// Next implements Source.
+func (d *DedupSource) Next() (graph.Edge, bool) {
+	for {
+		e, ok := d.inner.Next()
+		if !ok {
+			return graph.Edge{}, false
+		}
+		if e.IsSelfLoop() {
+			if d.dropLoops {
+				d.loops++
+				continue
+			}
+			return e, true // self-loops have degenerate keys; pass through
+		}
+		k := e.Key()
+		if _, dup := d.seen[k]; dup {
+			d.dups++
+			continue
+		}
+		d.seen[k] = struct{}{}
+		return e, true
+	}
+}
+
+// Err implements Source.
+func (d *DedupSource) Err() error { return d.inner.Err() }
+
+// Duplicates returns the number of duplicate arrivals dropped so far.
+func (d *DedupSource) Duplicates() int { return d.dups }
+
+// SelfLoops returns the number of self-loops dropped so far.
+func (d *DedupSource) SelfLoops() int { return d.loops }
+
+// Intervals splits a stream into n contiguous intervals of (nearly) equal
+// length, preserving order — the "graph stream per time interval" workload
+// from paper Section II. n must be >= 1; empty trailing intervals are
+// returned as empty slices when n exceeds the stream length.
+func Intervals(edges []graph.Edge, n int) [][]graph.Edge {
+	if n < 1 {
+		panic("stream: Intervals needs n >= 1")
+	}
+	out := make([][]graph.Edge, n)
+	for i := 0; i < n; i++ {
+		lo := i * len(edges) / n
+		hi := (i + 1) * len(edges) / n
+		out[i] = edges[lo:hi]
+	}
+	return out
+}

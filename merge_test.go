@@ -1,0 +1,107 @@
+package rept_test
+
+import (
+	"math"
+	"testing"
+
+	"rept"
+	"rept/internal/gen"
+)
+
+// TestMergeClusterPattern: K estimators with C = M and distinct seeds,
+// merged, behave like one REPT run with c = K·M — unbiased, with the
+// merged variance estimate available.
+func TestMergeClusterPattern(t *testing.T) {
+	edges := gen.Shuffle(gen.HolmeKim(600, 6, 0.5, 8), 3)
+	exact := rept.ExactCount(edges, rept.ExactOptions{Eta: true})
+	tau := float64(exact.Tau)
+
+	const machines, m = 4, 6
+	ests := make([]*rept.Estimator, machines)
+	for k := range ests {
+		est, err := rept.New(rept.Config{M: m, C: m, Seed: int64(100 + k), TrackEta: true, TrackLocal: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer est.Close()
+		est.AddAll(edges)
+		ests[k] = est
+	}
+	merged, err := rept.Merge(ests...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Merged estimate = average of the group estimates (full groups).
+	sum := 0.0
+	for _, e := range ests {
+		sum += e.Global()
+	}
+	if want := sum / machines; math.Abs(merged.Global-want) > 1e-9 {
+		t.Errorf("merged Global = %v, want mean of groups %v", merged.Global, want)
+	}
+	// Sanity: within 6 theoretical standard errors of the truth.
+	sigma := math.Sqrt(rept.TheoreticalVariance(m, machines*m, tau, float64(exact.Eta)))
+	if math.Abs(merged.Global-tau) > 6*sigma {
+		t.Errorf("merged Global = %v, want %v ± %v", merged.Global, tau, 6*sigma)
+	}
+	if math.IsNaN(merged.Variance) {
+		t.Error("merged Variance is NaN despite full η tracking")
+	}
+	if merged.Local == nil {
+		t.Error("merged Local is nil despite TrackLocal")
+	}
+	if math.IsNaN(merged.StdErr()) {
+		t.Error("StdErr NaN")
+	}
+}
+
+func TestMergeValidation(t *testing.T) {
+	edges := gen.Complete(20)
+	mk := func(m, c int, seed int64, n int) *rept.Estimator {
+		est, err := rept.New(rept.Config{M: m, C: c, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(est.Close)
+		est.AddAll(edges[:n])
+		return est
+	}
+	if _, err := rept.Merge(); err == nil {
+		t.Error("Merge(): got nil error")
+	}
+	// Shared seeds rejected.
+	if _, err := rept.Merge(mk(3, 3, 5, len(edges)), mk(3, 3, 5, len(edges))); err == nil {
+		t.Error("shared seeds: got nil error")
+	}
+	// Mismatched stream lengths rejected.
+	if _, err := rept.Merge(mk(3, 3, 1, len(edges)), mk(3, 3, 2, len(edges)-5)); err == nil {
+		t.Error("different stream lengths: got nil error")
+	}
+	// Mixed M rejected.
+	if _, err := rept.Merge(mk(3, 3, 1, len(edges)), mk(4, 4, 2, len(edges))); err == nil {
+		t.Error("mixed M: got nil error")
+	}
+}
+
+func TestVarianceInFacade(t *testing.T) {
+	edges := gen.Shuffle(gen.HolmeKim(300, 5, 0.5, 2), 5)
+	est, err := rept.New(rept.Config{M: 5, C: 5, Seed: 9, TrackEta: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer est.Close()
+	est.AddAll(edges)
+	res := est.Result()
+	if math.IsNaN(res.Variance) || res.Variance < 0 {
+		t.Errorf("Variance = %v, want finite non-negative", res.Variance)
+	}
+	if res.EtaHat < 0 {
+		t.Errorf("EtaHat = %v, want >= 0", res.EtaHat)
+	}
+	exact := rept.ExactCount(edges, rept.ExactOptions{Eta: true})
+	// η̂ should be in the right ballpark of the exact η (it is unbiased
+	// but heavy-tailed; accept a wide band).
+	if eta := float64(exact.Eta); res.EtaHat > 10*eta {
+		t.Errorf("EtaHat = %v, exact η = %v", res.EtaHat, eta)
+	}
+}

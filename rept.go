@@ -1,0 +1,140 @@
+package rept
+
+import (
+	"fmt"
+	"math"
+
+	"rept/internal/core"
+	"rept/internal/graph"
+)
+
+// NodeID identifies a node of the streamed graph.
+type NodeID = graph.NodeID
+
+// Edge is one undirected stream edge.
+type Edge = graph.Edge
+
+// Counter is the streaming interface shared by the REPT estimator and the
+// baseline estimators in this package: feed edges one at a time, read
+// estimates at any point.
+type Counter interface {
+	// Add feeds one stream edge; self-loops are ignored.
+	Add(u, v NodeID)
+	// Global returns the current estimate of the global triangle count τ.
+	Global() float64
+	// Local returns the current estimate of the local triangle count τ_v.
+	Local(v NodeID) float64
+}
+
+// Config configures a REPT estimator.
+type Config struct {
+	// M sets the edge sampling probability p = 1/M for every logical
+	// processor. M = 1 yields exact counting. Required, >= 1.
+	M int
+	// C is the number of logical processors. Required, >= 1. Estimation
+	// error shrinks as C grows (paper Theorem 3): for C = c₁·M the
+	// variance is τ(M−1)/c₁.
+	C int
+	// Seed makes the estimator deterministic; two estimators with equal
+	// Config produce identical estimates on identical streams.
+	Seed int64
+	// TrackLocal enables per-node estimates (Local/Locals). Costs memory
+	// proportional to the number of nodes seen in sampled semi-triangles.
+	TrackLocal bool
+	// TrackEta forces the η⁽ⁱ⁾ bookkeeping of paper Algorithm 2 even when
+	// the (M, C) combination does not require it, which makes
+	// Estimate.Variance available for every configuration. The C > M,
+	// C%M ≠ 0 case enables it automatically.
+	TrackEta bool
+	// Workers spreads the logical processors over this many goroutines
+	// (values <= 1 run single-threaded). C is a statistical parameter and
+	// Workers an execution detail; results do not depend on Workers.
+	Workers int
+}
+
+// Estimate is a snapshot of the estimator's output.
+type Estimate struct {
+	// Global is τ̂, the estimated number of triangles seen so far.
+	Global float64
+	// Local maps nodes to τ̂_v. Nil unless Config.TrackLocal. Nodes absent
+	// from the map have estimate 0.
+	Local map[NodeID]float64
+	// Variance is the plug-in estimate of Var(Global): the paper's closed
+	// form with τ̂ and η̂ substituted for τ and η. NaN when the required η
+	// counters were not tracked (see Config.TrackEta). A normal-theory
+	// confidence interval is Global ± z·StdErr().
+	Variance float64
+	// EtaHat is the streaming estimate η̂ of the paper's η statistic (0
+	// when not tracked). Large η̂/Global ratios signal streams where
+	// naive parallel sampling would do badly.
+	EtaHat float64
+}
+
+// StdErr returns sqrt(Variance) (NaN when Variance is unavailable).
+func (e Estimate) StdErr() float64 { return math.Sqrt(e.Variance) }
+
+// Estimator is the streaming REPT estimator (paper Algorithms 1 and 2).
+// It is driven by a single caller; parallelism is internal (see
+// Config.Workers). Close it to release worker goroutines.
+type Estimator struct {
+	eng *core.Engine
+	cfg Config
+}
+
+var _ Counter = (*Estimator)(nil)
+
+// New builds a REPT estimator.
+func New(cfg Config) (*Estimator, error) {
+	eng, err := core.NewEngine(core.Config{
+		M:          cfg.M,
+		C:          cfg.C,
+		Seed:       cfg.Seed,
+		TrackLocal: cfg.TrackLocal,
+		TrackEta:   cfg.TrackEta,
+		Workers:    cfg.Workers,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("rept: %w", err)
+	}
+	return &Estimator{eng: eng, cfg: cfg}, nil
+}
+
+// Add feeds one stream edge. Self-loops are ignored.
+func (e *Estimator) Add(u, v NodeID) { e.eng.Add(u, v) }
+
+// AddEdge feeds one stream edge.
+func (e *Estimator) AddEdge(edge Edge) { e.eng.Add(edge.U, edge.V) }
+
+// AddAll feeds a slice of stream edges in order.
+func (e *Estimator) AddAll(edges []Edge) { e.eng.AddAll(edges) }
+
+// Result returns the current estimates. It may be called mid-stream; the
+// estimator keeps accepting edges afterwards.
+func (e *Estimator) Result() Estimate {
+	res := e.eng.Result()
+	return Estimate{Global: res.Global, Local: res.Local, Variance: res.Variance, EtaHat: res.EtaHat}
+}
+
+// Global returns the current global triangle count estimate.
+func (e *Estimator) Global() float64 { return e.eng.Result().Global }
+
+// Local returns the current local triangle count estimate for v (0 if the
+// node was never seen or TrackLocal is off).
+func (e *Estimator) Local(v NodeID) float64 { return e.eng.Result().Local[v] }
+
+// Locals returns all non-zero local estimates (nil unless TrackLocal).
+func (e *Estimator) Locals() map[NodeID]float64 { return e.eng.Result().Local }
+
+// Processed returns the number of non-loop edges fed so far.
+func (e *Estimator) Processed() uint64 { return e.eng.Processed() }
+
+// SampledEdges returns the number of edges currently stored across all
+// logical processors (expected ≈ C·|E|/M), a memory diagnostic.
+func (e *Estimator) SampledEdges() int { return e.eng.SampledEdges() }
+
+// Close releases worker goroutines. The estimator must not be used after
+// Close. Close is idempotent and safe with Workers <= 1.
+func (e *Estimator) Close() { e.eng.Close() }
+
+// Config returns the configuration the estimator was built with.
+func (e *Estimator) Config() Config { return e.cfg }

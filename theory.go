@@ -1,0 +1,49 @@
+package rept
+
+import "rept/internal/core"
+
+// TheoreticalVariance returns the paper's closed-form Var(τ̂) for REPT
+// with sampling probability p = 1/m on c processors, given the stream's
+// exact τ and η (paper Theorem 3 and Section III-B). Useful for sizing m
+// and c to a target error before streaming.
+func TheoreticalVariance(m, c int, tau, eta float64) float64 {
+	return core.VarREPT(m, c, tau, eta)
+}
+
+// ParallelMascotVariance returns the closed-form variance of averaging c
+// independent MASCOT estimators with p = 1/m: (τ(m²−1)+2η(m−1))/c. The
+// 2η(m−1) covariance term is what REPT removes (paper Section III-C).
+func ParallelMascotVariance(m, c int, tau, eta float64) float64 {
+	return core.VarParallelMascot(m, c, tau, eta)
+}
+
+// TheoreticalNRMSE converts a variance of an unbiased estimator of tau
+// into the paper's error metric NRMSE = sqrt(Var)/τ.
+func TheoreticalNRMSE(variance, tau float64) float64 {
+	return core.NRMSETheory(variance, tau)
+}
+
+// PlanProcessors applies the paper's multi-core memory rule (Section III):
+// with budget for memEdges stored edges in total and an expected
+// streamEdges distinct stream edges at p = 1/m, use
+// c* = min(c, ⌊memEdges / (streamEdges/m)⌋) logical processors, since
+// each processor stores an expected streamEdges/m edges. Returns at
+// least 1 so a configuration always exists; callers should check that
+// even c* = 1 fits their budget.
+func PlanProcessors(c, m, memEdges, streamEdges int) int {
+	if c < 1 || m < 1 || streamEdges <= 0 {
+		return 1
+	}
+	perProc := (streamEdges + m - 1) / m
+	if perProc == 0 {
+		return c
+	}
+	limit := memEdges / perProc
+	if limit < 1 {
+		limit = 1
+	}
+	if limit > c {
+		limit = c
+	}
+	return limit
+}
