@@ -1,0 +1,120 @@
+// Command reptserve exposes a concurrency-safe REPT estimator as an HTTP
+// service: many clients stream edges in, any client can query global and
+// local triangle estimates mid-stream.
+//
+// Usage:
+//
+//	reptserve -addr :8080 -m 10 -c 40 [-shards 4 -local -seed 1]
+//
+// Endpoints:
+//
+//	POST /edges       NDJSON body, one {"u":1,"v":2} object per line
+//	GET  /estimate    current global estimate (+ variance when tracked)
+//	GET  /local?v=7   local estimate of node 7 (requires -local)
+//	GET  /healthz     liveness and ingest counters
+//
+// Example session:
+//
+//	printf '{"u":1,"v":2}\n{"u":2,"v":3}\n{"u":1,"v":3}\n' |
+//	    curl -sS --data-binary @- http://localhost:8080/edges
+//	curl -sS http://localhost:8080/estimate
+//
+// The process drains in-flight edges and exits cleanly on SIGINT/SIGTERM.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"rept"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "reptserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("reptserve", flag.ContinueOnError)
+	var (
+		addr   = fs.String("addr", ":8080", "listen address")
+		m      = fs.Int("m", 10, "sampling denominator; p = 1/m")
+		c      = fs.Int("c", 40, "total logical processors across shards")
+		shards = fs.Int("shards", 0, "engine shards (0 = auto)")
+		seed   = fs.Int64("seed", 1, "random seed")
+		local  = fs.Bool("local", false, "track local (per-node) estimates")
+		eta    = fs.Bool("eta", false, "force η̂ tracking (variance for every config)")
+		batch  = fs.Int("batch", 0, "ingest hand-off batch length (0 = default)")
+		grace  = fs.Duration("grace", 10*time.Second, "shutdown grace period")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	est, err := rept.NewConcurrent(rept.ConcurrentConfig{
+		M:          *m,
+		C:          *c,
+		Shards:     *shards,
+		Seed:       *seed,
+		TrackLocal: *local,
+		TrackEta:   *eta,
+		BatchSize:  *batch,
+	})
+	if err != nil {
+		return err
+	}
+
+	api := NewServer(est)
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           api,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(os.Stderr, "reptserve: listening on %s (m=%d c=%d shards=%d local=%v)\n",
+			*addr, *m, *c, est.Shards(), *local)
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		api.Stop()
+		est.Close()
+		return err
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintln(os.Stderr, "reptserve: shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	shutdownErr := srv.Shutdown(shutdownCtx)
+	// Stop drains in-flight estimator calls; lingering handlers (when the
+	// grace period expired with clients still streaming) answer 503 from
+	// here on, so closing the estimator under them is safe.
+	api.Stop()
+	est.Close()
+	if shutdownErr != nil {
+		if !errors.Is(shutdownErr, context.DeadlineExceeded) {
+			return shutdownErr
+		}
+		fmt.Fprintln(os.Stderr, "reptserve: grace period expired with requests in flight")
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}

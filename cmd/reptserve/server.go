@@ -1,0 +1,255 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rept"
+)
+
+// ingestBatchLen is how many parsed NDJSON edges are handed to the
+// estimator per AddAll call; it bounds per-request memory regardless of
+// body size.
+const ingestBatchLen = 512
+
+// maxLineLen bounds one NDJSON line (1 MiB, matching the stream reader).
+const maxLineLen = 1 << 20
+
+// edgeLine is one NDJSON ingest record: {"u": 1, "v": 2}.
+type edgeLine struct {
+	U *uint32 `json:"u"`
+	V *uint32 `json:"v"`
+}
+
+// Server exposes a Concurrent REPT estimator over HTTP. All handlers are
+// safe for concurrent requests; ingestion from any number of clients maps
+// directly onto Concurrent's goroutine-safe Add path.
+type Server struct {
+	est      *rept.Concurrent
+	mux      *http.ServeMux
+	start    time.Time
+	requests atomic.Uint64
+
+	// mu guards estimator access against Stop: handlers hold the read
+	// lock around each estimator call, Stop takes the write lock to
+	// drain them before the estimator is closed underneath.
+	mu      sync.RWMutex
+	closing bool
+}
+
+// NewServer wraps est in an HTTP API. The caller keeps ownership of est
+// (the server never closes it).
+func NewServer(est *rept.Concurrent) *Server {
+	s := &Server{est: est, mux: http.NewServeMux(), start: time.Now()}
+	s.mux.HandleFunc("/edges", s.handleEdges)
+	s.mux.HandleFunc("/estimate", s.handleEstimate)
+	s.mux.HandleFunc("/local", s.handleLocal)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	s.mux.ServeHTTP(w, r)
+}
+
+// Stop marks the server as shutting down and waits for in-flight
+// estimator calls to finish. After Stop, handlers answer 503 instead of
+// touching the estimator, so the owner may safely Close it even while
+// lingering connections (e.g. after an http.Server.Shutdown timeout) are
+// still being served.
+func (s *Server) Stop() {
+	s.mu.Lock()
+	s.closing = true
+	s.mu.Unlock()
+}
+
+// estCall runs f under the read lock unless the server is stopping.
+// Handlers must route every estimator access through it.
+func (s *Server) estCall(f func()) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closing {
+		return false
+	}
+	f()
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// ingestResponse summarizes one POST /edges request.
+type ingestResponse struct {
+	// Accepted counts non-loop edges ingested from this request body.
+	Accepted int `json:"accepted"`
+	// SelfLoops counts self-loop lines skipped in this request body.
+	SelfLoops int `json:"selfLoops"`
+	// Processed is the estimator's total non-loop edge count afterwards
+	// (all clients combined).
+	Processed uint64 `json:"processed"`
+}
+
+// handleEdges ingests NDJSON edges: one {"u":..,"v":..} object per line.
+// Blank lines are skipped. On a malformed line the request fails with 400
+// after reporting the line number; lines before it are already ingested
+// (ingestion is streaming, not transactional).
+func (s *Server) handleEdges(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, http.StatusMethodNotAllowed, "POST NDJSON edge lines to /edges")
+		return
+	}
+	sc := bufio.NewScanner(r.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), maxLineLen)
+
+	var resp ingestResponse
+	batch := make([]rept.Edge, 0, ingestBatchLen)
+	// flush hands the parsed batch to the estimator; false means the
+	// server is shutting down and the handler must bail with 503.
+	flush := func() bool {
+		if len(batch) == 0 {
+			return true
+		}
+		ok := s.estCall(func() { s.est.AddAll(batch) })
+		batch = batch[:0]
+		return ok
+	}
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var el edgeLine
+		if err := json.Unmarshal(raw, &el); err != nil {
+			flush()
+			writeError(w, http.StatusBadRequest, "line %d: %v (accepted %d edges before it)", line, err, resp.Accepted)
+			return
+		}
+		if el.U == nil || el.V == nil {
+			flush()
+			writeError(w, http.StatusBadRequest, "line %d: need both \"u\" and \"v\" (accepted %d edges before it)", line, resp.Accepted)
+			return
+		}
+		// Self-loops ride along so the estimator's own SelfLoops counter
+		// (surfaced by /estimate) stays consistent; AddAll skips them.
+		if *el.U == *el.V {
+			resp.SelfLoops++
+		} else {
+			resp.Accepted++
+		}
+		batch = append(batch, rept.Edge{U: rept.NodeID(*el.U), V: rept.NodeID(*el.V)})
+		if len(batch) == cap(batch) && !flush() {
+			writeError(w, http.StatusServiceUnavailable, "server is shutting down (accepted %d edges)", resp.Accepted)
+			return
+		}
+	}
+	if err := sc.Err(); err != nil {
+		flush()
+		writeError(w, http.StatusBadRequest, "reading body: %v (accepted %d edges)", err, resp.Accepted)
+		return
+	}
+	if !flush() {
+		writeError(w, http.StatusServiceUnavailable, "server is shutting down (accepted %d edges)", resp.Accepted)
+		return
+	}
+	resp.Processed = s.est.Processed()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// estimateResponse is the GET /estimate payload. StdErr and Variance are
+// omitted when the configuration does not track the η counters they need
+// (JSON has no NaN).
+type estimateResponse struct {
+	Global    float64  `json:"global"`
+	Variance  *float64 `json:"variance,omitempty"`
+	StdErr    *float64 `json:"stderr,omitempty"`
+	EtaHat    float64  `json:"etaHat"`
+	Processed uint64   `json:"processed"`
+	SelfLoops uint64   `json:"selfLoops"`
+}
+
+func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeError(w, http.StatusMethodNotAllowed, "GET /estimate")
+		return
+	}
+	var snap rept.Estimate
+	var resp estimateResponse
+	if !s.estCall(func() {
+		snap = s.est.Snapshot()
+		resp.Processed = s.est.Processed()
+		resp.SelfLoops = s.est.SelfLoops()
+	}) {
+		writeError(w, http.StatusServiceUnavailable, "server is shutting down")
+		return
+	}
+	resp.Global = snap.Global
+	resp.EtaHat = snap.EtaHat
+	if !math.IsNaN(snap.Variance) {
+		v, se := snap.Variance, snap.StdErr()
+		resp.Variance, resp.StdErr = &v, &se
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleLocal serves GET /local?v=<node>: the local triangle estimate of
+// one node. 409 when the server runs without -local.
+func (s *Server) handleLocal(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeError(w, http.StatusMethodNotAllowed, "GET /local?v=<node>")
+		return
+	}
+	if !s.est.Config().TrackLocal {
+		writeError(w, http.StatusConflict, "local tracking is disabled; start reptserve with -local")
+		return
+	}
+	q := r.URL.Query().Get("v")
+	if q == "" {
+		writeError(w, http.StatusBadRequest, "missing query parameter v")
+		return
+	}
+	v, err := strconv.ParseUint(q, 10, 32)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "v must be a uint32 node id: %v", err)
+		return
+	}
+	var local float64
+	if !s.estCall(func() { local = s.est.Local(rept.NodeID(v)) }) {
+		writeError(w, http.StatusServiceUnavailable, "server is shutting down")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"v":     v,
+		"local": local,
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":    "ok",
+		"processed": s.est.Processed(),
+		"shards":    s.est.Shards(),
+		"requests":  s.requests.Load(),
+		"uptime":    time.Since(s.start).Round(time.Millisecond).String(),
+	})
+}

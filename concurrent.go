@@ -1,0 +1,125 @@
+package rept
+
+import (
+	"fmt"
+
+	"rept/internal/shard"
+)
+
+// ConcurrentConfig configures a Concurrent estimator. M, C, Seed,
+// TrackLocal, and TrackEta mean exactly what they do in Config; the
+// remaining fields shape the concurrent ingest layer.
+type ConcurrentConfig struct {
+	// M sets the edge sampling probability p = 1/M. Required, >= 1.
+	M int
+	// C is the TOTAL number of logical processors across all shards.
+	// Required, >= 1. As in Config, estimation error shrinks as C grows.
+	C int
+	// Shards is the number of independent engine shards; each owns whole
+	// processor groups and its own hash family seed. Values <= 0 choose a
+	// default from the group count. More shards increase ingest
+	// parallelism; the estimate's distribution does not depend on it.
+	Shards int
+	// Seed makes the estimator deterministic: per-shard hash family seeds
+	// are derived from it by a splitmix64 chain.
+	Seed int64
+	// TrackLocal enables per-node estimates.
+	TrackLocal bool
+	// TrackEta forces η̂ bookkeeping on every shard (see Config.TrackEta).
+	TrackEta bool
+	// Workers is the per-shard engine worker count (default 1: each shard
+	// is already its own goroutine).
+	Workers int
+	// BatchSize is the ingest hand-off batch length (default 1024). Adds
+	// are buffered under a mutex and broadcast to shards in batches.
+	BatchSize int
+	// QueueLen is the per-shard queue depth in batches (default 8);
+	// producers block when a shard falls this far behind.
+	QueueLen int
+}
+
+// Concurrent is a REPT estimator that is safe for concurrent use by any
+// number of goroutines, built from hash-partitioned engine shards whose
+// counters merge exactly as in the distributed deployment of paper
+// Section III-B (see Merge). Add, AddEdge, AddAll, Snapshot, and the
+// Counter methods may all be called concurrently; Close must happen after
+// all other calls have returned, and any use after Close panics.
+//
+// Snapshots are consistent: every shard reports its counters at the same
+// stream prefix, so a Snapshot taken while producers are still adding
+// edges reflects exactly the adds that completed before it.
+type Concurrent struct {
+	sh  *shard.Sharded
+	cfg ConcurrentConfig
+}
+
+var _ Counter = (*Concurrent)(nil)
+
+// NewConcurrent builds a concurrency-safe REPT estimator.
+func NewConcurrent(cfg ConcurrentConfig) (*Concurrent, error) {
+	sh, err := shard.New(shard.Config{
+		M:          cfg.M,
+		C:          cfg.C,
+		Shards:     cfg.Shards,
+		Seed:       cfg.Seed,
+		TrackLocal: cfg.TrackLocal,
+		TrackEta:   cfg.TrackEta,
+		Workers:    cfg.Workers,
+		BatchSize:  cfg.BatchSize,
+		QueueLen:   cfg.QueueLen,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("rept: %w", err)
+	}
+	return &Concurrent{sh: sh, cfg: cfg}, nil
+}
+
+// Add feeds one stream edge; self-loops are ignored. Safe for concurrent
+// use.
+func (c *Concurrent) Add(u, v NodeID) { c.sh.Add(u, v) }
+
+// AddEdge feeds one stream edge.
+func (c *Concurrent) AddEdge(edge Edge) { c.sh.Add(edge.U, edge.V) }
+
+// AddAll feeds a slice of stream edges in order under one critical
+// section; bulk callers should prefer it over per-edge Add.
+func (c *Concurrent) AddAll(edges []Edge) { c.sh.AddAll(edges) }
+
+// Snapshot drains in-flight edges and returns the merged estimate at a
+// consistent stream prefix. The estimator keeps accepting edges.
+func (c *Concurrent) Snapshot() Estimate {
+	res := c.sh.Snapshot()
+	return Estimate{Global: res.Global, Local: res.Local, Variance: res.Variance, EtaHat: res.EtaHat}
+}
+
+// Global returns the current global triangle count estimate.
+func (c *Concurrent) Global() float64 { return c.sh.Snapshot().Global }
+
+// Local returns the current local triangle count estimate for v (0 if the
+// node was never seen or TrackLocal is off).
+func (c *Concurrent) Local(v NodeID) float64 { return c.sh.Snapshot().Local[v] }
+
+// Locals returns all non-zero local estimates (nil unless TrackLocal).
+func (c *Concurrent) Locals() map[NodeID]float64 { return c.sh.Snapshot().Local }
+
+// Processed returns the number of non-loop edges accepted so far,
+// including edges still buffered in flight.
+func (c *Concurrent) Processed() uint64 { return c.sh.Processed() }
+
+// SelfLoops returns the number of self-loop arrivals skipped.
+func (c *Concurrent) SelfLoops() uint64 { return c.sh.SelfLoops() }
+
+// SampledEdges returns the number of edges currently stored across all
+// shards' logical processors (expected ≈ C·|E|/M), a memory diagnostic.
+func (c *Concurrent) SampledEdges() int { return c.sh.SampledEdges() }
+
+// Shards returns the effective number of engine shards.
+func (c *Concurrent) Shards() int { return c.sh.Shards() }
+
+// Close flushes pending edges and releases the shard goroutines. The
+// estimator must not be used after Close (uses panic); Close itself is
+// idempotent but must not run concurrently with other methods.
+func (c *Concurrent) Close() { c.sh.Close() }
+
+// Config returns the configuration the estimator was built with.
+func (c *Concurrent) Config() ConcurrentConfig { return c.cfg }

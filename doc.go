@@ -25,6 +25,30 @@
 //	res := est.Result()
 //	fmt.Println("triangles ≈", res.Global)
 //
+// # Concurrency model
+//
+// An Estimator is driven by ONE caller: Add must not be called from
+// multiple goroutines, even though the estimator may parallelize
+// internally over Config.Workers. For ingestion from many goroutines —
+// network handlers, partitioned readers — use NewConcurrent instead:
+//
+//	est, err := rept.NewConcurrent(rept.ConcurrentConfig{M: 10, C: 40, Shards: 4, Seed: 1})
+//	if err != nil { ... }
+//	defer est.Close()
+//	// any number of goroutines:
+//	est.Add(u, v)
+//	// any goroutine, any time:
+//	snap := est.Snapshot()
+//
+// A Concurrent estimator spreads its C logical processors over
+// independent engine shards (whole processor groups with independent hash
+// seeds, the distributed layout of paper Section III-B) and broadcasts
+// batched edges to them through buffered channels. Snapshots are
+// consistent — every shard reports at the same stream prefix — and its
+// estimates follow the same distribution as a single-caller Estimator
+// with equal M and C. cmd/reptserve wraps a Concurrent estimator in an
+// HTTP service (NDJSON ingest, mid-stream estimate queries).
+//
 // The package also exposes the baselines the paper compares against
 // (NewMascot, NewTriest, NewGPS, and NewParallel for the "c independent
 // instances" parallelization), exact counting for ground truth

@@ -1,0 +1,3 @@
+module rept
+
+go 1.22

@@ -1,0 +1,393 @@
+// Package shard provides a concurrency-safe ingest layer over the REPT
+// core engine.
+//
+// A Sharded coordinator owns N independent core.Engine shards. Each shard
+// hosts a disjoint slice of the configured logical processors (whole
+// processor groups, so the standard c = c₁·m + c₂ layout is preserved)
+// and derives its hash family from its own splitmix64-derived seed, which
+// keeps the groups mutually independent across shards as paper Section
+// III-B requires. Every edge is broadcast to every shard — REPT shards by
+// processor group, not by edge — so a snapshot merges the per-shard
+// counters through core.MergeGroups into an estimate that is statistically
+// identical to a single engine with the concatenated processor list.
+//
+// Unlike core.Engine, whose Add must be driven by one caller, Sharded.Add
+// is safe for any number of goroutines: producers append to a shared batch
+// under a short critical section, and full batches are handed off to the
+// per-shard goroutines over buffered channels (the batched broadcast
+// pattern of core.Engine, lifted to a concurrent front door). Snapshots
+// use an in-band barrier message so every shard reports its counters at
+// exactly the same stream prefix, without stopping ingestion for longer
+// than a flush.
+package shard
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"rept/internal/core"
+	"rept/internal/graph"
+	"rept/internal/hashing"
+)
+
+const (
+	defaultBatchLen = 1024
+	defaultQueueLen = 8
+)
+
+// Config parameterizes a Sharded coordinator.
+type Config struct {
+	// M is the sampling denominator (p = 1/M), as core.Config.M.
+	M int
+	// C is the TOTAL number of logical processors across all shards.
+	C int
+	// Shards is the number of independent engine shards. Values <= 0
+	// default to the number of processor groups (capped at 8); the value
+	// is always capped at the group count, since shards own whole groups.
+	Shards int
+	// Seed drives every shard's hash family deterministically: shard i
+	// uses the i-th value of a splitmix64 chain over Seed, so distinct
+	// shards get distinct, independent families.
+	Seed int64
+	// TrackLocal enables per-node estimates on every shard.
+	TrackLocal bool
+	// TrackEta forces η bookkeeping on every shard. It is enabled
+	// automatically when the merged layout requires η̂ (C > M with
+	// C % M != 0), so the merged estimate uses the paper's Algorithm 2
+	// combination exactly as a single engine would.
+	TrackEta bool
+	// Workers is the per-shard core.Engine worker count. The default 1
+	// runs each shard single-threaded inside its own goroutine, which is
+	// the right choice unless shards are few and wide.
+	Workers int
+	// BatchSize is the ingest hand-off batch length (default 1024): Add
+	// appends under a mutex and full batches are broadcast to the shard
+	// channels. Larger batches cut contention, smaller ones cut snapshot
+	// staleness.
+	BatchSize int
+	// QueueLen is the per-shard channel depth in batches (default 8).
+	// Producers block once a shard falls this far behind (backpressure).
+	QueueLen int
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if err := (core.Config{M: c.M, C: c.C}).Validate(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// groups returns the number of processor groups of the merged layout.
+func (c Config) groups() int {
+	g := c.C / c.M
+	if c.C%c.M != 0 {
+		g++
+	}
+	return g
+}
+
+// shardCount resolves the effective shard count.
+func (c Config) shardCount() int {
+	n := c.Shards
+	if n <= 0 {
+		n = c.groups()
+		if n > 8 {
+			n = 8
+		}
+	}
+	if g := c.groups(); n > g {
+		n = g
+	}
+	return n
+}
+
+// shardConfigs partitions the C logical processors over n shards as whole
+// groups: full groups are spread round-robin and the trailing partial
+// group (C % M processors) always lands on the last shard, so the
+// concatenated processor list keeps the canonical c = c₁·m + c₂ layout
+// that core.MergeGroups requires. Seeds come from a splitmix64 chain over
+// cfg.Seed, one per shard, mirroring how a single engine derives one seed
+// per group.
+func (c Config) shardConfigs() []core.Config {
+	n := c.shardCount()
+	c1 := c.C / c.M // full groups
+	c2 := c.C % c.M // processors in the trailing partial group
+	trackEta := c.TrackEta || (c1 > 0 && c2 > 0)
+
+	state := uint64(c.Seed)
+	out := make([]core.Config, n)
+	for i := range out {
+		full := c1 / n
+		if i < c1%n {
+			full++
+		}
+		procs := full * c.M
+		if i == n-1 {
+			procs += c2
+		}
+		out[i] = core.Config{
+			M:          c.M,
+			C:          procs,
+			Seed:       int64(hashing.SplitMix64(&state)),
+			TrackLocal: c.TrackLocal,
+			TrackEta:   trackEta,
+			Workers:    c.Workers,
+		}
+	}
+	return out
+}
+
+// batch is a broadcast edge buffer shared read-only by all shards; the
+// last shard to release it returns it to the pool.
+type batch struct {
+	edges []graph.Edge
+	refs  atomic.Int32
+}
+
+// barrier asks every shard to report its aggregates (and sampled-edge
+// count) at the same stream prefix. Shards consume their channels in
+// order, so all counters in aggs describe exactly the edges broadcast
+// before the barrier was enqueued.
+type barrier struct {
+	aggs    []*core.Aggregates
+	sampled []int
+	wg      sync.WaitGroup
+}
+
+// msg is one item of a shard channel: either an edge batch or a barrier.
+type msg struct {
+	b   *batch
+	bar *barrier
+}
+
+// Sharded is a concurrency-safe REPT front end over N engine shards. All
+// exported methods except Close may be called from any number of
+// goroutines; Add after Close panics with core.ErrClosed.
+type Sharded struct {
+	cfg      Config
+	batchLen int
+
+	engines []*core.Engine
+	chans   []chan msg
+
+	mu     sync.Mutex // guards cur, closed, and channel sends
+	cur    *batch
+	closed bool
+
+	pool sync.Pool
+	done sync.WaitGroup
+
+	processed atomic.Uint64
+	selfLoops atomic.Uint64
+}
+
+// New builds a Sharded coordinator and starts its shard goroutines.
+func New(cfg Config) (*Sharded, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	batchLen := cfg.BatchSize
+	if batchLen <= 0 {
+		batchLen = defaultBatchLen
+	}
+	queueLen := cfg.QueueLen
+	if queueLen <= 0 {
+		queueLen = defaultQueueLen
+	}
+
+	sub := cfg.shardConfigs()
+	s := &Sharded{
+		cfg:      cfg,
+		batchLen: batchLen,
+		engines:  make([]*core.Engine, len(sub)),
+		chans:    make([]chan msg, len(sub)),
+	}
+	s.pool.New = func() any { return &batch{edges: make([]graph.Edge, 0, batchLen)} }
+	for i, sc := range sub {
+		eng, err := core.NewEngine(sc)
+		if err != nil {
+			for _, prev := range s.engines[:i] {
+				prev.Close()
+			}
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+		s.engines[i] = eng
+		s.chans[i] = make(chan msg, queueLen)
+	}
+	s.cur = s.pool.Get().(*batch)
+	s.done.Add(len(s.engines))
+	for i := range s.engines {
+		go s.run(i)
+	}
+	return s, nil
+}
+
+// run is the shard goroutine: it drains shard i's channel, feeding edge
+// batches to the shard engine and answering barriers in stream order.
+func (s *Sharded) run(i int) {
+	defer s.done.Done()
+	eng := s.engines[i]
+	for m := range s.chans[i] {
+		if m.bar != nil {
+			m.bar.aggs[i] = eng.Aggregates()
+			m.bar.sampled[i] = eng.SampledEdges()
+			m.bar.wg.Done()
+			continue
+		}
+		eng.AddAll(m.b.edges)
+		if m.b.refs.Add(-1) == 0 {
+			m.b.edges = m.b.edges[:0]
+			s.pool.Put(m.b)
+		}
+	}
+	eng.Close()
+}
+
+// Add feeds one stream edge. Safe for concurrent use; self-loops are
+// skipped. Add panics with core.ErrClosed after Close.
+func (s *Sharded) Add(u, v graph.NodeID) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		panic(core.ErrClosed)
+	}
+	if u == v {
+		s.selfLoops.Add(1)
+		s.mu.Unlock()
+		return
+	}
+	s.cur.edges = append(s.cur.edges, graph.Edge{U: u, V: v})
+	if len(s.cur.edges) >= s.batchLen {
+		s.flushLocked()
+	}
+	// Counted before the unlock so a concurrent Snapshot can never
+	// reflect an edge that Processed does not yet count.
+	s.processed.Add(1)
+	s.mu.Unlock()
+}
+
+// AddAll feeds a slice of stream edges in order under one critical
+// section, which is markedly cheaper than per-edge Add for bulk callers
+// (the HTTP ingest path batches request bodies through here).
+func (s *Sharded) AddAll(edges []graph.Edge) {
+	var accepted, loops uint64
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		panic(core.ErrClosed)
+	}
+	for _, e := range edges {
+		if e.U == e.V {
+			loops++
+			continue
+		}
+		s.cur.edges = append(s.cur.edges, e)
+		accepted++
+		if len(s.cur.edges) >= s.batchLen {
+			s.flushLocked()
+		}
+	}
+	s.processed.Add(accepted)
+	s.selfLoops.Add(loops)
+	s.mu.Unlock()
+}
+
+// flushLocked broadcasts the pending batch to every shard channel. Caller
+// holds s.mu. The batch is shared read-only; shards refcount it back into
+// the pool.
+func (s *Sharded) flushLocked() {
+	if len(s.cur.edges) == 0 {
+		return
+	}
+	b := s.cur
+	b.refs.Store(int32(len(s.chans)))
+	for _, ch := range s.chans {
+		ch <- msg{b: b}
+	}
+	s.cur = s.pool.Get().(*batch)
+}
+
+// barrierLocked flushes pending edges and enqueues a fresh barrier on
+// every shard channel before releasing the mutex, so no later Add can
+// slip between the flush and the barrier on any shard.
+func (s *Sharded) barrier() *barrier {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		panic(core.ErrClosed)
+	}
+	s.flushLocked()
+	bar := &barrier{
+		aggs:    make([]*core.Aggregates, len(s.chans)),
+		sampled: make([]int, len(s.chans)),
+	}
+	bar.wg.Add(len(s.chans))
+	for _, ch := range s.chans {
+		ch <- msg{bar: bar}
+	}
+	s.mu.Unlock()
+	bar.wg.Wait()
+	return bar
+}
+
+// Aggregates drains in-flight edges and merges every shard's counters at
+// a single consistent stream prefix. The coordinator stays usable.
+func (s *Sharded) Aggregates() *core.Aggregates {
+	bar := s.barrier()
+	agg, err := core.MergeGroups(bar.aggs...)
+	if err != nil {
+		// shardConfigs guarantees the MergeGroups preconditions (equal M,
+		// full groups on all but the last shard), so this is a bug.
+		panic(fmt.Sprintf("shard: merge of own shards failed: %v", err))
+	}
+	return agg
+}
+
+// Snapshot drains in-flight edges and returns the merged REPT estimate at
+// a consistent stream prefix. Safe for concurrent use with Add; edges
+// added while the snapshot is being taken land after it.
+func (s *Sharded) Snapshot() core.Estimate {
+	return s.Aggregates().Estimate()
+}
+
+// SampledEdges reports the total number of edges currently stored across
+// all shards' logical processors (expected ≈ C·|E|/M), a memory
+// diagnostic. It drains in-flight edges like Snapshot.
+func (s *Sharded) SampledEdges() int {
+	bar := s.barrier()
+	total := 0
+	for _, n := range bar.sampled {
+		total += n
+	}
+	return total
+}
+
+// Processed returns the number of non-loop edges accepted so far. It
+// counts arrivals, including edges still buffered in flight.
+func (s *Sharded) Processed() uint64 { return s.processed.Load() }
+
+// SelfLoops returns the number of self-loop arrivals skipped.
+func (s *Sharded) SelfLoops() uint64 { return s.selfLoops.Load() }
+
+// Shards returns the effective number of engine shards.
+func (s *Sharded) Shards() int { return len(s.engines) }
+
+// Close flushes pending edges, stops the shard goroutines, and closes the
+// underlying engines. Close is idempotent; any other method called after
+// Close panics with core.ErrClosed.
+func (s *Sharded) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.flushLocked()
+	s.closed = true
+	for _, ch := range s.chans {
+		close(ch)
+	}
+	s.mu.Unlock()
+	s.done.Wait()
+}

@@ -50,6 +50,10 @@ type Config struct {
 	// (values <= 1 run single-threaded). C is a statistical parameter and
 	// Workers an execution detail; results do not depend on Workers.
 	Workers int
+	// BatchSize is the edge-broadcast batch length of the parallel path
+	// (default 2048; ignored when Workers <= 1). Like Workers it is an
+	// execution detail: results do not depend on it.
+	BatchSize int
 }
 
 // Estimate is a snapshot of the estimator's output.
@@ -92,6 +96,7 @@ func New(cfg Config) (*Estimator, error) {
 		TrackLocal: cfg.TrackLocal,
 		TrackEta:   cfg.TrackEta,
 		Workers:    cfg.Workers,
+		BatchSize:  cfg.BatchSize,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("rept: %w", err)
