@@ -1,0 +1,120 @@
+package rept_test
+
+import (
+	"math"
+	"testing"
+
+	"rept"
+	"rept/internal/gen"
+)
+
+// TestAccuracyWithinTheorem3Bound is the statistical regression net: over
+// 40 independent hash-family seeds on a generated graph with known exact
+// τ and η, the empirical mean-squared error of the REPT estimate must sit
+// within the paper's Theorem 3 / Section III-B closed-form variance, and
+// the empirical bias must be statistically indistinguishable from zero.
+// Unit tests compare counters; this test catches the silent estimator-
+// math regressions they cannot (wrong scaling constants, a broken hash
+// family, a mis-combined Graybill–Deal weight), because any of those
+// shifts the error distribution far outside the bound.
+//
+// Tolerances: with n = 40 seeds the MSE/Var ratio concentrates around 1
+// with relative deviation ≈ sqrt(2/n) ≈ 0.22, so the [0.35, 2.2] window
+// is over 5 standard deviations wide on each side; the bias gate is 4.5
+// standard errors. The stream and seeds are fixed, so the test is fully
+// deterministic — it either always passes or flags a real regression.
+func TestAccuracyWithinTheorem3Bound(t *testing.T) {
+	stream := gen.Shuffle(gen.HolmeKim(800, 5, 0.35, 77), 123)
+	exact := rept.ExactCount(stream, rept.ExactOptions{Eta: true})
+	tau, eta := float64(exact.Tau), float64(exact.Eta)
+	if tau < 1000 {
+		t.Fatalf("generated graph too sparse for a meaningful bound: τ = %v", tau)
+	}
+
+	const seeds = 40
+	cases := []struct {
+		name string
+		m, c int
+	}{
+		// c = c₁m: Var = τ(m−1)/c₁, no η term (Section III-B.1).
+		{"FullGroups_M8_C32", 8, 32},
+		// c < m: Var = (τ(m²−c) + 2η(m−c))/c (Algorithm 1 / Theorem 3).
+		{"SingleGroup_M16_C8", 16, 8},
+		// c = c₁m + c₂: Graybill–Deal combination of both cases.
+		{"PartialGroup_M6_C15", 6, 15},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			variance := rept.TheoreticalVariance(tc.m, tc.c, tau, eta)
+			if !(variance > 0) {
+				t.Fatalf("theoretical variance = %v", variance)
+			}
+			var sumErr, sumSq float64
+			for seed := int64(1); seed <= seeds; seed++ {
+				est, err := rept.New(rept.Config{M: tc.m, C: tc.c, Seed: seed})
+				if err != nil {
+					t.Fatal(err)
+				}
+				est.AddAll(stream)
+				d := est.Global() - tau
+				est.Close()
+				sumErr += d
+				sumSq += d * d
+			}
+			mse := sumSq / seeds
+			bias := sumErr / seeds
+			ratio := mse / variance
+			t.Logf("τ=%.0f η=%.0f: MSE/Var = %.3f, bias = %.1f (σ_mean = %.1f)",
+				tau, eta, ratio, bias, math.Sqrt(variance/seeds))
+
+			if ratio > 2.2 {
+				t.Errorf("empirical MSE %.1f exceeds Theorem 3 variance %.1f by ratio %.2f (> 2.2): estimator error has regressed", mse, variance, ratio)
+			}
+			if ratio < 0.35 {
+				t.Errorf("empirical MSE %.1f implausibly below Theorem 3 variance %.1f (ratio %.2f < 0.35): sampling is likely broken", mse, variance, ratio)
+			}
+			if gate := 4.5 * math.Sqrt(variance/seeds); math.Abs(bias) > gate {
+				t.Errorf("empirical bias %.1f exceeds %.1f (4.5 standard errors): estimator is no longer unbiased", bias, gate)
+			}
+		})
+	}
+}
+
+// TestAccuracyLocalEstimates spot-checks the per-node estimator the same
+// way on the highest-τ_v nodes: averaged over seeds, τ̂_v must land close
+// to exact τ_v (the local estimator is unbiased; Theorem 2).
+func TestAccuracyLocalEstimates(t *testing.T) {
+	stream := gen.Shuffle(gen.HolmeKim(500, 5, 0.4, 31), 17)
+	exact := rept.ExactCount(stream, rept.ExactOptions{Local: true})
+
+	// Pick the heaviest node: its τ_v has the best relative concentration.
+	var top rept.NodeID
+	for v, c := range exact.TauV {
+		if c > exact.TauV[top] {
+			top = v
+		}
+	}
+	tauV := float64(exact.TauV[top])
+	if tauV < 50 {
+		t.Fatalf("heaviest node has only τ_v = %v", tauV)
+	}
+
+	const seeds = 30
+	const m, c = 4, 16
+	var sum float64
+	for seed := int64(1); seed <= seeds; seed++ {
+		est, err := rept.New(rept.Config{M: m, C: c, Seed: seed, TrackLocal: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		est.AddAll(stream)
+		sum += est.Local(top)
+		est.Close()
+	}
+	mean := sum / seeds
+	// Loose 20% envelope: the mean of 30 unbiased estimates of a count in
+	// the hundreds sits comfortably inside; a scaling bug lands far out.
+	if math.Abs(mean-tauV) > 0.20*tauV {
+		t.Errorf("mean local estimate for node %d = %.1f, exact τ_v = %.0f (off by more than 20%%)", top, mean, tauV)
+	}
+}

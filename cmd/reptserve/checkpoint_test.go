@@ -1,0 +1,224 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"rept"
+	"rept/internal/gen"
+)
+
+func postCheckpoint(t *testing.T, url string) (checkpointResponse, *http.Response) {
+	t.Helper()
+	resp, err := http.Post(url+"/checkpoint", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var cr checkpointResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&cr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return cr, resp
+}
+
+func getRawBody(t *testing.T, url string) []byte {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body
+}
+
+// TestKillAndRestoreBitForBit is the acceptance test: stream a prefix
+// into reptserve, checkpoint, kill the server, boot a new one from the
+// snapshot (the -restore code path), stream the suffix, and the final
+// /estimate body must equal an uninterrupted server's byte for byte.
+func TestKillAndRestoreBitForBit(t *testing.T) {
+	cfg := rept.ConcurrentConfig{M: 5, C: 12, Shards: 2, Seed: 33, TrackLocal: true}
+	edges := gen.Shuffle(gen.HolmeKim(300, 4, 0.4, 13), 7)
+	cut := len(edges) / 2
+	snapPath := filepath.Join(t.TempDir(), "state.snap")
+
+	// Phase 1: fresh server, stream the prefix, checkpoint, kill.
+	estA, err := newEstimator(cfg, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tsA := httptest.NewServer(NewServer(estA, snapPath))
+	if _, resp := postEdges(t, tsA.URL, ndjson(edges[:cut])); resp.StatusCode != http.StatusOK {
+		t.Fatalf("prefix ingest: status %d", resp.StatusCode)
+	}
+	cr, resp := postCheckpoint(t, tsA.URL)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /checkpoint: status %d", resp.StatusCode)
+	}
+	if cr.Path != snapPath || cr.Bytes <= 0 || cr.Processed != uint64(cut) {
+		t.Fatalf("checkpoint response = %+v, want path %s and processed %d", cr, snapPath, cut)
+	}
+	tsA.Close()
+	estA.Close()
+
+	// Phase 2: boot from the snapshot (exactly what -restore does),
+	// stream the suffix.
+	estB, err := newEstimator(cfg, snapPath)
+	if err != nil {
+		t.Fatalf("restore boot: %v", err)
+	}
+	defer estB.Close()
+	if estB.Processed() != uint64(cut) {
+		t.Fatalf("restored Processed = %d, want %d", estB.Processed(), cut)
+	}
+	tsB := httptest.NewServer(NewServer(estB, snapPath))
+	defer tsB.Close()
+	if _, resp := postEdges(t, tsB.URL, ndjson(edges[cut:])); resp.StatusCode != http.StatusOK {
+		t.Fatalf("suffix ingest: status %d", resp.StatusCode)
+	}
+	restored := getRawBody(t, tsB.URL+"/estimate")
+
+	// Reference: one server fed the whole stream without interruption.
+	estC, err := newEstimator(cfg, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer estC.Close()
+	tsC := httptest.NewServer(NewServer(estC, ""))
+	defer tsC.Close()
+	if _, resp := postEdges(t, tsC.URL, ndjson(edges)); resp.StatusCode != http.StatusOK {
+		t.Fatalf("reference ingest: status %d", resp.StatusCode)
+	}
+	reference := getRawBody(t, tsC.URL+"/estimate")
+
+	if !bytes.Equal(restored, reference) {
+		t.Errorf("kill-and-restore /estimate diverged:\nrestored:  %s\nreference: %s", restored, reference)
+	}
+
+	// The local endpoint agrees too.
+	if a, b := getRawBody(t, tsB.URL+"/local?v=0"), getRawBody(t, tsC.URL+"/local?v=0"); !bytes.Equal(a, b) {
+		t.Errorf("kill-and-restore /local diverged: %s vs %s", a, b)
+	}
+}
+
+// TestCheckpointOverwritesAtomically: a second checkpoint replaces the
+// first in place and leaves no temp files behind.
+func TestCheckpointOverwritesAtomically(t *testing.T) {
+	dir := t.TempDir()
+	snapPath := filepath.Join(dir, "state.snap")
+	est, err := newEstimator(rept.ConcurrentConfig{M: 2, C: 4, Seed: 1}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer est.Close()
+	ts := httptest.NewServer(NewServer(est, snapPath))
+	defer ts.Close()
+
+	if _, resp := postCheckpoint(t, ts.URL); resp.StatusCode != http.StatusOK {
+		t.Fatalf("first checkpoint: status %d", resp.StatusCode)
+	}
+	if _, resp := postEdges(t, ts.URL, "{\"u\":1,\"v\":2}\n"); resp.StatusCode != http.StatusOK {
+		t.Fatal("ingest failed")
+	}
+	cr, resp := postCheckpoint(t, ts.URL)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("second checkpoint: status %d", resp.StatusCode)
+	}
+	if cr.Processed != 1 {
+		t.Errorf("second checkpoint processed = %d, want 1", cr.Processed)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "state.snap" {
+		names := make([]string, len(entries))
+		for i, e := range entries {
+			names[i] = e.Name()
+		}
+		t.Errorf("snapshot dir holds %v, want exactly [state.snap] (temp files must not leak)", names)
+	}
+	// The overwritten snapshot restores to the newer prefix.
+	resumed, err := newEstimator(rept.ConcurrentConfig{M: 2, C: 4, Seed: 1}, snapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resumed.Close()
+	if resumed.Processed() != 1 {
+		t.Errorf("restored Processed = %d, want 1", resumed.Processed())
+	}
+}
+
+func TestCheckpointDisabledAndMethods(t *testing.T) {
+	ts, _ := newTestServer(t, rept.ConcurrentConfig{M: 2, C: 4, Seed: 1})
+	if _, resp := postCheckpoint(t, ts.URL); resp.StatusCode != http.StatusConflict {
+		t.Errorf("POST /checkpoint without -snapshot: status %d, want 409", resp.StatusCode)
+	}
+	if resp := getJSON(t, ts.URL+"/checkpoint", nil); resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /checkpoint: status %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestRestoreBootErrors covers the -restore failure modes: missing file,
+// garbage file, and a config fingerprint mismatch with a descriptive
+// message.
+func TestRestoreBootErrors(t *testing.T) {
+	cfg := rept.ConcurrentConfig{M: 4, C: 8, Shards: 2, Seed: 5}
+	snapPath := filepath.Join(t.TempDir(), "state.snap")
+
+	if _, err := newEstimator(cfg, snapPath); err == nil {
+		t.Error("restore from a missing file succeeded")
+	}
+
+	if err := os.WriteFile(snapPath, []byte("not a snapshot"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := newEstimator(cfg, snapPath); err == nil {
+		t.Error("restore from garbage succeeded")
+	}
+
+	est, err := newEstimator(cfg, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Create(snapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := est.WriteSnapshot(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	est.Close()
+
+	wrong := cfg
+	wrong.M = 7
+	_, err = newEstimator(wrong, snapPath)
+	if err == nil {
+		t.Fatal("restore under a different -m succeeded")
+	}
+	if !strings.Contains(err.Error(), "M = 4 in snapshot, 7 in config") {
+		t.Errorf("mismatch error %q does not name the field", err)
+	}
+
+	// The same mismatch through the full flag-parsing run() path.
+	if err := run([]string{"-restore", snapPath, "-m", "7", "-c", "8", "-shards", "2", "-seed", "5", "-addr", "127.0.0.1:0"}); err == nil || !strings.Contains(err.Error(), "in snapshot") {
+		t.Errorf("run -restore with mismatched -m: err = %v, want fingerprint mismatch", err)
+	}
+}

@@ -1,0 +1,45 @@
+package main
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"rept"
+)
+
+// FuzzIngestNDJSON throws arbitrary bytes at the NDJSON edge parser
+// through the real handler: whatever the body, /edges must answer 200 or
+// 400 and never panic. One estimator is shared across iterations (and
+// fuzz workers — Concurrent is goroutine-safe), so state accumulates the
+// way it does on a long-lived server.
+func FuzzIngestNDJSON(f *testing.F) {
+	est, err := rept.NewConcurrent(rept.ConcurrentConfig{M: 2, C: 4, Seed: 1, TrackLocal: true})
+	if err != nil {
+		f.Fatal(err)
+	}
+	srv := NewServer(est, "")
+
+	f.Add([]byte("{\"u\":1,\"v\":2}\n{\"u\":2,\"v\":3}\n"))
+	f.Add([]byte("{\"u\":1,\"v\":1}\n"))          // self-loop
+	f.Add([]byte("{\"u\":1}\n"))                  // missing v
+	f.Add([]byte("{\"u\":-1,\"v\":2}\n"))         // negative id
+	f.Add([]byte("{\"u\":4294967296,\"v\":0}\n")) // uint32 overflow
+	f.Add([]byte("{\"u\":1,\"v\":2}"))            // no trailing newline
+	f.Add([]byte("\n\n\n"))
+	f.Add([]byte("not json at all"))
+	f.Add([]byte{0xff, 0xfe, 0x00})
+	f.Add([]byte("{\"u\":1e99,\"v\":2}\n"))
+	f.Add([]byte("[1,2]\n"))
+	f.Add([]byte("{\"u\":null,\"v\":2}\n"))
+
+	f.Fuzz(func(t *testing.T, body []byte) {
+		req := httptest.NewRequest(http.MethodPost, "/edges", bytes.NewReader(body))
+		rec := httptest.NewRecorder()
+		srv.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK && rec.Code != http.StatusBadRequest {
+			t.Errorf("POST /edges with %q: status %d, want 200 or 400", body, rec.Code)
+		}
+	})
+}

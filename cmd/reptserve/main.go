@@ -5,12 +5,14 @@
 // Usage:
 //
 //	reptserve -addr :8080 -m 10 -c 40 [-shards 4 -local -seed 1]
+//	          [-snapshot state.snap] [-restore state.snap]
 //
 // Endpoints:
 //
 //	POST /edges       NDJSON body, one {"u":1,"v":2} object per line
 //	GET  /estimate    current global estimate (+ variance when tracked)
 //	GET  /local?v=7   local estimate of node 7 (requires -local)
+//	POST /checkpoint  write a durable snapshot to the -snapshot path
 //	GET  /healthz     liveness and ingest counters
 //
 // Example session:
@@ -18,6 +20,13 @@
 //	printf '{"u":1,"v":2}\n{"u":2,"v":3}\n{"u":1,"v":3}\n' |
 //	    curl -sS --data-binary @- http://localhost:8080/edges
 //	curl -sS http://localhost:8080/estimate
+//
+// Durability: -snapshot enables POST /checkpoint, which persists the full
+// estimator state atomically (temp file + rename) without pausing
+// ingestion; -restore boots from such a snapshot, picking the stream up
+// exactly where the checkpoint left it. The statistical flags (-m, -c,
+// -shards, -seed, -local, -eta) must match the snapshot's fingerprint or
+// the boot fails with an error naming the differing fields.
 //
 // The process drains in-flight edges and exits cleanly on SIGINT/SIGTERM.
 package main
@@ -43,24 +52,45 @@ func main() {
 	}
 }
 
+// newEstimator builds the serving estimator: fresh for an empty
+// restorePath, otherwise resumed from the snapshot file (the exact code
+// path the -restore flag takes, shared with tests).
+func newEstimator(cfg rept.ConcurrentConfig, restorePath string) (*rept.Concurrent, error) {
+	if restorePath == "" {
+		return rept.NewConcurrent(cfg)
+	}
+	f, err := os.Open(restorePath)
+	if err != nil {
+		return nil, fmt.Errorf("restore: %w", err)
+	}
+	defer f.Close()
+	est, err := rept.ResumeConcurrent(cfg, f)
+	if err != nil {
+		return nil, fmt.Errorf("restore %s: %w", restorePath, err)
+	}
+	return est, nil
+}
+
 func run(args []string) error {
 	fs := flag.NewFlagSet("reptserve", flag.ContinueOnError)
 	var (
-		addr   = fs.String("addr", ":8080", "listen address")
-		m      = fs.Int("m", 10, "sampling denominator; p = 1/m")
-		c      = fs.Int("c", 40, "total logical processors across shards")
-		shards = fs.Int("shards", 0, "engine shards (0 = auto)")
-		seed   = fs.Int64("seed", 1, "random seed")
-		local  = fs.Bool("local", false, "track local (per-node) estimates")
-		eta    = fs.Bool("eta", false, "force η̂ tracking (variance for every config)")
-		batch  = fs.Int("batch", 0, "ingest hand-off batch length (0 = default)")
-		grace  = fs.Duration("grace", 10*time.Second, "shutdown grace period")
+		addr     = fs.String("addr", ":8080", "listen address")
+		m        = fs.Int("m", 10, "sampling denominator; p = 1/m")
+		c        = fs.Int("c", 40, "total logical processors across shards")
+		shards   = fs.Int("shards", 0, "engine shards (0 = auto)")
+		seed     = fs.Int64("seed", 1, "random seed")
+		local    = fs.Bool("local", false, "track local (per-node) estimates")
+		eta      = fs.Bool("eta", false, "force η̂ tracking (variance for every config)")
+		batch    = fs.Int("batch", 0, "ingest hand-off batch length (0 = default)")
+		grace    = fs.Duration("grace", 10*time.Second, "shutdown grace period")
+		snapshot = fs.String("snapshot", "", "checkpoint destination path; enables POST /checkpoint")
+		restore  = fs.String("restore", "", "boot from this snapshot file instead of empty state")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	est, err := rept.NewConcurrent(rept.ConcurrentConfig{
+	est, err := newEstimator(rept.ConcurrentConfig{
 		M:          *m,
 		C:          *c,
 		Shards:     *shards,
@@ -68,12 +98,12 @@ func run(args []string) error {
 		TrackLocal: *local,
 		TrackEta:   *eta,
 		BatchSize:  *batch,
-	})
+	}, *restore)
 	if err != nil {
 		return err
 	}
 
-	api := NewServer(est)
+	api := NewServer(est, *snapshot)
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           api,
@@ -82,6 +112,10 @@ func run(args []string) error {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *restore != "" {
+		fmt.Fprintf(os.Stderr, "reptserve: restored %d processed edges from %s\n", est.Processed(), *restore)
+	}
 
 	errc := make(chan error, 1)
 	go func() {

@@ -6,6 +6,9 @@ import (
 	"fmt"
 	"math"
 	"net/http"
+	"os"
+	"path/filepath"
+	"runtime"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -37,6 +40,12 @@ type Server struct {
 	start    time.Time
 	requests atomic.Uint64
 
+	// snapshotPath is the checkpoint destination (-snapshot flag); empty
+	// disables POST /checkpoint. checkpointMu serializes checkpoints so
+	// two concurrent requests cannot race on the rename.
+	snapshotPath string
+	checkpointMu sync.Mutex
+
 	// mu guards estimator access against Stop: handlers hold the read
 	// lock around each estimator call, Stop takes the write lock to
 	// drain them before the estimator is closed underneath.
@@ -45,12 +54,14 @@ type Server struct {
 }
 
 // NewServer wraps est in an HTTP API. The caller keeps ownership of est
-// (the server never closes it).
-func NewServer(est *rept.Concurrent) *Server {
-	s := &Server{est: est, mux: http.NewServeMux(), start: time.Now()}
+// (the server never closes it). snapshotPath is where POST /checkpoint
+// writes snapshots; empty disables the endpoint.
+func NewServer(est *rept.Concurrent, snapshotPath string) *Server {
+	s := &Server{est: est, mux: http.NewServeMux(), start: time.Now(), snapshotPath: snapshotPath}
 	s.mux.HandleFunc("/edges", s.handleEdges)
 	s.mux.HandleFunc("/estimate", s.handleEstimate)
 	s.mux.HandleFunc("/local", s.handleLocal)
+	s.mux.HandleFunc("/checkpoint", s.handleCheckpoint)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	return s
 }
@@ -242,6 +253,108 @@ func (s *Server) handleLocal(w http.ResponseWriter, r *http.Request) {
 		"v":     v,
 		"local": local,
 	})
+}
+
+// checkpointResponse is the POST /checkpoint payload.
+type checkpointResponse struct {
+	// Path is the snapshot file written.
+	Path string `json:"path"`
+	// Bytes is the size of the snapshot file.
+	Bytes int64 `json:"bytes"`
+	// Processed is the estimator's non-loop edge count when the response
+	// was built. The snapshot itself is barrier-consistent at its own
+	// prefix, which this count can only exceed (by edges that clients
+	// streamed while the checkpoint was written).
+	Processed uint64 `json:"processed"`
+}
+
+// handleCheckpoint serves POST /checkpoint: a barrier-consistent snapshot
+// of the estimator, written atomically (temp file in the destination
+// directory, fsync, rename) so a crash mid-checkpoint can never clobber
+// the previous snapshot. Ingestion keeps running; edges streamed while
+// the checkpoint is being taken land after its prefix. 409 when the
+// server runs without -snapshot.
+func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, http.StatusMethodNotAllowed, "POST /checkpoint")
+		return
+	}
+	if s.snapshotPath == "" {
+		writeError(w, http.StatusConflict, "checkpointing is disabled; start reptserve with -snapshot <path>")
+		return
+	}
+	s.checkpointMu.Lock()
+	defer s.checkpointMu.Unlock()
+
+	var resp checkpointResponse
+	var snapErr error
+	if !s.estCall(func() { resp, snapErr = writeSnapshotFile(s.est, s.snapshotPath) }) {
+		writeError(w, http.StatusServiceUnavailable, "server is shutting down")
+		return
+	}
+	if snapErr != nil {
+		writeError(w, http.StatusInternalServerError, "checkpoint: %v", snapErr)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// writeSnapshotFile checkpoints est into path via temp-file-rename: the
+// snapshot becomes visible under its final name only once fully written
+// and synced, so path always holds either the previous snapshot or a
+// complete new one.
+func writeSnapshotFile(est *rept.Concurrent, path string) (checkpointResponse, error) {
+	dir, base := filepath.Split(path)
+	if dir == "" {
+		// A bare filename must not fall back to os.TempDir(): the temp
+		// file has to live in the destination directory for the rename
+		// to stay atomic (and possible — rename can't cross filesystems).
+		dir = "."
+	}
+	tmp, err := os.CreateTemp(dir, base+".tmp-*")
+	if err != nil {
+		return checkpointResponse{}, err
+	}
+	defer func() {
+		if tmp != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if err := est.WriteSnapshot(tmp); err != nil {
+		return checkpointResponse{}, err
+	}
+	if err := tmp.Sync(); err != nil {
+		return checkpointResponse{}, err
+	}
+	info, err := tmp.Stat()
+	if err != nil {
+		return checkpointResponse{}, err
+	}
+	if err := tmp.Close(); err != nil {
+		return checkpointResponse{}, err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return checkpointResponse{}, err
+	}
+	tmp = nil // the rename consumed it; nothing to clean up
+	// Sync the directory too: without it the rename itself may not
+	// survive power loss, and the 200 response promises durability.
+	// Windows cannot sync directory handles (and its rename semantics
+	// differ anyway), so the strict check is POSIX-only.
+	if runtime.GOOS != "windows" {
+		d, err := os.Open(dir)
+		if err != nil {
+			return checkpointResponse{}, err
+		}
+		syncErr := d.Sync()
+		d.Close()
+		if syncErr != nil {
+			return checkpointResponse{}, syncErr
+		}
+	}
+	return checkpointResponse{Path: path, Bytes: info.Size(), Processed: est.Processed()}, nil
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

@@ -2,6 +2,7 @@ package rept
 
 import (
 	"fmt"
+	"io"
 
 	"rept/internal/shard"
 )
@@ -55,19 +56,27 @@ type Concurrent struct {
 
 var _ Counter = (*Concurrent)(nil)
 
+// shardConfig maps the public configuration onto the coordinator's.
+// NewConcurrent and ResumeConcurrent must build from the identical
+// mapping or a restored estimator could silently differ from the one
+// that wrote the snapshot.
+func (c ConcurrentConfig) shardConfig() shard.Config {
+	return shard.Config{
+		M:          c.M,
+		C:          c.C,
+		Shards:     c.Shards,
+		Seed:       c.Seed,
+		TrackLocal: c.TrackLocal,
+		TrackEta:   c.TrackEta,
+		Workers:    c.Workers,
+		BatchSize:  c.BatchSize,
+		QueueLen:   c.QueueLen,
+	}
+}
+
 // NewConcurrent builds a concurrency-safe REPT estimator.
 func NewConcurrent(cfg ConcurrentConfig) (*Concurrent, error) {
-	sh, err := shard.New(shard.Config{
-		M:          cfg.M,
-		C:          cfg.C,
-		Shards:     cfg.Shards,
-		Seed:       cfg.Seed,
-		TrackLocal: cfg.TrackLocal,
-		TrackEta:   cfg.TrackEta,
-		Workers:    cfg.Workers,
-		BatchSize:  cfg.BatchSize,
-		QueueLen:   cfg.QueueLen,
-	})
+	sh, err := shard.New(cfg.shardConfig())
 	if err != nil {
 		return nil, fmt.Errorf("rept: %w", err)
 	}
@@ -115,6 +124,30 @@ func (c *Concurrent) SampledEdges() int { return c.sh.SampledEdges() }
 
 // Shards returns the effective number of engine shards.
 func (c *Concurrent) Shards() int { return c.sh.Shards() }
+
+// WriteSnapshot checkpoints every shard barrier-consistently into one
+// multi-shard snapshot on w: all shard states, and the processed and
+// self-loop tallies, describe exactly the same stream prefix. Safe for
+// concurrent use with Add; edges added while the checkpoint is being
+// taken land after it and are NOT in the snapshot. ResumeConcurrent with
+// an equal ConcurrentConfig rebuilds an estimator that produces
+// bit-for-bit identical estimates on any suffix stream.
+func (c *Concurrent) WriteSnapshot(w io.Writer) error { return c.sh.WriteSnapshot(w) }
+
+// ResumeConcurrent reads a snapshot written by Concurrent.WriteSnapshot
+// and restores it into a new estimator built for cfg. The snapshot's
+// fingerprint must match cfg's statistical fields (M, C, Seed,
+// TrackLocal, TrackEta) and the effective shard count must equal the one
+// cfg implies, because per-shard hash seeds derive from (Seed, shard
+// index). Workers, BatchSize, and QueueLen may differ. Mismatches are
+// rejected with an error wrapping ErrSnapshotMismatch.
+func ResumeConcurrent(cfg ConcurrentConfig, r io.Reader) (*Concurrent, error) {
+	sh, err := shard.Resume(cfg.shardConfig(), r)
+	if err != nil {
+		return nil, fmt.Errorf("rept: %w", err)
+	}
+	return &Concurrent{sh: sh, cfg: cfg}, nil
+}
 
 // Close flushes pending edges and releases the shard goroutines. The
 // estimator must not be used after Close (uses panic); Close itself is

@@ -49,6 +49,26 @@
 // with equal M and C. cmd/reptserve wraps a Concurrent estimator in an
 // HTTP service (NDJSON ingest, mid-stream estimate queries).
 //
+// # Durability
+//
+// Estimator state survives restarts through versioned binary snapshots:
+// Estimator.WriteSnapshot and Concurrent.WriteSnapshot persist the config
+// fingerprint, every logical processor's sampled edge set, the full τ/η
+// counter state (global and per-node), and the processed/self-loop
+// tallies; Resume and ResumeConcurrent rebuild an estimator that yields
+// bit-for-bit identical estimates on any suffix stream. A Concurrent
+// snapshot is barrier-consistent: every shard's state describes the same
+// stream prefix, even while producers keep adding edges. Snapshots open
+// with a magic string and a format version field — readers reject
+// versions they do not understand, and the version is the compatibility
+// hook for rolling upgrades and future cross-node state handoff. A
+// restore is accepted only when the target configuration's statistical
+// fields (M, C, Seed, TrackLocal, TrackEta — plus the shard count for
+// ResumeConcurrent) match the snapshot's fingerprint; mismatches fail
+// with an error wrapping ErrSnapshotMismatch that names each differing
+// field. cmd/reptserve exposes all of this as POST /checkpoint (atomic
+// temp-file-rename writes) and a -restore boot flag.
+//
 // The package also exposes the baselines the paper compares against
 // (NewMascot, NewTriest, NewGPS, and NewParallel for the "c independent
 // instances" parallelization), exact counting for ground truth

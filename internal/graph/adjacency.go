@@ -81,6 +81,20 @@ func (a *Adjacency) Neighbors(u NodeID, fn func(w NodeID)) {
 	}
 }
 
+// AppendEdges appends every stored edge to dst exactly once, in canonical
+// orientation (U < V) and unspecified order, and returns the extended
+// slice. It is the export path used by the snapshot subsystem.
+func (a *Adjacency) AppendEdges(dst []Edge) []Edge {
+	for u, nbrs := range a.nbr {
+		for v := range nbrs {
+			if u < v {
+				dst = append(dst, Edge{U: u, V: v})
+			}
+		}
+	}
+	return dst
+}
+
 // CommonNeighbors appends every node adjacent to both u and v to dst and
 // returns the extended slice. It iterates the smaller neighborhood and
 // probes the larger, so the cost is O(min(deg u, deg v)) expected.

@@ -29,6 +29,7 @@ import (
 	"rept/internal/core"
 	"rept/internal/graph"
 	"rept/internal/hashing"
+	"rept/internal/snapshot"
 )
 
 const (
@@ -147,13 +148,19 @@ type batch struct {
 }
 
 // barrier asks every shard to report its aggregates (and sampled-edge
-// count) at the same stream prefix. Shards consume their channels in
-// order, so all counters in aggs describe exactly the edges broadcast
-// before the barrier was enqueued.
+// count) at the same stream prefix — or, when states is non-nil, its full
+// engine state for a checkpoint. Shards consume their channels in order,
+// so everything reported describes exactly the edges broadcast before the
+// barrier was enqueued.
 type barrier struct {
 	aggs    []*core.Aggregates
 	sampled []int
-	wg      sync.WaitGroup
+	states  []*snapshot.EngineState
+	// processed and selfLoops are the coordinator tallies captured while
+	// the barrier was enqueued (under the ingest mutex), so they match
+	// the stream prefix the shard reports describe.
+	processed, selfLoops uint64
+	wg                   sync.WaitGroup
 }
 
 // msg is one item of a shard channel: either an edge batch or a barrier.
@@ -185,6 +192,12 @@ type Sharded struct {
 
 // New builds a Sharded coordinator and starts its shard goroutines.
 func New(cfg Config) (*Sharded, error) {
+	return build(cfg, nil)
+}
+
+// build constructs the coordinator, restoring each shard engine from the
+// corresponding state when restore is non-nil (see Resume).
+func build(cfg Config, restore []snapshot.EngineState) (*Sharded, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -198,6 +211,9 @@ func New(cfg Config) (*Sharded, error) {
 	}
 
 	sub := cfg.shardConfigs()
+	if restore != nil && len(restore) != len(sub) {
+		return nil, fmt.Errorf("shard: %d restore states for %d shards", len(restore), len(sub))
+	}
 	s := &Sharded{
 		cfg:      cfg,
 		batchLen: batchLen,
@@ -206,7 +222,13 @@ func New(cfg Config) (*Sharded, error) {
 	}
 	s.pool.New = func() any { return &batch{edges: make([]graph.Edge, 0, batchLen)} }
 	for i, sc := range sub {
-		eng, err := core.NewEngine(sc)
+		var eng *core.Engine
+		var err error
+		if restore != nil {
+			eng, err = core.RestoreEngine(sc, &restore[i])
+		} else {
+			eng, err = core.NewEngine(sc)
+		}
 		if err != nil {
 			for _, prev := range s.engines[:i] {
 				prev.Close()
@@ -231,8 +253,12 @@ func (s *Sharded) run(i int) {
 	eng := s.engines[i]
 	for m := range s.chans[i] {
 		if m.bar != nil {
-			m.bar.aggs[i] = eng.Aggregates()
-			m.bar.sampled[i] = eng.SampledEdges()
+			if m.bar.states != nil {
+				m.bar.states[i] = eng.State()
+			} else {
+				m.bar.aggs[i] = eng.Aggregates()
+				m.bar.sampled[i] = eng.SampledEdges()
+			}
 			m.bar.wg.Done()
 			continue
 		}
@@ -309,20 +335,28 @@ func (s *Sharded) flushLocked() {
 	s.cur = s.pool.Get().(*batch)
 }
 
-// barrierLocked flushes pending edges and enqueues a fresh barrier on
-// every shard channel before releasing the mutex, so no later Add can
-// slip between the flush and the barrier on any shard.
-func (s *Sharded) barrier() *barrier {
+// barrier flushes pending edges and enqueues a fresh barrier on every
+// shard channel before releasing the mutex, so no later Add can slip
+// between the flush and the barrier on any shard. With wantStates it
+// collects full engine states (for checkpoints) instead of aggregates.
+func (s *Sharded) barrier(wantStates bool) *barrier {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
 		panic(core.ErrClosed)
 	}
 	s.flushLocked()
-	bar := &barrier{
-		aggs:    make([]*core.Aggregates, len(s.chans)),
-		sampled: make([]int, len(s.chans)),
+	bar := &barrier{}
+	if wantStates {
+		bar.states = make([]*snapshot.EngineState, len(s.chans))
+	} else {
+		bar.aggs = make([]*core.Aggregates, len(s.chans))
+		bar.sampled = make([]int, len(s.chans))
 	}
+	// Both tallies are only mutated under s.mu, so this read is exactly
+	// consistent with the prefix just flushed.
+	bar.processed = s.processed.Load()
+	bar.selfLoops = s.selfLoops.Load()
 	bar.wg.Add(len(s.chans))
 	for _, ch := range s.chans {
 		ch <- msg{bar: bar}
@@ -335,7 +369,7 @@ func (s *Sharded) barrier() *barrier {
 // Aggregates drains in-flight edges and merges every shard's counters at
 // a single consistent stream prefix. The coordinator stays usable.
 func (s *Sharded) Aggregates() *core.Aggregates {
-	bar := s.barrier()
+	bar := s.barrier(false)
 	agg, err := core.MergeGroups(bar.aggs...)
 	if err != nil {
 		// shardConfigs guarantees the MergeGroups preconditions (equal M,
@@ -356,7 +390,7 @@ func (s *Sharded) Snapshot() core.Estimate {
 // all shards' logical processors (expected ≈ C·|E|/M), a memory
 // diagnostic. It drains in-flight edges like Snapshot.
 func (s *Sharded) SampledEdges() int {
-	bar := s.barrier()
+	bar := s.barrier(false)
 	total := 0
 	for _, n := range bar.sampled {
 		total += n

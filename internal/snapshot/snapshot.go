@@ -1,0 +1,319 @@
+// Package snapshot implements the versioned binary format that persists
+// REPT estimator state across restarts: the configuration fingerprint,
+// every logical processor's sampled adjacency E⁽ⁱ⁾, the τ⁽ⁱ⁾/η⁽ⁱ⁾
+// counters (global and per-node), the per-edge triangle counters that
+// Algorithm 2 needs to keep η⁽ⁱ⁾ incremental, and the processed/self-loop
+// tallies. Restoring a snapshot yields an estimator that behaves
+// identically to the one that wrote it: fed the same suffix stream, it
+// produces bit-for-bit the same estimates.
+//
+// # Wire format
+//
+// A snapshot is
+//
+//	magic   "REPTSNAP"            (8 bytes)
+//	version uvarint               (currently 1)
+//	kind    byte                  (1 = single engine, 2 = sharded)
+//	payload                       (kind-specific, see below)
+//	crc32   IEEE, little-endian   (4 bytes, over everything above)
+//
+// All integers in the payload are unsigned varints except seeds, which are
+// fixed 8-byte little-endian (a seed is arbitrary 64-bit entropy, so
+// varint encoding would usually cost more). Sets and maps are written
+// sorted by key with delta-encoded keys, which both compresses well (edge
+// keys of a sampled adjacency cluster by high node id) and makes encoding
+// canonical: two snapshots of the same state are byte-identical.
+//
+// The engine payload is the fingerprint (M, C, seed, trackLocal,
+// trackEta), the processed and self-loop tallies, and then C processor
+// records: τ⁽ⁱ⁾, η⁽ⁱ⁾, the sorted sampled edge keys, the τ⁽ⁱ⁾_v and
+// η⁽ⁱ⁾_v maps, and the per-edge triangle counters. The sharded payload is
+// the coordinator fingerprint, the shard count, the coordinator tallies,
+// and then one engine payload per shard in shard order.
+//
+// The version field is bumped on any incompatible change; readers reject
+// versions they do not understand rather than guessing. It is also the
+// hook for future cross-node state handoff: a newer node can keep
+// emitting version-N snapshots while older peers are still draining.
+package snapshot
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"rept/internal/graph"
+)
+
+// Version is the format version this build reads and writes.
+const Version = 1
+
+// Snapshot kinds.
+const (
+	// KindEngine is a single-engine snapshot (core.Engine).
+	KindEngine byte = 1
+	// KindSharded is a multi-shard snapshot (shard.Sharded): one engine
+	// payload per shard, checkpointed at one consistent stream prefix.
+	KindSharded byte = 2
+)
+
+var magic = [8]byte{'R', 'E', 'P', 'T', 'S', 'N', 'A', 'P'}
+
+var (
+	// ErrBadMagic reports that the input is not a REPT snapshot at all.
+	ErrBadMagic = errors.New("snapshot: bad magic, not a REPT snapshot")
+	// ErrCorrupt reports a snapshot that is structurally invalid:
+	// truncated, failing its checksum, or with out-of-range fields.
+	ErrCorrupt = errors.New("snapshot: corrupt")
+	// ErrMismatch reports a restore whose target configuration does not
+	// match the snapshot's fingerprint. Errors wrapping it describe every
+	// mismatched field.
+	ErrMismatch = errors.New("snapshot: config mismatch")
+)
+
+// Fingerprint identifies the statistical configuration a snapshot was
+// taken under. Execution details (worker counts, batch sizes, queue
+// depths) are deliberately absent: they do not affect estimator state, so
+// a snapshot may be restored under different ones. A custom hash family
+// (core.Config.HashFamily) cannot be fingerprinted — callers using one
+// must supply the identical family on restore.
+type Fingerprint struct {
+	M          int
+	C          int
+	Seed       int64
+	TrackLocal bool
+	TrackEta   bool
+}
+
+// Match compares the snapshot fingerprint against the configuration a
+// caller wants to restore into. It returns nil when they agree and an
+// error wrapping ErrMismatch naming every differing field otherwise.
+func (f Fingerprint) Match(cfg Fingerprint) error {
+	var diffs []string
+	add := func(field string, snap, want any) {
+		diffs = append(diffs, fmt.Sprintf("%s = %v in snapshot, %v in config", field, snap, want))
+	}
+	if f.M != cfg.M {
+		add("M", f.M, cfg.M)
+	}
+	if f.C != cfg.C {
+		add("C", f.C, cfg.C)
+	}
+	if f.Seed != cfg.Seed {
+		add("Seed", f.Seed, cfg.Seed)
+	}
+	if f.TrackLocal != cfg.TrackLocal {
+		add("TrackLocal", f.TrackLocal, cfg.TrackLocal)
+	}
+	if f.TrackEta != cfg.TrackEta {
+		add("TrackEta", f.TrackEta, cfg.TrackEta)
+	}
+	if diffs == nil {
+		return nil
+	}
+	return fmt.Errorf("%w: %s", ErrMismatch, strings.Join(diffs, "; "))
+}
+
+// ProcState is the full state of one logical REPT processor.
+type ProcState struct {
+	// Tau and Eta are the processor's τ⁽ⁱ⁾ and η⁽ⁱ⁾ counters.
+	Tau, Eta uint64
+	// Edges is the sampled edge set E⁽ⁱ⁾, sorted by canonical key.
+	Edges []graph.Edge
+	// TauV and EtaV are the per-node τ⁽ⁱ⁾_v and η⁽ⁱ⁾_v counters; nil when
+	// the engine did not track them.
+	TauV, EtaV map[graph.NodeID]uint64
+	// Tcnt maps each sampled edge's key to the number of triangles of
+	// Δ⁽ⁱ⁾ containing it (Algorithm 2's per-edge counters); nil when η
+	// was not tracked.
+	Tcnt map[uint64]uint32
+}
+
+// EngineState is the full state of one core.Engine.
+type EngineState struct {
+	Fingerprint
+	Processed, SelfLoops uint64
+	Procs                []ProcState
+}
+
+// ShardedState is the barrier-consistent state of a shard.Sharded
+// coordinator: every shard's engine state at one stream prefix.
+type ShardedState struct {
+	// Fingerprint holds the coordinator-level configuration; the Seed is
+	// the master seed the per-shard seeds are derived from.
+	Fingerprint
+	// ShardCount is the effective number of shards. It is part of the
+	// restore contract: per-shard hash seeds derive from (Seed, shard
+	// index), so a different shard split reads the same bytes into a
+	// statistically different estimator.
+	ShardCount           int
+	Processed, SelfLoops uint64
+	Shards               []EngineState
+}
+
+// WriteEngine writes st as a single-engine snapshot.
+func WriteEngine(w io.Writer, st *EngineState) error {
+	if len(st.Procs) != st.C {
+		return fmt.Errorf("snapshot: engine state has %d processors, fingerprint says C=%d", len(st.Procs), st.C)
+	}
+	e := newEncoder(w)
+	e.header(KindEngine)
+	e.engineBody(st)
+	e.trailer()
+	return e.err
+}
+
+// ReadEngine reads a single-engine snapshot.
+func ReadEngine(r io.Reader) (*EngineState, error) {
+	eng, _, err := read(r, KindEngine)
+	return eng, err
+}
+
+// WriteSharded writes st as a multi-shard snapshot.
+func WriteSharded(w io.Writer, st *ShardedState) error {
+	if len(st.Shards) != st.ShardCount {
+		return fmt.Errorf("snapshot: sharded state has %d shards, header says %d", len(st.Shards), st.ShardCount)
+	}
+	e := newEncoder(w)
+	e.header(KindSharded)
+	e.fingerprint(st.Fingerprint)
+	e.uvarint(uint64(st.ShardCount))
+	e.uvarint(st.Processed)
+	e.uvarint(st.SelfLoops)
+	for i := range st.Shards {
+		sh := &st.Shards[i]
+		if len(sh.Procs) != sh.C {
+			e.fail(fmt.Errorf("snapshot: shard %d has %d processors, fingerprint says C=%d", i, len(sh.Procs), sh.C))
+			break
+		}
+		e.engineBody(sh)
+	}
+	e.trailer()
+	return e.err
+}
+
+// ReadSharded reads a multi-shard snapshot.
+func ReadSharded(r io.Reader) (*ShardedState, error) {
+	_, sh, err := read(r, KindSharded)
+	return sh, err
+}
+
+// Read decodes a snapshot of either kind; exactly one of the returned
+// states is non-nil on success. It is the entry point for callers that do
+// not know the kind in advance (inspection tools, fuzzing).
+func Read(r io.Reader) (*EngineState, *ShardedState, error) {
+	return read(r, 0)
+}
+
+func kindName(k byte) string {
+	switch k {
+	case KindEngine:
+		return "engine"
+	case KindSharded:
+		return "sharded"
+	default:
+		return fmt.Sprintf("unknown(%d)", k)
+	}
+}
+
+// read decodes one snapshot, requiring kind wantKind (0 accepts any).
+func read(r io.Reader, wantKind byte) (*EngineState, *ShardedState, error) {
+	d := newDecoder(r)
+	kind, err := d.header()
+	if err != nil {
+		return nil, nil, err
+	}
+	if wantKind != 0 && kind != wantKind {
+		return nil, nil, fmt.Errorf("snapshot: this is a %s snapshot, want %s", kindName(kind), kindName(wantKind))
+	}
+	switch kind {
+	case KindEngine:
+		eng, err := d.engineBody()
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := d.trailer(); err != nil {
+			return nil, nil, err
+		}
+		return eng, nil, nil
+	case KindSharded:
+		sh := &ShardedState{}
+		if sh.Fingerprint, err = d.fingerprint(); err != nil {
+			return nil, nil, err
+		}
+		n, err := d.count("shard count")
+		if err != nil {
+			return nil, nil, err
+		}
+		if n < 1 || n > maxShards {
+			return nil, nil, fmt.Errorf("%w: shard count %d out of range [1, %d]", ErrCorrupt, n, maxShards)
+		}
+		sh.ShardCount = n
+		if sh.Processed, err = d.uvarint("processed"); err != nil {
+			return nil, nil, err
+		}
+		if sh.SelfLoops, err = d.uvarint("selfLoops"); err != nil {
+			return nil, nil, err
+		}
+		sh.Shards = make([]EngineState, 0, min(n, maxPrealloc))
+		for i := 0; i < n; i++ {
+			eng, err := d.engineBody()
+			if err != nil {
+				return nil, nil, fmt.Errorf("shard %d: %w", i, err)
+			}
+			sh.Shards = append(sh.Shards, *eng)
+		}
+		if err := d.trailer(); err != nil {
+			return nil, nil, err
+		}
+		return nil, sh, nil
+	default:
+		return nil, nil, fmt.Errorf("%w: unknown snapshot kind %d", ErrCorrupt, kind)
+	}
+}
+
+// Decode-time sanity bounds. They reject garbage counts early with a
+// clear error instead of looping until the input runs dry; all are far
+// above anything a real deployment produces.
+const (
+	maxC      = 1 << 24
+	maxShards = 1 << 16
+	// maxCount bounds entry counts (edges, map sizes). It must stay below
+	// 1<<31 so the uint64→int conversion in decoder.count cannot wrap
+	// negative on 32-bit platforms.
+	maxCount    = 1 << 30
+	maxPrealloc = 1 << 12 // cap pre-allocation: corrupt counts must not OOM
+)
+
+// validFingerprint applies range checks shared by both kinds. MaxM in
+// core is 1<<16; the snapshot layer enforces the same bound so corrupt
+// fingerprints fail here with ErrCorrupt rather than downstream.
+func validFingerprint(f Fingerprint) error {
+	if f.M < 1 || f.M > 1<<16 {
+		return fmt.Errorf("%w: M = %d out of range [1, %d]", ErrCorrupt, f.M, 1<<16)
+	}
+	if f.C < 1 || f.C > maxC {
+		return fmt.Errorf("%w: C = %d out of range [1, %d]", ErrCorrupt, f.C, maxC)
+	}
+	return nil
+}
+
+func keyOutOfRange(k uint64) error {
+	e := graph.KeyEdge(k)
+	if e.U == e.V {
+		return fmt.Errorf("%w: edge key %#x is a self-loop", ErrCorrupt, k)
+	}
+	if e.U > e.V {
+		return fmt.Errorf("%w: edge key %#x is not canonical", ErrCorrupt, k)
+	}
+	return nil
+}
+
+func nodeOutOfRange(k uint64) error {
+	if k > math.MaxUint32 {
+		return fmt.Errorf("%w: node id %d overflows uint32", ErrCorrupt, k)
+	}
+	return nil
+}

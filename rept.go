@@ -2,11 +2,20 @@ package rept
 
 import (
 	"fmt"
+	"io"
 	"math"
 
 	"rept/internal/core"
 	"rept/internal/graph"
+	"rept/internal/snapshot"
 )
+
+// ErrSnapshotMismatch is the sentinel wrapped by Resume/ResumeConcurrent
+// errors when the snapshot's config fingerprint (M, C, Seed, TrackLocal,
+// TrackEta — and, for ResumeConcurrent, the effective shard count) does
+// not match the configuration being restored into. The error text names
+// every differing field.
+var ErrSnapshotMismatch = snapshot.ErrMismatch
 
 // NodeID identifies a node of the streamed graph.
 type NodeID = graph.NodeID
@@ -87,17 +96,24 @@ type Estimator struct {
 
 var _ Counter = (*Estimator)(nil)
 
+// coreConfig maps the public configuration onto the engine's. New and
+// Resume must build from the identical mapping or a restored estimator
+// could silently differ from the one that wrote the snapshot.
+func (c Config) coreConfig() core.Config {
+	return core.Config{
+		M:          c.M,
+		C:          c.C,
+		Seed:       c.Seed,
+		TrackLocal: c.TrackLocal,
+		TrackEta:   c.TrackEta,
+		Workers:    c.Workers,
+		BatchSize:  c.BatchSize,
+	}
+}
+
 // New builds a REPT estimator.
 func New(cfg Config) (*Estimator, error) {
-	eng, err := core.NewEngine(core.Config{
-		M:          cfg.M,
-		C:          cfg.C,
-		Seed:       cfg.Seed,
-		TrackLocal: cfg.TrackLocal,
-		TrackEta:   cfg.TrackEta,
-		Workers:    cfg.Workers,
-		BatchSize:  cfg.BatchSize,
-	})
+	eng, err := core.NewEngine(cfg.coreConfig())
 	if err != nil {
 		return nil, fmt.Errorf("rept: %w", err)
 	}
@@ -136,6 +152,29 @@ func (e *Estimator) Processed() uint64 { return e.eng.Processed() }
 // SampledEdges returns the number of edges currently stored across all
 // logical processors (expected ≈ C·|E|/M), a memory diagnostic.
 func (e *Estimator) SampledEdges() int { return e.eng.SampledEdges() }
+
+// WriteSnapshot writes the estimator's complete state — config
+// fingerprint, every logical processor's sampled edges and counters, and
+// the processed/self-loop tallies — to w in the versioned binary snapshot
+// format (see the package documentation). The estimator stays usable;
+// checkpoints may be taken mid-stream. Resume with an equal Config
+// rebuilds an estimator that produces bit-for-bit identical estimates on
+// any suffix stream.
+func (e *Estimator) WriteSnapshot(w io.Writer) error { return e.eng.WriteSnapshot(w) }
+
+// Resume reads a snapshot written by Estimator.WriteSnapshot and restores
+// it into a new estimator built for cfg. The snapshot's fingerprint must
+// match cfg's statistical fields exactly (M, C, Seed, TrackLocal,
+// TrackEta); Workers and BatchSize are execution details and may differ.
+// A mismatch is rejected with an error wrapping ErrSnapshotMismatch that
+// names every differing field.
+func Resume(cfg Config, r io.Reader) (*Estimator, error) {
+	eng, err := core.ResumeEngine(cfg.coreConfig(), r)
+	if err != nil {
+		return nil, fmt.Errorf("rept: %w", err)
+	}
+	return &Estimator{eng: eng, cfg: cfg}, nil
+}
 
 // Close releases worker goroutines. The estimator must not be used after
 // Close. Close is idempotent and safe with Workers <= 1.

@@ -1,0 +1,60 @@
+package rept_test
+
+import (
+	"bytes"
+	"testing"
+
+	"rept"
+	"rept/internal/gen"
+)
+
+// snapshotBenchEstimator builds a mid-stream estimator whose state is
+// representative of a long-running server (local + η tracking on).
+func snapshotBenchEstimator(b *testing.B) *rept.Estimator {
+	b.Helper()
+	est, err := rept.New(rept.Config{M: 8, C: 32, Seed: 1, TrackLocal: true, TrackEta: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	est.AddAll(gen.Shuffle(gen.HolmeKim(2000, 6, 0.3, 5), 9))
+	return est
+}
+
+// BenchmarkSnapshotWrite measures serializing full estimator state.
+func BenchmarkSnapshotWrite(b *testing.B) {
+	est := snapshotBenchEstimator(b)
+	defer est.Close()
+	var buf bytes.Buffer
+	if err := est.WriteSnapshot(&buf); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(buf.Len()))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := est.WriteSnapshot(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSnapshotRestore measures decode + estimator rebuild.
+func BenchmarkSnapshotRestore(b *testing.B) {
+	est := snapshotBenchEstimator(b)
+	var buf bytes.Buffer
+	if err := est.WriteSnapshot(&buf); err != nil {
+		b.Fatal(err)
+	}
+	est.Close()
+	b.SetBytes(int64(buf.Len()))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := rept.Resume(rept.Config{M: 8, C: 32, Seed: 1, TrackLocal: true, TrackEta: true}, bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			b.Fatal(err)
+		}
+		r.Close()
+	}
+}
