@@ -5,28 +5,45 @@
 // Usage:
 //
 //	reptserve -addr :8080 -m 10 -c 40 [-shards 4 -local -seed 1]
+//	          [-view-interval 200ms -view-edges 0 -topk 100]
 //	          [-snapshot state.snap] [-restore state.snap]
 //
 // Endpoints:
 //
 //	POST /edges       NDJSON body, one {"u":1,"v":2} object per line
-//	GET  /estimate    current global estimate (+ variance when tracked)
+//	GET  /estimate    global estimate (+ variance when tracked)
 //	GET  /local?v=7   local estimate of node 7 (requires -local)
+//	GET  /topk?k=10   heaviest nodes by local estimate (requires -local)
+//	GET  /cc?v=7      local clustering coefficient (requires -local)
+//	POST /query       batch node lookup: {"nodes":[1,2,3]}
+//	GET  /stats       epoch/staleness state + ingest counters
+//	GET  /metrics     Prometheus text format
 //	POST /checkpoint  write a durable snapshot to the -snapshot path
 //	GET  /healthz     liveness and ingest counters
+//
+// Queries answer from materialized epoch views, republished every
+// -view-interval (and, with -view-edges N, whenever N new edges arrive):
+// reads are lock-free and never block ingest, and every view-backed
+// response reports the epoch it answered from, its age in milliseconds,
+// and the processed count it describes. Append ?fresh=1 to /estimate,
+// /local, /topk, /cc, or /query to force a fresh barrier epoch first
+// (exact, but orders of magnitude more expensive under load).
 //
 // Example session:
 //
 //	printf '{"u":1,"v":2}\n{"u":2,"v":3}\n{"u":1,"v":3}\n' |
 //	    curl -sS --data-binary @- http://localhost:8080/edges
 //	curl -sS http://localhost:8080/estimate
+//	curl -sS 'http://localhost:8080/topk?k=5&fresh=1'
 //
 // Durability: -snapshot enables POST /checkpoint, which persists the full
 // estimator state atomically (temp file + rename) without pausing
 // ingestion; -restore boots from such a snapshot, picking the stream up
 // exactly where the checkpoint left it. The statistical flags (-m, -c,
-// -shards, -seed, -local, -eta) must match the snapshot's fingerprint or
-// the boot fails with an error naming the differing fields.
+// -shards, -seed, -local, -eta, -degrees) must match the snapshot's
+// fingerprint or the boot fails with an error naming the differing
+// fields; -local -degrees=false restores checkpoints taken before degree
+// tracking existed.
 //
 // The process drains in-flight edges and exits cleanly on SIGINT/SIGTERM.
 package main
@@ -79,12 +96,16 @@ func run(args []string) error {
 		c        = fs.Int("c", 40, "total logical processors across shards")
 		shards   = fs.Int("shards", 0, "engine shards (0 = auto)")
 		seed     = fs.Int64("seed", 1, "random seed")
-		local    = fs.Bool("local", false, "track local (per-node) estimates")
+		local    = fs.Bool("local", false, "track local (per-node) estimates and degrees (enables /local, /topk, /cc, /query)")
+		degrees  = fs.Bool("degrees", true, "with -local, also track per-node degrees (disable to restore degree-less snapshots, e.g. pre-upgrade checkpoints)")
 		eta      = fs.Bool("eta", false, "force η̂ tracking (variance for every config)")
 		batch    = fs.Int("batch", 0, "ingest hand-off batch length (0 = default)")
 		grace    = fs.Duration("grace", 10*time.Second, "shutdown grace period")
 		snapshot = fs.String("snapshot", "", "checkpoint destination path; enables POST /checkpoint")
 		restore  = fs.String("restore", "", "boot from this snapshot file instead of empty state")
+		interval = fs.Duration("view-interval", 200*time.Millisecond, "max time between query-view epochs")
+		vedges   = fs.Uint64("view-edges", 0, "also republish the query view every N ingested edges (0 = off)")
+		topk     = fs.Int("topk", 100, "precomputed heavy-hitter ranking size (caps /topk?k=)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -97,12 +118,22 @@ func run(args []string) error {
 		Seed:       *seed,
 		TrackLocal: *local,
 		TrackEta:   *eta,
-		BatchSize:  *batch,
+		// Degrees ride along with -local: clustering coefficients need
+		// both, and the O(V) table is cheap next to the local counters.
+		// -degrees=false opts out, which is how a -local deployment
+		// restores a checkpoint taken before degree tracking existed
+		// (the table is part of the snapshot fingerprint contract).
+		TrackDegrees: *local && *degrees,
+		BatchSize:    *batch,
 	}, *restore)
 	if err != nil {
 		return err
 	}
 
+	if _, err := est.StartViews(rept.ViewConfig{Interval: *interval, EveryEdges: *vedges, TopK: *topk}); err != nil {
+		est.Close()
+		return err
+	}
 	api := NewServer(est, *snapshot)
 	srv := &http.Server{
 		Addr:              *addr,

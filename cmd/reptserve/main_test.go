@@ -119,8 +119,10 @@ func TestConcurrentIngestEnvelope(t *testing.T) {
 		t.Fatal(err)
 	}
 
+	// fresh=1 forces a barrier epoch: the response must describe the full
+	// ingested stream, not a bounded-stale view of it.
 	var est estimateResponse
-	if resp := getJSON(t, ts.URL+"/estimate", &est); resp.StatusCode != http.StatusOK {
+	if resp := getJSON(t, ts.URL+"/estimate?fresh=1", &est); resp.StatusCode != http.StatusOK {
 		t.Fatalf("GET /estimate: status %d", resp.StatusCode)
 	}
 	if est.Processed != uint64(len(edges)) {
@@ -202,9 +204,13 @@ func TestLocalEndpoint(t *testing.T) {
 	var out struct {
 		V     uint32  `json:"v"`
 		Local float64 `json:"local"`
+		Epoch uint64  `json:"epoch"`
 	}
-	if resp := getJSON(t, ts.URL+"/local?v=0", &out); resp.StatusCode != http.StatusOK {
+	if resp := getJSON(t, ts.URL+"/local?v=0&fresh=1", &out); resp.StatusCode != http.StatusOK {
 		t.Fatalf("GET /local: status %d", resp.StatusCode)
+	}
+	if out.Epoch == 0 {
+		t.Error("view-backed /local response reports no epoch")
 	}
 	// M=1, C=1 is exact counting: node 0 is in exactly one triangle.
 	if out.Local != 1 {

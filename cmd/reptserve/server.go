@@ -4,11 +4,13 @@ import (
 	"bufio"
 	"encoding/json"
 	"fmt"
+	"io"
 	"math"
 	"net/http"
 	"os"
 	"path/filepath"
 	"runtime"
+	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -25,20 +27,37 @@ const ingestBatchLen = 512
 // maxLineLen bounds one NDJSON line (1 MiB, matching the stream reader).
 const maxLineLen = 1 << 20
 
+// maxQueryNodes bounds one POST /query batch.
+const maxQueryNodes = 100_000
+
 // edgeLine is one NDJSON ingest record: {"u": 1, "v": 2}.
 type edgeLine struct {
 	U *uint32 `json:"u"`
 	V *uint32 `json:"v"`
 }
 
+// endpoints is the fixed per-endpoint request-counter key set; paths
+// outside it count under "other".
+var endpoints = []string{
+	"/edges", "/estimate", "/local", "/topk", "/cc", "/query",
+	"/stats", "/metrics", "/checkpoint", "/healthz", "other",
+}
+
 // Server exposes a Concurrent REPT estimator over HTTP. All handlers are
 // safe for concurrent requests; ingestion from any number of clients maps
-// directly onto Concurrent's goroutine-safe Add path.
+// directly onto Concurrent's goroutine-safe Add path, and queries answer
+// from the estimator's epoch views (see rept.Concurrent.StartViews), so
+// read throughput does not collapse under ingest. Every view-backed
+// response reports the epoch it answered from, its wall-clock age, and
+// the processed count it describes; `?fresh=1` forces a fresh barrier
+// epoch first (the SnapshotNow escape hatch over HTTP).
 type Server struct {
 	est      *rept.Concurrent
+	views    *rept.Views
 	mux      *http.ServeMux
 	start    time.Time
 	requests atomic.Uint64
+	counters map[string]*atomic.Uint64
 
 	// snapshotPath is the checkpoint destination (-snapshot flag); empty
 	// disables POST /checkpoint. checkpointMu serializes checkpoints so
@@ -54,13 +73,40 @@ type Server struct {
 }
 
 // NewServer wraps est in an HTTP API. The caller keeps ownership of est
-// (the server never closes it). snapshotPath is where POST /checkpoint
-// writes snapshots; empty disables the endpoint.
+// (the server never closes it). Views must either already be started on
+// est (main starts them with flag-driven intervals) or NewServer starts
+// them with defaults. snapshotPath is where POST /checkpoint writes
+// snapshots; empty disables the endpoint.
 func NewServer(est *rept.Concurrent, snapshotPath string) *Server {
-	s := &Server{est: est, mux: http.NewServeMux(), start: time.Now(), snapshotPath: snapshotPath}
+	views := est.Views()
+	if views == nil {
+		if v, err := est.StartViews(rept.ViewConfig{}); err == nil {
+			views = v
+		} else {
+			// The only error is "already started": someone else won the
+			// race, so their publisher is registered and non-nil.
+			views = est.Views()
+		}
+	}
+	s := &Server{
+		est:          est,
+		views:        views,
+		mux:          http.NewServeMux(),
+		start:        time.Now(),
+		snapshotPath: snapshotPath,
+		counters:     make(map[string]*atomic.Uint64, len(endpoints)),
+	}
+	for _, ep := range endpoints {
+		s.counters[ep] = &atomic.Uint64{}
+	}
 	s.mux.HandleFunc("/edges", s.handleEdges)
 	s.mux.HandleFunc("/estimate", s.handleEstimate)
 	s.mux.HandleFunc("/local", s.handleLocal)
+	s.mux.HandleFunc("/topk", s.handleTopK)
+	s.mux.HandleFunc("/cc", s.handleCC)
+	s.mux.HandleFunc("/query", s.handleQuery)
+	s.mux.HandleFunc("/stats", s.handleStats)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/checkpoint", s.handleCheckpoint)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	return s
@@ -69,6 +115,11 @@ func NewServer(est *rept.Concurrent, snapshotPath string) *Server {
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
+	if c, ok := s.counters[r.URL.Path]; ok {
+		c.Add(1)
+	} else {
+		s.counters["other"].Add(1)
+	}
 	s.mux.ServeHTTP(w, r)
 }
 
@@ -95,6 +146,21 @@ func (s *Server) estCall(f func()) bool {
 	return true
 }
 
+// fetchView returns the view to answer from: the current epoch, or a
+// freshly published one when the request carries fresh=1. false means the
+// server is stopping (handler must answer 503).
+func (s *Server) fetchView(r *http.Request) (*rept.View, bool) {
+	var v *rept.View
+	ok := s.estCall(func() {
+		if r.URL.Query().Get("fresh") == "1" {
+			v = s.views.Refresh()
+		} else {
+			v = s.views.View()
+		}
+	})
+	return v, ok
+}
+
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
@@ -103,6 +169,55 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func writeStopping(w http.ResponseWriter) {
+	writeError(w, http.StatusServiceUnavailable, "server is shutting down")
+}
+
+// viewMeta is the staleness report embedded in every view-backed
+// response: which epoch answered, how old it is, and the stream prefix
+// (processed count) it describes.
+type viewMeta struct {
+	Epoch         uint64  `json:"epoch"`
+	AgeMs         float64 `json:"ageMs"`
+	AsOfProcessed uint64  `json:"asOfProcessed"`
+}
+
+func metaOf(v *rept.View) viewMeta {
+	return viewMeta{
+		Epoch:         v.Epoch,
+		AgeMs:         float64(v.Age().Microseconds()) / 1e3,
+		AsOfProcessed: v.Processed,
+	}
+}
+
+// nodeJSON is one node's answer row. Degree appears only when the server
+// tracks degrees, cc only when additionally the degree is >= 2.
+type nodeJSON struct {
+	V      uint32   `json:"v"`
+	Local  float64  `json:"local"`
+	Degree *uint32  `json:"degree,omitempty"`
+	CC     *float64 `json:"cc,omitempty"`
+}
+
+func nodeRow(v *rept.View, n rept.NodeID) nodeJSON {
+	return statRow(v, v.Stat(n))
+}
+
+// statRow converts an already-materialized NodeStat (e.g. a precomputed
+// TopK entry) without re-touching the view's maps.
+func statRow(v *rept.View, st rept.NodeStat) nodeJSON {
+	row := nodeJSON{V: uint32(st.Node), Local: st.Local}
+	if v.Degrees != nil {
+		d := st.Degree
+		row.Degree = &d
+	}
+	if !math.IsNaN(st.CC) {
+		cc := st.CC
+		row.CC = &cc
+	}
+	return row
 }
 
 // ingestResponse summarizes one POST /edges request.
@@ -187,8 +302,10 @@ func (s *Server) handleEdges(w http.ResponseWriter, r *http.Request) {
 
 // estimateResponse is the GET /estimate payload. StdErr and Variance are
 // omitted when the configuration does not track the η counters they need
-// (JSON has no NaN).
+// (JSON has no NaN). Processed and SelfLoops are the tallies AT the
+// view's prefix (equal to asOfProcessed for the former).
 type estimateResponse struct {
+	viewMeta
 	Global    float64  `json:"global"`
 	Variance  *float64 `json:"variance,omitempty"`
 	StdErr    *float64 `json:"stderr,omitempty"`
@@ -197,33 +314,53 @@ type estimateResponse struct {
 	SelfLoops uint64   `json:"selfLoops"`
 }
 
+// handleEstimate serves GET /estimate from the current epoch view (no
+// barrier, no cross-shard coordination): the global estimate with its
+// variance when tracked, plus the epoch/staleness report. `?fresh=1`
+// publishes a fresh epoch first.
 func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		w.Header().Set("Allow", http.MethodGet)
 		writeError(w, http.StatusMethodNotAllowed, "GET /estimate")
 		return
 	}
-	var snap rept.Estimate
-	var resp estimateResponse
-	if !s.estCall(func() {
-		snap = s.est.Snapshot()
-		resp.Processed = s.est.Processed()
-		resp.SelfLoops = s.est.SelfLoops()
-	}) {
-		writeError(w, http.StatusServiceUnavailable, "server is shutting down")
+	v, ok := s.fetchView(r)
+	if !ok {
+		writeStopping(w)
 		return
 	}
-	resp.Global = snap.Global
-	resp.EtaHat = snap.EtaHat
-	if !math.IsNaN(snap.Variance) {
-		v, se := snap.Variance, snap.StdErr()
-		resp.Variance, resp.StdErr = &v, &se
+	resp := estimateResponse{
+		viewMeta:  metaOf(v),
+		Global:    v.Global,
+		EtaHat:    v.EtaHat,
+		Processed: v.Processed,
+		SelfLoops: v.SelfLoops,
+	}
+	if !math.IsNaN(v.Variance) {
+		vv, se := v.Variance, math.Sqrt(v.Variance)
+		resp.Variance, resp.StdErr = &vv, &se
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// parseNode pulls the required uint32 node id from query parameter "v".
+func parseNode(w http.ResponseWriter, r *http.Request) (rept.NodeID, bool) {
+	q := r.URL.Query().Get("v")
+	if q == "" {
+		writeError(w, http.StatusBadRequest, "missing query parameter v")
+		return 0, false
+	}
+	v, err := strconv.ParseUint(q, 10, 32)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "v must be a uint32 node id: %v", err)
+		return 0, false
+	}
+	return rept.NodeID(v), true
+}
+
 // handleLocal serves GET /local?v=<node>: the local triangle estimate of
-// one node. 409 when the server runs without -local.
+// one node, answered from the current view in O(1). 409 when the server
+// runs without -local.
 func (s *Server) handleLocal(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		w.Header().Set("Allow", http.MethodGet)
@@ -234,25 +371,231 @@ func (s *Server) handleLocal(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusConflict, "local tracking is disabled; start reptserve with -local")
 		return
 	}
-	q := r.URL.Query().Get("v")
-	if q == "" {
-		writeError(w, http.StatusBadRequest, "missing query parameter v")
+	n, ok := parseNode(w, r)
+	if !ok {
 		return
 	}
-	v, err := strconv.ParseUint(q, 10, 32)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, "v must be a uint32 node id: %v", err)
+	v, ok := s.fetchView(r)
+	if !ok {
+		writeStopping(w)
 		return
 	}
-	var local float64
-	if !s.estCall(func() { local = s.est.Local(rept.NodeID(v)) }) {
-		writeError(w, http.StatusServiceUnavailable, "server is shutting down")
+	writeJSON(w, http.StatusOK, struct {
+		viewMeta
+		V     uint32  `json:"v"`
+		Local float64 `json:"local"`
+	}{metaOf(v), uint32(n), v.LocalOf(n)})
+}
+
+// handleTopK serves GET /topk?k=<n>: the strongest nodes by local
+// triangle estimate, straight from the view's precomputed ranking
+// (O(k) per request). k defaults to, and is capped by, the -topk ranking
+// size. 409 without -local.
+func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeError(w, http.StatusMethodNotAllowed, "GET /topk?k=<n>")
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"v":     v,
-		"local": local,
+	if !s.est.Config().TrackLocal {
+		writeError(w, http.StatusConflict, "top-k needs local tracking; start reptserve with -local")
+		return
+	}
+	limit := s.views.Config().TopK
+	k := limit
+	if q := r.URL.Query().Get("k"); q != "" {
+		kq, err := strconv.Atoi(q)
+		if err != nil || kq < 0 {
+			writeError(w, http.StatusBadRequest, "k must be a non-negative integer")
+			return
+		}
+		if kq > limit {
+			writeError(w, http.StatusBadRequest, "k = %d exceeds the precomputed ranking size %d (raise -topk)", kq, limit)
+			return
+		}
+		k = kq
+	}
+	v, ok := s.fetchView(r)
+	if !ok {
+		writeStopping(w)
+		return
+	}
+	top := v.Top(k)
+	rows := make([]nodeJSON, len(top))
+	for i, st := range top {
+		rows[i] = statRow(v, st)
+	}
+	writeJSON(w, http.StatusOK, struct {
+		viewMeta
+		K     int        `json:"k"`
+		Nodes []nodeJSON `json:"nodes"`
+	}{metaOf(v), len(rows), rows})
+}
+
+// handleCC serves GET /cc?v=<node>: the node's plug-in local clustering
+// coefficient 2·τ̂_v/(d·(d−1)). The cc field is omitted when undefined
+// (degree < 2). 409 unless the server tracks both locals and degrees.
+func (s *Server) handleCC(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeError(w, http.StatusMethodNotAllowed, "GET /cc?v=<node>")
+		return
+	}
+	cfg := s.est.Config()
+	if !cfg.TrackLocal || !cfg.TrackDegrees {
+		writeError(w, http.StatusConflict, "clustering coefficients need local and degree tracking; start reptserve with -local (and without -degrees=false)")
+		return
+	}
+	n, ok := parseNode(w, r)
+	if !ok {
+		return
+	}
+	v, ok := s.fetchView(r)
+	if !ok {
+		writeStopping(w)
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		viewMeta
+		nodeJSON
+	}{metaOf(v), nodeRow(v, n)})
+}
+
+// queryRequest is the POST /query body: a batch node lookup.
+type queryRequest struct {
+	Nodes []uint32 `json:"nodes"`
+}
+
+// handleQuery serves POST /query: one view lookup for a whole batch of
+// nodes, every row answered from the SAME epoch (a sequence of /local
+// calls could straddle epochs). 409 without -local.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, http.StatusMethodNotAllowed, "POST /query with {\"nodes\":[...]}")
+		return
+	}
+	if !s.est.Config().TrackLocal {
+		writeError(w, http.StatusConflict, "node queries need local tracking; start reptserve with -local")
+		return
+	}
+	var req queryRequest
+	dec := json.NewDecoder(io.LimitReader(r.Body, maxLineLen))
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "body: %v", err)
+		return
+	}
+	if len(req.Nodes) > maxQueryNodes {
+		writeError(w, http.StatusBadRequest, "%d nodes exceeds the %d per-request cap", len(req.Nodes), maxQueryNodes)
+		return
+	}
+	v, ok := s.fetchView(r)
+	if !ok {
+		writeStopping(w)
+		return
+	}
+	rows := make([]nodeJSON, len(req.Nodes))
+	for i, n := range req.Nodes {
+		rows[i] = nodeRow(v, rept.NodeID(n))
+	}
+	writeJSON(w, http.StatusOK, struct {
+		viewMeta
+		Results []nodeJSON `json:"results"`
+	}{metaOf(v), rows})
+}
+
+// statsResponse is the GET /stats payload: the view/staleness state plus
+// live ingest counters, in one place.
+type statsResponse struct {
+	viewMeta
+	// StaleEdges is how many edges arrived after the view's prefix.
+	StaleEdges uint64 `json:"staleEdges"`
+	// Processed/SelfLoops are the LIVE tallies (the view's are in
+	// viewMeta and /estimate).
+	Processed    uint64            `json:"processed"`
+	SelfLoops    uint64            `json:"selfLoops"`
+	SampledEdges int               `json:"sampledEdges"`
+	Shards       int               `json:"shards"`
+	TopK         int               `json:"topK"`
+	IntervalMs   float64           `json:"viewIntervalMs"`
+	Uptime       string            `json:"uptime"`
+	Requests     map[string]uint64 `json:"requests"`
+}
+
+// handleStats serves GET /stats: epoch and staleness state, ingest
+// counters, and per-endpoint request counts. Unlike /estimate it mixes
+// view-prefix values (sampledEdges) with live tallies, each labeled.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeError(w, http.StatusMethodNotAllowed, "GET /stats")
+		return
+	}
+	v, ok := s.fetchView(r)
+	if !ok {
+		writeStopping(w)
+		return
+	}
+	processed := s.est.Processed()
+	reqs := make(map[string]uint64, len(s.counters))
+	for ep, c := range s.counters {
+		reqs[ep] = c.Load()
+	}
+	writeJSON(w, http.StatusOK, statsResponse{
+		viewMeta:     metaOf(v),
+		StaleEdges:   processed - v.Processed,
+		Processed:    processed,
+		SelfLoops:    s.est.SelfLoops(),
+		SampledEdges: v.SampledEdges,
+		Shards:       s.est.Shards(),
+		TopK:         s.views.Config().TopK,
+		IntervalMs:   float64(s.views.Config().Interval.Microseconds()) / 1e3,
+		Uptime:       time.Since(s.start).Round(time.Millisecond).String(),
+		Requests:     reqs,
 	})
+}
+
+// handleMetrics serves GET /metrics in Prometheus text exposition format.
+// It touches only atomic counters and the last published view, so — like
+// /healthz — it keeps answering through shutdown: scrapes never block on
+// ingest and never take a barrier.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeError(w, http.StatusMethodNotAllowed, "GET /metrics")
+		return
+	}
+	v := s.views.View()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	var b []byte
+	counter := func(name, help string, val uint64) {
+		b = fmt.Appendf(b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, val)
+	}
+	gauge := func(name, help string, val float64) {
+		b = fmt.Appendf(b, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, val)
+	}
+	counter("rept_processed_edges_total", "Non-loop edges accepted (live).", s.est.Processed())
+	counter("rept_self_loops_total", "Self-loop arrivals skipped (live).", s.est.SelfLoops())
+	gauge("rept_sampled_edges", "Edges stored across all logical processors at the view prefix.", float64(v.SampledEdges))
+	gauge("rept_shards", "Engine shard count.", float64(s.est.Shards()))
+	counter("rept_view_epoch", "Epoch number of the current view.", v.Epoch)
+	gauge("rept_view_age_seconds", "Wall-clock age of the current view.", v.Age().Seconds())
+	counter("rept_view_processed_edges", "Non-loop edges at the current view's prefix.", v.Processed)
+	gauge("rept_uptime_seconds", "Server uptime.", time.Since(s.start).Seconds())
+	counter("rept_http_requests_total_all", "HTTP requests served, all endpoints.", s.requests.Load())
+	// Per-endpoint counters, emitted in sorted label order so scrapes
+	// are diff-stable.
+	eps := make([]string, 0, len(s.counters))
+	for ep := range s.counters {
+		eps = append(eps, ep)
+	}
+	sort.Strings(eps)
+	b = fmt.Appendf(b, "# HELP rept_http_requests_total HTTP requests served per endpoint.\n# TYPE rept_http_requests_total counter\n")
+	for _, ep := range eps {
+		b = fmt.Appendf(b, "rept_http_requests_total{endpoint=%q} %d\n", ep, s.counters[ep].Load())
+	}
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(b)
 }
 
 // checkpointResponse is the POST /checkpoint payload.
@@ -290,7 +633,7 @@ func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 	var resp checkpointResponse
 	var snapErr error
 	if !s.estCall(func() { resp, snapErr = writeSnapshotFile(s.est, s.snapshotPath) }) {
-		writeError(w, http.StatusServiceUnavailable, "server is shutting down")
+		writeStopping(w)
 		return
 	}
 	if snapErr != nil {
@@ -362,6 +705,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"status":    "ok",
 		"processed": s.est.Processed(),
 		"shards":    s.est.Shards(),
+		"epoch":     s.views.View().Epoch,
 		"requests":  s.requests.Load(),
 		"uptime":    time.Since(s.start).Round(time.Millisecond).String(),
 	})

@@ -1,9 +1,12 @@
 package rept
 
 import (
+	"errors"
 	"fmt"
 	"io"
+	"sync/atomic"
 
+	"rept/internal/query"
 	"rept/internal/shard"
 )
 
@@ -28,6 +31,11 @@ type ConcurrentConfig struct {
 	TrackLocal bool
 	// TrackEta forces η̂ bookkeeping on every shard (see Config.TrackEta).
 	TrackEta bool
+	// TrackDegrees maintains a per-node stream degree table alongside the
+	// shards (O(V) memory), the input clustering-coefficient queries
+	// need. Degrees count non-loop edge arrivals: on streams where every
+	// edge arrives once they equal graph degrees.
+	TrackDegrees bool
 	// Workers is the per-shard engine worker count (default 1: each shard
 	// is already its own goroutine).
 	Workers int
@@ -52,6 +60,9 @@ type ConcurrentConfig struct {
 type Concurrent struct {
 	sh  *shard.Sharded
 	cfg ConcurrentConfig
+	// views is the epoch-view publisher once StartViews has run; while it
+	// is nil every read goes through a fresh barrier.
+	views atomic.Pointer[query.Publisher]
 }
 
 var _ Counter = (*Concurrent)(nil)
@@ -62,17 +73,21 @@ var _ Counter = (*Concurrent)(nil)
 // that wrote the snapshot.
 func (c ConcurrentConfig) shardConfig() shard.Config {
 	return shard.Config{
-		M:          c.M,
-		C:          c.C,
-		Shards:     c.Shards,
-		Seed:       c.Seed,
-		TrackLocal: c.TrackLocal,
-		TrackEta:   c.TrackEta,
-		Workers:    c.Workers,
-		BatchSize:  c.BatchSize,
-		QueueLen:   c.QueueLen,
+		M:            c.M,
+		C:            c.C,
+		Shards:       c.Shards,
+		Seed:         c.Seed,
+		TrackLocal:   c.TrackLocal,
+		TrackEta:     c.TrackEta,
+		TrackDegrees: c.TrackDegrees,
+		Workers:      c.Workers,
+		BatchSize:    c.BatchSize,
+		QueueLen:     c.QueueLen,
 	}
 }
+
+// errViewsStarted reports a second StartViews on the same estimator.
+var errViewsStarted = errors.New("rept: views already started")
 
 // NewConcurrent builds a concurrency-safe REPT estimator.
 func NewConcurrent(cfg ConcurrentConfig) (*Concurrent, error) {
@@ -95,21 +110,53 @@ func (c *Concurrent) AddEdge(edge Edge) { c.sh.Add(edge.U, edge.V) }
 func (c *Concurrent) AddAll(edges []Edge) { c.sh.AddAll(edges) }
 
 // Snapshot drains in-flight edges and returns the merged estimate at a
-// consistent stream prefix. The estimator keeps accepting edges.
+// consistent stream prefix — a full cross-shard barrier, regardless of
+// whether views are running. The estimator keeps accepting edges.
+// SnapshotNow is the same operation under the name the view-era read API
+// uses; prefer View for high-rate queries.
 func (c *Concurrent) Snapshot() Estimate {
 	res := c.sh.Snapshot()
 	return Estimate{Global: res.Global, Local: res.Local, Variance: res.Variance, EtaHat: res.EtaHat}
 }
 
-// Global returns the current global triangle count estimate.
-func (c *Concurrent) Global() float64 { return c.sh.Snapshot().Global }
+// SnapshotNow is the explicit fresh-barrier escape hatch: it always pays
+// one cross-shard barrier and returns the estimate at the current stream
+// prefix, even while views are serving bounded-stale answers.
+func (c *Concurrent) SnapshotNow() Estimate { return c.Snapshot() }
 
-// Local returns the current local triangle count estimate for v (0 if the
-// node was never seen or TrackLocal is off).
-func (c *Concurrent) Local(v NodeID) float64 { return c.sh.Snapshot().Local[v] }
+// Global returns the global triangle count estimate. While views are
+// running (StartViews) it answers from the current epoch view — lock-free
+// and barrier-free, stale by at most the publish interval; otherwise it
+// pays a full barrier snapshot. Use SnapshotNow for a guaranteed-fresh
+// value.
+func (c *Concurrent) Global() float64 {
+	if p := c.views.Load(); p != nil {
+		return p.View().Global
+	}
+	return c.sh.Snapshot().Global
+}
+
+// Local returns the local triangle count estimate for v (0 if the node
+// was never seen or TrackLocal is off). While views are running it is an
+// O(1) map lookup on the current epoch view instead of a barrier plus a
+// full local-map materialization per call.
+func (c *Concurrent) Local(v NodeID) float64 {
+	if p := c.views.Load(); p != nil {
+		return p.View().LocalOf(v)
+	}
+	return c.sh.Snapshot().Local[v]
+}
 
 // Locals returns all non-zero local estimates (nil unless TrackLocal).
-func (c *Concurrent) Locals() map[NodeID]float64 { return c.sh.Snapshot().Local }
+// While views are running the returned map is the current epoch view's —
+// shared and immutable, so callers must not modify it; otherwise it is a
+// freshly materialized copy.
+func (c *Concurrent) Locals() map[NodeID]float64 {
+	if p := c.views.Load(); p != nil {
+		return p.View().Local
+	}
+	return c.sh.Snapshot().Local
+}
 
 // Processed returns the number of non-loop edges accepted so far,
 // including edges still buffered in flight.
@@ -137,10 +184,11 @@ func (c *Concurrent) WriteSnapshot(w io.Writer) error { return c.sh.WriteSnapsho
 // ResumeConcurrent reads a snapshot written by Concurrent.WriteSnapshot
 // and restores it into a new estimator built for cfg. The snapshot's
 // fingerprint must match cfg's statistical fields (M, C, Seed,
-// TrackLocal, TrackEta) and the effective shard count must equal the one
-// cfg implies, because per-shard hash seeds derive from (Seed, shard
-// index). Workers, BatchSize, and QueueLen may differ. Mismatches are
-// rejected with an error wrapping ErrSnapshotMismatch.
+// TrackLocal, TrackEta — and TrackDegrees, whose table is carried in the
+// snapshot) and the effective shard count must equal the one cfg implies,
+// because per-shard hash seeds derive from (Seed, shard index). Workers,
+// BatchSize, and QueueLen may differ. Mismatches are rejected with an
+// error wrapping ErrSnapshotMismatch.
 func ResumeConcurrent(cfg ConcurrentConfig, r io.Reader) (*Concurrent, error) {
 	sh, err := shard.Resume(cfg.shardConfig(), r)
 	if err != nil {
@@ -149,10 +197,17 @@ func ResumeConcurrent(cfg ConcurrentConfig, r io.Reader) (*Concurrent, error) {
 	return &Concurrent{sh: sh, cfg: cfg}, nil
 }
 
-// Close flushes pending edges and releases the shard goroutines. The
-// estimator must not be used after Close (uses panic); Close itself is
-// idempotent but must not run concurrently with other methods.
-func (c *Concurrent) Close() { c.sh.Close() }
+// Close stops the view publisher (when started), flushes pending edges,
+// and releases the shard goroutines. The estimator must not be used after
+// Close (uses panic); Close itself is idempotent but must not run
+// concurrently with other methods. The last published view stays readable
+// through a retained *Views handle even after Close.
+func (c *Concurrent) Close() {
+	if p := c.views.Load(); p != nil {
+		p.Close()
+	}
+	c.sh.Close()
+}
 
 // Config returns the configuration the estimator was built with.
 func (c *Concurrent) Config() ConcurrentConfig { return c.cfg }

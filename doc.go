@@ -49,6 +49,37 @@
 // with equal M and C. cmd/reptserve wraps a Concurrent estimator in an
 // HTTP service (NDJSON ingest, mid-stream estimate queries).
 //
+// # Query views and staleness semantics
+//
+// Snapshot pays a full cross-shard barrier, which is exact but serializes
+// against ingest — the wrong trade for query-heavy workloads (per-node
+// lookups from many clients). StartViews decouples the two: a background
+// publisher periodically takes ONE barrier and materializes an immutable
+// epoch View (global estimate, variance, local counts, degrees,
+// clustering coefficients, top-K ranking), published by an atomic pointer
+// swap. Any number of readers then query the View lock-free and
+// barrier-free while producers keep adding edges at full speed.
+//
+// The staleness contract: a View describes a consistent stream prefix
+// that lags the live stream by at most roughly ViewConfig.Interval (plus
+// one barrier latency), and SAYS which prefix — every View carries its
+// Epoch sequence number, capture time (Age), and Processed count, so
+// callers can always tell what they are looking at; with
+// ViewConfig.EveryEdges the lag is additionally bounded in edges. An
+// idle stream stops republishing (the view is already exact; only its
+// wall-clock Age keeps growing). Reads through a View are monotone
+// (epochs only move forward) but NOT read-your-writes: an edge added a
+// moment ago appears only in the next epoch. Callers that need the
+// current prefix use Views().Refresh() or SnapshotNow(), both of which
+// pay the barrier. While views are running, Global, Local, and Locals
+// answer from the current View under exactly these semantics.
+//
+// cmd/reptserve serves the view read path over HTTP — /estimate, /local,
+// /topk (heavy hitters), /cc (clustering coefficients), /query (batch
+// lookups, one epoch per batch), /stats, and Prometheus /metrics — with
+// the epoch/age/prefix report embedded in every view-backed response and
+// ?fresh=1 as the per-request escape hatch.
+//
 // # Durability
 //
 // Estimator state survives restarts through versioned binary snapshots:
@@ -63,8 +94,9 @@
 // versions they do not understand, and the version is the compatibility
 // hook for rolling upgrades and future cross-node state handoff. A
 // restore is accepted only when the target configuration's statistical
-// fields (M, C, Seed, TrackLocal, TrackEta — plus the shard count for
-// ResumeConcurrent) match the snapshot's fingerprint; mismatches fail
+// fields (M, C, Seed, TrackLocal, TrackEta — plus the shard count and
+// TrackDegrees for ResumeConcurrent) match the snapshot's fingerprint,
+// with the degree table carried inside the snapshot; mismatches fail
 // with an error wrapping ErrSnapshotMismatch that names each differing
 // field. cmd/reptserve exposes all of this as POST /checkpoint (atomic
 // temp-file-rename writes) and a -restore boot flag.

@@ -1,0 +1,65 @@
+package graph
+
+// DegreeTable tracks per-node degrees of a graph stream with one counter
+// per node: O(V) memory for the whole stream, O(1) per edge. Because it
+// keeps no adjacency, degrees count edge ARRIVALS — a duplicate arrival of
+// the same edge increments both endpoints again. REPT's streaming model
+// assumes each edge arrives once, in which case arrival degree equals
+// graph degree; on streams with duplicates the table overcounts by the
+// duplication factor, and callers deriving clustering coefficients from it
+// inherit that bias.
+//
+// The zero value is not usable; call NewDegreeTable. A DegreeTable is not
+// safe for concurrent use; the shard layer confines each table to one
+// goroutine.
+type DegreeTable struct {
+	deg map[NodeID]uint32
+}
+
+// NewDegreeTable returns an empty degree table.
+func NewDegreeTable() *DegreeTable {
+	return &DegreeTable{deg: make(map[NodeID]uint32)}
+}
+
+// RestoreDegreeTable builds a table around m, taking ownership of the map
+// (nil is treated as empty). It is the snapshot-restore entry point.
+func RestoreDegreeTable(m map[NodeID]uint32) *DegreeTable {
+	if m == nil {
+		m = make(map[NodeID]uint32)
+	}
+	return &DegreeTable{deg: m}
+}
+
+// AddEdge records one non-loop edge arrival, incrementing both endpoint
+// degrees. Self-loops are ignored, matching the estimator's stream
+// semantics. Degrees saturate at the uint32 maximum instead of wrapping.
+func (t *DegreeTable) AddEdge(u, v NodeID) {
+	if u == v {
+		return
+	}
+	t.bump(u)
+	t.bump(v)
+}
+
+func (t *DegreeTable) bump(v NodeID) {
+	if d := t.deg[v]; d != ^uint32(0) {
+		t.deg[v] = d + 1
+	}
+}
+
+// Degree returns the recorded degree of v (0 if never seen).
+func (t *DegreeTable) Degree(v NodeID) uint32 { return t.deg[v] }
+
+// Nodes returns the number of nodes with non-zero degree.
+func (t *DegreeTable) Nodes() int { return len(t.deg) }
+
+// Snapshot returns a copy of the table as a plain map, the export path
+// used by barrier snapshots and checkpoints. The copy is independent of
+// subsequent AddEdge calls.
+func (t *DegreeTable) Snapshot() map[NodeID]uint32 {
+	out := make(map[NodeID]uint32, len(t.deg))
+	for v, d := range t.deg {
+		out[v] = d
+	}
+	return out
+}

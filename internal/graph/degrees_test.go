@@ -1,0 +1,66 @@
+package graph
+
+import "testing"
+
+func TestDegreeTableBasics(t *testing.T) {
+	dt := NewDegreeTable()
+	dt.AddEdge(1, 2)
+	dt.AddEdge(2, 3)
+	dt.AddEdge(7, 7) // self-loop ignored
+	if got := dt.Degree(2); got != 2 {
+		t.Errorf("Degree(2) = %d, want 2", got)
+	}
+	if got := dt.Degree(1); got != 1 {
+		t.Errorf("Degree(1) = %d, want 1", got)
+	}
+	if got := dt.Degree(7); got != 0 {
+		t.Errorf("Degree(7) = %d, want 0 (self-loop)", got)
+	}
+	if got := dt.Degree(99); got != 0 {
+		t.Errorf("Degree(99) = %d, want 0 (unseen)", got)
+	}
+	if got := dt.Nodes(); got != 3 {
+		t.Errorf("Nodes() = %d, want 3", got)
+	}
+}
+
+// TestDegreeTableMatchesAdjacency: on a duplicate-free stream, arrival
+// degrees equal graph degrees.
+func TestDegreeTableMatchesAdjacency(t *testing.T) {
+	adj := NewAdjacency()
+	dt := NewDegreeTable()
+	edges := []Edge{{1, 2}, {2, 3}, {3, 1}, {4, 1}, {5, 1}, {2, 5}}
+	for _, e := range edges {
+		adj.Add(e.U, e.V)
+		dt.AddEdge(e.U, e.V)
+	}
+	for v := NodeID(1); v <= 5; v++ {
+		if got, want := int(dt.Degree(v)), adj.Degree(v); got != want {
+			t.Errorf("node %d: table degree %d, adjacency degree %d", v, got, want)
+		}
+	}
+}
+
+func TestDegreeTableSnapshotIsIndependent(t *testing.T) {
+	dt := NewDegreeTable()
+	dt.AddEdge(1, 2)
+	snap := dt.Snapshot()
+	dt.AddEdge(1, 3)
+	if snap[1] != 1 {
+		t.Errorf("snapshot mutated by later AddEdge: deg(1) = %d, want 1", snap[1])
+	}
+	if dt.Degree(1) != 2 {
+		t.Errorf("live table degree(1) = %d, want 2", dt.Degree(1))
+	}
+}
+
+func TestRestoreDegreeTable(t *testing.T) {
+	dt := RestoreDegreeTable(map[NodeID]uint32{4: 7})
+	dt.AddEdge(4, 5)
+	if got := dt.Degree(4); got != 8 {
+		t.Errorf("restored degree(4) = %d, want 8", got)
+	}
+	if nil2 := RestoreDegreeTable(nil); nil2.Degree(1) != 0 || nil2.Nodes() != 0 {
+		t.Error("RestoreDegreeTable(nil) is not an empty usable table")
+	}
+}

@@ -1,0 +1,180 @@
+package query
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rept/internal/shard"
+)
+
+// Defaults applied by NewPublisher for zero Config fields.
+const (
+	// DefaultInterval is the publish interval when Config.Interval is 0.
+	DefaultInterval = 200 * time.Millisecond
+	// DefaultTopK is the precomputed ranking size when Config.TopK is 0.
+	DefaultTopK = 100
+)
+
+// Config shapes a Publisher.
+type Config struct {
+	// Interval is the maximum time between epoch publications while edges
+	// are arriving (default DefaultInterval); a view's staleness is then
+	// bounded by roughly Interval plus one barrier latency. Idle streams
+	// publish nothing — see loop.
+	Interval time.Duration
+	// EveryEdges additionally republishes as soon as this many new edges
+	// have been processed since the current epoch's prefix (0 disables
+	// the edge trigger). It bounds staleness in EDGES under bursty ingest
+	// the way Interval bounds it in time.
+	EveryEdges uint64
+	// TopK is the size of the precomputed heavy-hitter ranking (default
+	// DefaultTopK; meaningless without local tracking).
+	TopK int
+}
+
+// Source is the ingest side a Publisher reads from; *shard.Sharded
+// implements it. Observe must be barrier-consistent and safe for
+// concurrent use; Processed must be a cheap monotone counter.
+type Source interface {
+	Observe() shard.Observation
+	Processed() uint64
+}
+
+// Publisher periodically materializes epoch views from a Source and
+// publishes them with an atomic pointer swap. View is safe for any number
+// of concurrent readers and never blocks on ingest; Refresh forces an
+// immediate epoch for callers that need freshness over latency. Close
+// stops the publishing goroutine and must happen before the underlying
+// Source is closed (Refresh after the Source closes panics, like any
+// other use-after-Close).
+type Publisher struct {
+	src Source
+	cfg Config
+
+	cur atomic.Pointer[View]
+
+	// mu serializes publications (the periodic loop and explicit Refresh
+	// calls) so epoch numbers increase monotonically with their prefixes.
+	mu    sync.Mutex
+	epoch uint64
+
+	stop chan struct{}
+	done chan struct{}
+	once sync.Once
+}
+
+// NewPublisher normalizes cfg, synchronously publishes epoch 1 (so View
+// never returns nil), and starts the periodic publishing goroutine.
+func NewPublisher(src Source, cfg Config) *Publisher {
+	if cfg.Interval <= 0 {
+		cfg.Interval = DefaultInterval
+	}
+	if cfg.TopK <= 0 {
+		cfg.TopK = DefaultTopK
+	}
+	p := &Publisher{
+		src:  src,
+		cfg:  cfg,
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	p.publish()
+	go p.loop()
+	return p
+}
+
+// Config returns the normalized configuration.
+func (p *Publisher) Config() Config { return p.cfg }
+
+// View returns the current epoch view: an atomic pointer load, lock-free
+// and barrier-free, never blocked by ingest or by a publication in
+// progress.
+func (p *Publisher) View() *View { return p.cur.Load() }
+
+// Epochs returns how many views have been published so far.
+func (p *Publisher) Epochs() uint64 { return p.View().Epoch }
+
+// Refresh takes a fresh barrier snapshot, publishes it as a new epoch,
+// and returns it. It is the explicit escape hatch for callers that need
+// the current stream prefix instead of the bounded-stale view.
+func (p *Publisher) Refresh() *View { return p.publish() }
+
+// publish materializes and swaps in one epoch.
+func (p *Publisher) publish() *View {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	obs := p.src.Observe()
+	p.epoch++
+	v := &View{
+		Epoch:        p.epoch,
+		Taken:        time.Now(),
+		Global:       obs.Estimate.Global,
+		Variance:     obs.Estimate.Variance,
+		EtaHat:       obs.Estimate.EtaHat,
+		Processed:    obs.Processed,
+		SelfLoops:    obs.SelfLoops,
+		SampledEdges: obs.SampledEdges,
+		Local:        obs.Estimate.Local,
+		Degrees:      obs.Degrees,
+	}
+	v.buildTopK(p.cfg.TopK)
+	p.cur.Store(v)
+	return v
+}
+
+// loop republishes on the configured triggers until Close. It polls at a
+// fraction of the interval so the edge trigger reacts quickly, and
+// measures elapsed time from the published view's own capture time, so
+// explicit Refresh calls push the periodic timer back instead of stacking
+// an extra publication right after. An idle stream publishes nothing: when
+// no edge arrived since the current epoch, the view already describes the
+// exact current prefix, so re-materializing it (a barrier plus O(V) map
+// copies) would buy nothing — the view's Age then keeps growing, which is
+// truthful. The staleness bound is therefore "age ≤ interval + slack OR
+// the view is exact"; the first edge after an overdue interval publishes
+// at the next poll tick.
+func (p *Publisher) loop() {
+	defer close(p.done)
+	poll := p.cfg.Interval / 4
+	// The edge trigger is only as reactive as the poll, so cap the poll
+	// period when it is enabled even under a long publish interval.
+	if p.cfg.EveryEdges > 0 && poll > 10*time.Millisecond {
+		poll = 10 * time.Millisecond
+	}
+	if poll < time.Millisecond {
+		poll = time.Millisecond
+	}
+	t := time.NewTicker(poll)
+	defer t.Stop()
+	for {
+		select {
+		case <-p.stop:
+			return
+		case <-t.C:
+			v := p.cur.Load()
+			arrived := p.src.Processed() - v.Processed
+			if arrived == 0 {
+				continue // view is exact for the current prefix
+			}
+			due := time.Since(v.Taken) >= p.cfg.Interval ||
+				(p.cfg.EveryEdges > 0 && arrived >= p.cfg.EveryEdges)
+			if due {
+				p.publish()
+			}
+		}
+	}
+}
+
+// Close stops the publishing goroutine and waits for any publication in
+// flight to finish. The last published view stays readable forever; only
+// Refresh becomes unusable once the underlying Source closes. Close is
+// idempotent.
+func (p *Publisher) Close() {
+	p.once.Do(func() { close(p.stop) })
+	<-p.done
+	// Serialize with a publish() still holding the barrier so callers may
+	// close the Source immediately after Close returns.
+	p.mu.Lock()
+	p.mu.Unlock() //nolint // empty critical section IS the synchronization
+}

@@ -1,0 +1,54 @@
+package shard
+
+import (
+	"fmt"
+
+	"rept/internal/core"
+	"rept/internal/graph"
+)
+
+// Observation is everything a read-side consumer can learn from ONE
+// barrier: the merged estimate, the degree table (when tracked), the
+// sampled-edge total, and the coordinator tallies — all describing exactly
+// the same stream prefix. It is the input the epoch-view publisher
+// (internal/query) materializes views from; taking one Observation instead
+// of separate Snapshot/SampledEdges/Processed calls both halves the
+// barrier count and removes the torn-read window between them.
+type Observation struct {
+	// Estimate is the merged REPT estimate at the barrier prefix.
+	Estimate core.Estimate
+	// Degrees maps nodes to their stream degree at the same prefix; nil
+	// unless Config.TrackDegrees. The map is a private copy: the caller
+	// may keep it indefinitely.
+	Degrees map[graph.NodeID]uint32
+	// SampledEdges is the total number of edges stored across all shards'
+	// logical processors at the prefix.
+	SampledEdges int
+	// Processed and SelfLoops are the coordinator tallies at the prefix.
+	Processed, SelfLoops uint64
+}
+
+// Observe drains in-flight edges and returns a barrier-consistent
+// Observation. Safe for concurrent use with Add; edges added while the
+// barrier is taken land after it. Like every non-Close method, Observe
+// panics with core.ErrClosed after Close.
+func (s *Sharded) Observe() Observation {
+	bar := s.barrier(false)
+	agg, err := core.MergeGroups(bar.aggs...)
+	if err != nil {
+		// shardConfigs guarantees the MergeGroups preconditions, so this
+		// is a bug, exactly as in Aggregates.
+		panic(fmt.Sprintf("shard: merge of own shards failed: %v", err))
+	}
+	total := 0
+	for _, n := range bar.sampled {
+		total += n
+	}
+	return Observation{
+		Estimate:     agg.Estimate(),
+		Degrees:      bar.degrees,
+		SampledEdges: total,
+		Processed:    bar.processed,
+		SelfLoops:    bar.selfLoops,
+	}
+}

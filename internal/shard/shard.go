@@ -58,6 +58,12 @@ type Config struct {
 	// C % M != 0), so the merged estimate uses the paper's Algorithm 2
 	// combination exactly as a single engine would.
 	TrackEta bool
+	// TrackDegrees maintains a per-node degree table alongside the shards:
+	// a dedicated tracker goroutine receives the same edge broadcast and
+	// counts arrivals per endpoint, so barrier snapshots can report degrees
+	// at exactly the same stream prefix as the estimates. Needed for
+	// clustering-coefficient queries; costs O(V) memory.
+	TrackDegrees bool
 	// Workers is the per-shard core.Engine worker count. The default 1
 	// runs each shard single-threaded inside its own goroutine, which is
 	// the right choice unless shards are few and wide.
@@ -156,6 +162,9 @@ type barrier struct {
 	aggs    []*core.Aggregates
 	sampled []int
 	states  []*snapshot.EngineState
+	// degrees is the degree tracker's table copy at the barrier prefix;
+	// nil when degree tracking is off.
+	degrees map[graph.NodeID]uint32
 	// processed and selfLoops are the coordinator tallies captured while
 	// the barrier was enqueued (under the ingest mutex), so they match
 	// the stream prefix the shard reports describe.
@@ -178,6 +187,9 @@ type Sharded struct {
 
 	engines []*core.Engine
 	chans   []chan msg
+	// degCh feeds the degree tracker goroutine the same batch/barrier
+	// sequence as the engine shards; nil when TrackDegrees is off.
+	degCh chan msg
 
 	mu     sync.Mutex // guards cur, closed, and channel sends
 	cur    *batch
@@ -192,12 +204,13 @@ type Sharded struct {
 
 // New builds a Sharded coordinator and starts its shard goroutines.
 func New(cfg Config) (*Sharded, error) {
-	return build(cfg, nil)
+	return build(cfg, nil, nil)
 }
 
 // build constructs the coordinator, restoring each shard engine from the
-// corresponding state when restore is non-nil (see Resume).
-func build(cfg Config, restore []snapshot.EngineState) (*Sharded, error) {
+// corresponding state when restore is non-nil (see Resume). restoreDegrees
+// seeds the degree tracker; it is only meaningful with Config.TrackDegrees.
+func build(cfg Config, restore []snapshot.EngineState, restoreDegrees map[graph.NodeID]uint32) (*Sharded, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -243,7 +256,43 @@ func build(cfg Config, restore []snapshot.EngineState) (*Sharded, error) {
 	for i := range s.engines {
 		go s.run(i)
 	}
+	if cfg.TrackDegrees {
+		s.degCh = make(chan msg, queueLen)
+		s.done.Add(1)
+		go s.runDegrees(graph.RestoreDegreeTable(restoreDegrees))
+	}
 	return s, nil
+}
+
+// runDegrees is the degree tracker goroutine: it consumes the same
+// batch/barrier sequence as the engine shards, so the table it copies into
+// each barrier describes exactly the barrier's stream prefix.
+func (s *Sharded) runDegrees(table *graph.DegreeTable) {
+	defer s.done.Done()
+	for m := range s.degCh {
+		if m.bar != nil {
+			m.bar.degrees = table.Snapshot()
+			m.bar.wg.Done()
+			continue
+		}
+		for _, e := range m.b.edges {
+			table.AddEdge(e.U, e.V)
+		}
+		if m.b.refs.Add(-1) == 0 {
+			m.b.edges = m.b.edges[:0]
+			s.pool.Put(m.b)
+		}
+	}
+}
+
+// fanout returns the number of broadcast consumers (engine shards plus the
+// degree tracker when enabled).
+func (s *Sharded) fanout() int {
+	n := len(s.chans)
+	if s.degCh != nil {
+		n++
+	}
+	return n
 }
 
 // run is the shard goroutine: it drains shard i's channel, feeding edge
@@ -328,9 +377,12 @@ func (s *Sharded) flushLocked() {
 		return
 	}
 	b := s.cur
-	b.refs.Store(int32(len(s.chans)))
+	b.refs.Store(int32(s.fanout()))
 	for _, ch := range s.chans {
 		ch <- msg{b: b}
+	}
+	if s.degCh != nil {
+		s.degCh <- msg{b: b}
 	}
 	s.cur = s.pool.Get().(*batch)
 }
@@ -357,9 +409,12 @@ func (s *Sharded) barrier(wantStates bool) *barrier {
 	// consistent with the prefix just flushed.
 	bar.processed = s.processed.Load()
 	bar.selfLoops = s.selfLoops.Load()
-	bar.wg.Add(len(s.chans))
+	bar.wg.Add(s.fanout())
 	for _, ch := range s.chans {
 		ch <- msg{bar: bar}
+	}
+	if s.degCh != nil {
+		s.degCh <- msg{bar: bar}
 	}
 	s.mu.Unlock()
 	bar.wg.Wait()
@@ -421,6 +476,9 @@ func (s *Sharded) Close() {
 	s.closed = true
 	for _, ch := range s.chans {
 		close(ch)
+	}
+	if s.degCh != nil {
+		close(s.degCh)
 	}
 	s.mu.Unlock()
 	s.done.Wait()

@@ -30,11 +30,13 @@ func (c Config) fingerprint() snapshot.Fingerprint {
 func (s *Sharded) WriteSnapshot(w io.Writer) error {
 	bar := s.barrier(true)
 	st := &snapshot.ShardedState{
-		Fingerprint: s.cfg.fingerprint(),
-		ShardCount:  len(s.engines),
-		Processed:   bar.processed,
-		SelfLoops:   bar.selfLoops,
-		Shards:      make([]snapshot.EngineState, len(bar.states)),
+		Fingerprint:  s.cfg.fingerprint(),
+		ShardCount:   len(s.engines),
+		Processed:    bar.processed,
+		SelfLoops:    bar.selfLoops,
+		TrackDegrees: s.cfg.TrackDegrees,
+		Degrees:      bar.degrees,
+		Shards:       make([]snapshot.EngineState, len(bar.states)),
 	}
 	for i, es := range bar.states {
 		st.Shards[i] = *es
@@ -64,7 +66,13 @@ func Resume(cfg Config, r io.Reader) (*Sharded, error) {
 	if want := cfg.shardCount(); st.ShardCount != want {
 		return nil, fmt.Errorf("shard: %w: snapshot has %d shards, config implies %d (set Config.Shards to match)", snapshot.ErrMismatch, st.ShardCount, want)
 	}
-	s, err := build(cfg, st.Shards)
+	// The degree table is part of the restore contract like the
+	// fingerprint fields: silently dropping it would break clustering
+	// coefficients, silently starting one empty would corrupt them.
+	if st.TrackDegrees != cfg.TrackDegrees {
+		return nil, fmt.Errorf("shard: %w: TrackDegrees = %v in snapshot, %v in config", snapshot.ErrMismatch, st.TrackDegrees, cfg.TrackDegrees)
+	}
+	s, err := build(cfg, st.Shards, st.Degrees)
 	if err != nil {
 		return nil, err
 	}

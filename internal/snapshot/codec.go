@@ -152,6 +152,17 @@ func (e *encoder) nodeMap(m map[graph.NodeID]uint64) {
 	e.deltaKeys(keys, func(k uint64) { e.uvarint(m[graph.NodeID(k)]) })
 }
 
+// degreeMap writes the coordinator degree table: sorted delta-encoded
+// node ids with their uvarint degrees (the same shape as nodeMap, minus
+// the presence flag, which the sharded payload carries as trackDegrees).
+func (e *encoder) degreeMap(m map[graph.NodeID]uint32) {
+	keys := make([]uint64, 0, len(m))
+	for k := range m {
+		keys = append(keys, uint64(k))
+	}
+	e.deltaKeys(keys, func(k uint64) { e.uvarint(uint64(m[graph.NodeID(k)])) })
+}
+
 // tcntMap writes the per-edge triangle counters, sorted by edge key.
 func (e *encoder) tcntMap(m map[uint64]uint32) {
 	if m == nil {
@@ -249,31 +260,33 @@ func (d *decoder) u64(what string) (uint64, error) {
 	return binary.LittleEndian.Uint64(p[:]), nil
 }
 
-// header checks the magic and version and returns the snapshot kind.
-func (d *decoder) header() (byte, error) {
+// header checks the magic and version and returns the snapshot kind and
+// format version. Every version in [1, Version] is accepted; kind-specific
+// decoders use the version to skip sections the writer predates.
+func (d *decoder) header() (byte, uint64, error) {
 	var m [8]byte
 	if _, err := io.ReadFull(d.r, m[:]); err != nil {
 		if err == io.EOF || err == io.ErrUnexpectedEOF {
-			return 0, ErrBadMagic
+			return 0, 0, ErrBadMagic
 		}
-		return 0, corrupt("magic", err)
+		return 0, 0, corrupt("magic", err)
 	}
 	if m != magic {
-		return 0, ErrBadMagic
+		return 0, 0, ErrBadMagic
 	}
 	d.crc.Write(m[:])
 	v, err := d.uvarint("version")
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
-	if v != Version {
-		return 0, fmt.Errorf("snapshot: unsupported format version %d (this build reads version %d)", v, Version)
+	if v < 1 || v > Version {
+		return 0, 0, fmt.Errorf("snapshot: unsupported format version %d (this build reads versions 1 through %d)", v, Version)
 	}
 	kind, err := d.ReadByte()
 	if err != nil {
-		return 0, corrupt("kind", err)
+		return 0, 0, corrupt("kind", err)
 	}
-	return kind, nil
+	return kind, v, nil
 }
 
 // trailer verifies the CRC over everything read so far.
@@ -431,6 +444,34 @@ func (d *decoder) nodeMap(what string) (map[graph.NodeID]uint64, error) {
 			return err
 		}
 		out[graph.NodeID(k)] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// degreeMap reads the coordinator degree table written by the encoder's
+// degreeMap (version ≥ 2 sharded payloads with trackDegrees set).
+func (d *decoder) degreeMap() (map[graph.NodeID]uint32, error) {
+	n, err := d.count("degree count")
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[graph.NodeID]uint32, min(n, maxPrealloc))
+	err = d.deltaKeys(n, "degree", func(k uint64) error {
+		if err := nodeOutOfRange(k); err != nil {
+			return err
+		}
+		v, err := d.uvarint("degree value")
+		if err != nil {
+			return err
+		}
+		if v > uint64(^uint32(0)) {
+			return fmt.Errorf("%w: degree %d overflows uint32", ErrCorrupt, v)
+		}
+		out[graph.NodeID(k)] = uint32(v)
 		return nil
 	})
 	if err != nil {

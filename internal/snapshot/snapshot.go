@@ -12,7 +12,7 @@
 // A snapshot is
 //
 //	magic   "REPTSNAP"            (8 bytes)
-//	version uvarint               (currently 1)
+//	version uvarint               (currently 2; readers accept 1 and 2)
 //	kind    byte                  (1 = single engine, 2 = sharded)
 //	payload                       (kind-specific, see below)
 //	crc32   IEEE, little-endian   (4 bytes, over everything above)
@@ -29,12 +29,17 @@
 // records: τ⁽ⁱ⁾, η⁽ⁱ⁾, the sorted sampled edge keys, the τ⁽ⁱ⁾_v and
 // η⁽ⁱ⁾_v maps, and the per-edge triangle counters. The sharded payload is
 // the coordinator fingerprint, the shard count, the coordinator tallies,
-// and then one engine payload per shard in shard order.
+// the coordinator-level degree table (version ≥ 2: a presence flag, then
+// sorted delta-encoded node ids with uvarint degrees — the table backing
+// clustering-coefficient queries), and then one engine payload per shard
+// in shard order.
 //
 // The version field is bumped on any incompatible change; readers reject
-// versions they do not understand rather than guessing. It is also the
-// hook for future cross-node state handoff: a newer node can keep
-// emitting version-N snapshots while older peers are still draining.
+// versions they do not understand rather than guessing, and keep reading
+// every older version (a version-1 sharded snapshot restores with no
+// degree table). It is also the hook for future cross-node state handoff:
+// a newer node can keep emitting version-N snapshots while older peers
+// are still draining.
 package snapshot
 
 import (
@@ -47,8 +52,10 @@ import (
 	"rept/internal/graph"
 )
 
-// Version is the format version this build reads and writes.
-const Version = 1
+// Version is the format version this build writes. Readers accept every
+// version in [1, Version]: version 2 added the coordinator degree table
+// to sharded payloads.
+const Version = 2
 
 // Snapshot kinds.
 const (
@@ -150,7 +157,15 @@ type ShardedState struct {
 	// statistically different estimator.
 	ShardCount           int
 	Processed, SelfLoops uint64
-	Shards               []EngineState
+	// TrackDegrees records whether the coordinator maintained a degree
+	// table; like the fingerprint fields it is part of the restore
+	// contract (a restore must not silently lose or invent degrees).
+	// Version-1 snapshots decode with TrackDegrees false.
+	TrackDegrees bool
+	// Degrees is the coordinator degree table at the checkpoint prefix;
+	// nil unless TrackDegrees.
+	Degrees map[graph.NodeID]uint32
+	Shards  []EngineState
 }
 
 // WriteEngine writes st as a single-engine snapshot.
@@ -182,6 +197,10 @@ func WriteSharded(w io.Writer, st *ShardedState) error {
 	e.uvarint(uint64(st.ShardCount))
 	e.uvarint(st.Processed)
 	e.uvarint(st.SelfLoops)
+	e.bool(st.TrackDegrees)
+	if st.TrackDegrees {
+		e.degreeMap(st.Degrees)
+	}
 	for i := range st.Shards {
 		sh := &st.Shards[i]
 		if len(sh.Procs) != sh.C {
@@ -221,7 +240,7 @@ func kindName(k byte) string {
 // read decodes one snapshot, requiring kind wantKind (0 accepts any).
 func read(r io.Reader, wantKind byte) (*EngineState, *ShardedState, error) {
 	d := newDecoder(r)
-	kind, err := d.header()
+	kind, version, err := d.header()
 	if err != nil {
 		return nil, nil, err
 	}
@@ -256,6 +275,16 @@ func read(r io.Reader, wantKind byte) (*EngineState, *ShardedState, error) {
 		}
 		if sh.SelfLoops, err = d.uvarint("selfLoops"); err != nil {
 			return nil, nil, err
+		}
+		if version >= 2 {
+			if sh.TrackDegrees, err = d.bool("trackDegrees"); err != nil {
+				return nil, nil, err
+			}
+			if sh.TrackDegrees {
+				if sh.Degrees, err = d.degreeMap(); err != nil {
+					return nil, nil, err
+				}
+			}
 		}
 		sh.Shards = make([]EngineState, 0, min(n, maxPrealloc))
 		for i := 0; i < n; i++ {

@@ -1,0 +1,120 @@
+package rept_test
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"rept"
+	"rept/internal/gen"
+)
+
+// benchViewEstimator builds a Concurrent estimator with a representative
+// mid-stream state and producers saturating ingest for the whole
+// benchmark — the regime the read path is built for. It returns the
+// estimator with views running.
+func benchViewEstimator(b *testing.B, producers int) *rept.Concurrent {
+	b.Helper()
+	est, err := rept.NewConcurrent(rept.ConcurrentConfig{
+		M: 8, C: 32, Shards: 4, Seed: 1, TrackLocal: true, TrackDegrees: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	est.AddAll(gen.Shuffle(gen.HolmeKim(5000, 6, 0.3, 5), 9))
+	if _, err := est.StartViews(rept.ViewConfig{Interval: 50 * time.Millisecond, TopK: 100}); err != nil {
+		b.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			chunk := gen.Shuffle(gen.HolmeKim(2000, 5, 0.3, seed), seed)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					est.AddAll(chunk)
+				}
+			}
+		}(uint64(p + 2))
+	}
+	b.Cleanup(func() {
+		close(stop)
+		wg.Wait()
+		est.Close()
+	})
+	return est
+}
+
+// BenchmarkReadPathViewUnderIngest measures single-node queries through
+// the epoch-view path while ingest is saturated: an atomic pointer load
+// plus a map lookup, never a barrier. Compare against
+// BenchmarkReadPathBarrierUnderIngest — the ratio is the point (the
+// acceptance bar for this subsystem is ≥100×).
+func BenchmarkReadPathViewUnderIngest(b *testing.B) {
+	est := benchViewEstimator(b, 2)
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += est.Local(rept.NodeID(i % 5000))
+	}
+	_ = sink
+}
+
+// BenchmarkReadPathViewParallel is the same query mix from parallel
+// readers — the many-clients regime the HTTP endpoints map onto.
+func BenchmarkReadPathViewParallel(b *testing.B) {
+	est := benchViewEstimator(b, 2)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		var sink float64
+		i := 0
+		for pb.Next() {
+			sink += est.Local(rept.NodeID(i % 5000))
+			i++
+		}
+		_ = sink
+	})
+}
+
+// BenchmarkReadPathBarrierUnderIngest measures the pre-view read path:
+// every single-node query pays a cross-shard barrier and materializes the
+// full local map (what Concurrent.Local did before views, still available
+// as SnapshotNow).
+func BenchmarkReadPathBarrierUnderIngest(b *testing.B) {
+	est := benchViewEstimator(b, 2)
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += est.SnapshotNow().Local[rept.NodeID(i%5000)]
+	}
+	_ = sink
+}
+
+// BenchmarkViewTopK measures serving the precomputed top-100 ranking.
+func BenchmarkViewTopK(b *testing.B) {
+	est := benchViewEstimator(b, 2)
+	b.ResetTimer()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += len(est.View().Top(100))
+	}
+	_ = sink
+}
+
+// BenchmarkViewPublish measures materializing one epoch (barrier, merge,
+// degree copy, top-K selection) — the cost the publisher pays per
+// interval so that readers pay nothing.
+func BenchmarkViewPublish(b *testing.B) {
+	est := benchViewEstimator(b, 2)
+	views := est.Views()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		views.Refresh()
+	}
+}
