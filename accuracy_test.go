@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"rept"
+	"rept/internal/exper"
 	"rept/internal/gen"
 )
 
@@ -77,6 +78,124 @@ func TestAccuracyWithinTheorem3Bound(t *testing.T) {
 				t.Errorf("empirical bias %.1f exceeds %.1f (4.5 standard errors): estimator is no longer unbiased", bias, gate)
 			}
 		})
+	}
+}
+
+// TestAccuracyFullyDynamic is the statistical gate for the fully-dynamic
+// mode, mirroring TestAccuracyWithinTheorem3Bound on a churn stream with
+// ≥ 30% deletions: over 40 independent hash-family seeds, the estimator
+// fed the signed stream must match the EXACT NET triangle count of the
+// final live graph, with empirical MSE inside the generalized Theorem 3
+// variance and bias statistically indistinguishable from zero.
+//
+// The variance bound uses the signed second moments A and B from the
+// exact fully-dynamic reference (internal/exper.DynCountExact): the
+// paper's closed forms are linear in the same-pair and shared-edge
+// covariance masses, which on signed streams are A and B instead of τ
+// and 2η — so VarREPT(m, c, A, B/2) is the exact variance in the pure
+// layout cases and the Graybill–Deal target in the combined one. The
+// stream and seeds are fixed; the test is fully deterministic.
+func TestAccuracyFullyDynamic(t *testing.T) {
+	// Reinsert-flavored churn: 35% of events are deletions, and most
+	// deleted edges return later, so the net graph keeps enough triangles
+	// for tight gates while every edge key still churns through
+	// live → deleted → live transitions.
+	base := gen.Shuffle(gen.HolmeKim(800, 5, 0.35, 77), 123)
+	ups := exper.DynStream(base, exper.DynOptions{Pattern: exper.Reinsert, DeleteFrac: 0.35, ReinsertFrac: 0.85, Seed: 99})
+	ref := exper.DynCountExact(ups, false)
+	if frac := float64(ref.Deletes) / float64(ref.Events); frac < 0.30 {
+		t.Fatalf("deletion fraction = %.3f, need >= 0.30 for a meaningful churn gate", frac)
+	}
+	tau := float64(ref.Tau)
+	if tau < 500 {
+		t.Fatalf("net graph too sparse for a meaningful bound: τ = %v", tau)
+	}
+
+	const seeds = 40
+	cases := []struct {
+		name string
+		m, c int
+	}{
+		// Same layout spread as the insert-only gate: full groups, a
+		// single partial group, and the Graybill–Deal combination.
+		{"FullGroups_M8_C32", 8, 32},
+		{"SingleGroup_M16_C8", 16, 8},
+		{"PartialGroup_M6_C15", 6, 15},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			variance := rept.TheoreticalVariance(tc.m, tc.c, ref.A, ref.B/2)
+			if !(variance > 0) {
+				t.Fatalf("generalized variance = %v", variance)
+			}
+			var sumErr, sumSq float64
+			for seed := int64(1); seed <= seeds; seed++ {
+				est, err := rept.New(rept.Config{M: tc.m, C: tc.c, Seed: seed, FullyDynamic: true})
+				if err != nil {
+					t.Fatal(err)
+				}
+				est.ApplyAll(ups)
+				d := est.Global() - tau
+				est.Close()
+				sumErr += d
+				sumSq += d * d
+			}
+			mse := sumSq / seeds
+			bias := sumErr / seeds
+			ratio := mse / variance
+			t.Logf("net τ=%.0f A=%.0f B=%.0f (%d events, %d deletes): MSE/Var = %.3f, bias = %.1f (σ_mean = %.1f)",
+				tau, ref.A, ref.B, ref.Events, ref.Deletes, ratio, bias, math.Sqrt(variance/seeds))
+
+			if ratio > 2.2 {
+				t.Errorf("empirical MSE %.1f exceeds generalized Theorem 3 variance %.1f by ratio %.2f (> 2.2): fully-dynamic estimator error has regressed", mse, variance, ratio)
+			}
+			if ratio < 0.35 {
+				t.Errorf("empirical MSE %.1f implausibly below generalized variance %.1f (ratio %.2f < 0.35): deletion compensation is likely broken", mse, variance, ratio)
+			}
+			if gate := 4.5 * math.Sqrt(variance/seeds); math.Abs(bias) > gate {
+				t.Errorf("empirical bias %.1f exceeds %.1f (4.5 standard errors): fully-dynamic estimator is no longer unbiased for the net count", bias, gate)
+			}
+		})
+	}
+}
+
+// TestAccuracyFullyDynamicLocal spot-checks the per-node estimator under
+// churn: averaged over seeds, τ̂_v of the heaviest net-graph node must
+// land close to its exact net τ_v.
+func TestAccuracyFullyDynamicLocal(t *testing.T) {
+	base := gen.Shuffle(gen.HolmeKim(500, 5, 0.4, 31), 17)
+	ups := exper.DynStream(base, exper.DynOptions{Pattern: exper.Reinsert, DeleteFrac: 0.32, Seed: 4})
+	ref := exper.DynCountExact(ups, true)
+	if frac := float64(ref.Deletes) / float64(ref.Events); frac < 0.30 {
+		t.Fatalf("deletion fraction = %.3f, need >= 0.30", frac)
+	}
+
+	var top rept.NodeID
+	for v, c := range ref.TauV {
+		if c > ref.TauV[top] {
+			top = v
+		}
+	}
+	tauV := float64(ref.TauV[top])
+	if tauV < 30 {
+		t.Fatalf("heaviest net node has only τ_v = %v", tauV)
+	}
+
+	const seeds = 30
+	const m, c = 4, 16
+	var sum float64
+	for seed := int64(1); seed <= seeds; seed++ {
+		est, err := rept.New(rept.Config{M: m, C: c, Seed: seed, TrackLocal: true, FullyDynamic: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		est.ApplyAll(ups)
+		sum += est.Local(top)
+		est.Close()
+	}
+	mean := sum / seeds
+	if math.Abs(mean-tauV) > 0.25*tauV {
+		t.Errorf("mean local estimate for node %d = %.1f, exact net τ_v = %.0f (off by more than 25%%)", top, mean, tauV)
 	}
 }
 

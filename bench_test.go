@@ -127,6 +127,68 @@ func BenchmarkREPTPerEdgeParallel(b *testing.B) {
 	})
 }
 
+// BenchmarkFullyDynamicChurnPerEvent measures the per-event cost of the
+// fully-dynamic mode on a 35%-deletion churn stream (m=10, c=10) — the
+// deletion-stream datapoint tracked in the CI bench artifact next to the
+// insert-only BenchmarkREPTPerEdge.
+func BenchmarkFullyDynamicChurnPerEvent(b *testing.B) {
+	base := gen.Shuffle(gen.HolmeKim(2000, 8, 0.3, 42), 3)
+	ups := exper.DynStream(base, exper.DynOptions{Pattern: exper.Reinsert, DeleteFrac: 0.35, Seed: 11})
+	newEst := func() *rept.Estimator {
+		est, err := rept.New(rept.Config{M: 10, C: 10, Seed: 1, FullyDynamic: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return est
+	}
+	est := newEst()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%len(ups) == 0 && i > 0 {
+			// Start the schedule over on a fresh estimator outside the
+			// timed region, so every measured event is part of a
+			// well-formed churn stream.
+			b.StopTimer()
+			est.Close()
+			est = newEst()
+			b.StartTimer()
+		}
+		est.Apply(ups[i%len(ups)])
+	}
+	b.StopTimer()
+	// Keep the estimator honest (and the loop un-eliminated).
+	if g := est.Global(); g < -1e12 {
+		b.Fatal(g)
+	}
+	est.Close()
+}
+
+// BenchmarkFullyDynamicDeleteOnly isolates the deletion path: a fully
+// built graph torn down edge by edge.
+func BenchmarkFullyDynamicDeleteOnly(b *testing.B) {
+	base := gen.Shuffle(gen.HolmeKim(2000, 8, 0.3, 42), 3)
+	est, err := rept.New(rept.Config{M: 10, C: 10, Seed: 1, FullyDynamic: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer est.Close()
+	est.AddAll(base)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%len(base) == 0 && i > 0 {
+			// Rebuild outside the timed region so deletes always target
+			// live edges without billing the re-insertions.
+			b.StopTimer()
+			est.AddAll(base)
+			b.StartTimer()
+		}
+		e := base[i%len(base)]
+		est.Delete(e.U, e.V)
+	}
+}
+
 // BenchmarkMascotPerEdge measures MASCOT's per-edge cost at p = 0.1.
 func BenchmarkMascotPerEdge(b *testing.B) {
 	feedCounter(b, func(seed int64) rept.Counter {

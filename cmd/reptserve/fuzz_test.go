@@ -10,12 +10,15 @@ import (
 )
 
 // FuzzIngestNDJSON throws arbitrary bytes at the NDJSON edge parser
-// through the real handler: whatever the body, /edges must answer 200 or
-// 400 and never panic. One estimator is shared across iterations (and
-// fuzz workers — Concurrent is goroutine-safe), so state accumulates the
-// way it does on a long-lived server.
+// through the real handler, on a fully-dynamic estimator so "op" lines
+// reach the deletion path: whatever the body, POST and DELETE /edges
+// must answer 200 or 400 and never panic — arbitrary deletion sequences
+// (edges never inserted, double deletes) must be absorbed. One estimator
+// is shared across iterations (and fuzz workers — Concurrent is
+// goroutine-safe), so state accumulates the way it does on a long-lived
+// server.
 func FuzzIngestNDJSON(f *testing.F) {
-	est, err := rept.NewConcurrent(rept.ConcurrentConfig{M: 2, C: 4, Seed: 1, TrackLocal: true})
+	est, err := rept.NewConcurrent(rept.ConcurrentConfig{M: 2, C: 4, Seed: 1, TrackLocal: true, FullyDynamic: true})
 	if err != nil {
 		f.Fatal(err)
 	}
@@ -33,13 +36,21 @@ func FuzzIngestNDJSON(f *testing.F) {
 	f.Add([]byte("{\"u\":1e99,\"v\":2}\n"))
 	f.Add([]byte("[1,2]\n"))
 	f.Add([]byte("{\"u\":null,\"v\":2}\n"))
+	f.Add([]byte("{\"u\":1,\"v\":2,\"op\":\"del\"}\n"))                                   // delete (maybe absent)
+	f.Add([]byte("{\"u\":1,\"v\":2,\"op\":\"add\"}\n{\"u\":1,\"v\":2,\"op\":\"del\"}\n")) // insert+delete
+	f.Add([]byte("{\"u\":5,\"v\":6,\"op\":\"del\"}\n{\"u\":5,\"v\":6,\"op\":\"del\"}\n")) // double delete
+	f.Add([]byte("{\"u\":1,\"v\":2,\"op\":\"upsert\"}\n"))                                // unknown op
+	f.Add([]byte("{\"u\":1,\"v\":2,\"op\":7}\n"))                                         // non-string op
+	f.Add([]byte("{\"u\":3,\"v\":3,\"op\":\"del\"}\n"))                                   // self-loop delete
 
 	f.Fuzz(func(t *testing.T, body []byte) {
-		req := httptest.NewRequest(http.MethodPost, "/edges", bytes.NewReader(body))
-		rec := httptest.NewRecorder()
-		srv.ServeHTTP(rec, req)
-		if rec.Code != http.StatusOK && rec.Code != http.StatusBadRequest {
-			t.Errorf("POST /edges with %q: status %d, want 200 or 400", body, rec.Code)
+		for _, method := range []string{http.MethodPost, http.MethodDelete} {
+			req := httptest.NewRequest(method, "/edges", bytes.NewReader(body))
+			rec := httptest.NewRecorder()
+			srv.ServeHTTP(rec, req)
+			if rec.Code != http.StatusOK && rec.Code != http.StatusBadRequest {
+				t.Errorf("%s /edges with %q: status %d, want 200 or 400", method, body, rec.Code)
+			}
 		}
 	})
 }

@@ -4,13 +4,16 @@
 //
 // Usage:
 //
-//	reptserve -addr :8080 -m 10 -c 40 [-shards 4 -local -seed 1]
+//	reptserve -addr :8080 -m 10 -c 40 [-shards 4 -local -dynamic -seed 1]
 //	          [-view-interval 200ms -view-edges 0 -topk 100]
 //	          [-snapshot state.snap] [-restore state.snap]
 //
 // Endpoints:
 //
-//	POST /edges       NDJSON body, one {"u":1,"v":2} object per line
+//	POST /edges       NDJSON body, one {"u":1,"v":2} object per line;
+//	                  with -dynamic a line may carry "op":"del" to delete
+//	DELETE /edges     same NDJSON body, lines default to deletions
+//	                  (requires -dynamic)
 //	GET  /estimate    global estimate (+ variance when tracked)
 //	GET  /local?v=7   local estimate of node 7 (requires -local)
 //	GET  /topk?k=10   heaviest nodes by local estimate (requires -local)
@@ -36,11 +39,17 @@
 //	curl -sS http://localhost:8080/estimate
 //	curl -sS 'http://localhost:8080/topk?k=5&fresh=1'
 //
+// Fully-dynamic streams: with -dynamic the server accepts edge deletions
+// (follow/unfollow churn, flow expiry) and every estimate tracks the NET
+// triangle count of the live graph; see the rept package documentation
+// for the estimator semantics. The flag is part of the snapshot
+// fingerprint like the other statistical flags.
+//
 // Durability: -snapshot enables POST /checkpoint, which persists the full
 // estimator state atomically (temp file + rename) without pausing
 // ingestion; -restore boots from such a snapshot, picking the stream up
 // exactly where the checkpoint left it. The statistical flags (-m, -c,
-// -shards, -seed, -local, -eta, -degrees) must match the snapshot's
+// -shards, -seed, -local, -eta, -degrees, -dynamic) must match the snapshot's
 // fingerprint or the boot fails with an error naming the differing
 // fields; -local -degrees=false restores checkpoints taken before degree
 // tracking existed.
@@ -97,6 +106,7 @@ func run(args []string) error {
 		shards   = fs.Int("shards", 0, "engine shards (0 = auto)")
 		seed     = fs.Int64("seed", 1, "random seed")
 		local    = fs.Bool("local", false, "track local (per-node) estimates and degrees (enables /local, /topk, /cc, /query)")
+		dynamic  = fs.Bool("dynamic", false, "accept edge deletions (op:\"del\" lines and DELETE /edges); estimates track the net live graph")
 		degrees  = fs.Bool("degrees", true, "with -local, also track per-node degrees (disable to restore degree-less snapshots, e.g. pre-upgrade checkpoints)")
 		eta      = fs.Bool("eta", false, "force η̂ tracking (variance for every config)")
 		batch    = fs.Int("batch", 0, "ingest hand-off batch length (0 = default)")
@@ -112,12 +122,13 @@ func run(args []string) error {
 	}
 
 	est, err := newEstimator(rept.ConcurrentConfig{
-		M:          *m,
-		C:          *c,
-		Shards:     *shards,
-		Seed:       *seed,
-		TrackLocal: *local,
-		TrackEta:   *eta,
+		M:            *m,
+		C:            *c,
+		Shards:       *shards,
+		Seed:         *seed,
+		TrackLocal:   *local,
+		FullyDynamic: *dynamic,
+		TrackEta:     *eta,
 		// Degrees ride along with -local: clustering coefficients need
 		// both, and the O(V) table is cheap next to the local counters.
 		// -degrees=false opts out, which is how a -local deployment
@@ -150,8 +161,8 @@ func run(args []string) error {
 
 	errc := make(chan error, 1)
 	go func() {
-		fmt.Fprintf(os.Stderr, "reptserve: listening on %s (m=%d c=%d shards=%d local=%v)\n",
-			*addr, *m, *c, est.Shards(), *local)
+		fmt.Fprintf(os.Stderr, "reptserve: listening on %s (m=%d c=%d shards=%d local=%v dynamic=%v)\n",
+			*addr, *m, *c, est.Shards(), *local, *dynamic)
 		errc <- srv.ListenAndServe()
 	}()
 

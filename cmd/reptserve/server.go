@@ -30,10 +30,13 @@ const maxLineLen = 1 << 20
 // maxQueryNodes bounds one POST /query batch.
 const maxQueryNodes = 100_000
 
-// edgeLine is one NDJSON ingest record: {"u": 1, "v": 2}.
+// edgeLine is one NDJSON ingest record: {"u": 1, "v": 2} with an
+// optional "op" of "add" (default) or "del". Deletions additionally
+// require the server to run with -dynamic.
 type edgeLine struct {
-	U *uint32 `json:"u"`
-	V *uint32 `json:"v"`
+	U  *uint32 `json:"u"`
+	V  *uint32 `json:"v"`
+	Op string  `json:"op"`
 }
 
 // endpoints is the fixed per-endpoint request-counter key set; paths
@@ -220,39 +223,52 @@ func statRow(v *rept.View, st rept.NodeStat) nodeJSON {
 	return row
 }
 
-// ingestResponse summarizes one POST /edges request.
+// ingestResponse summarizes one POST/DELETE /edges request.
 type ingestResponse struct {
-	// Accepted counts non-loop edges ingested from this request body.
+	// Accepted counts non-loop events ingested from this request body.
 	Accepted int `json:"accepted"`
+	// Deleted counts how many of the accepted events were deletions.
+	Deleted int `json:"deleted,omitempty"`
 	// SelfLoops counts self-loop lines skipped in this request body.
 	SelfLoops int `json:"selfLoops"`
-	// Processed is the estimator's total non-loop edge count afterwards
+	// Processed is the estimator's total non-loop event count afterwards
 	// (all clients combined).
 	Processed uint64 `json:"processed"`
 }
 
-// handleEdges ingests NDJSON edges: one {"u":..,"v":..} object per line.
-// Blank lines are skipped. On a malformed line the request fails with 400
-// after reporting the line number; lines before it are already ingested
+// handleEdges ingests NDJSON edge events: one {"u":..,"v":..} object per
+// line, each carrying an optional "op" of "add" (default) or "del".
+// POST defaults lines to insertions; DELETE defaults them to deletions
+// (so `curl -X DELETE` with plain {"u":..,"v":..} lines unfollows edges),
+// and either default can be overridden per line via "op". Deletion events
+// require the server to run with -dynamic (409 otherwise). Blank lines
+// are skipped. On a malformed line the request fails with 400 after
+// reporting the line number; lines before it are already ingested
 // (ingestion is streaming, not transactional).
 func (s *Server) handleEdges(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		w.Header().Set("Allow", http.MethodPost)
-		writeError(w, http.StatusMethodNotAllowed, "POST NDJSON edge lines to /edges")
+	if r.Method != http.MethodPost && r.Method != http.MethodDelete {
+		w.Header().Set("Allow", "POST, DELETE")
+		writeError(w, http.StatusMethodNotAllowed, "POST (insert) or DELETE (remove) NDJSON edge lines to /edges")
+		return
+	}
+	defaultDel := r.Method == http.MethodDelete
+	dynamic := s.est.Config().FullyDynamic
+	if defaultDel && !dynamic {
+		writeError(w, http.StatusConflict, "edge deletions are disabled; start reptserve with -dynamic")
 		return
 	}
 	sc := bufio.NewScanner(r.Body)
 	sc.Buffer(make([]byte, 0, 64*1024), maxLineLen)
 
 	var resp ingestResponse
-	batch := make([]rept.Edge, 0, ingestBatchLen)
+	batch := make([]rept.Update, 0, ingestBatchLen)
 	// flush hands the parsed batch to the estimator; false means the
 	// server is shutting down and the handler must bail with 503.
 	flush := func() bool {
 		if len(batch) == 0 {
 			return true
 		}
-		ok := s.estCall(func() { s.est.AddAll(batch) })
+		ok := s.estCall(func() { s.est.ApplyAll(batch) })
 		batch = batch[:0]
 		return ok
 	}
@@ -266,34 +282,54 @@ func (s *Server) handleEdges(w http.ResponseWriter, r *http.Request) {
 		var el edgeLine
 		if err := json.Unmarshal(raw, &el); err != nil {
 			flush()
-			writeError(w, http.StatusBadRequest, "line %d: %v (accepted %d edges before it)", line, err, resp.Accepted)
+			writeError(w, http.StatusBadRequest, "line %d: %v (accepted %d events before it)", line, err, resp.Accepted)
 			return
 		}
 		if el.U == nil || el.V == nil {
 			flush()
-			writeError(w, http.StatusBadRequest, "line %d: need both \"u\" and \"v\" (accepted %d edges before it)", line, resp.Accepted)
+			writeError(w, http.StatusBadRequest, "line %d: need both \"u\" and \"v\" (accepted %d events before it)", line, resp.Accepted)
+			return
+		}
+		del := defaultDel
+		switch el.Op {
+		case "": // keep the method's default
+		case "add":
+			del = false
+		case "del", "delete":
+			del = true
+		default:
+			flush()
+			writeError(w, http.StatusBadRequest, "line %d: op %q, want \"add\" or \"del\" (accepted %d events before it)", line, el.Op, resp.Accepted)
+			return
+		}
+		if del && !dynamic {
+			flush()
+			writeError(w, http.StatusConflict, "line %d: edge deletions are disabled; start reptserve with -dynamic (accepted %d events before it)", line, resp.Accepted)
 			return
 		}
 		// Self-loops ride along so the estimator's own SelfLoops counter
-		// (surfaced by /estimate) stays consistent; AddAll skips them.
+		// (surfaced by /estimate) stays consistent; ApplyAll skips them.
 		if *el.U == *el.V {
 			resp.SelfLoops++
 		} else {
 			resp.Accepted++
+			if del {
+				resp.Deleted++
+			}
 		}
-		batch = append(batch, rept.Edge{U: rept.NodeID(*el.U), V: rept.NodeID(*el.V)})
+		batch = append(batch, rept.Update{U: rept.NodeID(*el.U), V: rept.NodeID(*el.V), Del: del})
 		if len(batch) == cap(batch) && !flush() {
-			writeError(w, http.StatusServiceUnavailable, "server is shutting down (accepted %d edges)", resp.Accepted)
+			writeError(w, http.StatusServiceUnavailable, "server is shutting down (accepted %d events)", resp.Accepted)
 			return
 		}
 	}
 	if err := sc.Err(); err != nil {
 		flush()
-		writeError(w, http.StatusBadRequest, "reading body: %v (accepted %d edges)", err, resp.Accepted)
+		writeError(w, http.StatusBadRequest, "reading body: %v (accepted %d events)", err, resp.Accepted)
 		return
 	}
 	if !flush() {
-		writeError(w, http.StatusServiceUnavailable, "server is shutting down (accepted %d edges)", resp.Accepted)
+		writeError(w, http.StatusServiceUnavailable, "server is shutting down (accepted %d events)", resp.Accepted)
 		return
 	}
 	resp.Processed = s.est.Processed()
@@ -306,12 +342,15 @@ func (s *Server) handleEdges(w http.ResponseWriter, r *http.Request) {
 // view's prefix (equal to asOfProcessed for the former).
 type estimateResponse struct {
 	viewMeta
-	Global    float64  `json:"global"`
-	Variance  *float64 `json:"variance,omitempty"`
-	StdErr    *float64 `json:"stderr,omitempty"`
-	EtaHat    float64  `json:"etaHat"`
-	Processed uint64   `json:"processed"`
-	SelfLoops uint64   `json:"selfLoops"`
+	Global   float64  `json:"global"`
+	Variance *float64 `json:"variance,omitempty"`
+	StdErr   *float64 `json:"stderr,omitempty"`
+	EtaHat   float64  `json:"etaHat"`
+	// Processed counts non-loop events (insertions plus deletions) at the
+	// view's prefix; Deleted the deletions alone (omitted when zero).
+	Processed uint64 `json:"processed"`
+	Deleted   uint64 `json:"deleted,omitempty"`
+	SelfLoops uint64 `json:"selfLoops"`
 }
 
 // handleEstimate serves GET /estimate from the current epoch view (no
@@ -334,6 +373,7 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		Global:    v.Global,
 		EtaHat:    v.EtaHat,
 		Processed: v.Processed,
+		Deleted:   v.Deleted,
 		SelfLoops: v.SelfLoops,
 	}
 	if !math.IsNaN(v.Variance) {
@@ -510,9 +550,10 @@ type statsResponse struct {
 	viewMeta
 	// StaleEdges is how many edges arrived after the view's prefix.
 	StaleEdges uint64 `json:"staleEdges"`
-	// Processed/SelfLoops are the LIVE tallies (the view's are in
+	// Processed/Deleted/SelfLoops are the LIVE tallies (the view's are in
 	// viewMeta and /estimate).
 	Processed    uint64            `json:"processed"`
+	Deleted      uint64            `json:"deleted"`
 	SelfLoops    uint64            `json:"selfLoops"`
 	SampledEdges int               `json:"sampledEdges"`
 	Shards       int               `json:"shards"`
@@ -545,6 +586,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		viewMeta:     metaOf(v),
 		StaleEdges:   processed - v.Processed,
 		Processed:    processed,
+		Deleted:      s.est.Deleted(),
 		SelfLoops:    s.est.SelfLoops(),
 		SampledEdges: v.SampledEdges,
 		Shards:       s.est.Shards(),
@@ -574,7 +616,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	gauge := func(name, help string, val float64) {
 		b = fmt.Appendf(b, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, val)
 	}
-	counter("rept_processed_edges_total", "Non-loop edges accepted (live).", s.est.Processed())
+	counter("rept_processed_edges_total", "Non-loop edge events accepted, insertions plus deletions (live).", s.est.Processed())
+	counter("rept_deleted_edges_total", "Non-loop edge deletion events accepted (live).", s.est.Deleted())
 	counter("rept_self_loops_total", "Self-loop arrivals skipped (live).", s.est.SelfLoops())
 	gauge("rept_sampled_edges", "Edges stored across all logical processors at the view prefix.", float64(v.SampledEdges))
 	gauge("rept_shards", "Engine shard count.", float64(s.est.Shards()))

@@ -29,6 +29,8 @@ type ConcurrentConfig struct {
 	Seed int64
 	// TrackLocal enables per-node estimates.
 	TrackLocal bool
+	// FullyDynamic enables edge deletions, exactly as Config.FullyDynamic.
+	FullyDynamic bool
 	// TrackEta forces η̂ bookkeeping on every shard (see Config.TrackEta).
 	TrackEta bool
 	// TrackDegrees maintains a per-node stream degree table alongside the
@@ -78,6 +80,7 @@ func (c ConcurrentConfig) shardConfig() shard.Config {
 		Shards:       c.Shards,
 		Seed:         c.Seed,
 		TrackLocal:   c.TrackLocal,
+		FullyDynamic: c.FullyDynamic,
 		TrackEta:     c.TrackEta,
 		TrackDegrees: c.TrackDegrees,
 		Workers:      c.Workers,
@@ -108,6 +111,16 @@ func (c *Concurrent) AddEdge(edge Edge) { c.sh.Add(edge.U, edge.V) }
 // AddAll feeds a slice of stream edges in order under one critical
 // section; bulk callers should prefer it over per-edge Add.
 func (c *Concurrent) AddAll(edges []Edge) { c.sh.AddAll(edges) }
+
+// Delete feeds one stream edge deletion; estimates then track the net
+// (live) graph. Requires ConcurrentConfig.FullyDynamic (panics with
+// ErrNotDynamic otherwise). Safe for concurrent use.
+func (c *Concurrent) Delete(u, v NodeID) { c.sh.Delete(u, v) }
+
+// ApplyAll feeds a slice of signed stream events in order under one
+// critical section — the bulk fully-dynamic ingest path. Deletion events
+// require ConcurrentConfig.FullyDynamic.
+func (c *Concurrent) ApplyAll(ups []Update) { c.sh.ApplyAll(ups) }
 
 // Snapshot drains in-flight edges and returns the merged estimate at a
 // consistent stream prefix — a full cross-shard barrier, regardless of
@@ -158,9 +171,13 @@ func (c *Concurrent) Locals() map[NodeID]float64 {
 	return c.sh.Snapshot().Local
 }
 
-// Processed returns the number of non-loop edges accepted so far,
-// including edges still buffered in flight.
+// Processed returns the number of non-loop events (insertions plus
+// deletions) accepted so far, including events still buffered in flight.
 func (c *Concurrent) Processed() uint64 { return c.sh.Processed() }
+
+// Deleted returns the number of non-loop deletion events accepted so far
+// (always 0 unless ConcurrentConfig.FullyDynamic).
+func (c *Concurrent) Deleted() uint64 { return c.sh.Deleted() }
 
 // SelfLoops returns the number of self-loop arrivals skipped.
 func (c *Concurrent) SelfLoops() uint64 { return c.sh.SelfLoops() }

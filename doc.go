@@ -49,6 +49,53 @@
 // with equal M and C. cmd/reptserve wraps a Concurrent estimator in an
 // HTTP service (NDJSON ingest, mid-stream estimate queries).
 //
+// # Fully-dynamic streams
+//
+// With Config.FullyDynamic (or ConcurrentConfig.FullyDynamic) the
+// estimator accepts edge deletions — Delete, or Apply/ApplyAll with
+// Update events — and every estimate tracks the NET triangle statistics
+// of the live graph: what remains after follows and unfollows, flow
+// arrivals and expiries. The stream contract is the usual fully-dynamic
+// one: delete only edges that are currently live, insert only edges that
+// are not.
+//
+// Semantics. Each deletion applies the exact signed inverse of the
+// insertion update: the counters decrease by the number of
+// semi-triangles the deletion un-closes against each processor's sampled
+// set, and the edge leaves the sample if it was in it. Because the
+// sampler is a fixed-probability hash partition (an edge's sample
+// membership is a deterministic function of its key), the random-pairing
+// compensation that reservoir samplers need for deletions (TRIÈST-FD)
+// degenerates to the identity here — a deleted sampled edge's slot is
+// re-filled exactly when its key re-arrives — so the unbiasing factors
+// are unchanged and the estimator stays exactly unbiased for the net
+// count under arbitrary well-formed churn. The d_i/d_o pairing counters
+// are still tracked (Estimator.PairingStats) and carried by snapshots.
+//
+// What a delete of an unsampled edge means: nothing is removed (the edge
+// was never stored), but the signed counter update still applies — the
+// deletion un-closes semi-triangles whose other two edges are sampled.
+// Individual per-processor counters can therefore go transiently
+// negative, and on small samples even the aggregated estimate can dip
+// below zero; it is not clamped, because clamping would bias it. A
+// deletion of an edge that was NEVER inserted violates the stream
+// contract: the engine stays deterministic and finite, counts the event
+// in PairingStats.PhantomDeletes, and the estimate is no longer
+// meaningful.
+//
+// Guarantees under churn: the global and local estimators are unbiased
+// for the net counts at every prefix, and their variance satisfies the
+// natural generalization of Theorem 3 (the closed forms with the
+// same-pair and shared-edge signed masses in place of τ and 2η —
+// validated empirically by TestAccuracyFullyDynamic). The η̂-based
+// plug-in Variance and the Graybill–Deal combination weights use the
+// insert-only formulas with the signed counters substituted; under heavy
+// churn treat Variance as a diagnostic approximation rather than an
+// exact error bar. Insert-only streams behave bit-identically whether
+// FullyDynamic is on or off; the flag is part of the snapshot
+// fingerprint (format version 3; older snapshots restore as insert-only
+// state).
+//
 // # Query views and staleness semantics
 //
 // Snapshot pays a full cross-shard barrier, which is exact but serializes

@@ -1,0 +1,134 @@
+package rept_test
+
+import (
+	"math"
+	"testing"
+
+	"rept"
+	"rept/internal/exper"
+	"rept/internal/gen"
+)
+
+// TestFullyDynamicInsertOnlyIdentical pins the acceptance contract at
+// the public API: on a deletion-free stream, estimators built with and
+// without FullyDynamic produce bit-identical estimates, at both the
+// single-caller and the concurrent layer.
+func TestFullyDynamicInsertOnlyIdentical(t *testing.T) {
+	edges := gen.Shuffle(gen.HolmeKim(250, 4, 0.4, 15), 2)
+
+	t.Run("Estimator", func(t *testing.T) {
+		cfg := rept.Config{M: 4, C: 10, Seed: 3, TrackLocal: true, TrackEta: true}
+		plain, err := rept.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer plain.Close()
+		cfg.FullyDynamic = true
+		dyn, err := rept.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer dyn.Close()
+		plain.AddAll(edges)
+		dyn.ApplyAll(rept.Inserts(edges))
+		a, b := plain.Result(), dyn.Result()
+		if a.Global != b.Global || a.Variance != b.Variance || a.EtaHat != b.EtaHat {
+			t.Errorf("insert-only estimates diverge: %+v vs %+v", a, b)
+		}
+		for v, x := range a.Local {
+			if b.Local[v] != x {
+				t.Fatalf("Local[%d] = %v vs %v", v, x, b.Local[v])
+			}
+		}
+	})
+
+	t.Run("Concurrent", func(t *testing.T) {
+		cfg := rept.ConcurrentConfig{M: 4, C: 12, Shards: 2, Seed: 3, TrackLocal: true}
+		plain, err := rept.NewConcurrent(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer plain.Close()
+		cfg.FullyDynamic = true
+		dyn, err := rept.NewConcurrent(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer dyn.Close()
+		plain.AddAll(edges)
+		dyn.ApplyAll(rept.Inserts(edges))
+		a, b := plain.Snapshot(), dyn.Snapshot()
+		if a.Global != b.Global {
+			t.Errorf("insert-only concurrent estimates diverge: %v vs %v", a.Global, b.Global)
+		}
+	})
+}
+
+// TestFullyDynamicExactMode: with M = 1 (every edge sampled) the
+// fully-dynamic estimator IS an exact net triangle counter; driving a
+// churn schedule through the concurrent layer must land exactly on the
+// reference count, and the pairing stats must classify every deletion as
+// a sampled deletion.
+func TestFullyDynamicExactMode(t *testing.T) {
+	base := gen.Shuffle(gen.HolmeKim(120, 4, 0.5, 9), 4)
+	ups := exper.DynStream(base, exper.DynOptions{Pattern: exper.BurstDelete, DeleteFrac: 0.3, Seed: 6})
+	ref := exper.DynCountExact(ups, true)
+
+	est, err := rept.New(rept.Config{M: 1, C: 1, Seed: 1, TrackLocal: true, FullyDynamic: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer est.Close()
+	est.ApplyAll(ups)
+
+	if g := est.Global(); g != float64(ref.Tau) {
+		t.Errorf("exact-mode net Global = %v, reference %d", g, ref.Tau)
+	}
+	for v, want := range ref.TauV {
+		if got := est.Local(v); got != float64(want) {
+			t.Fatalf("exact-mode net Local[%d] = %v, reference %d", v, got, want)
+		}
+	}
+	ps := est.PairingStats()
+	if ps.UnsampledDeletes != 0 || ps.PhantomDeletes != 0 {
+		t.Errorf("M=1 pairing stats %+v: every deletion should be a sampled deletion", ps)
+	}
+	if ps.SampledDeletes != uint64(ref.Deletes) {
+		t.Errorf("SampledDeletes = %d, want %d", ps.SampledDeletes, ref.Deletes)
+	}
+	if est.SampledEdges() != ref.LiveEdges {
+		t.Errorf("SampledEdges = %d, want live %d", est.SampledEdges(), ref.LiveEdges)
+	}
+}
+
+// TestFullyDynamicViews: views over a fully-dynamic concurrent estimator
+// report net counts and the deletion tally at a consistent prefix.
+func TestFullyDynamicViews(t *testing.T) {
+	base := gen.Shuffle(gen.HolmeKim(150, 4, 0.4, 23), 8)
+	ups := exper.DynStream(base, exper.DynOptions{Pattern: exper.Churn, DeleteFrac: 0.33, Seed: 2})
+	ref := exper.DynCountExact(ups, false)
+
+	est, err := rept.NewConcurrent(rept.ConcurrentConfig{M: 1, C: 1, Seed: 1, FullyDynamic: true, TrackDegrees: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer est.Close()
+	views, err := est.StartViews(rept.ViewConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	est.ApplyAll(ups)
+	v := views.Refresh()
+	if v.Global != float64(ref.Tau) {
+		t.Errorf("view net Global = %v, reference %d", v.Global, ref.Tau)
+	}
+	if v.Deleted != uint64(ref.Deletes) || v.Processed != uint64(ref.Events) {
+		t.Errorf("view tallies = (%d, %d), want (%d, %d)", v.Processed, v.Deleted, ref.Events, ref.Deletes)
+	}
+	if v.SampledEdges != ref.LiveEdges {
+		t.Errorf("view SampledEdges = %d, want live %d", v.SampledEdges, ref.LiveEdges)
+	}
+	if math.IsNaN(v.Global) {
+		t.Error("view Global is NaN")
+	}
+}

@@ -46,6 +46,17 @@ type Config struct {
 	Seed int64
 	// TrackLocal enables per-node (local) triangle count estimation.
 	TrackLocal bool
+	// FullyDynamic enables signed streams: Delete/Apply with deletion
+	// events. Counters then estimate the NET (live-graph) triangle
+	// statistics; insert-only behavior is bit-identical whether the flag
+	// is set or not. The flag is part of the snapshot fingerprint. With
+	// fixed-probability hash-partition sampling the random-pairing
+	// compensation of TRIÈST-FD degenerates to the identity — a deleted
+	// sampled edge's slot is re-filled exactly when its key re-arrives —
+	// so the m²/c unbiasing factors are unchanged; the d_i/d_o pairing
+	// counters are still tracked (Engine.PairingCounters) for diagnostics
+	// and carried by version-3 snapshots.
+	FullyDynamic bool
 	// TrackEta forces η⁽ⁱ⁾ bookkeeping even when the (M, C) combination
 	// does not require it for the estimate (useful for diagnostics and
 	// the variance-validation experiment). When C > M with C%M ≠ 0 the
@@ -86,6 +97,10 @@ func (c Config) Validate() error {
 
 // ErrClosed is returned or panicked on use of an engine after Close.
 var ErrClosed = errors.New("core: engine is closed")
+
+// ErrNotDynamic is panicked when a deletion is fed to an engine built
+// without Config.FullyDynamic.
+var ErrNotDynamic = errors.New("core: deletions require Config.FullyDynamic")
 
 // layout captures the processor-group structure for (m, c).
 type layout struct {

@@ -132,8 +132,8 @@ func TestEstimateCombination(t *testing.T) {
 	agg := &Aggregates{
 		M:       3,
 		C:       7,
-		TauProc: []uint64{5, 7, 3, 6, 4, 5, 2}, // sum1=30 (first 6), sum2=2
-		EtaProc: []uint64{1, 0, 2, 1, 1, 0, 1}, // total 6
+		TauProc: []int64{5, 7, 3, 6, 4, 5, 2}, // sum1=30 (first 6), sum2=2
+		EtaProc: []int64{1, 0, 2, 1, 1, 0, 1}, // total 6
 	}
 	if err := agg.SanityCheck(); err != nil {
 		t.Fatal(err)
@@ -159,12 +159,12 @@ func TestEstimateCombination(t *testing.T) {
 
 func TestEstimatePureCases(t *testing.T) {
 	// c ≤ m: τ̂ = m²/c Σ.
-	agg := &Aggregates{M: 10, C: 4, TauProc: []uint64{1, 2, 3, 4}}
+	agg := &Aggregates{M: 10, C: 4, TauProc: []int64{1, 2, 3, 4}}
 	if est := agg.Estimate(); est.Global != 100.0*10/4 || est.Combined {
 		t.Errorf("c≤m: Global = %v (combined=%v), want 250 (false)", est.Global, est.Combined)
 	}
 	// c = c₁m: τ̂ = m/c₁ Σ.
-	tp := make([]uint64, 20)
+	tp := make([]int64, 20)
 	for i := range tp {
 		tp[i] = 2
 	}
@@ -173,18 +173,18 @@ func TestEstimatePureCases(t *testing.T) {
 		t.Errorf("c=c1m: Global = %v, want 200", est.Global)
 	}
 	// All-zero counters with combination: falls back to pooled 0.
-	agg = &Aggregates{M: 3, C: 7, TauProc: make([]uint64, 7), EtaProc: make([]uint64, 7)}
+	agg = &Aggregates{M: 3, C: 7, TauProc: make([]int64, 7), EtaProc: make([]int64, 7)}
 	if est := agg.Estimate(); est.Global != 0 || est.Combined {
 		t.Errorf("zero counters: Global = %v (combined=%v), want 0 (false)", est.Global, est.Combined)
 	}
 }
 
 func TestAggregatesSanityCheck(t *testing.T) {
-	bad := &Aggregates{M: 2, C: 3, TauProc: make([]uint64, 2)}
+	bad := &Aggregates{M: 2, C: 3, TauProc: make([]int64, 2)}
 	if err := bad.SanityCheck(); err == nil {
 		t.Error("SanityCheck accepted wrong TauProc length")
 	}
-	bad = &Aggregates{M: 2, C: 3, TauProc: make([]uint64, 3), EtaProc: make([]uint64, 1)}
+	bad = &Aggregates{M: 2, C: 3, TauProc: make([]int64, 3), EtaProc: make([]int64, 1)}
 	if err := bad.SanityCheck(); err == nil {
 		t.Error("SanityCheck accepted wrong EtaProc length")
 	}

@@ -13,7 +13,8 @@ const defaultBatchSize = 2048
 // broadcast over up to Workers goroutines.
 //
 // Engine is not safe for concurrent use by multiple callers; a single
-// streaming caller drives Add, and the engine parallelizes internally.
+// streaming caller drives Add/Delete, and the engine parallelizes
+// internally.
 type Engine struct {
 	cfg      Config
 	lay      layout
@@ -23,12 +24,13 @@ type Engine struct {
 	seqCols  []int // per-group color scratch for the sequential path
 
 	workers int
-	batch   []graph.Edge
-	chans   []chan []graph.Edge
+	batch   []graph.Update
+	chans   []chan []graph.Update
 	wg      sync.WaitGroup
 	closed  bool
 
 	processed uint64
+	deleted   uint64
 	selfLoops uint64
 }
 
@@ -58,10 +60,10 @@ func NewEngine(cfg Config) (*Engine, error) {
 		if bs <= 0 {
 			bs = defaultBatchSize
 		}
-		e.batch = make([]graph.Edge, 0, bs)
-		e.chans = make([]chan []graph.Edge, e.workers)
+		e.batch = make([]graph.Update, 0, bs)
+		e.chans = make([]chan []graph.Update, e.workers)
 		for w := 0; w < e.workers; w++ {
-			e.chans[w] = make(chan []graph.Edge)
+			e.chans[w] = make(chan []graph.Update)
 			go e.worker(w, e.chans[w])
 		}
 	}
@@ -72,57 +74,94 @@ func NewEngine(cfg Config) (*Engine, error) {
 // index ≡ w mod workers) for every broadcast batch. Batches are read-only
 // shared slices; the coordinator waits for all workers before reusing the
 // buffer, so no copies are needed.
-func (e *Engine) worker(w int, ch <-chan []graph.Edge) {
+func (e *Engine) worker(w int, ch <-chan []graph.Update) {
 	cols := make([]int, len(e.fam))
 	for batch := range ch {
-		for _, edge := range batch {
-			key := edge.Key()
+		for _, up := range batch {
+			key := graph.Key(up.U, up.V)
 			for g, h := range e.fam {
 				cols[g] = h.Color(key)
 			}
 			for i := w; i < len(e.procs); i += e.workers {
 				p := e.procs[i]
-				p.processEdge(edge.U, edge.V, key, cols[p.group])
+				p.apply(up, key, cols[p.group])
 			}
 		}
 		e.wg.Done()
 	}
 }
 
-// Add feeds one stream edge to the estimator. Self-loops are skipped (a
+// Add feeds one stream edge insertion. Self-loops are skipped (a
 // self-loop cannot be part of a triangle).
 func (e *Engine) Add(u, v graph.NodeID) {
+	e.apply(graph.Update{U: u, V: v})
+}
+
+// Delete feeds one stream edge deletion. It requires Config.FullyDynamic
+// and panics with ErrNotDynamic otherwise; self-loops are skipped like
+// insertions. Deleting an edge that is live but unsampled is the normal
+// case and costs nothing extra; deleting an edge that was never inserted
+// (a malformed stream) keeps the engine deterministic and finite but
+// poisons the estimate (see PairingCounters).
+func (e *Engine) Delete(u, v graph.NodeID) {
+	if !e.cfg.FullyDynamic {
+		panic(ErrNotDynamic)
+	}
+	e.apply(graph.Update{U: u, V: v, Del: true})
+}
+
+// Apply feeds one signed stream event. Deletions require
+// Config.FullyDynamic (see Delete).
+func (e *Engine) Apply(up graph.Update) {
+	if up.Del && !e.cfg.FullyDynamic {
+		panic(ErrNotDynamic)
+	}
+	e.apply(up)
+}
+
+func (e *Engine) apply(up graph.Update) {
 	if e.closed {
 		panic(ErrClosed)
 	}
-	if u == v {
+	if up.U == up.V {
 		e.selfLoops++
 		return
 	}
 	e.processed++
+	if up.Del {
+		e.deleted++
+	}
 	if e.workers <= 1 {
-		key := graph.Key(u, v)
+		key := graph.Key(up.U, up.V)
 		for g, h := range e.fam {
 			e.seqCols[g] = h.Color(key)
 		}
 		for _, p := range e.procs {
-			p.processEdge(u, v, key, e.seqCols[p.group])
+			p.apply(up, key, e.seqCols[p.group])
 		}
 		return
 	}
-	e.batch = append(e.batch, graph.Edge{U: u, V: v})
+	e.batch = append(e.batch, up)
 	if len(e.batch) == cap(e.batch) {
 		e.flush()
 	}
 }
 
-// AddEdge feeds one stream edge.
+// AddEdge feeds one stream edge insertion.
 func (e *Engine) AddEdge(edge graph.Edge) { e.Add(edge.U, edge.V) }
 
-// AddAll feeds a slice of stream edges in order.
+// AddAll feeds a slice of stream edge insertions in order.
 func (e *Engine) AddAll(edges []graph.Edge) {
 	for _, edge := range edges {
 		e.Add(edge.U, edge.V)
+	}
+}
+
+// ApplyAll feeds a slice of signed stream events in order. Deletions
+// require Config.FullyDynamic.
+func (e *Engine) ApplyAll(ups []graph.Update) {
+	for _, up := range ups {
+		e.Apply(up)
 	}
 }
 
@@ -150,15 +189,15 @@ func (e *Engine) Aggregates() *Aggregates {
 	if e.workers > 1 {
 		e.flush()
 	}
-	agg := &Aggregates{M: e.cfg.M, C: e.cfg.C, TauProc: make([]uint64, e.cfg.C)}
+	agg := &Aggregates{M: e.cfg.M, C: e.cfg.C, TauProc: make([]int64, e.cfg.C)}
 	if e.trackEta {
-		agg.EtaProc = make([]uint64, e.cfg.C)
+		agg.EtaProc = make([]int64, e.cfg.C)
 	}
 	if e.cfg.TrackLocal {
-		agg.TauV1 = make(map[graph.NodeID]uint64)
-		agg.TauV2 = make(map[graph.NodeID]uint64)
+		agg.TauV1 = make(map[graph.NodeID]int64)
+		agg.TauV2 = make(map[graph.NodeID]int64)
 		if e.trackEta {
-			agg.EtaV = make(map[graph.NodeID]uint64)
+			agg.EtaV = make(map[graph.NodeID]int64)
 		}
 	}
 	for i, p := range e.procs {
@@ -187,14 +226,57 @@ func (e *Engine) Aggregates() *Aggregates {
 // Result drains pending work and evaluates the REPT estimators.
 func (e *Engine) Result() Estimate { return e.Aggregates().Estimate() }
 
-// Processed returns the number of non-loop edges fed so far.
+// Processed returns the number of non-loop events (insertions plus
+// deletions) fed so far. It is monotone in stream position.
 func (e *Engine) Processed() uint64 { return e.processed }
+
+// Deleted returns the number of non-loop deletion events fed so far
+// (always 0 unless Config.FullyDynamic).
+func (e *Engine) Deleted() uint64 { return e.deleted }
 
 // SelfLoops returns the number of self-loop arrivals skipped.
 func (e *Engine) SelfLoops() uint64 { return e.selfLoops }
 
+// PairingStats are the engine-wide random-pairing deletion tallies,
+// summed over the logical processors (see snapshot.ProcState for the
+// per-processor split).
+type PairingStats struct {
+	// SampledDeletes counts deletions whose edge was in some processor's
+	// sample at deletion time (TRIÈST-FD's d_i, summed over processors).
+	// Under hash-partition sampling each is compensated immediately by its
+	// own removal, which is why the unbiasing factors need no adjustment.
+	SampledDeletes uint64
+	// UnsampledDeletes counts deletions outside the sample (d_o summed).
+	UnsampledDeletes uint64
+	// PhantomDeletes counts deletions of edges the hash says would have
+	// been sampled but that were absent — i.e. deletions of edges never
+	// inserted. Non-zero phantom counts flag a malformed stream whose
+	// estimates are unreliable.
+	PhantomDeletes uint64
+}
+
+// PairingCounters drains pending work and returns the engine-wide
+// random-pairing deletion tallies.
+func (e *Engine) PairingCounters() PairingStats {
+	if e.closed {
+		panic(ErrClosed)
+	}
+	if e.workers > 1 {
+		e.flush()
+	}
+	var ps PairingStats
+	for _, p := range e.procs {
+		ps.SampledDeletes += p.di
+		ps.UnsampledDeletes += p.do
+		ps.PhantomDeletes += p.phantom
+	}
+	return ps
+}
+
 // SampledEdges returns the total number of edges currently stored across
-// all logical processors (expected ≈ C·|E|/M), a memory diagnostic.
+// all logical processors (expected ≈ C·|E_live|/M), a memory diagnostic.
+// In fully-dynamic mode it tracks the live edge set: deletions of sampled
+// edges shrink it.
 func (e *Engine) SampledEdges() int {
 	total := 0
 	for _, p := range e.procs {

@@ -108,7 +108,7 @@ func compareAggregates(t *testing.T, cfg Config, aggE, aggS *Aggregates) {
 	compareCountMaps(t, cfg, "EtaV", aggE.EtaV, aggS.EtaV)
 }
 
-func compareCountMaps(t *testing.T, cfg Config, name string, a, b map[graph.NodeID]uint64) {
+func compareCountMaps(t *testing.T, cfg Config, name string, a, b map[graph.NodeID]int64) {
 	t.Helper()
 	for v, x := range a {
 		if x != b[v] {

@@ -17,19 +17,25 @@ import (
 // the partial group (τ̂⁽²⁾). For c ≤ m all processors form one partial
 // group (c₁ = 0), so TauV1 is empty and TauV2 carries everything, which
 // makes Algorithm 1 the c₁ = 0 special case of Algorithm 2.
+// Counters are signed: in fully-dynamic mode individual processors can
+// hold transiently negative τ⁽ⁱ⁾/η⁽ⁱ⁾ (see proc); insert-only streams
+// never produce negative values.
 type Aggregates struct {
 	M, C    int
-	TauProc []uint64
-	EtaProc []uint64
+	TauProc []int64
+	EtaProc []int64
 
-	TauV1 map[graph.NodeID]uint64 // Σ τ⁽ⁱ⁾_v over full-group processors
-	TauV2 map[graph.NodeID]uint64 // Σ τ⁽ⁱ⁾_v over partial-group processors
-	EtaV  map[graph.NodeID]uint64 // Σ η⁽ⁱ⁾_v over all processors
+	TauV1 map[graph.NodeID]int64 // Σ τ⁽ⁱ⁾_v over full-group processors
+	TauV2 map[graph.NodeID]int64 // Σ τ⁽ⁱ⁾_v over partial-group processors
+	EtaV  map[graph.NodeID]int64 // Σ η⁽ⁱ⁾_v over all processors
 }
 
 // Estimate holds the REPT output.
 type Estimate struct {
-	// Global is τ̂, the estimated number of triangles in the stream.
+	// Global is τ̂, the estimated number of triangles in the stream — the
+	// NET (live-graph) count in fully-dynamic mode, where small samples
+	// can produce slightly negative values (the estimator is unbiased;
+	// clamping would bias it upward).
 	Global float64
 	// Local is τ̂_v for every node that appeared in at least one sampled
 	// semi-triangle; absent nodes have estimate 0. Nil unless the engine
@@ -54,7 +60,7 @@ func (a *Aggregates) Estimate() Estimate {
 	lay := newLayout(a.M, a.C)
 	m := float64(a.M)
 
-	var sum1, sum2, etaSum uint64
+	var sum1, sum2, etaSum int64
 	for i, t := range a.TauProc {
 		if lay.isPartialProc(i) {
 			sum2 += t
@@ -75,7 +81,7 @@ func (a *Aggregates) Estimate() Estimate {
 
 	if a.TauV1 != nil || a.TauV2 != nil {
 		est.Local = make(map[graph.NodeID]float64, maxLen(a.TauV1, a.TauV2))
-		fill := func(src map[graph.NodeID]uint64) {
+		fill := func(src map[graph.NodeID]int64) {
 			for v := range src {
 				if _, done := est.Local[v]; done {
 					continue
@@ -147,7 +153,7 @@ func plugInVariance(lay layout, haveEta bool, tauHat, etaHat float64) float64 {
 	return VarREPT(lay.m, lay.c, tauHat, etaHat)
 }
 
-func maxLen(a, b map[graph.NodeID]uint64) int {
+func maxLen(a, b map[graph.NodeID]int64) int {
 	if len(a) > len(b) {
 		return len(a)
 	}

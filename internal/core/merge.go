@@ -54,13 +54,13 @@ func MergeGroups(shards ...*Aggregates) (*Aggregates, error) {
 			anyLocal = true
 		}
 	}
-	out := &Aggregates{M: m, C: total, TauProc: make([]uint64, 0, total)}
+	out := &Aggregates{M: m, C: total, TauProc: make([]int64, 0, total)}
 	if allEta {
-		out.EtaProc = make([]uint64, 0, total)
+		out.EtaProc = make([]int64, 0, total)
 	}
 	if anyLocal {
-		out.TauV1 = make(map[graph.NodeID]uint64)
-		out.TauV2 = make(map[graph.NodeID]uint64)
+		out.TauV1 = make(map[graph.NodeID]int64)
+		out.TauV2 = make(map[graph.NodeID]int64)
 	}
 	for i, s := range shards {
 		out.TauProc = append(out.TauProc, s.TauProc...)
@@ -75,7 +75,7 @@ func MergeGroups(shards ...*Aggregates) (*Aggregates, error) {
 		// TauV2 even though, within the merged layout, those processors
 		// form full groups).
 		last := i == len(shards)-1
-		addInto := func(dst, src map[graph.NodeID]uint64) {
+		addInto := func(dst, src map[graph.NodeID]int64) {
 			for v, x := range src {
 				dst[v] += x
 			}
@@ -93,7 +93,7 @@ func MergeGroups(shards ...*Aggregates) (*Aggregates, error) {
 		// merge EtaV only when every shard tracked it.
 		if allEtaV {
 			if out.EtaV == nil {
-				out.EtaV = make(map[graph.NodeID]uint64)
+				out.EtaV = make(map[graph.NodeID]int64)
 			}
 			addInto(out.EtaV, s.EtaV)
 		}

@@ -70,7 +70,7 @@ func TestMergeGroupsEquivalence(t *testing.T) {
 
 func TestMergeGroupsValidation(t *testing.T) {
 	mk := func(m, c int) *Aggregates {
-		return &Aggregates{M: m, C: c, TauProc: make([]uint64, c)}
+		return &Aggregates{M: m, C: c, TauProc: make([]int64, c)}
 	}
 	if _, err := MergeGroups(); err == nil {
 		t.Error("MergeGroups(): got nil error")
@@ -91,7 +91,7 @@ func TestMergeGroupsValidation(t *testing.T) {
 		t.Errorf("merged C = %d, want 5", merged.C)
 	}
 	// Broken shard rejected.
-	bad := &Aggregates{M: 3, C: 3, TauProc: make([]uint64, 1)}
+	bad := &Aggregates{M: 3, C: 3, TauProc: make([]int64, 1)}
 	if _, err := MergeGroups(bad); err == nil {
 		t.Error("inconsistent shard: got nil error")
 	}
@@ -99,10 +99,10 @@ func TestMergeGroupsValidation(t *testing.T) {
 
 func TestMergeGroupsEtaHandling(t *testing.T) {
 	withEta := func(c int) *Aggregates {
-		return &Aggregates{M: 3, C: c, TauProc: make([]uint64, c), EtaProc: make([]uint64, c)}
+		return &Aggregates{M: 3, C: c, TauProc: make([]int64, c), EtaProc: make([]int64, c)}
 	}
 	noEta := func(c int) *Aggregates {
-		return &Aggregates{M: 3, C: c, TauProc: make([]uint64, c)}
+		return &Aggregates{M: 3, C: c, TauProc: make([]int64, c)}
 	}
 	m1, err := MergeGroups(withEta(3), withEta(3))
 	if err != nil {
@@ -125,14 +125,14 @@ func TestMergeGroupsEtaHandling(t *testing.T) {
 // TauV2. After merging, non-final shards' sums must all be class 1.
 func TestMergeGroupsLocalReclassification(t *testing.T) {
 	s1 := &Aggregates{
-		M: 3, C: 3, TauProc: make([]uint64, 3),
-		TauV1: map[graph.NodeID]uint64{1: 5},
-		TauV2: map[graph.NodeID]uint64{},
+		M: 3, C: 3, TauProc: make([]int64, 3),
+		TauV1: map[graph.NodeID]int64{1: 5},
+		TauV2: map[graph.NodeID]int64{},
 	}
 	s2 := &Aggregates{
-		M: 3, C: 2, TauProc: make([]uint64, 2),
-		TauV1: map[graph.NodeID]uint64{},
-		TauV2: map[graph.NodeID]uint64{1: 7, 2: 1},
+		M: 3, C: 2, TauProc: make([]int64, 2),
+		TauV1: map[graph.NodeID]int64{},
+		TauV2: map[graph.NodeID]int64{1: 7, 2: 1},
 	}
 	merged, err := MergeGroups(s1, s2)
 	if err != nil {
@@ -143,9 +143,9 @@ func TestMergeGroupsLocalReclassification(t *testing.T) {
 	}
 	// Final shard with full groups goes to class 1 too.
 	s3 := &Aggregates{
-		M: 3, C: 3, TauProc: make([]uint64, 3),
-		TauV1: map[graph.NodeID]uint64{},
-		TauV2: map[graph.NodeID]uint64{4: 2}, // e.g. produced by a C<M run... reclassified
+		M: 3, C: 3, TauProc: make([]int64, 3),
+		TauV1: map[graph.NodeID]int64{},
+		TauV2: map[graph.NodeID]int64{4: 2}, // e.g. produced by a C<M run... reclassified
 	}
 	merged2, err := MergeGroups(s1, s3)
 	if err != nil {

@@ -7,6 +7,15 @@ import "rept/internal/graph"
 // sampled set) but stores only the edges its group hash colors with its
 // own color — the paper's distributed-memory model where each processor
 // keeps an expected p·|E| edges.
+//
+// Counters are signed: in fully-dynamic mode a processor's τ⁽ⁱ⁾ can go
+// negative transiently (a deletion may be observed against sampled wedge
+// edges whose closing insert was not, because the closing edge itself was
+// unsampled when the wedge formed later). The estimator is unbiased for
+// the NET triangle count exactly because those signed contributions
+// cancel in expectation. On insert-only streams every counter stays
+// non-negative and the arithmetic is bit-identical to the historical
+// unsigned implementation.
 type proc struct {
 	group      int
 	color      int
@@ -15,14 +24,26 @@ type proc struct {
 
 	adj *graph.Adjacency
 
-	tau  uint64
-	eta  uint64
-	tauV map[graph.NodeID]uint64
-	etaV map[graph.NodeID]uint64
-	// tcnt[g] is τ⁽ⁱ⁾_g: the number of triangles in Δ⁽ⁱ⁾ containing the
-	// sampled edge g — the per-edge counters Algorithm 2 uses to maintain
-	// η⁽ⁱ⁾ incrementally.
-	tcnt map[uint64]uint32
+	tau  int64
+	eta  int64
+	tauV map[graph.NodeID]int64
+	etaV map[graph.NodeID]int64
+	// tcnt[g] is τ⁽ⁱ⁾_g: the signed number of semi-triangle closings in
+	// Δ⁽ⁱ⁾ involving the sampled edge g as a wedge edge — the per-edge
+	// counters Algorithm 2 uses to maintain η⁽ⁱ⁾ incrementally. Entries
+	// exist for exactly the sampled edges; deletion of a sampled edge
+	// removes its entry (a re-insertion re-derives it from the current
+	// sampled graph).
+	tcnt map[uint64]int32
+
+	// Random-pairing deletion counters (TRIÈST-FD's d_i/d_o, specialized
+	// to hash-partition sampling): di counts deletions of edges that were
+	// in this processor's sample (each immediately compensated by its own
+	// removal — the pairing is deterministic here, so the unbiasing factor
+	// stays exactly 1), do counts deletions of edges outside the sample.
+	// phantom counts malformed deletions: the hash says the edge would
+	// have been sampled, yet it is absent — i.e. it was never inserted.
+	di, do, phantom uint64
 
 	scratch []graph.NodeID
 }
@@ -36,13 +57,13 @@ func newProc(group, color int, trackLocal, trackEta bool) *proc {
 		adj:        graph.NewAdjacency(),
 	}
 	if trackLocal {
-		p.tauV = make(map[graph.NodeID]uint64)
+		p.tauV = make(map[graph.NodeID]int64)
 		if trackEta {
-			p.etaV = make(map[graph.NodeID]uint64)
+			p.etaV = make(map[graph.NodeID]int64)
 		}
 	}
 	if trackEta {
-		p.tcnt = make(map[uint64]uint32)
+		p.tcnt = make(map[uint64]int32)
 	}
 	return p
 }
@@ -54,7 +75,7 @@ func newProc(group, color int, trackLocal, trackEta bool) *proc {
 // all m processors of a group share the hash.
 func (p *proc) processEdge(u, v graph.NodeID, key uint64, color int) {
 	p.scratch = p.adj.CommonNeighbors(u, v, p.scratch[:0])
-	n := uint64(len(p.scratch))
+	n := int64(len(p.scratch))
 	p.tau += n
 	if p.trackLocal && n > 0 {
 		p.tauV[u] += n
@@ -67,16 +88,16 @@ func (p *proc) processEdge(u, v graph.NodeID, key uint64, color int) {
 		for _, w := range p.scratch {
 			kuw, kvw := graph.Key(u, w), graph.Key(v, w)
 			a, b := p.tcnt[kuw], p.tcnt[kvw]
-			p.eta += uint64(a) + uint64(b)
+			p.eta += int64(a) + int64(b)
 			if p.etaV != nil {
-				if ab := uint64(a) + uint64(b); ab > 0 {
+				if ab := int64(a) + int64(b); ab != 0 {
 					p.etaV[w] += ab
 				}
-				if a > 0 {
-					p.etaV[u] += uint64(a)
+				if a != 0 {
+					p.etaV[u] += int64(a)
 				}
-				if b > 0 {
-					p.etaV[v] += uint64(b)
+				if b != 0 {
+					p.etaV[v] += int64(b)
 				}
 			}
 			p.tcnt[kuw] = a + 1
@@ -85,7 +106,74 @@ func (p *proc) processEdge(u, v graph.NodeID, key uint64, color int) {
 	}
 	if color == p.color {
 		if p.adj.Add(u, v) && p.trackEta {
-			p.tcnt[key] = uint32(n)
+			p.tcnt[key] = int32(n)
 		}
+	}
+}
+
+// deleteEdge is the exact signed inverse of processEdge: the removal of
+// the edge from E⁽ⁱ⁾ (when sampled) followed by the reverse counter
+// updates over the wedges the deletion un-closes. On a well-formed stream
+// a matched insert/delete pair leaves every counter exactly where it
+// started, so the net counters estimate the net (live-graph) statistics
+// with the unchanged m²/c unbiasing factor — the deterministic-pairing
+// analogue of TRIÈST-FD's random pairing under fixed-probability
+// sampling.
+//
+// Whether the deleted edge itself is sampled does not affect the wedge
+// arithmetic (an edge is never a wedge of its own triangle-closing
+// events), so every processor applies the same signed update and the
+// cross-processor counter semantics stay aligned.
+func (p *proc) deleteEdge(u, v graph.NodeID, key uint64, color int) {
+	if color == p.color {
+		if p.adj.Remove(u, v) {
+			p.di++
+			if p.trackEta {
+				delete(p.tcnt, key)
+			}
+		} else {
+			p.phantom++
+		}
+	} else {
+		p.do++
+	}
+	p.scratch = p.adj.CommonNeighbors(u, v, p.scratch[:0])
+	n := int64(len(p.scratch))
+	p.tau -= n
+	if p.trackLocal && n > 0 {
+		p.tauV[u] -= n
+		p.tauV[v] -= n
+		for _, w := range p.scratch {
+			p.tauV[w]--
+		}
+	}
+	if p.trackEta {
+		for _, w := range p.scratch {
+			kuw, kvw := graph.Key(u, w), graph.Key(v, w)
+			a, b := p.tcnt[kuw]-1, p.tcnt[kvw]-1
+			p.tcnt[kuw] = a
+			p.tcnt[kvw] = b
+			p.eta -= int64(a) + int64(b)
+			if p.etaV != nil {
+				if ab := int64(a) + int64(b); ab != 0 {
+					p.etaV[w] -= ab
+				}
+				if a != 0 {
+					p.etaV[u] -= int64(a)
+				}
+				if b != 0 {
+					p.etaV[v] -= int64(b)
+				}
+			}
+		}
+	}
+}
+
+// apply dispatches one signed stream event.
+func (p *proc) apply(up graph.Update, key uint64, color int) {
+	if up.Del {
+		p.deleteEdge(up.U, up.V, key, color)
+	} else {
+		p.processEdge(up.U, up.V, key, color)
 	}
 }

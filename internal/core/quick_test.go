@@ -74,14 +74,14 @@ func TestQuickPooledLinearity(t *testing.T) {
 	f := func(mRaw, cRaw uint8, counts []uint16, kRaw uint8) bool {
 		m := int(mRaw%8) + 1
 		c := int(cRaw%4+1) * m // multiple of m => pure case
-		k := uint64(kRaw%7) + 2
-		tp := make([]uint64, c)
+		k := int64(kRaw%7) + 2
+		tp := make([]int64, c)
 		for i := range tp {
 			if len(counts) > 0 {
-				tp[i] = uint64(counts[i%len(counts)])
+				tp[i] = int64(counts[i%len(counts)])
 			}
 		}
-		scaled := make([]uint64, c)
+		scaled := make([]int64, c)
 		for i := range tp {
 			scaled[i] = tp[i] * k
 		}
@@ -104,12 +104,12 @@ func TestQuickCombinationBounded(t *testing.T) {
 		c1 := int(c1Raw%3) + 1
 		c2 := int(c2Raw)%(m-1) + 1
 		c := c1*m + c2
-		tp := make([]uint64, c)
+		tp := make([]int64, c)
 		// Spread sum1 over full-group processors and sum2 over partial.
-		tp[0] = uint64(s1)
-		tp[c1*m] = uint64(s2)
-		ep := make([]uint64, c)
-		ep[0] = uint64(e)
+		tp[0] = int64(s1)
+		tp[c1*m] = int64(s2)
+		ep := make([]int64, c)
+		ep[0] = int64(e)
 		agg := &Aggregates{M: m, C: c, TauProc: tp, EtaProc: ep}
 		est := agg.Estimate()
 

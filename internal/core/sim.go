@@ -29,12 +29,12 @@ type Sim struct {
 	tcnt     []uint32                                // [edgeID*numL + l] τ⁽ⁱ⁾_edge counters (η bookkeeping)
 	numEdges int
 
-	tau [][]uint64 // [group][color] semi-triangle counts, all m colors
-	eta [][]uint64 // [group][color] η⁽ⁱ⁾ counts
+	tau [][]int64 // [group][color] semi-triangle counts, all m colors
+	eta [][]int64 // [group][color] η⁽ⁱ⁾ counts
 
-	tauV1 map[graph.NodeID]uint64
-	tauV2 map[graph.NodeID]uint64
-	etaV  map[graph.NodeID]uint64
+	tauV1 map[graph.NodeID]int64
+	tauV2 map[graph.NodeID]int64
+	etaV  map[graph.NodeID]int64
 
 	scratch  []simWedge
 	matchNew []uint32
@@ -63,21 +63,21 @@ func NewSim(cfg Config) (*Sim, error) {
 		adj:      make(map[graph.NodeID]map[graph.NodeID]int32),
 		matchNew: make([]uint32, lay.groups),
 	}
-	s.tau = make([][]uint64, lay.groups)
+	s.tau = make([][]int64, lay.groups)
 	for l := range s.tau {
-		s.tau[l] = make([]uint64, cfg.M)
+		s.tau[l] = make([]int64, cfg.M)
 	}
 	if s.trackEta {
-		s.eta = make([][]uint64, lay.groups)
+		s.eta = make([][]int64, lay.groups)
 		for l := range s.eta {
-			s.eta[l] = make([]uint64, cfg.M)
+			s.eta[l] = make([]int64, cfg.M)
 		}
 	}
 	if cfg.TrackLocal {
-		s.tauV1 = make(map[graph.NodeID]uint64)
-		s.tauV2 = make(map[graph.NodeID]uint64)
+		s.tauV1 = make(map[graph.NodeID]int64)
+		s.tauV2 = make(map[graph.NodeID]int64)
 		if s.trackEta {
-			s.etaV = make(map[graph.NodeID]uint64)
+			s.etaV = make(map[graph.NodeID]int64)
 		}
 	}
 	return s, nil
@@ -150,16 +150,16 @@ func (s *Sim) Add(u, v graph.NodeID) {
 					dst[cn.w]++
 				}
 				if s.trackEta {
-					s.eta[l][cu] += uint64(a) + uint64(b)
+					s.eta[l][cu] += int64(a) + int64(b)
 					if s.etaV != nil {
-						if ab := uint64(a) + uint64(b); ab > 0 {
+						if ab := int64(a) + int64(b); ab > 0 {
 							s.etaV[cn.w] += ab
 						}
 						if a > 0 {
-							s.etaV[u] += uint64(a)
+							s.etaV[u] += int64(a)
 						}
 						if b > 0 {
-							s.etaV[v] += uint64(b)
+							s.etaV[v] += int64(b)
 						}
 					}
 				}
@@ -229,10 +229,10 @@ func (s *Sim) AggregatesFor(c int) (*Aggregates, error) {
 	if lay.groups > s.numL {
 		return nil, fmt.Errorf("core: AggregatesFor(%d) needs %d groups, have %d", c, lay.groups, s.numL)
 	}
-	agg := &Aggregates{M: s.cfg.M, C: c, TauProc: make([]uint64, c)}
+	agg := &Aggregates{M: s.cfg.M, C: c, TauProc: make([]int64, c)}
 	needEta := s.trackEta && (s.cfg.TrackEta || lay.needsEta())
 	if needEta {
-		agg.EtaProc = make([]uint64, c)
+		agg.EtaProc = make([]int64, c)
 	}
 	for i := 0; i < c; i++ {
 		g, j := lay.groupOf(i), lay.colorOf(i)

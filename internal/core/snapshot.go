@@ -16,11 +16,12 @@ import (
 // caller must supply the identical family on restore.
 func (c Config) fingerprint() snapshot.Fingerprint {
 	return snapshot.Fingerprint{
-		M:          c.M,
-		C:          c.C,
-		Seed:       c.Seed,
-		TrackLocal: c.TrackLocal,
-		TrackEta:   c.TrackEta,
+		M:            c.M,
+		C:            c.C,
+		Seed:         c.Seed,
+		TrackLocal:   c.TrackLocal,
+		TrackEta:     c.TrackEta,
+		FullyDynamic: c.FullyDynamic,
 	}
 }
 
@@ -39,12 +40,14 @@ func (e *Engine) State() *snapshot.EngineState {
 	st := &snapshot.EngineState{
 		Fingerprint: e.cfg.fingerprint(),
 		Processed:   e.processed,
+		Deleted:     e.deleted,
 		SelfLoops:   e.selfLoops,
 		Procs:       make([]snapshot.ProcState, len(e.procs)),
 	}
 	for i, p := range e.procs {
 		ps := &st.Procs[i]
 		ps.Tau, ps.Eta = p.tau, p.eta
+		ps.Di, ps.Do, ps.Phantom = p.di, p.do, p.phantom
 		ps.Edges = p.adj.AppendEdges(make([]graph.Edge, 0, p.adj.Edges()))
 		ps.TauV = maps.Clone(p.tauV)
 		ps.EtaV = maps.Clone(p.etaV)
@@ -110,9 +113,9 @@ func (e *Engine) loadState(st *snapshot.EngineState) error {
 		if p.trackEta != (ps.Tcnt != nil) {
 			return fmt.Errorf("%w: processor %d edge-triangle counters presence disagrees with η tracking=%v", snapshot.ErrCorrupt, i, p.trackEta)
 		}
-		// Every sampled edge owns exactly one per-edge triangle counter
-		// while η is tracked (entries are created at insertion and edges
-		// are never removed), so the sizes must agree.
+		// Every sampled edge owns exactly one per-edge closing counter
+		// while η is tracked (entries are created at insertion and removed
+		// with their edge on deletion), so the sizes must agree.
 		if p.trackEta && len(ps.Tcnt) != len(ps.Edges) {
 			return fmt.Errorf("%w: processor %d has %d edge-triangle counters for %d sampled edges", snapshot.ErrCorrupt, i, len(ps.Tcnt), len(ps.Edges))
 		}
@@ -130,6 +133,7 @@ func (e *Engine) loadState(st *snapshot.EngineState) error {
 			}
 		}
 		p.tau, p.eta = ps.Tau, ps.Eta
+		p.di, p.do, p.phantom = ps.Di, ps.Do, ps.Phantom
 		if ps.TauV != nil {
 			p.tauV = ps.TauV
 		}
@@ -140,6 +144,6 @@ func (e *Engine) loadState(st *snapshot.EngineState) error {
 			p.tcnt = ps.Tcnt
 		}
 	}
-	e.processed, e.selfLoops = st.Processed, st.SelfLoops
+	e.processed, e.deleted, e.selfLoops = st.Processed, st.Deleted, st.SelfLoops
 	return nil
 }

@@ -196,7 +196,7 @@ func TestRestoreRejectsInconsistentState(t *testing.T) {
 			p := &s.Procs[0]
 			if len(p.Edges) == 0 {
 				p.Edges = []graph.Edge{{U: 1, V: 2}}
-				p.Tcnt = map[uint64]uint32{graph.Key(1, 2): 0}
+				p.Tcnt = map[uint64]int32{graph.Key(1, 2): 0}
 			}
 			p.Edges = append(p.Edges, p.Edges[0])
 			p.Tcnt[graph.Key(2000, 2001)] = 0 // keep sizes consistent

@@ -47,6 +47,40 @@ func (t *DegreeTable) bump(v NodeID) {
 	}
 }
 
+// RemoveEdge records one non-loop edge deletion, decrementing both
+// endpoint degrees. Nodes whose degree reaches zero are dropped from the
+// table. Degrees floor at zero: a deletion of an edge that was never
+// inserted (a malformed stream) cannot drive a degree negative, and a
+// node saturated at the uint32 maximum stays saturated (the count is
+// already unreliable there). Self-loops are ignored, as in AddEdge.
+func (t *DegreeTable) RemoveEdge(u, v NodeID) {
+	if u == v {
+		return
+	}
+	t.drop(u)
+	t.drop(v)
+}
+
+func (t *DegreeTable) drop(v NodeID) {
+	switch d := t.deg[v]; d {
+	case 0, ^uint32(0):
+		// Never seen (malformed delete) or saturated: leave untouched.
+	case 1:
+		delete(t.deg, v)
+	default:
+		t.deg[v] = d - 1
+	}
+}
+
+// ApplyUpdate records one signed edge event.
+func (t *DegreeTable) ApplyUpdate(up Update) {
+	if up.Del {
+		t.RemoveEdge(up.U, up.V)
+	} else {
+		t.AddEdge(up.U, up.V)
+	}
+}
+
 // Degree returns the recorded degree of v (0 if never seen).
 func (t *DegreeTable) Degree(v NodeID) uint32 { return t.deg[v] }
 

@@ -64,3 +64,43 @@ func TestRestoreDegreeTable(t *testing.T) {
 		t.Error("RestoreDegreeTable(nil) is not an empty usable table")
 	}
 }
+
+func TestDegreeTableRemoveEdge(t *testing.T) {
+	dt := NewDegreeTable()
+	dt.AddEdge(1, 2)
+	dt.AddEdge(1, 3)
+	dt.RemoveEdge(1, 2)
+	if dt.Degree(1) != 1 || dt.Degree(2) != 0 {
+		t.Errorf("degrees after removal = (%d, %d), want (1, 0)", dt.Degree(1), dt.Degree(2))
+	}
+	if dt.Nodes() != 2 { // node 2 dropped at zero, 1 and 3 remain
+		t.Errorf("Nodes = %d, want 2", dt.Nodes())
+	}
+	// Floor at zero: removing an edge that was never added is a no-op.
+	dt.RemoveEdge(7, 8)
+	dt.RemoveEdge(1, 2)
+	if dt.Degree(1) != 0 || dt.Degree(7) != 0 {
+		t.Errorf("degrees after malformed removals = (%d, %d), want (0, 0)", dt.Degree(1), dt.Degree(7))
+	}
+	// Self-loops are ignored on removal as on insertion.
+	dt.RemoveEdge(3, 3)
+	if dt.Degree(3) != 1 {
+		t.Errorf("degree(3) after self-loop removal = %d, want 1", dt.Degree(3))
+	}
+	// Saturated nodes stay saturated rather than becoming wrong.
+	sat := RestoreDegreeTable(map[NodeID]uint32{9: ^uint32(0)})
+	sat.RemoveEdge(9, 10)
+	if sat.Degree(9) != ^uint32(0) {
+		t.Errorf("saturated degree decremented to %d", sat.Degree(9))
+	}
+}
+
+func TestDegreeTableApplyUpdate(t *testing.T) {
+	dt := NewDegreeTable()
+	dt.ApplyUpdate(Update{U: 1, V: 2})
+	dt.ApplyUpdate(Update{U: 1, V: 3})
+	dt.ApplyUpdate(Update{U: 1, V: 2, Del: true})
+	if dt.Degree(1) != 1 || dt.Degree(2) != 0 || dt.Degree(3) != 1 {
+		t.Errorf("degrees = (%d, %d, %d), want (1, 0, 1)", dt.Degree(1), dt.Degree(2), dt.Degree(3))
+	}
+}

@@ -47,3 +47,26 @@ func KeyEdge(k uint64) Edge {
 // IsSelfLoop reports whether both endpoints coincide. Self-loops cannot be
 // part of a triangle and are skipped by every consumer in this module.
 func (e Edge) IsSelfLoop() bool { return e.U == e.V }
+
+// Update is one event of a fully-dynamic (signed) edge stream: the
+// insertion of {U, V} or, when Del is set, its deletion. A slice of
+// Updates generalizes a slice of Edges; insert-only streams are the
+// Del == false special case. Well-formed streams delete only live edges
+// and insert only non-live ones; consumers stay deterministic (and
+// finite) on malformed streams but their estimates are then meaningless.
+type Update struct {
+	U, V NodeID
+	Del  bool
+}
+
+// Edge returns the update's endpoints as an Edge.
+func (up Update) Edge() Edge { return Edge{U: up.U, V: up.V} }
+
+// Inserts wraps an insert-only edge stream as an update stream.
+func Inserts(edges []Edge) []Update {
+	out := make([]Update, len(edges))
+	for i, e := range edges {
+		out[i] = Update{U: e.U, V: e.V}
+	}
+	return out
+}

@@ -113,6 +113,7 @@ func (p *Publisher) publish() *View {
 		Variance:     obs.Estimate.Variance,
 		EtaHat:       obs.Estimate.EtaHat,
 		Processed:    obs.Processed,
+		Deleted:      obs.Deleted,
 		SelfLoops:    obs.SelfLoops,
 		SampledEdges: obs.SampledEdges,
 		Local:        obs.Estimate.Local,

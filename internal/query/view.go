@@ -50,8 +50,11 @@ type View struct {
 	// Global, Variance, and EtaHat are the merged estimate at the prefix
 	// (Variance is NaN when the configuration does not track it).
 	Global, Variance, EtaHat float64
-	// Processed and SelfLoops are the ingest tallies at the prefix.
-	Processed, SelfLoops uint64
+	// Processed, Deleted, and SelfLoops are the ingest tallies at the
+	// prefix. Processed counts insertions plus deletions (monotone);
+	// Deleted is non-zero only for fully-dynamic streams, whose views
+	// reflect NET (live-graph) counts.
+	Processed, Deleted, SelfLoops uint64
 	// SampledEdges is the number of edges stored across all logical
 	// processors at the prefix.
 	SampledEdges int

@@ -24,8 +24,10 @@ type Observation struct {
 	// SampledEdges is the total number of edges stored across all shards'
 	// logical processors at the prefix.
 	SampledEdges int
-	// Processed and SelfLoops are the coordinator tallies at the prefix.
-	Processed, SelfLoops uint64
+	// Processed, Deleted, and SelfLoops are the coordinator tallies at
+	// the prefix (Processed counts insertions plus deletions; Deleted the
+	// deletions alone).
+	Processed, Deleted, SelfLoops uint64
 }
 
 // Observe drains in-flight edges and returns a barrier-consistent
@@ -49,6 +51,7 @@ func (s *Sharded) Observe() Observation {
 		Degrees:      bar.degrees,
 		SampledEdges: total,
 		Processed:    bar.processed,
+		Deleted:      bar.deleted,
 		SelfLoops:    bar.selfLoops,
 	}
 }

@@ -53,6 +53,10 @@ type Config struct {
 	Seed int64
 	// TrackLocal enables per-node estimates on every shard.
 	TrackLocal bool
+	// FullyDynamic enables signed streams on every shard: Delete and
+	// deletion-bearing ApplyAll. Part of the snapshot fingerprint, like
+	// the other statistical flags.
+	FullyDynamic bool
 	// TrackEta forces η bookkeeping on every shard. It is enabled
 	// automatically when the merged layout requires η̂ (C > M with
 	// C % M != 0), so the merged estimate uses the paper's Algorithm 2
@@ -135,22 +139,24 @@ func (c Config) shardConfigs() []core.Config {
 			procs += c2
 		}
 		out[i] = core.Config{
-			M:          c.M,
-			C:          procs,
-			Seed:       int64(hashing.SplitMix64(&state)),
-			TrackLocal: c.TrackLocal,
-			TrackEta:   trackEta,
-			Workers:    c.Workers,
+			M:            c.M,
+			C:            procs,
+			Seed:         int64(hashing.SplitMix64(&state)),
+			TrackLocal:   c.TrackLocal,
+			FullyDynamic: c.FullyDynamic,
+			TrackEta:     trackEta,
+			Workers:      c.Workers,
 		}
 	}
 	return out
 }
 
-// batch is a broadcast edge buffer shared read-only by all shards; the
-// last shard to release it returns it to the pool.
+// batch is a broadcast update buffer shared read-only by all shards; the
+// last shard to release it returns it to the pool. Insert-only streams
+// fill it with Del == false events.
 type batch struct {
-	edges []graph.Edge
-	refs  atomic.Int32
+	ups  []graph.Update
+	refs atomic.Int32
 }
 
 // barrier asks every shard to report its aggregates (and sampled-edge
@@ -165,11 +171,11 @@ type barrier struct {
 	// degrees is the degree tracker's table copy at the barrier prefix;
 	// nil when degree tracking is off.
 	degrees map[graph.NodeID]uint32
-	// processed and selfLoops are the coordinator tallies captured while
-	// the barrier was enqueued (under the ingest mutex), so they match
-	// the stream prefix the shard reports describe.
-	processed, selfLoops uint64
-	wg                   sync.WaitGroup
+	// processed, deleted, and selfLoops are the coordinator tallies
+	// captured while the barrier was enqueued (under the ingest mutex),
+	// so they match the stream prefix the shard reports describe.
+	processed, deleted, selfLoops uint64
+	wg                            sync.WaitGroup
 }
 
 // msg is one item of a shard channel: either an edge batch or a barrier.
@@ -199,6 +205,7 @@ type Sharded struct {
 	done sync.WaitGroup
 
 	processed atomic.Uint64
+	deleted   atomic.Uint64
 	selfLoops atomic.Uint64
 }
 
@@ -233,7 +240,7 @@ func build(cfg Config, restore []snapshot.EngineState, restoreDegrees map[graph.
 		engines:  make([]*core.Engine, len(sub)),
 		chans:    make([]chan msg, len(sub)),
 	}
-	s.pool.New = func() any { return &batch{edges: make([]graph.Edge, 0, batchLen)} }
+	s.pool.New = func() any { return &batch{ups: make([]graph.Update, 0, batchLen)} }
 	for i, sc := range sub {
 		var eng *core.Engine
 		var err error
@@ -275,11 +282,11 @@ func (s *Sharded) runDegrees(table *graph.DegreeTable) {
 			m.bar.wg.Done()
 			continue
 		}
-		for _, e := range m.b.edges {
-			table.AddEdge(e.U, e.V)
+		for _, up := range m.b.ups {
+			table.ApplyUpdate(up)
 		}
 		if m.b.refs.Add(-1) == 0 {
-			m.b.edges = m.b.edges[:0]
+			m.b.ups = m.b.ups[:0]
 			s.pool.Put(m.b)
 		}
 	}
@@ -311,41 +318,57 @@ func (s *Sharded) run(i int) {
 			m.bar.wg.Done()
 			continue
 		}
-		eng.AddAll(m.b.edges)
+		eng.ApplyAll(m.b.ups)
 		if m.b.refs.Add(-1) == 0 {
-			m.b.edges = m.b.edges[:0]
+			m.b.ups = m.b.ups[:0]
 			s.pool.Put(m.b)
 		}
 	}
 	eng.Close()
 }
 
-// Add feeds one stream edge. Safe for concurrent use; self-loops are
-// skipped. Add panics with core.ErrClosed after Close.
+// Add feeds one stream edge insertion. Safe for concurrent use;
+// self-loops are skipped. Add panics with core.ErrClosed after Close.
 func (s *Sharded) Add(u, v graph.NodeID) {
+	s.apply(graph.Update{U: u, V: v})
+}
+
+// Delete feeds one stream edge deletion. It requires Config.FullyDynamic
+// and panics with core.ErrNotDynamic otherwise. Safe for concurrent use.
+func (s *Sharded) Delete(u, v graph.NodeID) {
+	if !s.cfg.FullyDynamic {
+		panic(core.ErrNotDynamic)
+	}
+	s.apply(graph.Update{U: u, V: v, Del: true})
+}
+
+func (s *Sharded) apply(up graph.Update) {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
 		panic(core.ErrClosed)
 	}
-	if u == v {
+	if up.U == up.V {
 		s.selfLoops.Add(1)
 		s.mu.Unlock()
 		return
 	}
-	s.cur.edges = append(s.cur.edges, graph.Edge{U: u, V: v})
-	if len(s.cur.edges) >= s.batchLen {
+	s.cur.ups = append(s.cur.ups, up)
+	if len(s.cur.ups) >= s.batchLen {
 		s.flushLocked()
 	}
 	// Counted before the unlock so a concurrent Snapshot can never
-	// reflect an edge that Processed does not yet count.
+	// reflect an event that Processed does not yet count.
 	s.processed.Add(1)
+	if up.Del {
+		s.deleted.Add(1)
+	}
 	s.mu.Unlock()
 }
 
-// AddAll feeds a slice of stream edges in order under one critical
-// section, which is markedly cheaper than per-edge Add for bulk callers
-// (the HTTP ingest path batches request bodies through here).
+// AddAll feeds a slice of stream edge insertions in order under one
+// critical section, which is markedly cheaper than per-edge Add for bulk
+// callers (the HTTP ingest path batches request bodies through here).
 func (s *Sharded) AddAll(edges []graph.Edge) {
 	var accepted, loops uint64
 	s.mu.Lock()
@@ -358,9 +381,9 @@ func (s *Sharded) AddAll(edges []graph.Edge) {
 			loops++
 			continue
 		}
-		s.cur.edges = append(s.cur.edges, e)
+		s.cur.ups = append(s.cur.ups, graph.Update{U: e.U, V: e.V})
 		accepted++
-		if len(s.cur.edges) >= s.batchLen {
+		if len(s.cur.ups) >= s.batchLen {
 			s.flushLocked()
 		}
 	}
@@ -369,11 +392,49 @@ func (s *Sharded) AddAll(edges []graph.Edge) {
 	s.mu.Unlock()
 }
 
+// ApplyAll feeds a slice of signed stream events in order under one
+// critical section — the bulk entry point for fully-dynamic streams.
+// Deletion events require Config.FullyDynamic (panics with
+// core.ErrNotDynamic before touching the batch).
+func (s *Sharded) ApplyAll(ups []graph.Update) {
+	var accepted, dels, loops uint64
+	if !s.cfg.FullyDynamic {
+		for _, up := range ups {
+			if up.Del {
+				panic(core.ErrNotDynamic)
+			}
+		}
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		panic(core.ErrClosed)
+	}
+	for _, up := range ups {
+		if up.U == up.V {
+			loops++
+			continue
+		}
+		s.cur.ups = append(s.cur.ups, up)
+		accepted++
+		if up.Del {
+			dels++
+		}
+		if len(s.cur.ups) >= s.batchLen {
+			s.flushLocked()
+		}
+	}
+	s.processed.Add(accepted)
+	s.deleted.Add(dels)
+	s.selfLoops.Add(loops)
+	s.mu.Unlock()
+}
+
 // flushLocked broadcasts the pending batch to every shard channel. Caller
 // holds s.mu. The batch is shared read-only; shards refcount it back into
 // the pool.
 func (s *Sharded) flushLocked() {
-	if len(s.cur.edges) == 0 {
+	if len(s.cur.ups) == 0 {
 		return
 	}
 	b := s.cur
@@ -408,6 +469,7 @@ func (s *Sharded) barrier(wantStates bool) *barrier {
 	// Both tallies are only mutated under s.mu, so this read is exactly
 	// consistent with the prefix just flushed.
 	bar.processed = s.processed.Load()
+	bar.deleted = s.deleted.Load()
 	bar.selfLoops = s.selfLoops.Load()
 	bar.wg.Add(s.fanout())
 	for _, ch := range s.chans {
@@ -453,9 +515,14 @@ func (s *Sharded) SampledEdges() int {
 	return total
 }
 
-// Processed returns the number of non-loop edges accepted so far. It
-// counts arrivals, including edges still buffered in flight.
+// Processed returns the number of non-loop events (insertions plus
+// deletions) accepted so far. It counts arrivals, including events still
+// buffered in flight, and is monotone in stream position.
 func (s *Sharded) Processed() uint64 { return s.processed.Load() }
+
+// Deleted returns the number of non-loop deletion events accepted so far
+// (always 0 unless Config.FullyDynamic).
+func (s *Sharded) Deleted() uint64 { return s.deleted.Load() }
 
 // SelfLoops returns the number of self-loop arrivals skipped.
 func (s *Sharded) SelfLoops() uint64 { return s.selfLoops.Load() }

@@ -14,11 +14,12 @@ import (
 // enforced on restore.
 func (c Config) fingerprint() snapshot.Fingerprint {
 	return snapshot.Fingerprint{
-		M:          c.M,
-		C:          c.C,
-		Seed:       c.Seed,
-		TrackLocal: c.TrackLocal,
-		TrackEta:   c.TrackEta,
+		M:            c.M,
+		C:            c.C,
+		Seed:         c.Seed,
+		TrackLocal:   c.TrackLocal,
+		TrackEta:     c.TrackEta,
+		FullyDynamic: c.FullyDynamic,
 	}
 }
 
@@ -33,6 +34,7 @@ func (s *Sharded) WriteSnapshot(w io.Writer) error {
 		Fingerprint:  s.cfg.fingerprint(),
 		ShardCount:   len(s.engines),
 		Processed:    bar.processed,
+		Deleted:      bar.deleted,
 		SelfLoops:    bar.selfLoops,
 		TrackDegrees: s.cfg.TrackDegrees,
 		Degrees:      bar.degrees,
@@ -77,6 +79,7 @@ func Resume(cfg Config, r io.Reader) (*Sharded, error) {
 		return nil, err
 	}
 	s.processed.Store(st.Processed)
+	s.deleted.Store(st.Deleted)
 	s.selfLoops.Store(st.SelfLoops)
 	return s, nil
 }

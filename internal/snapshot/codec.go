@@ -7,6 +7,7 @@ import (
 	"hash"
 	"hash/crc32"
 	"io"
+	"math"
 	"sort"
 
 	"rept/internal/graph"
@@ -58,6 +59,14 @@ func (e *encoder) uvarint(x uint64) {
 	e.write(e.buf[:n])
 }
 
+// svarint writes a zigzag-encoded signed varint — the version-3 encoding
+// of the statistical counters, which fully-dynamic streams drive
+// transiently negative.
+func (e *encoder) svarint(x int64) {
+	n := binary.PutVarint(e.buf[:], x)
+	e.write(e.buf[:n])
+}
+
 func (e *encoder) u64(x uint64) {
 	binary.LittleEndian.PutUint64(e.buf[:8], x)
 	e.write(e.buf[:8])
@@ -86,16 +95,21 @@ func (e *encoder) fingerprint(f Fingerprint) {
 	e.u64(uint64(f.Seed))
 	e.bool(f.TrackLocal)
 	e.bool(f.TrackEta)
+	e.bool(f.FullyDynamic)
 }
 
 func (e *encoder) engineBody(st *EngineState) {
 	e.fingerprint(st.Fingerprint)
 	e.uvarint(st.Processed)
+	e.uvarint(st.Deleted)
 	e.uvarint(st.SelfLoops)
 	for i := range st.Procs {
 		p := &st.Procs[i]
-		e.uvarint(p.Tau)
-		e.uvarint(p.Eta)
+		e.svarint(p.Tau)
+		e.svarint(p.Eta)
+		e.uvarint(p.Di)
+		e.uvarint(p.Do)
+		e.uvarint(p.Phantom)
 		e.edgeSet(p.Edges)
 		e.nodeMap(p.TauV)
 		e.nodeMap(p.EtaV)
@@ -138,8 +152,9 @@ func (e *encoder) edgeSet(edges []graph.Edge) {
 }
 
 // nodeMap writes a per-node counter map: a presence flag (nil maps stay
-// nil on restore), then sorted delta-encoded node ids with their counts.
-func (e *encoder) nodeMap(m map[graph.NodeID]uint64) {
+// nil on restore), then sorted delta-encoded node ids with their signed
+// counts.
+func (e *encoder) nodeMap(m map[graph.NodeID]int64) {
 	if m == nil {
 		e.bool(false)
 		return
@@ -149,7 +164,7 @@ func (e *encoder) nodeMap(m map[graph.NodeID]uint64) {
 	for k := range m {
 		keys = append(keys, uint64(k))
 	}
-	e.deltaKeys(keys, func(k uint64) { e.uvarint(m[graph.NodeID(k)]) })
+	e.deltaKeys(keys, func(k uint64) { e.svarint(m[graph.NodeID(k)]) })
 }
 
 // degreeMap writes the coordinator degree table: sorted delta-encoded
@@ -163,8 +178,8 @@ func (e *encoder) degreeMap(m map[graph.NodeID]uint32) {
 	e.deltaKeys(keys, func(k uint64) { e.uvarint(uint64(m[graph.NodeID(k)])) })
 }
 
-// tcntMap writes the per-edge triangle counters, sorted by edge key.
-func (e *encoder) tcntMap(m map[uint64]uint32) {
+// tcntMap writes the per-edge closing counters, sorted by edge key.
+func (e *encoder) tcntMap(m map[uint64]int32) {
 	if m == nil {
 		e.bool(false)
 		return
@@ -174,7 +189,7 @@ func (e *encoder) tcntMap(m map[uint64]uint32) {
 	for k := range m {
 		keys = append(keys, k)
 	}
-	e.deltaKeys(keys, func(k uint64) { e.uvarint(uint64(m[k])) })
+	e.deltaKeys(keys, func(k uint64) { e.svarint(int64(m[k])) })
 }
 
 // decoder reads the snapshot wire format. Every byte consumed before the
@@ -184,6 +199,9 @@ type decoder struct {
 	r   *bufio.Reader
 	crc hash.Hash32
 	one [1]byte
+	// version is the format version read from the header; pre-version-3
+	// payloads encode counters as plain uvarints instead of zigzag.
+	version uint64
 }
 
 func newDecoder(r io.Reader) *decoder {
@@ -224,6 +242,26 @@ func (d *decoder) uvarint(what string) (uint64, error) {
 		return 0, corrupt(what, err)
 	}
 	return x, nil
+}
+
+// svarint reads one signed counter: zigzag in version ≥ 3, plain uvarint
+// (necessarily non-negative, range-checked) before that.
+func (d *decoder) svarint(what string) (int64, error) {
+	if d.version >= 3 {
+		x, err := binary.ReadVarint(d)
+		if err != nil {
+			return 0, corrupt(what, err)
+		}
+		return x, nil
+	}
+	x, err := d.uvarint(what)
+	if err != nil {
+		return 0, err
+	}
+	if x > math.MaxInt64 {
+		return 0, fmt.Errorf("%w: %s %d overflows int64", ErrCorrupt, what, x)
+	}
+	return int64(x), nil
 }
 
 func (d *decoder) count(what string) (int, error) {
@@ -286,6 +324,7 @@ func (d *decoder) header() (byte, uint64, error) {
 	if err != nil {
 		return 0, 0, corrupt("kind", err)
 	}
+	d.version = v
 	return kind, v, nil
 }
 
@@ -327,6 +366,11 @@ func (d *decoder) fingerprint() (Fingerprint, error) {
 	if f.TrackEta, err = d.bool("TrackEta"); err != nil {
 		return f, err
 	}
+	if d.version >= 3 {
+		if f.FullyDynamic, err = d.bool("FullyDynamic"); err != nil {
+			return f, err
+		}
+	}
 	return f, validFingerprint(f)
 }
 
@@ -338,6 +382,11 @@ func (d *decoder) engineBody() (*EngineState, error) {
 	}
 	if st.Processed, err = d.uvarint("processed"); err != nil {
 		return nil, err
+	}
+	if d.version >= 3 {
+		if st.Deleted, err = d.uvarint("deleted"); err != nil {
+			return nil, err
+		}
 	}
 	if st.SelfLoops, err = d.uvarint("selfLoops"); err != nil {
 		return nil, err
@@ -356,11 +405,22 @@ func (d *decoder) engineBody() (*EngineState, error) {
 func (d *decoder) proc() (ProcState, error) {
 	var p ProcState
 	var err error
-	if p.Tau, err = d.uvarint("tau"); err != nil {
+	if p.Tau, err = d.svarint("tau"); err != nil {
 		return p, err
 	}
-	if p.Eta, err = d.uvarint("eta"); err != nil {
+	if p.Eta, err = d.svarint("eta"); err != nil {
 		return p, err
+	}
+	if d.version >= 3 {
+		if p.Di, err = d.uvarint("di"); err != nil {
+			return p, err
+		}
+		if p.Do, err = d.uvarint("do"); err != nil {
+			return p, err
+		}
+		if p.Phantom, err = d.uvarint("phantom"); err != nil {
+			return p, err
+		}
 	}
 	if p.Edges, err = d.edgeSet(); err != nil {
 		return p, err
@@ -425,7 +485,7 @@ func (d *decoder) edgeSet() ([]graph.Edge, error) {
 	return out, nil
 }
 
-func (d *decoder) nodeMap(what string) (map[graph.NodeID]uint64, error) {
+func (d *decoder) nodeMap(what string) (map[graph.NodeID]int64, error) {
 	present, err := d.bool(what)
 	if err != nil || !present {
 		return nil, err
@@ -434,12 +494,12 @@ func (d *decoder) nodeMap(what string) (map[graph.NodeID]uint64, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := make(map[graph.NodeID]uint64, min(n, maxPrealloc))
+	out := make(map[graph.NodeID]int64, min(n, maxPrealloc))
 	err = d.deltaKeys(n, what, func(k uint64) error {
 		if err := nodeOutOfRange(k); err != nil {
 			return err
 		}
-		v, err := d.uvarint(what + " value")
+		v, err := d.svarint(what + " value")
 		if err != nil {
 			return err
 		}
@@ -480,7 +540,7 @@ func (d *decoder) degreeMap() (map[graph.NodeID]uint32, error) {
 	return out, nil
 }
 
-func (d *decoder) tcntMap() (map[uint64]uint32, error) {
+func (d *decoder) tcntMap() (map[uint64]int32, error) {
 	present, err := d.bool("tcnt")
 	if err != nil || !present {
 		return nil, err
@@ -489,19 +549,19 @@ func (d *decoder) tcntMap() (map[uint64]uint32, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := make(map[uint64]uint32, min(n, maxPrealloc))
+	out := make(map[uint64]int32, min(n, maxPrealloc))
 	err = d.deltaKeys(n, "tcnt", func(k uint64) error {
 		if err := keyOutOfRange(k); err != nil {
 			return err
 		}
-		v, err := d.uvarint("tcnt value")
+		v, err := d.svarint("tcnt value")
 		if err != nil {
 			return err
 		}
-		if v > uint64(^uint32(0)) {
-			return fmt.Errorf("%w: tcnt value %d overflows uint32", ErrCorrupt, v)
+		if v > math.MaxInt32 || v < math.MinInt32 {
+			return fmt.Errorf("%w: tcnt value %d overflows int32", ErrCorrupt, v)
 		}
-		out[k] = uint32(v)
+		out[k] = int32(v)
 		return nil
 	})
 	if err != nil {

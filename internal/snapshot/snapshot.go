@@ -25,14 +25,20 @@
 // canonical: two snapshots of the same state are byte-identical.
 //
 // The engine payload is the fingerprint (M, C, seed, trackLocal,
-// trackEta), the processed and self-loop tallies, and then C processor
-// records: τ⁽ⁱ⁾, η⁽ⁱ⁾, the sorted sampled edge keys, the τ⁽ⁱ⁾_v and
-// η⁽ⁱ⁾_v maps, and the per-edge triangle counters. The sharded payload is
-// the coordinator fingerprint, the shard count, the coordinator tallies,
-// the coordinator-level degree table (version ≥ 2: a presence flag, then
-// sorted delta-encoded node ids with uvarint degrees — the table backing
-// clustering-coefficient queries), and then one engine payload per shard
-// in shard order.
+// trackEta and, since version 3, fullyDynamic), the processed, deleted
+// (version ≥ 3) and self-loop tallies, and then C processor records:
+// τ⁽ⁱ⁾, η⁽ⁱ⁾, the random-pairing deletion counters d_i/d_o/phantom
+// (version ≥ 3), the sorted sampled edge keys, the τ⁽ⁱ⁾_v and η⁽ⁱ⁾_v
+// maps, and the per-edge triangle counters. Version 3 made every
+// statistical counter SIGNED (zigzag varints) because fully-dynamic
+// streams produce transiently negative per-processor counters; versions
+// 1 and 2 encode the same fields as plain uvarints and decode into the
+// signed representation. The sharded payload is the coordinator
+// fingerprint, the shard count, the coordinator tallies (deleted since
+// version 3), the coordinator-level degree table (version ≥ 2: a
+// presence flag, then sorted delta-encoded node ids with uvarint degrees
+// — the table backing clustering-coefficient queries), and then one
+// engine payload per shard in shard order.
 //
 // The version field is bumped on any incompatible change; readers reject
 // versions they do not understand rather than guessing, and keep reading
@@ -54,8 +60,9 @@ import (
 
 // Version is the format version this build writes. Readers accept every
 // version in [1, Version]: version 2 added the coordinator degree table
-// to sharded payloads.
-const Version = 2
+// to sharded payloads; version 3 added fully-dynamic streams (signed
+// counters, deletion tallies, and the random-pairing d_i/d_o counters).
+const Version = 3
 
 // Snapshot kinds.
 const (
@@ -92,6 +99,9 @@ type Fingerprint struct {
 	Seed       int64
 	TrackLocal bool
 	TrackEta   bool
+	// FullyDynamic records whether the engine accepted deletion events.
+	// Snapshots written before version 3 decode with it false.
+	FullyDynamic bool
 }
 
 // Match compares the snapshot fingerprint against the configuration a
@@ -117,32 +127,40 @@ func (f Fingerprint) Match(cfg Fingerprint) error {
 	if f.TrackEta != cfg.TrackEta {
 		add("TrackEta", f.TrackEta, cfg.TrackEta)
 	}
+	if f.FullyDynamic != cfg.FullyDynamic {
+		add("FullyDynamic", f.FullyDynamic, cfg.FullyDynamic)
+	}
 	if diffs == nil {
 		return nil
 	}
 	return fmt.Errorf("%w: %s", ErrMismatch, strings.Join(diffs, "; "))
 }
 
-// ProcState is the full state of one logical REPT processor.
+// ProcState is the full state of one logical REPT processor. Counters
+// are signed: fully-dynamic engines hold transiently negative values.
 type ProcState struct {
 	// Tau and Eta are the processor's τ⁽ⁱ⁾ and η⁽ⁱ⁾ counters.
-	Tau, Eta uint64
+	Tau, Eta int64
+	// Di, Do, and Phantom are the random-pairing deletion counters:
+	// deletions of sampled edges (d_i), of unsampled edges (d_o), and of
+	// edges that were never inserted despite a matching hash color
+	// (malformed streams). All zero before format version 3.
+	Di, Do, Phantom uint64
 	// Edges is the sampled edge set E⁽ⁱ⁾, sorted by canonical key.
 	Edges []graph.Edge
 	// TauV and EtaV are the per-node τ⁽ⁱ⁾_v and η⁽ⁱ⁾_v counters; nil when
 	// the engine did not track them.
-	TauV, EtaV map[graph.NodeID]uint64
-	// Tcnt maps each sampled edge's key to the number of triangles of
-	// Δ⁽ⁱ⁾ containing it (Algorithm 2's per-edge counters); nil when η
-	// was not tracked.
-	Tcnt map[uint64]uint32
+	TauV, EtaV map[graph.NodeID]int64
+	// Tcnt maps each sampled edge's key to its signed per-edge closing
+	// counter (Algorithm 2's η bookkeeping); nil when η was not tracked.
+	Tcnt map[uint64]int32
 }
 
 // EngineState is the full state of one core.Engine.
 type EngineState struct {
 	Fingerprint
-	Processed, SelfLoops uint64
-	Procs                []ProcState
+	Processed, Deleted, SelfLoops uint64
+	Procs                         []ProcState
 }
 
 // ShardedState is the barrier-consistent state of a shard.Sharded
@@ -155,8 +173,8 @@ type ShardedState struct {
 	// restore contract: per-shard hash seeds derive from (Seed, shard
 	// index), so a different shard split reads the same bytes into a
 	// statistically different estimator.
-	ShardCount           int
-	Processed, SelfLoops uint64
+	ShardCount                    int
+	Processed, Deleted, SelfLoops uint64
 	// TrackDegrees records whether the coordinator maintained a degree
 	// table; like the fingerprint fields it is part of the restore
 	// contract (a restore must not silently lose or invent degrees).
@@ -196,6 +214,7 @@ func WriteSharded(w io.Writer, st *ShardedState) error {
 	e.fingerprint(st.Fingerprint)
 	e.uvarint(uint64(st.ShardCount))
 	e.uvarint(st.Processed)
+	e.uvarint(st.Deleted)
 	e.uvarint(st.SelfLoops)
 	e.bool(st.TrackDegrees)
 	if st.TrackDegrees {
@@ -272,6 +291,11 @@ func read(r io.Reader, wantKind byte) (*EngineState, *ShardedState, error) {
 		sh.ShardCount = n
 		if sh.Processed, err = d.uvarint("processed"); err != nil {
 			return nil, nil, err
+		}
+		if version >= 3 {
+			if sh.Deleted, err = d.uvarint("deleted"); err != nil {
+				return nil, nil, err
+			}
 		}
 		if sh.SelfLoops, err = d.uvarint("selfLoops"); err != nil {
 			return nil, nil, err

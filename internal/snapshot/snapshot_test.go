@@ -18,13 +18,13 @@ func testEngineState() *EngineState {
 			{
 				Tau: 9, Eta: 2,
 				Edges: []graph.Edge{{U: 5, V: 1}, {U: 2, V: 3}},
-				TauV:  map[graph.NodeID]uint64{1: 4, 9: 1},
-				EtaV:  map[graph.NodeID]uint64{2: 7},
-				Tcnt:  map[uint64]uint32{graph.Key(1, 5): 1, graph.Key(2, 3): 0},
+				TauV:  map[graph.NodeID]int64{1: 4, 9: 1},
+				EtaV:  map[graph.NodeID]int64{2: 7},
+				Tcnt:  map[uint64]int32{graph.Key(1, 5): 1, graph.Key(2, 3): 0},
 			},
-			{Tau: 1, TauV: map[graph.NodeID]uint64{}, EtaV: map[graph.NodeID]uint64{}, Tcnt: map[uint64]uint32{}},
-			{Edges: []graph.Edge{{U: 0, V: 1}}, TauV: map[graph.NodeID]uint64{}, EtaV: map[graph.NodeID]uint64{}, Tcnt: map[uint64]uint32{graph.Key(0, 1): 0}},
-			{TauV: map[graph.NodeID]uint64{}, EtaV: map[graph.NodeID]uint64{}, Tcnt: map[uint64]uint32{}},
+			{Tau: 1, TauV: map[graph.NodeID]int64{}, EtaV: map[graph.NodeID]int64{}, Tcnt: map[uint64]int32{}},
+			{Edges: []graph.Edge{{U: 0, V: 1}}, TauV: map[graph.NodeID]int64{}, EtaV: map[graph.NodeID]int64{}, Tcnt: map[uint64]int32{graph.Key(0, 1): 0}},
+			{TauV: map[graph.NodeID]int64{}, EtaV: map[graph.NodeID]int64{}, Tcnt: map[uint64]int32{}},
 		},
 	}
 }

@@ -10,11 +10,15 @@ import (
 	"rept/internal/snapshot"
 )
 
+// ErrNotDynamic is panicked when a deletion is fed to an estimator built
+// without FullyDynamic.
+var ErrNotDynamic = core.ErrNotDynamic
+
 // ErrSnapshotMismatch is the sentinel wrapped by Resume/ResumeConcurrent
 // errors when the snapshot's config fingerprint (M, C, Seed, TrackLocal,
-// TrackEta — and, for ResumeConcurrent, the effective shard count) does
-// not match the configuration being restored into. The error text names
-// every differing field.
+// TrackEta, FullyDynamic — and, for ResumeConcurrent, the effective
+// shard count and TrackDegrees) does not match the configuration being
+// restored into. The error text names every differing field.
 var ErrSnapshotMismatch = snapshot.ErrMismatch
 
 // NodeID identifies a node of the streamed graph.
@@ -22,6 +26,20 @@ type NodeID = graph.NodeID
 
 // Edge is one undirected stream edge.
 type Edge = graph.Edge
+
+// Update is one event of a fully-dynamic edge stream: the insertion of
+// {U, V}, or its deletion when Del is set. Insert-only streams are the
+// Del == false special case.
+type Update = graph.Update
+
+// Insert returns the insertion event for {u, v}.
+func Insert(u, v NodeID) Update { return Update{U: u, V: v} }
+
+// Remove returns the deletion event for {u, v}.
+func Remove(u, v NodeID) Update { return Update{U: u, V: v, Del: true} }
+
+// Inserts wraps an insert-only edge stream as an update stream.
+func Inserts(edges []Edge) []Update { return graph.Inserts(edges) }
 
 // Counter is the streaming interface shared by the REPT estimator and the
 // baseline estimators in this package: feed edges one at a time, read
@@ -50,6 +68,13 @@ type Config struct {
 	// TrackLocal enables per-node estimates (Local/Locals). Costs memory
 	// proportional to the number of nodes seen in sampled semi-triangles.
 	TrackLocal bool
+	// FullyDynamic enables edge deletions (Delete/ApplyAll with deletion
+	// events): estimates then track the NET triangle count of the live
+	// graph under churn, with the same unbiasedness and unchanged scaling
+	// factors (see the package documentation, "Fully-dynamic streams").
+	// Insert-only behavior is bit-identical with the flag on or off; the
+	// flag is part of the snapshot fingerprint.
+	FullyDynamic bool
 	// TrackEta forces the η⁽ⁱ⁾ bookkeeping of paper Algorithm 2 even when
 	// the (M, C) combination does not require it, which makes
 	// Estimate.Variance available for every configuration. The C > M,
@@ -101,13 +126,14 @@ var _ Counter = (*Estimator)(nil)
 // could silently differ from the one that wrote the snapshot.
 func (c Config) coreConfig() core.Config {
 	return core.Config{
-		M:          c.M,
-		C:          c.C,
-		Seed:       c.Seed,
-		TrackLocal: c.TrackLocal,
-		TrackEta:   c.TrackEta,
-		Workers:    c.Workers,
-		BatchSize:  c.BatchSize,
+		M:            c.M,
+		C:            c.C,
+		Seed:         c.Seed,
+		TrackLocal:   c.TrackLocal,
+		FullyDynamic: c.FullyDynamic,
+		TrackEta:     c.TrackEta,
+		Workers:      c.Workers,
+		BatchSize:    c.BatchSize,
 	}
 }
 
@@ -129,6 +155,24 @@ func (e *Estimator) AddEdge(edge Edge) { e.eng.Add(edge.U, edge.V) }
 // AddAll feeds a slice of stream edges in order.
 func (e *Estimator) AddAll(edges []Edge) { e.eng.AddAll(edges) }
 
+// Delete feeds one stream edge deletion: the estimator's counts then
+// track the net (live) graph. It requires Config.FullyDynamic and panics
+// with ErrNotDynamic otherwise. Deleting an edge that was never inserted
+// is a stream-contract violation: the estimator stays deterministic and
+// finite, but its estimate is no longer meaningful (see
+// Estimator.PairingStats).
+func (e *Estimator) Delete(u, v NodeID) { e.eng.Delete(u, v) }
+
+// DeleteEdge feeds one stream edge deletion.
+func (e *Estimator) DeleteEdge(edge Edge) { e.eng.Delete(edge.U, edge.V) }
+
+// Apply feeds one signed stream event (deletions require
+// Config.FullyDynamic).
+func (e *Estimator) Apply(up Update) { e.eng.Apply(up) }
+
+// ApplyAll feeds a slice of signed stream events in order.
+func (e *Estimator) ApplyAll(ups []Update) { e.eng.ApplyAll(ups) }
+
 // Result returns the current estimates. It may be called mid-stream; the
 // estimator keeps accepting edges afterwards.
 func (e *Estimator) Result() Estimate {
@@ -146,8 +190,24 @@ func (e *Estimator) Local(v NodeID) float64 { return e.eng.Result().Local[v] }
 // Locals returns all non-zero local estimates (nil unless TrackLocal).
 func (e *Estimator) Locals() map[NodeID]float64 { return e.eng.Result().Local }
 
-// Processed returns the number of non-loop edges fed so far.
+// Processed returns the number of non-loop events (insertions plus
+// deletions) fed so far.
 func (e *Estimator) Processed() uint64 { return e.eng.Processed() }
+
+// Deleted returns the number of non-loop deletion events fed so far
+// (always 0 unless Config.FullyDynamic).
+func (e *Estimator) Deleted() uint64 { return e.eng.Deleted() }
+
+// PairingStats reports the random-pairing deletion tallies: deletions of
+// sampled edges (d_i), of live-but-unsampled edges (d_o), and of edges
+// that were never inserted at all ("phantom" deletions, which flag a
+// malformed stream). All zero unless Config.FullyDynamic.
+type PairingStats = core.PairingStats
+
+// PairingStats returns the estimator-wide random-pairing deletion
+// tallies. A non-zero PhantomDeletes means the stream violated the
+// delete-only-live-edges contract and the estimate is unreliable.
+func (e *Estimator) PairingStats() PairingStats { return e.eng.PairingCounters() }
 
 // SampledEdges returns the number of edges currently stored across all
 // logical processors (expected ≈ C·|E|/M), a memory diagnostic.
