@@ -1,0 +1,327 @@
+package exper
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"rept/internal/graph"
+)
+
+// This file is the deterministic stream-simulation harness for
+// fully-dynamic (insert + delete) workloads: a seeded schedule generator
+// that turns any simple edge list into a well-formed signed event stream
+// (churn, burst-delete, re-insert patterns), and an exact fully-dynamic
+// reference counter producing both the net-graph ground truth and the
+// signed second-moment statistics that generalize the paper's Theorem 3
+// variance to signed streams. Accuracy, fuzz, and shard tests all build
+// on these two pieces, so every layer is exercised against the same
+// reference semantics.
+
+// DynPattern selects the deletion schedule shape of DynStream.
+type DynPattern int
+
+const (
+	// Churn interleaves deletions of uniformly random live edges with the
+	// base insertions at a steady rate — the follow/unfollow workload.
+	Churn DynPattern = iota
+	// BurstDelete inserts quietly, then periodically deletes a burst of
+	// random live edges back to back — the flow-expiry workload.
+	BurstDelete
+	// Reinsert behaves like Churn but re-inserts a fraction of the
+	// deleted edges later, so the same edge key cycles live → deleted →
+	// live (the hardest case for samplers whose state is keyed by edge).
+	Reinsert
+)
+
+func (p DynPattern) String() string {
+	switch p {
+	case Churn:
+		return "churn"
+	case BurstDelete:
+		return "burst-delete"
+	case Reinsert:
+		return "reinsert"
+	default:
+		return fmt.Sprintf("DynPattern(%d)", int(p))
+	}
+}
+
+// DynOptions shapes a DynStream schedule.
+type DynOptions struct {
+	// Pattern is the deletion schedule shape (default Churn).
+	Pattern DynPattern
+	// DeleteFrac is the target fraction of emitted events that are
+	// deletions, in [0, 0.5); the generator matches it closely but not
+	// exactly (deletions need live edges to target). Default 0.3.
+	DeleteFrac float64
+	// Seed drives the schedule deterministically.
+	Seed uint64
+	// Burst is the BurstDelete burst length (default 32).
+	Burst int
+	// ReinsertFrac is the probability a deleted edge is queued for
+	// re-insertion under Reinsert (default 0.5).
+	ReinsertFrac float64
+}
+
+// DynStream turns a simple (duplicate-free, loop-free) edge list into a
+// well-formed fully-dynamic event stream under the given schedule:
+// deletions always target currently-live edges and insertions currently
+// absent ones, so the stream satisfies the contract fully-dynamic
+// estimators assume. The result is deterministic in (base, opt).
+func DynStream(base []graph.Edge, opt DynOptions) []graph.Update {
+	if opt.DeleteFrac < 0 || opt.DeleteFrac >= 0.5 {
+		if opt.DeleteFrac != 0 {
+			panic("exper: DynOptions.DeleteFrac must be in [0, 0.5)")
+		}
+	}
+	delFrac := opt.DeleteFrac
+	if delFrac == 0 {
+		delFrac = 0.3
+	}
+	burst := opt.Burst
+	if burst <= 0 {
+		burst = 32
+	}
+	reFrac := opt.ReinsertFrac
+	if reFrac == 0 {
+		reFrac = 0.5
+	}
+	rng := rand.New(rand.NewPCG(opt.Seed, opt.Seed^0x9e3779b97f4a7c15))
+
+	// live is the current live edge set as a slice (uniform sampling) plus
+	// an index map (O(1) removal by swap-with-last).
+	live := make([]graph.Edge, 0, len(base))
+	idx := make(map[uint64]int, len(base))
+	insert := func(out []graph.Update, e graph.Edge) []graph.Update {
+		idx[e.Key()] = len(live)
+		live = append(live, e)
+		return append(out, graph.Update{U: e.U, V: e.V})
+	}
+	deleteRandom := func(out []graph.Update) (graph.Update, []graph.Update) {
+		i := rng.IntN(len(live))
+		e := live[i]
+		last := len(live) - 1
+		live[i] = live[last]
+		idx[live[i].Key()] = i
+		live = live[:last]
+		delete(idx, e.Key())
+		up := graph.Update{U: e.U, V: e.V, Del: true}
+		return up, append(out, up)
+	}
+
+	// The per-step deletion probability that makes deletions a delFrac
+	// share of all events: each deletion both adds an event and forces one
+	// extra insertion to drain the base, so p = f/(1-f).
+	pDel := delFrac / (1 - delFrac)
+
+	out := make([]graph.Update, 0, len(base)*2)
+	var pool []graph.Edge // Reinsert: deleted edges waiting to come back
+	next := 0
+	sinceBurst := 0
+	// burstPeriod spaces BurstDelete bursts so deletions still average
+	// delFrac of events.
+	burstPeriod := int(float64(burst) / pDel)
+	if burstPeriod < 1 {
+		burstPeriod = 1
+	}
+	for next < len(base) || len(pool) > 0 {
+		switch opt.Pattern {
+		case BurstDelete:
+			sinceBurst++
+			if sinceBurst >= burstPeriod && len(live) >= burst {
+				for i := 0; i < burst && len(live) > 0; i++ {
+					_, out = deleteRandom(out)
+				}
+				sinceBurst = 0
+			}
+		default: // Churn, Reinsert
+			if len(live) > 1 && rng.Float64() < pDel {
+				var up graph.Update
+				up, out = deleteRandom(out)
+				if opt.Pattern == Reinsert && rng.Float64() < reFrac {
+					pool = append(pool, up.Edge())
+				}
+			}
+		}
+		// One insertion: a pooled re-insert (its edge is guaranteed dead —
+		// pool membership is exclusive with liveness) or the next base edge.
+		if len(pool) > 0 && (next >= len(base) || rng.Float64() < 0.5) {
+			i := rng.IntN(len(pool))
+			e := pool[i]
+			pool[i] = pool[len(pool)-1]
+			pool = pool[:len(pool)-1]
+			out = insert(out, e)
+			continue
+		}
+		if next < len(base) {
+			out = insert(out, base[next])
+			next++
+		}
+	}
+	return out
+}
+
+// pairKey identifies an unordered pair of distinct edge keys — one
+// potential triangle's two wedge edges.
+type pairKey struct{ a, b uint64 }
+
+func makePair(a, b uint64) pairKey {
+	if a > b {
+		a, b = b, a
+	}
+	return pairKey{a, b}
+}
+
+// DynExact is the exact reference for a fully-dynamic stream: the net
+// (final live graph) triangle statistics, plus the signed second-moment
+// statistics A and B that generalize Theorem 3 to signed streams.
+//
+// For the hash-partition estimator fed the same stream,
+//
+//	Var(τ̂) = VarREPT(m, c, A, B/2)
+//
+// exactly in the pure cases (c ≤ m and c = c₁·m): the closed forms are
+// linear in the same-pair and shared-edge covariance masses, and on
+// signed streams those masses are A = Σ_P g_P² and B = Σ_{P≠Q, |P∩Q|=1}
+// g_P·g_Q, where g_P is the signed number of closing events over wedge
+// pair P. Insert-only streams have g_P ∈ {0,1}, recovering A = τ and
+// B = 2η (each closing event is one triangle; shared-edge ordered pairs
+// are twice the paper's η).
+type DynExact struct {
+	// Tau is the exact triangle count of the final live graph.
+	Tau uint64
+	// TauV holds the exact per-node triangle counts of the final live
+	// graph (nil unless requested).
+	TauV map[graph.NodeID]uint64
+	// Nodes and LiveEdges describe the final live graph.
+	Nodes, LiveEdges int
+	// Events, Deletes, and SelfLoops count the processed stream events.
+	Events, Deletes, SelfLoops int
+	// Malformed counts contract violations skipped by the reference
+	// (deletions of absent edges, duplicate insertions); generators in
+	// this package never produce them.
+	Malformed int
+	// A and B are the signed second moments (see the type comment).
+	A, B float64
+}
+
+// DynCountExact computes the exact fully-dynamic reference for a signed
+// stream in one pass: O(min-degree) per event plus one pair-map entry per
+// closing event, exactly like the estimator but without sampling.
+func DynCountExact(ups []graph.Update, local bool) *DynExact {
+	res := &DynExact{}
+	adj := graph.NewAdjacency()
+	gP := make(map[pairKey]int64) // signed closing mass per wedge pair
+	hE := make(map[uint64]int64)  // signed closing mass per wedge edge
+	var common []graph.NodeID
+	for _, up := range ups {
+		if up.U == up.V {
+			res.SelfLoops++
+			continue
+		}
+		u, v := up.U, up.V
+		if up.Del {
+			if !adj.Remove(u, v) {
+				res.Malformed++
+				continue
+			}
+		} else {
+			if adj.Has(u, v) {
+				res.Malformed++
+				continue
+			}
+		}
+		res.Events++
+		s := int64(1)
+		if up.Del {
+			s = -1
+			res.Deletes++
+		}
+		// Wedges are enumerated with the event edge absent (insert: before
+		// Add, delete: after Remove); its own presence never changes
+		// N(u) ∩ N(v) anyway.
+		common = adj.CommonNeighbors(u, v, common[:0])
+		for _, w := range common {
+			kuw, kvw := graph.Key(u, w), graph.Key(v, w)
+			gP[makePair(kuw, kvw)] += s
+			hE[kuw] += s
+			hE[kvw] += s
+		}
+		if !up.Del {
+			adj.Add(u, v)
+		}
+	}
+	for _, g := range gP {
+		res.A += float64(g * g)
+	}
+	for _, h := range hE {
+		res.B += float64(h * h)
+	}
+	res.B -= 2 * res.A
+
+	// Net-graph ground truth from the final adjacency: each triangle
+	// {a<b<c} is counted once, at its (a,b) edge with w = c.
+	if local {
+		res.TauV = make(map[graph.NodeID]uint64)
+	}
+	res.Nodes = adj.Nodes()
+	res.LiveEdges = adj.Edges()
+	seen := make(map[uint64]struct{}, adj.Edges())
+	for _, up := range ups {
+		if up.U == up.V || !adj.Has(up.U, up.V) {
+			continue
+		}
+		k := graph.Key(up.U, up.V)
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		seen[k] = struct{}{}
+		e := graph.Edge{U: up.U, V: up.V}.Canonical()
+		common = adj.CommonNeighbors(e.U, e.V, common[:0])
+		for _, w := range common {
+			if w > e.V {
+				res.Tau++
+				if res.TauV != nil {
+					res.TauV[e.U]++
+					res.TauV[e.V]++
+					res.TauV[w]++
+				}
+			}
+		}
+	}
+	return res
+}
+
+// LiveEdgesOf replays a signed stream and returns the final live edge
+// set in canonical orientation and first-insertion order — the input an
+// insert-only estimator needs to be compared against a fully-dynamic one
+// at the same net graph.
+func LiveEdgesOf(ups []graph.Update) []graph.Edge {
+	order := make([]uint64, 0, len(ups))
+	pos := make(map[uint64]int, len(ups))
+	live := make(map[uint64]bool, len(ups))
+	for _, up := range ups {
+		if up.U == up.V {
+			continue
+		}
+		k := graph.Key(up.U, up.V)
+		if up.Del {
+			delete(live, k)
+			continue
+		}
+		if !live[k] {
+			live[k] = true
+			if _, ok := pos[k]; !ok {
+				pos[k] = len(order)
+				order = append(order, k)
+			}
+		}
+	}
+	out := make([]graph.Edge, 0, len(live))
+	for _, k := range order {
+		if live[k] {
+			out = append(out, graph.KeyEdge(k))
+		}
+	}
+	return out
+}

@@ -1,0 +1,115 @@
+package exper
+
+import (
+	"reflect"
+	"testing"
+
+	"rept/internal/gen"
+	"rept/internal/graph"
+	"rept/internal/stream"
+)
+
+// nonZero drops the zero entries CountExact records for triangle-free
+// nodes; the dynamic reference stores only triangle members.
+func nonZero(m map[graph.NodeID]uint64) map[graph.NodeID]uint64 {
+	out := make(map[graph.NodeID]uint64, len(m))
+	for v, c := range m {
+		if c != 0 {
+			out[v] = c
+		}
+	}
+	return out
+}
+
+// TestDynStreamWellFormed: every pattern produces a stream that deletes
+// only live edges and inserts only absent ones, consumes the whole base
+// edge list into the final live set union, and is deterministic in its
+// seed.
+func TestDynStreamWellFormed(t *testing.T) {
+	base := gen.Shuffle(gen.HolmeKim(200, 4, 0.4, 11), 3)
+	for _, pat := range []DynPattern{Churn, BurstDelete, Reinsert} {
+		t.Run(pat.String(), func(t *testing.T) {
+			opt := DynOptions{Pattern: pat, DeleteFrac: 0.3, Seed: 42}
+			ups := DynStream(base, opt)
+			if err := stream.ValidateWellFormed(ups); err != nil {
+				t.Fatal(err)
+			}
+			if again := DynStream(base, opt); !reflect.DeepEqual(ups, again) {
+				t.Fatal("same seed produced a different schedule")
+			}
+			if diff := DynStream(base, DynOptions{Pattern: pat, DeleteFrac: 0.3, Seed: 43}); reflect.DeepEqual(ups, diff) {
+				t.Fatal("different seed produced an identical schedule")
+			}
+			var dels int
+			inserted := make(map[uint64]struct{})
+			for _, up := range ups {
+				if up.Del {
+					dels++
+				} else {
+					inserted[graph.Key(up.U, up.V)] = struct{}{}
+				}
+			}
+			if len(inserted) != len(base) {
+				t.Errorf("schedule inserted %d distinct edges, base has %d", len(inserted), len(base))
+			}
+			frac := float64(dels) / float64(len(ups))
+			if frac < 0.2 || frac > 0.4 {
+				t.Errorf("deletion fraction = %.3f, want ≈ 0.3", frac)
+			}
+		})
+	}
+}
+
+// TestDynCountExactInsertOnly: on a pure insertion stream the reference
+// must agree with the established exact counter, and the signed second
+// moments must collapse to A = τ and B = 2η.
+func TestDynCountExactInsertOnly(t *testing.T) {
+	edges := gen.Shuffle(gen.HolmeKim(150, 4, 0.5, 7), 5)
+	want := graph.CountExact(edges, graph.ExactOptions{Local: true, Eta: true})
+	got := DynCountExact(graph.Inserts(edges), true)
+
+	if got.Tau != want.Tau {
+		t.Errorf("Tau = %d, want %d", got.Tau, want.Tau)
+	}
+	if !reflect.DeepEqual(got.TauV, nonZero(want.TauV)) {
+		t.Error("TauV diverged from CountExact")
+	}
+	if got.A != float64(want.Tau) {
+		t.Errorf("A = %v, want τ = %d", got.A, want.Tau)
+	}
+	if got.B != 2*float64(want.Eta) {
+		t.Errorf("B = %v, want 2η = %d", got.B, 2*want.Eta)
+	}
+	if got.Deletes != 0 || got.Malformed != 0 {
+		t.Errorf("Deletes = %d, Malformed = %d on an insert-only stream", got.Deletes, got.Malformed)
+	}
+}
+
+// TestDynCountExactNetGraph: the reference's net statistics must equal
+// exact counting over the final live edge set, for every pattern.
+func TestDynCountExactNetGraph(t *testing.T) {
+	base := gen.Shuffle(gen.HolmeKim(150, 4, 0.5, 9), 2)
+	for _, pat := range []DynPattern{Churn, BurstDelete, Reinsert} {
+		t.Run(pat.String(), func(t *testing.T) {
+			ups := DynStream(base, DynOptions{Pattern: pat, DeleteFrac: 0.35, Seed: 8})
+			got := DynCountExact(ups, true)
+			livePart := LiveEdgesOf(ups)
+			want := graph.CountExact(livePart, graph.ExactOptions{Local: true})
+			if got.LiveEdges != len(livePart) || got.LiveEdges != want.Edges {
+				t.Fatalf("LiveEdges = %d, replay has %d", got.LiveEdges, len(livePart))
+			}
+			if got.Tau != want.Tau {
+				t.Errorf("net Tau = %d, want %d", got.Tau, want.Tau)
+			}
+			if !reflect.DeepEqual(got.TauV, nonZero(want.TauV)) {
+				t.Error("net TauV diverged from CountExact on the live graph")
+			}
+			if got.Deletes == 0 {
+				t.Error("schedule produced no deletions")
+			}
+			if got.Malformed != 0 {
+				t.Errorf("Malformed = %d on a generated schedule", got.Malformed)
+			}
+		})
+	}
+}
