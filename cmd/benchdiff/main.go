@@ -1,0 +1,163 @@
+// Command benchdiff compares two benchmark recordings produced by
+// `go test -json -bench ...` and fails when a tracked benchmark's
+// ns-per-op regressed beyond a threshold. It is the CI guardrail that
+// keeps the per-event ingest trajectory from silently rotting: the bench
+// step records BENCH_<sha>.json into bench/ on every main push, and the
+// gate compares each fresh run against the last committed recording.
+//
+// Usage:
+//
+//	benchdiff -old bench/BENCH_abc.json -new bench/BENCH_def.json \
+//	    [-threshold 0.25] [-bench Name1,Name2,...]
+//
+// A benchmark listed in -bench but missing from the old file is skipped
+// with a note (the trajectory starts somewhere); missing from the new
+// file is an error (the suite lost a tracked benchmark). When the same
+// benchmark appears several times in one file (the full -benchtime=1x
+// sweep plus a dedicated longer run), the run with the most iterations
+// wins — it is the statistically meaningful one.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// defaultBenchmarks are the per-event ingest datapoints gated by default:
+// the insert-only and fully-dynamic per-event costs.
+const defaultBenchmarks = "BenchmarkREPTPerEdge,BenchmarkFullyDynamicChurnPerEvent"
+
+// result is one parsed benchmark line.
+type result struct {
+	iters int64
+	nsOp  float64
+}
+
+// recording is one parsed BENCH file: best result per benchmark plus the
+// CPU model the run happened on.
+type recording struct {
+	results map[string]result
+	cpu     string
+}
+
+// testEvent is the go test -json envelope (only the field we need).
+type testEvent struct {
+	Action string `json:"Action"`
+	Output string `json:"Output"`
+}
+
+// benchLine matches "BenchmarkName-8   12345   678.9 ns/op ...".
+var benchLine = regexp.MustCompile(`^(Benchmark[^\s-]+)(?:-\d+)?\s+(\d+)\s+([0-9.]+) ns/op`)
+
+// parseFile extracts the best (highest-iteration) result per benchmark
+// name from a go test -json stream, plus the "cpu:" banner. Plain
+// benchmark text (no JSON envelope) is accepted too, so locally produced
+// files work either way.
+func parseFile(path string) (recording, error) {
+	rec := recording{results: make(map[string]result)}
+	f, err := os.Open(path)
+	if err != nil {
+		return rec, err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "{") {
+			var ev testEvent
+			if err := json.Unmarshal([]byte(line), &ev); err != nil {
+				continue // tolerate stray non-event lines
+			}
+			if ev.Action != "output" {
+				continue
+			}
+			line = strings.TrimSpace(ev.Output)
+		}
+		if cpu, ok := strings.CutPrefix(line, "cpu: "); ok {
+			rec.cpu = strings.TrimSpace(cpu)
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		iters, err1 := strconv.ParseInt(m[2], 10, 64)
+		nsOp, err2 := strconv.ParseFloat(m[3], 64)
+		if err1 != nil || err2 != nil {
+			continue
+		}
+		if prev, ok := rec.results[m[1]]; !ok || iters > prev.iters {
+			rec.results[m[1]] = result{iters: iters, nsOp: nsOp}
+		}
+	}
+	return rec, sc.Err()
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	oldPath := fs.String("old", "", "baseline BENCH json file")
+	newPath := fs.String("new", "", "fresh BENCH json file")
+	threshold := fs.Float64("threshold", 0.25, "fail when new ns/op exceeds old by more than this fraction")
+	benches := fs.String("bench", defaultBenchmarks, "comma-separated benchmark names to gate")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *oldPath == "" || *newPath == "" {
+		return fmt.Errorf("both -old and -new are required")
+	}
+	oldRec, err := parseFile(*oldPath)
+	if err != nil {
+		return fmt.Errorf("reading baseline: %w", err)
+	}
+	newRec, err := parseFile(*newPath)
+	if err != nil {
+		return fmt.Errorf("reading fresh run: %w", err)
+	}
+	oldRes, newRes := oldRec.results, newRec.results
+	if oldRec.cpu != newRec.cpu {
+		// ns/op across different hardware is noise, not signal: the gate
+		// compares like for like only. The trajectory keeps recording, and
+		// the next same-hardware baseline re-arms the comparison.
+		fmt.Printf("baseline cpu %q != fresh cpu %q; skipping cross-hardware comparison\n", oldRec.cpu, newRec.cpu)
+		return nil
+	}
+	var failures []string
+	for _, name := range strings.Split(*benches, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		nw, ok := newRes[name]
+		if !ok {
+			return fmt.Errorf("benchmark %s missing from %s (tracked benchmark dropped?)", name, *newPath)
+		}
+		old, ok := oldRes[name]
+		if !ok {
+			fmt.Printf("%-40s %12.1f ns/op (no baseline; trajectory starts here)\n", name, nw.nsOp)
+			continue
+		}
+		ratio := nw.nsOp / old.nsOp
+		fmt.Printf("%-40s %12.1f -> %9.1f ns/op (%+.1f%%)\n", name, old.nsOp, nw.nsOp, (ratio-1)*100)
+		if ratio > 1+*threshold {
+			failures = append(failures, fmt.Sprintf("%s regressed %.1f%% (threshold %.0f%%)", name, (ratio-1)*100, *threshold*100))
+		}
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("per-event ingest regression:\n  %s", strings.Join(failures, "\n  "))
+	}
+	return nil
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+}

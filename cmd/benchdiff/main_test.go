@@ -1,0 +1,127 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeFile(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// jsonBench wraps benchmark output lines in the go test -json envelope.
+func jsonBench(lines ...string) string {
+	var b strings.Builder
+	b.WriteString(`{"Action":"start","Package":"rept"}` + "\n")
+	for _, l := range lines {
+		b.WriteString(`{"Action":"output","Package":"rept","Output":"` + l + `\n"}` + "\n")
+	}
+	return b.String()
+}
+
+func TestParseFilePicksHighestIterationRun(t *testing.T) {
+	dir := t.TempDir()
+	path := writeFile(t, dir, "b.json", jsonBench(
+		"BenchmarkREPTPerEdge-8 \\t 1 \\t 99999 ns/op",       // the 1x sweep: noise
+		"BenchmarkREPTPerEdge-8 \\t 2000000 \\t 700.5 ns/op", // the real run
+		"BenchmarkOther-8 \\t 10 \\t 5 ns/op",
+	))
+	rec, err := parseFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, ok := rec.results["BenchmarkREPTPerEdge"]
+	if !ok || r.nsOp != 700.5 || r.iters != 2000000 {
+		t.Fatalf("parsed %+v, want the 2M-iteration run at 700.5 ns/op", r)
+	}
+}
+
+func TestParseFilePlainText(t *testing.T) {
+	dir := t.TempDir()
+	path := writeFile(t, dir, "b.txt",
+		"goos: linux\ncpu: Intel(R) Xeon(R) Processor @ 2.10GHz\nBenchmarkFullyDynamicChurnPerEvent \t 5000000 \t 450.0 ns/op \t 0 B/op\nPASS\n")
+	rec, err := parseFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := rec.results["BenchmarkFullyDynamicChurnPerEvent"]; r.nsOp != 450.0 {
+		t.Fatalf("parsed %+v, want 450.0 ns/op", r)
+	}
+	if rec.cpu != "Intel(R) Xeon(R) Processor @ 2.10GHz" {
+		t.Fatalf("cpu = %q", rec.cpu)
+	}
+}
+
+// TestRunSkipsCrossHardware: a regression measured on different hardware
+// is noise; the gate must pass with a note instead of failing.
+func TestRunSkipsCrossHardware(t *testing.T) {
+	dir := t.TempDir()
+	old := writeFile(t, dir, "old.json", jsonBench(
+		"cpu: CPU Model A",
+		"BenchmarkREPTPerEdge-8 \\t 1000000 \\t 100 ns/op",
+	))
+	fresh := writeFile(t, dir, "new.json", jsonBench(
+		"cpu: CPU Model B",
+		"BenchmarkREPTPerEdge-8 \\t 1000000 \\t 9999 ns/op",
+		"BenchmarkFullyDynamicChurnPerEvent-8 \\t 1000000 \\t 9999 ns/op",
+	))
+	if err := run([]string{"-old", old, "-new", fresh}); err != nil {
+		t.Errorf("cross-hardware comparison failed instead of skipping: %v", err)
+	}
+}
+
+func TestRunPassesWithinThreshold(t *testing.T) {
+	dir := t.TempDir()
+	old := writeFile(t, dir, "old.json", jsonBench(
+		"BenchmarkREPTPerEdge-8 \\t 1000000 \\t 1000 ns/op",
+		"BenchmarkFullyDynamicChurnPerEvent-8 \\t 1000000 \\t 800 ns/op",
+	))
+	fresh := writeFile(t, dir, "new.json", jsonBench(
+		"BenchmarkREPTPerEdge-8 \\t 1000000 \\t 1200 ns/op", // +20% < 25%
+		"BenchmarkFullyDynamicChurnPerEvent-8 \\t 1000000 \\t 500 ns/op",
+	))
+	if err := run([]string{"-old", old, "-new", fresh}); err != nil {
+		t.Errorf("run failed within threshold: %v", err)
+	}
+}
+
+func TestRunFailsOnRegression(t *testing.T) {
+	dir := t.TempDir()
+	old := writeFile(t, dir, "old.json", jsonBench(
+		"BenchmarkREPTPerEdge-8 \\t 1000000 \\t 1000 ns/op",
+		"BenchmarkFullyDynamicChurnPerEvent-8 \\t 1000000 \\t 800 ns/op",
+	))
+	fresh := writeFile(t, dir, "new.json", jsonBench(
+		"BenchmarkREPTPerEdge-8 \\t 1000000 \\t 1300 ns/op", // +30% > 25%
+		"BenchmarkFullyDynamicChurnPerEvent-8 \\t 1000000 \\t 800 ns/op",
+	))
+	err := run([]string{"-old", old, "-new", fresh})
+	if err == nil || !strings.Contains(err.Error(), "BenchmarkREPTPerEdge") {
+		t.Errorf("run = %v, want a regression failure naming BenchmarkREPTPerEdge", err)
+	}
+}
+
+func TestRunMissingTrackedBenchmark(t *testing.T) {
+	dir := t.TempDir()
+	old := writeFile(t, dir, "old.json", jsonBench(
+		"BenchmarkREPTPerEdge-8 \\t 1000000 \\t 1000 ns/op",
+	))
+	fresh := writeFile(t, dir, "new.json", jsonBench(
+		"BenchmarkOther-8 \\t 1000000 \\t 1000 ns/op",
+	))
+	if err := run([]string{"-old", old, "-new", fresh}); err == nil {
+		t.Error("run succeeded with a tracked benchmark missing from the fresh file")
+	}
+	// A benchmark absent from the BASELINE is fine: the trajectory has to
+	// start somewhere.
+	if err := run([]string{"-old", fresh, "-new", old, "-bench", "BenchmarkREPTPerEdge"}); err != nil {
+		t.Errorf("run failed when only the baseline lacks the benchmark: %v", err)
+	}
+}

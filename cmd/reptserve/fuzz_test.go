@@ -2,12 +2,59 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"net/http"
 	"net/http/httptest"
 	"testing"
 
 	"rept"
 )
+
+// FuzzParseEdgeLine differentially fuzzes the zero-copy line scanner
+// against the encoding/json reference: whenever the fast path accepts a
+// line, the reference decode must succeed and produce the same u, v, and
+// op. (The fast path declining a line is always safe — the handler falls
+// back — but accepting with different semantics would silently corrupt
+// ingest.)
+func FuzzParseEdgeLine(f *testing.F) {
+	f.Add([]byte(`{"u":1,"v":2}`))
+	f.Add([]byte(`{"v":2,"u":1,"op":"del"}`))
+	f.Add([]byte(`{ "u" : 7 , "v" : 9 , "op" : "add" }`))
+	f.Add([]byte(`{"u":4294967295,"v":0}`))
+	f.Add([]byte(`{"u":01,"v":2}`))
+	f.Add([]byte(`{"u":1,"v":2,}`))
+	f.Add([]byte(`{"u":1,"v":2} `))
+	f.Add([]byte(`{"op":"delete","u":3,"v":4}`))
+	f.Fuzz(func(t *testing.T, line []byte) {
+		u, v, op, ok := parseEdgeLine(line)
+		if !ok {
+			return
+		}
+		var el edgeLine
+		if err := json.Unmarshal(line, &el); err != nil {
+			t.Fatalf("fast path accepted %q but encoding/json rejects it: %v", line, err)
+		}
+		if el.U == nil || el.V == nil {
+			t.Fatalf("fast path accepted %q but reference says u/v missing", line)
+		}
+		if *el.U != u || *el.V != v {
+			t.Fatalf("fast path (%d, %d) disagrees with reference (%d, %d) on %q", u, v, *el.U, *el.V, line)
+		}
+		wantOp := opNone
+		switch el.Op {
+		case "add":
+			wantOp = opAdd
+		case "del", "delete":
+			wantOp = opDel
+		case "":
+		default:
+			t.Fatalf("fast path accepted %q with op %q it should have declined", line, el.Op)
+		}
+		if op != wantOp {
+			t.Fatalf("fast path op %d disagrees with reference %d on %q", op, wantOp, line)
+		}
+	})
+}
 
 // FuzzIngestNDJSON throws arbitrary bytes at the NDJSON edge parser
 // through the real handler, on a fully-dynamic estimator so "op" lines

@@ -1,0 +1,169 @@
+package main
+
+// Zero-copy scanner for the fixed NDJSON ingest shape
+// {"u": <uint32>, "v": <uint32>, "op": "add"|"del"|"delete"} (fields in
+// any order, optional whitespace). The hot ingest loop burns one of
+// these per stream event, and encoding/json pays reflection plus
+// per-token allocation for a shape we know exactly; this scanner walks
+// the line's bytes once and allocates nothing. Anything it is not
+// certain about — escapes, duplicate or unknown fields, non-integer
+// numbers, absent u/v — falls back to encoding/json so error text and
+// edge-case semantics stay byte-for-byte what they always were.
+
+// op codes reported by parseEdgeLine.
+const (
+	opNone = iota // no "op" field: keep the request method's default
+	opAdd
+	opDel
+)
+
+// parseEdgeLine parses one NDJSON edge line without allocating. ok is
+// false when the line does not match the fast shape (malformed or merely
+// unusual); the caller must then re-parse with encoding/json.
+func parseEdgeLine(b []byte) (u, v uint32, op int, ok bool) {
+	i := skipSpace(b, 0)
+	if i >= len(b) || b[i] != '{' {
+		return 0, 0, 0, false
+	}
+	i = skipSpace(b, i+1)
+	var haveU, haveV bool
+fields:
+	for {
+		// Field name (an empty object or trailing comma lands here with
+		// '}' or worse and falls back).
+		if i >= len(b) || b[i] != '"' || i+2 >= len(b) {
+			return 0, 0, 0, false
+		}
+		var name byte
+		switch {
+		case b[i+1] == 'u' && b[i+2] == '"':
+			name = 'u'
+		case b[i+1] == 'v' && b[i+2] == '"':
+			name = 'v'
+		case b[i+1] == 'o' && i+3 < len(b) && b[i+2] == 'p' && b[i+3] == '"':
+			name = 'o'
+		default:
+			return 0, 0, 0, false
+		}
+		i += 3
+		if name == 'o' {
+			i++
+		}
+		i = skipSpace(b, i)
+		if i >= len(b) || b[i] != ':' {
+			return 0, 0, 0, false
+		}
+		i = skipSpace(b, i+1)
+		switch name {
+		case 'u', 'v':
+			n, j, good := parseUint32(b, i)
+			if !good {
+				return 0, 0, 0, false
+			}
+			if name == 'u' {
+				if haveU {
+					return 0, 0, 0, false // duplicate field: let json decide
+				}
+				haveU, u = true, n
+			} else {
+				if haveV {
+					return 0, 0, 0, false
+				}
+				haveV, v = true, n
+			}
+			i = j
+		case 'o':
+			j, good := parseOpValue(b, i, &op)
+			if !good {
+				return 0, 0, 0, false
+			}
+			i = j
+		}
+		i = skipSpace(b, i)
+		if i >= len(b) {
+			return 0, 0, 0, false
+		}
+		switch b[i] {
+		case ',':
+			i = skipSpace(b, i+1)
+		case '}':
+			i++
+			break fields
+		default:
+			return 0, 0, 0, false
+		}
+	}
+	if skipSpace(b, i) != len(b) || !haveU || !haveV {
+		return 0, 0, 0, false
+	}
+	return u, v, op, true
+}
+
+// skipSpace advances past JSON whitespace.
+func skipSpace(b []byte, i int) int {
+	for i < len(b) {
+		switch b[i] {
+		case ' ', '\t', '\r', '\n':
+			i++
+		default:
+			return i
+		}
+	}
+	return i
+}
+
+// parseUint32 reads a plain decimal integer (no sign, fraction, or
+// exponent) that fits uint32, returning the position after it.
+func parseUint32(b []byte, i int) (uint32, int, bool) {
+	start := i
+	var n uint64
+	for i < len(b) && b[i] >= '0' && b[i] <= '9' {
+		n = n*10 + uint64(b[i]-'0')
+		if n > 1<<32-1 {
+			return 0, 0, false
+		}
+		i++
+	}
+	if i == start {
+		return 0, 0, false
+	}
+	if i-start > 1 && b[start] == '0' {
+		return 0, 0, false // leading zeros are not valid JSON numbers
+	}
+	return uint32(n), i, true
+}
+
+// parseOpValue reads the quoted op string, accepting exactly the values
+// the ingest endpoint accepts; op is overwritten when it parses.
+func parseOpValue(b []byte, i int, op *int) (int, bool) {
+	if *op != opNone {
+		return 0, false // duplicate "op" field
+	}
+	if i >= len(b) || b[i] != '"' {
+		return 0, false
+	}
+	i++
+	start := i
+	for i < len(b) && b[i] != '"' {
+		if b[i] == '\\' {
+			return 0, false
+		}
+		i++
+	}
+	if i >= len(b) {
+		return 0, false
+	}
+	switch string(b[start:i]) { // compared against constants: no allocation
+	case "add":
+		*op = opAdd
+	case "del", "delete":
+		*op = opDel
+	case "":
+		*op = opNone
+		// An explicit empty op keeps the method default, matching the
+		// encoding/json path's switch on "".
+	default:
+		return 0, false // unknown op: json fallback produces the 400
+	}
+	return i + 1, true
+}

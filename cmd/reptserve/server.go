@@ -236,6 +236,23 @@ type ingestResponse struct {
 	Processed uint64 `json:"processed"`
 }
 
+// ingestBuffers is the per-request scratch of handleEdges — the scanner's
+// line buffer and the event batch — pooled so steady-state ingest does
+// not allocate per request.
+type ingestBuffers struct {
+	line  []byte
+	batch []rept.Update
+}
+
+var ingestPool = sync.Pool{
+	New: func() any {
+		return &ingestBuffers{
+			line:  make([]byte, 0, 64*1024),
+			batch: make([]rept.Update, 0, ingestBatchLen),
+		}
+	},
+}
+
 // handleEdges ingests NDJSON edge events: one {"u":..,"v":..} object per
 // line, each carrying an optional "op" of "add" (default) or "del".
 // POST defaults lines to insertions; DELETE defaults them to deletions
@@ -245,6 +262,13 @@ type ingestResponse struct {
 // are skipped. On a malformed line the request fails with 400 after
 // reporting the line number; lines before it are already ingested
 // (ingestion is streaming, not transactional).
+//
+// Lines are parsed by the zero-copy scanner in ndjson.go, falling back
+// to encoding/json per line for anything outside the fast shape.
+// Accepted/Deleted/SelfLoops count only events actually handed to the
+// estimator: events parsed into a batch that a shutdown-refused flush
+// drops are NOT reported as accepted (they were not ingested), so the
+// counts in both success and error responses are exact.
 func (s *Server) handleEdges(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost && r.Method != http.MethodDelete {
 		w.Header().Set("Allow", "POST, DELETE")
@@ -257,19 +281,35 @@ func (s *Server) handleEdges(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusConflict, "edge deletions are disabled; start reptserve with -dynamic")
 		return
 	}
+	bufs := ingestPool.Get().(*ingestBuffers)
+	defer func() {
+		bufs.batch = bufs.batch[:0]
+		ingestPool.Put(bufs)
+	}()
 	sc := bufio.NewScanner(r.Body)
-	sc.Buffer(make([]byte, 0, 64*1024), maxLineLen)
+	sc.Buffer(bufs.line[:0], maxLineLen)
 
 	var resp ingestResponse
-	batch := make([]rept.Update, 0, ingestBatchLen)
+	batch := bufs.batch[:0]
+	// pend tallies the events sitting in the unflushed batch; they are
+	// credited to resp only once a flush hands them to the estimator.
+	var pend struct{ accepted, deleted, loops int }
 	// flush hands the parsed batch to the estimator; false means the
-	// server is shutting down and the handler must bail with 503.
+	// server is shutting down and the handler must bail with 503 — the
+	// batch was dropped, so its pending tallies are discarded, not
+	// reported.
 	flush := func() bool {
 		if len(batch) == 0 {
 			return true
 		}
 		ok := s.estCall(func() { s.est.ApplyAll(batch) })
 		batch = batch[:0]
+		if ok {
+			resp.Accepted += pend.accepted
+			resp.Deleted += pend.deleted
+			resp.SelfLoops += pend.loops
+		}
+		pend.accepted, pend.deleted, pend.loops = 0, 0, 0
 		return ok
 	}
 	line := 0
@@ -279,19 +319,33 @@ func (s *Server) handleEdges(w http.ResponseWriter, r *http.Request) {
 		if len(raw) == 0 {
 			continue
 		}
-		var el edgeLine
-		if err := json.Unmarshal(raw, &el); err != nil {
-			flush()
-			writeError(w, http.StatusBadRequest, "line %d: %v (accepted %d events before it)", line, err, resp.Accepted)
-			return
-		}
-		if el.U == nil || el.V == nil {
-			flush()
-			writeError(w, http.StatusBadRequest, "line %d: need both \"u\" and \"v\" (accepted %d events before it)", line, resp.Accepted)
-			return
+		u, v, op, fast := parseEdgeLine(raw)
+		var opName string
+		if fast {
+			switch op {
+			case opAdd:
+				opName = "add"
+			case opDel:
+				opName = "del"
+			}
+		} else {
+			// Outside the fast shape: let encoding/json produce the exact
+			// historical behavior (and error text).
+			var el edgeLine
+			if err := json.Unmarshal(raw, &el); err != nil {
+				flush()
+				writeError(w, http.StatusBadRequest, "line %d: %v (accepted %d events before it)", line, err, resp.Accepted)
+				return
+			}
+			if el.U == nil || el.V == nil {
+				flush()
+				writeError(w, http.StatusBadRequest, "line %d: need both \"u\" and \"v\" (accepted %d events before it)", line, resp.Accepted)
+				return
+			}
+			u, v, opName = *el.U, *el.V, el.Op
 		}
 		del := defaultDel
-		switch el.Op {
+		switch opName {
 		case "": // keep the method's default
 		case "add":
 			del = false
@@ -299,7 +353,7 @@ func (s *Server) handleEdges(w http.ResponseWriter, r *http.Request) {
 			del = true
 		default:
 			flush()
-			writeError(w, http.StatusBadRequest, "line %d: op %q, want \"add\" or \"del\" (accepted %d events before it)", line, el.Op, resp.Accepted)
+			writeError(w, http.StatusBadRequest, "line %d: op %q, want \"add\" or \"del\" (accepted %d events before it)", line, opName, resp.Accepted)
 			return
 		}
 		if del && !dynamic {
@@ -309,15 +363,15 @@ func (s *Server) handleEdges(w http.ResponseWriter, r *http.Request) {
 		}
 		// Self-loops ride along so the estimator's own SelfLoops counter
 		// (surfaced by /estimate) stays consistent; ApplyAll skips them.
-		if *el.U == *el.V {
-			resp.SelfLoops++
+		if u == v {
+			pend.loops++
 		} else {
-			resp.Accepted++
+			pend.accepted++
 			if del {
-				resp.Deleted++
+				pend.deleted++
 			}
 		}
-		batch = append(batch, rept.Update{U: rept.NodeID(*el.U), V: rept.NodeID(*el.V), Del: del})
+		batch = append(batch, rept.Update{U: rept.NodeID(u), V: rept.NodeID(v), Del: del})
 		if len(batch) == cap(batch) && !flush() {
 			writeError(w, http.StatusServiceUnavailable, "server is shutting down (accepted %d events)", resp.Accepted)
 			return
@@ -552,15 +606,19 @@ type statsResponse struct {
 	StaleEdges uint64 `json:"staleEdges"`
 	// Processed/Deleted/SelfLoops are the LIVE tallies (the view's are in
 	// viewMeta and /estimate).
-	Processed    uint64            `json:"processed"`
-	Deleted      uint64            `json:"deleted"`
-	SelfLoops    uint64            `json:"selfLoops"`
-	SampledEdges int               `json:"sampledEdges"`
-	Shards       int               `json:"shards"`
-	TopK         int               `json:"topK"`
-	IntervalMs   float64           `json:"viewIntervalMs"`
-	Uptime       string            `json:"uptime"`
-	Requests     map[string]uint64 `json:"requests"`
+	Processed    uint64 `json:"processed"`
+	Deleted      uint64 `json:"deleted"`
+	SelfLoops    uint64 `json:"selfLoops"`
+	SampledEdges int    `json:"sampledEdges"`
+	// EtaSaturations counts η counter clamps at the view prefix; non-zero
+	// flags an adversarially hot edge (η̂ is then a bounded
+	// under-estimate).
+	EtaSaturations uint64            `json:"etaSaturations"`
+	Shards         int               `json:"shards"`
+	TopK           int               `json:"topK"`
+	IntervalMs     float64           `json:"viewIntervalMs"`
+	Uptime         string            `json:"uptime"`
+	Requests       map[string]uint64 `json:"requests"`
 }
 
 // handleStats serves GET /stats: epoch and staleness state, ingest
@@ -583,17 +641,18 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		reqs[ep] = c.Load()
 	}
 	writeJSON(w, http.StatusOK, statsResponse{
-		viewMeta:     metaOf(v),
-		StaleEdges:   processed - v.Processed,
-		Processed:    processed,
-		Deleted:      s.est.Deleted(),
-		SelfLoops:    s.est.SelfLoops(),
-		SampledEdges: v.SampledEdges,
-		Shards:       s.est.Shards(),
-		TopK:         s.views.Config().TopK,
-		IntervalMs:   float64(s.views.Config().Interval.Microseconds()) / 1e3,
-		Uptime:       time.Since(s.start).Round(time.Millisecond).String(),
-		Requests:     reqs,
+		viewMeta:       metaOf(v),
+		StaleEdges:     processed - v.Processed,
+		Processed:      processed,
+		Deleted:        s.est.Deleted(),
+		SelfLoops:      s.est.SelfLoops(),
+		SampledEdges:   v.SampledEdges,
+		EtaSaturations: v.EtaSaturations,
+		Shards:         s.est.Shards(),
+		TopK:           s.views.Config().TopK,
+		IntervalMs:     float64(s.views.Config().Interval.Microseconds()) / 1e3,
+		Uptime:         time.Since(s.start).Round(time.Millisecond).String(),
+		Requests:       reqs,
 	})
 }
 
@@ -620,6 +679,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("rept_deleted_edges_total", "Non-loop edge deletion events accepted (live).", s.est.Deleted())
 	counter("rept_self_loops_total", "Self-loop arrivals skipped (live).", s.est.SelfLoops())
 	gauge("rept_sampled_edges", "Edges stored across all logical processors at the view prefix.", float64(v.SampledEdges))
+	counter("rept_eta_saturations_total", "Per-edge eta counter clamps at the view prefix (non-zero flags an adversarially hot edge).", v.EtaSaturations)
 	gauge("rept_shards", "Engine shard count.", float64(s.est.Shards()))
 	counter("rept_view_epoch", "Epoch number of the current view.", v.Epoch)
 	gauge("rept_view_age_seconds", "Wall-clock age of the current view.", v.Age().Seconds())

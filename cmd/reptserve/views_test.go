@@ -180,11 +180,12 @@ func TestStatsEndpoint(t *testing.T) {
 	}
 	var out struct {
 		metaFields
-		Processed    uint64            `json:"processed"`
-		SampledEdges int               `json:"sampledEdges"`
-		Shards       int               `json:"shards"`
-		TopK         int               `json:"topK"`
-		Requests     map[string]uint64 `json:"requests"`
+		Processed      uint64            `json:"processed"`
+		SampledEdges   int               `json:"sampledEdges"`
+		EtaSaturations uint64            `json:"etaSaturations"`
+		Shards         int               `json:"shards"`
+		TopK           int               `json:"topK"`
+		Requests       map[string]uint64 `json:"requests"`
 	}
 	if resp := getJSON(t, ts.URL+"/stats?fresh=1", &out); resp.StatusCode != http.StatusOK {
 		t.Fatalf("GET /stats: status %d", resp.StatusCode)
@@ -194,6 +195,9 @@ func TestStatsEndpoint(t *testing.T) {
 	}
 	if out.SampledEdges != 9 {
 		t.Errorf("sampledEdges = %d, want 9 (M=1 stores everything)", out.SampledEdges)
+	}
+	if out.EtaSaturations != 0 {
+		t.Errorf("etaSaturations = %d on a tiny stream, want 0", out.EtaSaturations)
 	}
 	if out.Shards != 1 || out.TopK != 100 {
 		t.Errorf("shards = %d topK = %d, want 1 and 100", out.Shards, out.TopK)

@@ -186,6 +186,12 @@ func (c *Concurrent) SelfLoops() uint64 { return c.sh.SelfLoops() }
 // shards' logical processors (expected ≈ C·|E|/M), a memory diagnostic.
 func (c *Concurrent) SampledEdges() int { return c.sh.SampledEdges() }
 
+// EtaSaturations reports how many per-edge closing-counter updates were
+// clamped at the int32 boundary across all shards (see
+// Estimator.EtaSaturations). It pays a full barrier, like SampledEdges;
+// views carry the same number per epoch (View.EtaSaturations).
+func (c *Concurrent) EtaSaturations() uint64 { return c.sh.EtaSaturations() }
+
 // Shards returns the effective number of engine shards.
 func (c *Concurrent) Shards() int { return c.sh.Shards() }
 

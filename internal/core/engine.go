@@ -273,6 +273,28 @@ func (e *Engine) PairingCounters() PairingStats {
 	return ps
 }
 
+// EtaSaturations drains pending work and returns how many per-edge
+// closing-counter updates were clamped at the int32 boundary instead of
+// wrapping (see ctab). Zero on every realistic stream; a non-zero value
+// flags an adversarially hot edge whose η̂ contribution is now a bounded
+// under-estimate rather than silent wrap-around garbage. The tally is a
+// diagnostic: it is not part of snapshots and resets on restore.
+func (e *Engine) EtaSaturations() uint64 {
+	if e.closed {
+		panic(ErrClosed)
+	}
+	if e.workers > 1 {
+		e.flush()
+	}
+	var n uint64
+	for _, p := range e.procs {
+		if p.tcnt != nil {
+			n += p.tcnt.sat
+		}
+	}
+	return n
+}
+
 // SampledEdges returns the total number of edges currently stored across
 // all logical processors (expected ≈ C·|E_live|/M), a memory diagnostic.
 // In fully-dynamic mode it tracks the live edge set: deletions of sampled

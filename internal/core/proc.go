@@ -28,13 +28,15 @@ type proc struct {
 	eta  int64
 	tauV map[graph.NodeID]int64
 	etaV map[graph.NodeID]int64
-	// tcnt[g] is τ⁽ⁱ⁾_g: the signed number of semi-triangle closings in
+	// tcnt holds τ⁽ⁱ⁾_g: the signed number of semi-triangle closings in
 	// Δ⁽ⁱ⁾ involving the sampled edge g as a wedge edge — the per-edge
 	// counters Algorithm 2 uses to maintain η⁽ⁱ⁾ incrementally. Entries
 	// exist for exactly the sampled edges; deletion of a sampled edge
 	// removes its entry (a re-insertion re-derives it from the current
-	// sampled graph).
-	tcnt map[uint64]int32
+	// sampled graph). Stored in a flat open-addressing table keyed by the
+	// canonical 64-bit edge key, with saturating counter arithmetic (see
+	// ctab).
+	tcnt *ctab
 
 	// Random-pairing deletion counters (TRIÈST-FD's d_i/d_o, specialized
 	// to hash-partition sampling): di counts deletions of edges that were
@@ -63,7 +65,7 @@ func newProc(group, color int, trackLocal, trackEta bool) *proc {
 		}
 	}
 	if trackEta {
-		p.tcnt = make(map[uint64]int32)
+		p.tcnt = newCtab()
 	}
 	return p
 }
@@ -74,8 +76,15 @@ func newProc(group, color int, trackLocal, trackEta bool) *proc {
 // color under the processor's group hash once per (edge, group), since
 // all m processors of a group share the hash.
 func (p *proc) processEdge(u, v graph.NodeID, key uint64, color int) {
-	p.scratch = p.adj.CommonNeighbors(u, v, p.scratch[:0])
-	n := int64(len(p.scratch))
+	var n int64
+	if p.trackLocal || p.trackEta {
+		p.scratch = p.adj.CommonNeighbors(u, v, p.scratch[:0])
+		n = int64(len(p.scratch))
+	} else {
+		// Counting-only configuration: skip materializing the common
+		// neighbors, the intersection size is all τ⁽ⁱ⁾ needs.
+		n = int64(p.adj.CommonCount(u, v))
+	}
 	p.tau += n
 	if p.trackLocal && n > 0 {
 		p.tauV[u] += n
@@ -87,7 +96,8 @@ func (p *proc) processEdge(u, v graph.NodeID, key uint64, color int) {
 	if p.trackEta {
 		for _, w := range p.scratch {
 			kuw, kvw := graph.Key(u, w), graph.Key(v, w)
-			a, b := p.tcnt[kuw], p.tcnt[kvw]
+			a, _ := p.tcnt.bump(kuw, 1)
+			b, _ := p.tcnt.bump(kvw, 1)
 			p.eta += int64(a) + int64(b)
 			if p.etaV != nil {
 				if ab := int64(a) + int64(b); ab != 0 {
@@ -100,13 +110,11 @@ func (p *proc) processEdge(u, v graph.NodeID, key uint64, color int) {
 					p.etaV[v] += int64(b)
 				}
 			}
-			p.tcnt[kuw] = a + 1
-			p.tcnt[kvw] = b + 1
 		}
 	}
 	if color == p.color {
 		if p.adj.Add(u, v) && p.trackEta {
-			p.tcnt[key] = int32(n)
+			p.tcnt.setClamped(key, n)
 		}
 	}
 }
@@ -129,7 +137,7 @@ func (p *proc) deleteEdge(u, v graph.NodeID, key uint64, color int) {
 		if p.adj.Remove(u, v) {
 			p.di++
 			if p.trackEta {
-				delete(p.tcnt, key)
+				p.tcnt.del(key)
 			}
 		} else {
 			p.phantom++
@@ -137,8 +145,13 @@ func (p *proc) deleteEdge(u, v graph.NodeID, key uint64, color int) {
 	} else {
 		p.do++
 	}
-	p.scratch = p.adj.CommonNeighbors(u, v, p.scratch[:0])
-	n := int64(len(p.scratch))
+	var n int64
+	if p.trackLocal || p.trackEta {
+		p.scratch = p.adj.CommonNeighbors(u, v, p.scratch[:0])
+		n = int64(len(p.scratch))
+	} else {
+		n = int64(p.adj.CommonCount(u, v))
+	}
 	p.tau -= n
 	if p.trackLocal && n > 0 {
 		p.tauV[u] -= n
@@ -150,9 +163,8 @@ func (p *proc) deleteEdge(u, v graph.NodeID, key uint64, color int) {
 	if p.trackEta {
 		for _, w := range p.scratch {
 			kuw, kvw := graph.Key(u, w), graph.Key(v, w)
-			a, b := p.tcnt[kuw]-1, p.tcnt[kvw]-1
-			p.tcnt[kuw] = a
-			p.tcnt[kvw] = b
+			_, a := p.tcnt.bump(kuw, -1)
+			_, b := p.tcnt.bump(kvw, -1)
 			p.eta -= int64(a) + int64(b)
 			if p.etaV != nil {
 				if ab := int64(a) + int64(b); ab != 0 {

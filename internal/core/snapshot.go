@@ -51,7 +51,9 @@ func (e *Engine) State() *snapshot.EngineState {
 		ps.Edges = p.adj.AppendEdges(make([]graph.Edge, 0, p.adj.Edges()))
 		ps.TauV = maps.Clone(p.tauV)
 		ps.EtaV = maps.Clone(p.etaV)
-		ps.Tcnt = maps.Clone(p.tcnt)
+		if p.tcnt != nil {
+			ps.Tcnt = p.tcnt.toMap()
+		}
 	}
 	return st
 }
@@ -141,7 +143,7 @@ func (e *Engine) loadState(st *snapshot.EngineState) error {
 			p.etaV = ps.EtaV
 		}
 		if ps.Tcnt != nil {
-			p.tcnt = ps.Tcnt
+			p.tcnt.load(ps.Tcnt)
 		}
 	}
 	e.processed, e.deleted, e.selfLoops = st.Processed, st.Deleted, st.SelfLoops

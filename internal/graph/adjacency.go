@@ -1,18 +1,49 @@
 package graph
 
 // Adjacency is a dynamic undirected adjacency structure supporting edge
-// insertion, removal (needed by reservoir-based samplers) and
-// common-neighbor enumeration in O(min(deg u, deg v)) expected time.
+// insertion, removal (needed by reservoir-based samplers and fully-dynamic
+// streams) and common-neighbor enumeration in O(min(deg u, deg v))
+// expected time.
+//
+// Storage is flat and cache-friendly: an open-addressing node index maps
+// each live node to a slot in an arena of neighbor sets, each a sorted
+// NodeID slice promoted to an open-addressing set past promoteDeg
+// neighbors (see nbrset.go). Released slots are recycled through a free
+// list, so steady-state churn (delete + re-insert over a stable node
+// universe) allocates nothing.
 //
 // The zero value is not usable; call NewAdjacency.
 type Adjacency struct {
-	nbr   map[NodeID]map[NodeID]struct{}
+	idx   nodeIndex
+	sets  []nset
+	freed []int32
 	edges int
 }
 
 // NewAdjacency returns an empty adjacency structure.
 func NewAdjacency() *Adjacency {
-	return &Adjacency{nbr: make(map[NodeID]map[NodeID]struct{})}
+	return &Adjacency{}
+}
+
+// slot returns the arena slot for a new node, recycling freed slots.
+func (a *Adjacency) slot(u NodeID) int32 {
+	var si int32
+	if n := len(a.freed); n > 0 {
+		si = a.freed[n-1]
+		a.freed = a.freed[:n-1]
+	} else {
+		si = int32(len(a.sets))
+		a.sets = append(a.sets, nset{})
+	}
+	a.idx.put(u, si)
+	return si
+}
+
+// release drops a node whose last neighbor was removed.
+func (a *Adjacency) release(u NodeID, si int32) {
+	a.sets[si].reset()
+	a.idx.del(u)
+	a.freed = append(a.freed, si)
 }
 
 // Add inserts the undirected edge {u, v}. It returns false (and does
@@ -21,63 +52,70 @@ func (a *Adjacency) Add(u, v NodeID) bool {
 	if u == v {
 		return false
 	}
-	if _, dup := a.nbr[u][v]; dup {
+	si := a.idx.get(u)
+	if si < 0 {
+		si = a.slot(u)
+		a.sets[si].add(u, v)
+	} else if !a.sets[si].add(u, v) {
 		return false
 	}
-	a.link(u, v)
-	a.link(v, u)
+	sj := a.idx.get(v)
+	if sj < 0 {
+		sj = a.slot(v)
+	}
+	a.sets[sj].add(v, u)
 	a.edges++
 	return true
-}
-
-func (a *Adjacency) link(u, v NodeID) {
-	s := a.nbr[u]
-	if s == nil {
-		s = make(map[NodeID]struct{})
-		a.nbr[u] = s
-	}
-	s[v] = struct{}{}
 }
 
 // Remove deletes the undirected edge {u, v}, reporting whether it existed.
 // Nodes left with no incident edges are dropped from the structure.
 func (a *Adjacency) Remove(u, v NodeID) bool {
-	if _, ok := a.nbr[u][v]; !ok {
+	if u == v {
 		return false
 	}
-	a.unlink(u, v)
-	a.unlink(v, u)
-	a.edges--
-	return true
-}
-
-func (a *Adjacency) unlink(u, v NodeID) {
-	s := a.nbr[u]
-	delete(s, v)
-	if len(s) == 0 {
-		delete(a.nbr, u)
+	si := a.idx.get(u)
+	if si < 0 || !a.sets[si].remove(u, v) {
+		return false
 	}
+	sj := a.idx.get(v)
+	a.sets[sj].remove(v, u)
+	a.edges--
+	if a.sets[si].deg() == 0 {
+		a.release(u, si)
+	}
+	if a.sets[sj].deg() == 0 {
+		a.release(v, sj)
+	}
+	return true
 }
 
 // Has reports whether the undirected edge {u, v} is present.
 func (a *Adjacency) Has(u, v NodeID) bool {
-	_, ok := a.nbr[u][v]
-	return ok
+	si := a.idx.get(u)
+	return si >= 0 && a.sets[si].has(u, v)
 }
 
 // Degree returns the number of neighbors of u.
-func (a *Adjacency) Degree(u NodeID) int { return len(a.nbr[u]) }
+func (a *Adjacency) Degree(u NodeID) int {
+	si := a.idx.get(u)
+	if si < 0 {
+		return 0
+	}
+	return a.sets[si].deg()
+}
 
 // Edges returns the number of edges currently stored.
 func (a *Adjacency) Edges() int { return a.edges }
 
 // Nodes returns the number of nodes with at least one incident edge.
-func (a *Adjacency) Nodes() int { return len(a.nbr) }
+func (a *Adjacency) Nodes() int { return a.idx.n }
 
 // Neighbors calls fn for every neighbor of u, in unspecified order.
 func (a *Adjacency) Neighbors(u NodeID, fn func(w NodeID)) {
-	for w := range a.nbr[u] {
-		fn(w)
+	si := a.idx.get(u)
+	if si >= 0 {
+		a.sets[si].each(u, fn)
 	}
 }
 
@@ -85,44 +123,43 @@ func (a *Adjacency) Neighbors(u NodeID, fn func(w NodeID)) {
 // orientation (U < V) and unspecified order, and returns the extended
 // slice. It is the export path used by the snapshot subsystem.
 func (a *Adjacency) AppendEdges(dst []Edge) []Edge {
-	for u, nbrs := range a.nbr {
-		for v := range nbrs {
+	a.idx.each(func(u NodeID, si int32) {
+		a.sets[si].each(u, func(v NodeID) {
 			if u < v {
 				dst = append(dst, Edge{U: u, V: v})
 			}
-		}
-	}
+		})
+	})
 	return dst
 }
 
 // CommonNeighbors appends every node adjacent to both u and v to dst and
-// returns the extended slice. It iterates the smaller neighborhood and
-// probes the larger, so the cost is O(min(deg u, deg v)) expected.
-// Passing a reusable dst[:0] avoids per-call allocation.
+// returns the extended slice: a merge walk when both neighborhoods are
+// small sorted slices, otherwise enumerate-the-smaller probe-the-larger,
+// so the cost is O(min(deg u, deg v)) expected. Passing a reusable dst[:0]
+// avoids per-call allocation.
 func (a *Adjacency) CommonNeighbors(u, v NodeID, dst []NodeID) []NodeID {
-	nu, nv := a.nbr[u], a.nbr[v]
-	if len(nu) > len(nv) {
-		nu, nv = nv, nu
+	si := a.idx.get(u)
+	if si < 0 {
+		return dst
 	}
-	for w := range nu {
-		if _, ok := nv[w]; ok {
-			dst = append(dst, w)
-		}
+	sj := a.idx.get(v)
+	if sj < 0 {
+		return dst
 	}
-	return dst
+	return intersect(&a.sets[si], u, &a.sets[sj], v, dst)
 }
 
-// CommonCount returns |N(u) ∩ N(v)|.
+// CommonCount returns |N(u) ∩ N(v)| without materializing the
+// intersection — the counting-only hot path of proc.processEdge.
 func (a *Adjacency) CommonCount(u, v NodeID) int {
-	nu, nv := a.nbr[u], a.nbr[v]
-	if len(nu) > len(nv) {
-		nu, nv = nv, nu
+	si := a.idx.get(u)
+	if si < 0 {
+		return 0
 	}
-	n := 0
-	for w := range nu {
-		if _, ok := nv[w]; ok {
-			n++
-		}
+	sj := a.idx.get(v)
+	if sj < 0 {
+		return 0
 	}
-	return n
+	return intersectCount(&a.sets[si], u, &a.sets[sj], v)
 }

@@ -134,6 +134,142 @@ func TestAdjacencyMatchesNaive(t *testing.T) {
 	}
 }
 
+// TestAdjacencyMatchesNaiveHighDegree drives the same cross-check across
+// the inline → spilled → promoted layout transitions: a few hub nodes
+// accumulate hundreds of neighbors (open-addressing mode, including
+// backward-shift deletions and table growth) while most stay tiny.
+func TestAdjacencyMatchesNaiveHighDegree(t *testing.T) {
+	rng := rand.New(rand.NewPCG(13, 37))
+	a := NewAdjacency()
+	naive := make(map[uint64]struct{})
+	const hubs = 3
+	const nodes = 600
+	pick := func() NodeID {
+		// Half the endpoints land on a hub, so hub degrees sail past
+		// promoteDeg and churn inside table mode.
+		if rng.IntN(2) == 0 {
+			return NodeID(rng.IntN(hubs))
+		}
+		return NodeID(rng.IntN(nodes))
+	}
+	for i := 0; i < 60000; i++ {
+		u, v := pick(), pick()
+		if rng.IntN(5) < 3 {
+			got := a.Add(u, v)
+			want := false
+			if u != v {
+				if _, ok := naive[Key(u, v)]; !ok {
+					naive[Key(u, v)] = struct{}{}
+					want = true
+				}
+			}
+			if got != want {
+				t.Fatalf("op %d: Add(%d,%d) = %v, want %v", i, u, v, got, want)
+			}
+		} else {
+			got := a.Remove(u, v)
+			_, want := naive[Key(u, v)]
+			delete(naive, Key(u, v))
+			if got != want {
+				t.Fatalf("op %d: Remove(%d,%d) = %v, want %v", i, u, v, got, want)
+			}
+		}
+		if a.Edges() != len(naive) {
+			t.Fatalf("op %d: Edges() = %d, want %d", i, a.Edges(), len(naive))
+		}
+	}
+	// Degrees, membership, and node count against the naive model.
+	deg := make(map[NodeID]int)
+	for k := range naive {
+		e := KeyEdge(k)
+		deg[e.U]++
+		deg[e.V]++
+	}
+	if a.Nodes() != len(deg) {
+		t.Fatalf("Nodes() = %d, want %d", a.Nodes(), len(deg))
+	}
+	for v, d := range deg {
+		if a.Degree(v) != d {
+			t.Fatalf("Degree(%d) = %d, want %d", v, a.Degree(v), d)
+		}
+	}
+	// Spot-check intersections along every layout pairing (hub-hub is
+	// table-table, hub-leaf is table-sorted, leaf-leaf sorted-sorted).
+	var dst []NodeID
+	for u := NodeID(0); u < 40; u++ {
+		for v := u + 1; v < 40; v++ {
+			want := 0
+			for w := range deg {
+				if w == u || w == v {
+					continue
+				}
+				_, a1 := naive[Key(u, w)]
+				_, a2 := naive[Key(v, w)]
+				if a1 && a2 {
+					want++
+				}
+			}
+			if got := a.CommonCount(u, v); got != want {
+				t.Fatalf("CommonCount(%d,%d) = %d, want %d", u, v, got, want)
+			}
+			dst = a.CommonNeighbors(u, v, dst[:0])
+			if len(dst) != want {
+				t.Fatalf("len(CommonNeighbors(%d,%d)) = %d, want %d", u, v, len(dst), want)
+			}
+			seen := make(map[NodeID]bool, len(dst))
+			for _, w := range dst {
+				if seen[w] || !a.Has(u, w) || !a.Has(v, w) {
+					t.Fatalf("CommonNeighbors(%d,%d) returned bad/dup node %d", u, v, w)
+				}
+				seen[w] = true
+			}
+		}
+	}
+	// AppendEdges exports exactly the live set, canonically oriented.
+	edges := a.AppendEdges(nil)
+	if len(edges) != len(naive) {
+		t.Fatalf("AppendEdges returned %d edges, want %d", len(edges), len(naive))
+	}
+	for _, e := range edges {
+		if e.U >= e.V {
+			t.Fatalf("AppendEdges returned non-canonical edge %v", e)
+		}
+		if _, ok := naive[e.Key()]; !ok {
+			t.Fatalf("AppendEdges returned dead edge %v", e)
+		}
+	}
+}
+
+// TestAdjacencyExtremeNodeIDs exercises the in-band sentinels: node 0 and
+// node ^uint32(0) must work as both set owners and neighbors, including
+// inside promoted open-addressing sets (where the owner id marks empty
+// slots).
+func TestAdjacencyExtremeNodeIDs(t *testing.T) {
+	a := NewAdjacency()
+	lo, hi := NodeID(0), ^NodeID(0)
+	if !a.Add(lo, hi) {
+		t.Fatal("Add(0, max) = false")
+	}
+	// Push both extremes past promoteDeg so their sets promote.
+	for w := NodeID(1); w <= promoteDeg+4; w++ {
+		if !a.Add(lo, w) || !a.Add(hi, w) {
+			t.Fatalf("Add failed at w=%d", w)
+		}
+	}
+	if !a.Has(lo, hi) || !a.Has(hi, lo) {
+		t.Fatal("extreme edge lost after promotion")
+	}
+	if got := a.CommonCount(lo, hi); got != promoteDeg+4 {
+		t.Fatalf("CommonCount(0, max) = %d, want %d", got, promoteDeg+4)
+	}
+	if !a.Remove(lo, hi) || a.Has(lo, hi) {
+		t.Fatal("Remove(0, max) failed")
+	}
+	if a.Degree(lo) != promoteDeg+4 || a.Degree(hi) != promoteDeg+4 {
+		t.Fatalf("degrees = (%d, %d), want %d", a.Degree(lo), a.Degree(hi), promoteDeg+4)
+	}
+}
+
 func TestEdgeKeyRoundTrip(t *testing.T) {
 	f := func(u, v uint32) bool {
 		e := Edge{NodeID(u), NodeID(v)}

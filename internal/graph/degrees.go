@@ -1,19 +1,42 @@
 package graph
 
-// DegreeTable tracks per-node degrees of a graph stream with one counter
-// per node: O(V) memory for the whole stream, O(1) per edge. Because it
-// keeps no adjacency, degrees count edge ARRIVALS — a duplicate arrival of
-// the same edge increments both endpoints again. REPT's streaming model
-// assumes each edge arrives once, in which case arrival degree equals
-// graph degree; on streams with duplicates the table overcounts by the
-// duplication factor, and callers deriving clustering coefficients from it
-// inherit that bias.
+// DegreeTable tracks per-node degrees of a graph stream: one counter per
+// node plus a live-edge membership set, O(V + E) memory, O(1) per event.
+//
+// Semantics match Adjacency exactly: a duplicate insertion of a live edge
+// is a no-op (it used to inflate both endpoint degrees, skewing the
+// clustering coefficients derived from them), and a deletion of an edge
+// that is not live — a phantom delete from a malformed stream — is a
+// no-op too (it used to decrement unrelated degree mass). Degrees
+// therefore always equal the degrees of the live graph, the denominator
+// the plug-in clustering coefficient needs.
+//
+// The edge membership set costs O(E) memory — unavoidable for exact
+// duplicate detection, and acceptable because degree tracking is opt-in
+// (shard.Config.TrackDegrees) and hosted by a single tracker goroutine,
+// not replicated per processor.
+//
+// One caveat survives checkpointing: the snapshot payload carries only
+// the degree counters (format v2/v3), so a table restored from a
+// checkpoint starts with an empty membership set. Deletions of edges
+// inserted before the checkpoint are then honored best-effort under the
+// historical floor-at-zero semantics, bounded by the number of
+// pre-checkpoint live edges (sum of restored degrees / 2); on well-formed
+// streams — the REPT model, where only live edges are deleted and only
+// non-live ones inserted — a restored table replays exactly like one that
+// never restarted. Only malformed events targeting the pre-checkpoint
+// window escape exact filtering.
 //
 // The zero value is not usable; call NewDegreeTable. A DegreeTable is not
 // safe for concurrent use; the shard layer confines each table to one
 // goroutine.
 type DegreeTable struct {
-	deg map[NodeID]uint32
+	deg  map[NodeID]uint32
+	seen edgeSet
+	// legacy is the best-effort budget of pre-restore live edges that are
+	// absent from seen; deletions that miss the membership set decrement
+	// degrees under the historical semantics while it lasts.
+	legacy uint64
 }
 
 // NewDegreeTable returns an empty degree table.
@@ -22,19 +45,29 @@ func NewDegreeTable() *DegreeTable {
 }
 
 // RestoreDegreeTable builds a table around m, taking ownership of the map
-// (nil is treated as empty). It is the snapshot-restore entry point.
+// (nil is treated as empty). It is the snapshot-restore entry point. The
+// live-edge membership set starts empty (see the type comment); the
+// restored degree mass seeds the legacy-deletion budget.
 func RestoreDegreeTable(m map[NodeID]uint32) *DegreeTable {
 	if m == nil {
 		m = make(map[NodeID]uint32)
 	}
-	return &DegreeTable{deg: m}
+	var mass uint64
+	for _, d := range m {
+		mass += uint64(d)
+	}
+	return &DegreeTable{deg: m, legacy: mass / 2}
 }
 
-// AddEdge records one non-loop edge arrival, incrementing both endpoint
-// degrees. Self-loops are ignored, matching the estimator's stream
-// semantics. Degrees saturate at the uint32 maximum instead of wrapping.
+// AddEdge records one non-loop edge insertion, incrementing both endpoint
+// degrees. Self-loops and duplicate insertions of a live edge are
+// ignored, matching Adjacency.Add. Degrees saturate at the uint32 maximum
+// instead of wrapping.
 func (t *DegreeTable) AddEdge(u, v NodeID) {
 	if u == v {
+		return
+	}
+	if !t.seen.add(Key(u, v)) {
 		return
 	}
 	t.bump(u)
@@ -49,22 +82,34 @@ func (t *DegreeTable) bump(v NodeID) {
 
 // RemoveEdge records one non-loop edge deletion, decrementing both
 // endpoint degrees. Nodes whose degree reaches zero are dropped from the
-// table. Degrees floor at zero: a deletion of an edge that was never
-// inserted (a malformed stream) cannot drive a degree negative, and a
-// node saturated at the uint32 maximum stays saturated (the count is
-// already unreliable there). Self-loops are ignored, as in AddEdge.
+// table. Deletions of edges that are not live — self-loops, phantom
+// deletes of never-inserted edges, repeated deletes — are ignored,
+// matching Adjacency.Remove, so a malformed stream can never corrupt the
+// degrees of live edges' endpoints. The one exception is deletions
+// covered by the post-restore legacy budget (see the type comment), which
+// fall back to floor-at-zero decrements. A node saturated at the uint32
+// maximum stays saturated (the count is already unreliable there).
 func (t *DegreeTable) RemoveEdge(u, v NodeID) {
 	if u == v {
 		return
 	}
-	t.drop(u)
-	t.drop(v)
+	if t.seen.remove(Key(u, v)) {
+		t.drop(u)
+		t.drop(v)
+		return
+	}
+	if t.legacy > 0 {
+		t.legacy--
+		t.drop(u)
+		t.drop(v)
+	}
 }
 
 func (t *DegreeTable) drop(v NodeID) {
 	switch d := t.deg[v]; d {
 	case 0, ^uint32(0):
-		// Never seen (malformed delete) or saturated: leave untouched.
+		// Zero (legacy deletion of an unknown edge) or saturated: leave
+		// untouched.
 	case 1:
 		delete(t.deg, v)
 	default:
@@ -86,6 +131,10 @@ func (t *DegreeTable) Degree(v NodeID) uint32 { return t.deg[v] }
 
 // Nodes returns the number of nodes with non-zero degree.
 func (t *DegreeTable) Nodes() int { return len(t.deg) }
+
+// Edges returns the number of live edges in the membership set. Restored
+// tables undercount by the edges inserted before the checkpoint.
+func (t *DegreeTable) Edges() int { return t.seen.n }
 
 // Snapshot returns a copy of the table as a plain map, the export path
 // used by barrier snapshots and checkpoints. The copy is independent of

@@ -76,11 +76,14 @@ func TestDegreeTableRemoveEdge(t *testing.T) {
 	if dt.Nodes() != 2 { // node 2 dropped at zero, 1 and 3 remain
 		t.Errorf("Nodes = %d, want 2", dt.Nodes())
 	}
-	// Floor at zero: removing an edge that was never added is a no-op.
+	// Phantom deletes are no-ops: removing an edge that was never added
+	// (or already removed) must not touch any degree — in particular the
+	// repeated RemoveEdge(1, 2) must not steal degree mass from the still
+	// live edge {1, 3}.
 	dt.RemoveEdge(7, 8)
 	dt.RemoveEdge(1, 2)
-	if dt.Degree(1) != 0 || dt.Degree(7) != 0 {
-		t.Errorf("degrees after malformed removals = (%d, %d), want (0, 0)", dt.Degree(1), dt.Degree(7))
+	if dt.Degree(1) != 1 || dt.Degree(7) != 0 {
+		t.Errorf("degrees after malformed removals = (%d, %d), want (1, 0)", dt.Degree(1), dt.Degree(7))
 	}
 	// Self-loops are ignored on removal as on insertion.
 	dt.RemoveEdge(3, 3)
@@ -92,6 +95,63 @@ func TestDegreeTableRemoveEdge(t *testing.T) {
 	sat.RemoveEdge(9, 10)
 	if sat.Degree(9) != ^uint32(0) {
 		t.Errorf("saturated degree decremented to %d", sat.Degree(9))
+	}
+}
+
+// TestDegreeTableDuplicateInsert: re-inserting a live edge must not
+// inflate degrees — the table dedupes exactly like Adjacency.Add, so the
+// clustering-coefficient denominator stays consistent with the sampled
+// numerator.
+func TestDegreeTableDuplicateInsert(t *testing.T) {
+	dt := NewDegreeTable()
+	adj := NewAdjacency()
+	events := []Edge{{1, 2}, {2, 1}, {1, 2}, {2, 3}, {2, 3}, {1, 3}}
+	for _, e := range events {
+		dt.AddEdge(e.U, e.V)
+		adj.Add(e.U, e.V)
+	}
+	for v := NodeID(1); v <= 3; v++ {
+		if got, want := int(dt.Degree(v)), adj.Degree(v); got != want {
+			t.Errorf("node %d: degree %d after duplicates, adjacency says %d", v, got, want)
+		}
+	}
+	if dt.Edges() != 3 {
+		t.Errorf("Edges() = %d, want 3 distinct live edges", dt.Edges())
+	}
+	// Delete then re-insert counts again (it is a new live edge).
+	dt.RemoveEdge(1, 2)
+	dt.AddEdge(1, 2)
+	if dt.Degree(1) != 2 || dt.Degree(2) != 2 {
+		t.Errorf("degrees after delete+reinsert = (%d, %d), want (2, 2)", dt.Degree(1), dt.Degree(2))
+	}
+}
+
+// TestDegreeTableRestoredLegacyDeletes: a table restored from a bare
+// degree map (no membership set) must still honor well-formed deletions
+// of pre-checkpoint edges, bounded by the restored degree mass, while
+// exact filtering applies to post-restore edges.
+func TestDegreeTableRestoredLegacyDeletes(t *testing.T) {
+	// Pre-checkpoint graph: 1-2, 1-3 (degrees 2, 1, 1); two legacy deletes
+	// available.
+	dt := RestoreDegreeTable(map[NodeID]uint32{1: 2, 2: 1, 3: 1})
+	dt.RemoveEdge(1, 2) // legacy: decrements both
+	if dt.Degree(1) != 1 || dt.Degree(2) != 0 {
+		t.Fatalf("after legacy delete: degrees (%d, %d), want (1, 0)", dt.Degree(1), dt.Degree(2))
+	}
+	dt.RemoveEdge(1, 3) // second legacy delete
+	if dt.Degree(1) != 0 || dt.Degree(3) != 0 {
+		t.Fatalf("after second legacy delete: degrees (%d, %d), want (0, 0)", dt.Degree(1), dt.Degree(3))
+	}
+	// Legacy budget exhausted: further unknown deletes are pure no-ops.
+	dt.AddEdge(4, 5)
+	dt.RemoveEdge(4, 6)
+	if dt.Degree(4) != 1 || dt.Degree(5) != 1 {
+		t.Errorf("post-budget phantom delete changed degrees to (%d, %d)", dt.Degree(4), dt.Degree(5))
+	}
+	// Post-restore inserts are filtered exactly.
+	dt.AddEdge(4, 5)
+	if dt.Degree(4) != 1 {
+		t.Errorf("duplicate insert after restore inflated degree to %d", dt.Degree(4))
 	}
 }
 

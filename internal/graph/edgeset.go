@@ -1,0 +1,96 @@
+package graph
+
+import "rept/internal/hashing"
+
+// edgeSet is an open-addressing set of canonical 64-bit edge keys, the
+// live-edge membership structure behind DegreeTable's duplicate and
+// phantom-delete filtering. Key 0 is Key(0, 0) — a self-loop, which no
+// caller ever stores — so 0 serves as the in-band empty sentinel.
+// Deletion backward-shifts, keeping probe chains tombstone-free under
+// churn.
+type edgeSet struct {
+	keys []uint64
+	n    int
+}
+
+const edgeSetMinSize = 16
+
+// has reports whether k is in the set.
+func (s *edgeSet) has(k uint64) bool {
+	if s.n == 0 {
+		return false
+	}
+	mask := uint64(len(s.keys) - 1)
+	for i := hashing.Mix64(k) & mask; ; i = (i + 1) & mask {
+		switch s.keys[i] {
+		case k:
+			return true
+		case 0:
+			return false
+		}
+	}
+}
+
+// add inserts k, reporting whether it was absent.
+func (s *edgeSet) add(k uint64) bool {
+	if len(s.keys) == 0 {
+		s.keys = make([]uint64, edgeSetMinSize)
+	} else if s.n >= len(s.keys)*3/4 {
+		s.grow(len(s.keys) * 2)
+	}
+	mask := uint64(len(s.keys) - 1)
+	for i := hashing.Mix64(k) & mask; ; i = (i + 1) & mask {
+		switch s.keys[i] {
+		case k:
+			return false
+		case 0:
+			s.keys[i] = k
+			s.n++
+			return true
+		}
+	}
+}
+
+// remove deletes k by backward-shift, reporting whether it was present.
+func (s *edgeSet) remove(k uint64) bool {
+	if s.n == 0 {
+		return false
+	}
+	mask := uint64(len(s.keys) - 1)
+	i := hashing.Mix64(k) & mask
+	for ; ; i = (i + 1) & mask {
+		if s.keys[i] == k {
+			break
+		}
+		if s.keys[i] == 0 {
+			return false
+		}
+	}
+	j := i
+	for {
+		j = (j + 1) & mask
+		if s.keys[j] == 0 {
+			break
+		}
+		home := hashing.Mix64(s.keys[j]) & mask
+		if (j-home)&mask >= (j-i)&mask {
+			s.keys[i] = s.keys[j]
+			i = j
+		}
+	}
+	s.keys[i] = 0
+	s.n--
+	return true
+}
+
+// grow rehashes into size slots (a power of two).
+func (s *edgeSet) grow(size int) {
+	old := s.keys
+	s.keys = make([]uint64, size)
+	s.n = 0
+	for _, k := range old {
+		if k != 0 {
+			s.add(k)
+		}
+	}
+}

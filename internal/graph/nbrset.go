@@ -1,0 +1,479 @@
+package graph
+
+// This file implements the flat storage behind Adjacency: an open-
+// addressing node index (NodeID → arena slot) over an arena of per-node
+// neighbor sets. A set stores its first few neighbors inline in the
+// arena entry itself (no pointer chase at all for the typical sampled
+// node), spills to a sorted NodeID slice as it grows, and is promoted to
+// an open-addressing hash set past promoteDeg neighbors. Sorted layouts
+// intersect by merge walk (galloping by binary search when the sizes are
+// skewed); promoted sets are probed in O(1). Everything lives in
+// contiguous uint32 storage, so the per-edge hot path — two index
+// lookups plus one intersection — touches a handful of cache lines and
+// allocates nothing once capacity exists.
+
+// inlineCap is how many neighbors live directly in the arena entry. Most
+// nodes of a 1/m-sampled adjacency have only a couple of neighbors, so
+// this keeps the common case free of any per-node heap block.
+const inlineCap = 6
+
+// promoteDeg is the degree at which a sorted-slice neighbor set is
+// promoted to an open-addressing set. Below it, insertion's O(deg)
+// memmove stays within a couple of cache lines and merge intersection
+// beats hashing; above it, probing wins.
+const promoteDeg = 32
+
+// mix32 is a full-avalanche 32-bit mixer (lowbias32), the slot hash for
+// both the node index and promoted neighbor sets.
+func mix32(x uint32) uint32 {
+	x ^= x >> 16
+	x *= 0x7feb352d
+	x ^= x >> 15
+	x *= 0x846ca68b
+	x ^= x >> 16
+	return x
+}
+
+// nset is one node's neighbor set, in one of three layouts:
+//
+//   - inline: n ≤ inlineCap neighbors, sorted in inl (small and table nil)
+//   - spilled: sorted slice small (table nil)
+//   - promoted: open-addressing table with n live entries
+//
+// n is the degree in every layout. Empty table slots hold the owning
+// node's own id — a node is never its own neighbor (self-loops are
+// rejected upstream), so the owner is a collision-free in-band sentinel
+// for every possible NodeID value.
+type nset struct {
+	n     int32
+	inl   [inlineCap]NodeID
+	small []NodeID
+	table []NodeID
+}
+
+// deg returns the number of neighbors.
+func (s *nset) deg() int { return int(s.n) }
+
+// sorted returns the sorted neighbor slice of a non-promoted set.
+func (s *nset) sorted() []NodeID {
+	if s.small != nil {
+		return s.small
+	}
+	return s.inl[:s.n]
+}
+
+// reset empties the set for arena reuse, keeping the spill slice's
+// capacity (promoted tables are dropped: a recycled slot usually hosts a
+// fresh low-degree node).
+func (s *nset) reset() {
+	s.small = s.small[:0]
+	s.table = nil
+	s.n = 0
+}
+
+// search returns the insertion position of w in the sorted slice sl.
+func search(sl []NodeID, w NodeID) int {
+	lo, hi := 0, len(sl)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if sl[mid] < w {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// has reports whether w is a neighbor. owner is the set's node id; asking
+// for the owner itself answers false (it doubles as the empty sentinel in
+// table mode, and a node is never its own neighbor).
+func (s *nset) has(owner, w NodeID) bool {
+	if w == owner {
+		return false
+	}
+	if s.table == nil {
+		sl := s.sorted()
+		i := search(sl, w)
+		return i < len(sl) && sl[i] == w
+	}
+	mask := uint32(len(s.table) - 1)
+	for i := mix32(uint32(w)) & mask; ; i = (i + 1) & mask {
+		switch s.table[i] {
+		case w:
+			return true
+		case owner:
+			return false
+		}
+	}
+}
+
+// add inserts w, reporting whether it was absent. Inserting the owner
+// itself is rejected (self-loops never reach the set, and the owner id is
+// the table-mode empty sentinel).
+func (s *nset) add(owner, w NodeID) bool {
+	if w == owner {
+		return false
+	}
+	if s.table == nil {
+		sl := s.sorted()
+		i := search(sl, w)
+		if i < len(sl) && sl[i] == w {
+			return false
+		}
+		switch {
+		case s.small == nil && int(s.n) < inlineCap:
+			// Inline insertion sort.
+			copy(s.inl[i+1:s.n+1], s.inl[i:s.n])
+			s.inl[i] = w
+		case s.small == nil:
+			// Spill inline storage to a sorted slice.
+			s.small = make([]NodeID, 0, 2*inlineCap)
+			s.small = append(s.small, s.inl[:i]...)
+			s.small = append(s.small, w)
+			s.small = append(s.small, s.inl[i:s.n]...)
+		case len(s.small) >= promoteDeg:
+			s.promote(owner)
+			return s.add(owner, w)
+		default:
+			s.small = append(s.small, 0)
+			copy(s.small[i+1:], s.small[i:])
+			s.small[i] = w
+		}
+		s.n++
+		return true
+	}
+	if int(s.n) >= len(s.table)*3/4 {
+		s.grow(owner, len(s.table)*2)
+	}
+	mask := uint32(len(s.table) - 1)
+	for i := mix32(uint32(w)) & mask; ; i = (i + 1) & mask {
+		switch s.table[i] {
+		case w:
+			return false
+		case owner:
+			s.table[i] = w
+			s.n++
+			return true
+		}
+	}
+}
+
+// remove deletes w, reporting whether it was present. Table mode uses
+// backward-shift deletion, so probe chains stay tombstone-free.
+func (s *nset) remove(owner, w NodeID) bool {
+	if w == owner {
+		return false
+	}
+	if s.table == nil {
+		if s.small == nil {
+			i := search(s.inl[:s.n], w)
+			if i >= int(s.n) || s.inl[i] != w {
+				return false
+			}
+			copy(s.inl[i:s.n-1], s.inl[i+1:s.n])
+			s.n--
+			return true
+		}
+		i := search(s.small, w)
+		if i >= len(s.small) || s.small[i] != w {
+			return false
+		}
+		copy(s.small[i:], s.small[i+1:])
+		s.small = s.small[:len(s.small)-1]
+		s.n--
+		return true
+	}
+	mask := uint32(len(s.table) - 1)
+	i := mix32(uint32(w)) & mask
+	for ; ; i = (i + 1) & mask {
+		if s.table[i] == w {
+			break
+		}
+		if s.table[i] == owner {
+			return false
+		}
+	}
+	// Backward-shift: pull up any displaced entry whose home slot lies at
+	// or before the hole, preserving every probe chain.
+	j := i
+	for {
+		j = (j + 1) & mask
+		if s.table[j] == owner {
+			break
+		}
+		home := mix32(uint32(s.table[j])) & mask
+		if (j-home)&mask >= (j-i)&mask {
+			s.table[i] = s.table[j]
+			i = j
+		}
+	}
+	s.table[i] = owner
+	s.n--
+	return true
+}
+
+// promote migrates the sorted slice into a fresh open-addressing table.
+func (s *nset) promote(owner NodeID) {
+	old := s.small
+	s.small = nil
+	s.n = 0
+	s.table = make([]NodeID, 4*promoteDeg)
+	for i := range s.table {
+		s.table[i] = owner
+	}
+	for _, w := range old {
+		s.add(owner, w)
+	}
+}
+
+// grow rehashes the table into size slots (a power of two).
+func (s *nset) grow(owner NodeID, size int) {
+	old := s.table
+	s.table = make([]NodeID, size)
+	for i := range s.table {
+		s.table[i] = owner
+	}
+	s.n = 0
+	for _, w := range old {
+		if w != owner {
+			s.add(owner, w)
+		}
+	}
+}
+
+// each calls fn for every neighbor, in unspecified order.
+func (s *nset) each(owner NodeID, fn func(w NodeID)) {
+	if s.table == nil {
+		for _, w := range s.sorted() {
+			fn(w)
+		}
+		return
+	}
+	for _, w := range s.table {
+		if w != owner {
+			fn(w)
+		}
+	}
+}
+
+// intersectSorted appends the intersection of two sorted slices to dst: a
+// plain merge walk for comparable sizes, a galloping binary-search walk
+// when one side is much longer.
+func intersectSorted(a, b []NodeID, dst []NodeID) []NodeID {
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	if len(b) >= 8*len(a) {
+		lo := 0
+		for _, w := range a {
+			i := lo + search(b[lo:], w)
+			if i < len(b) && b[i] == w {
+				dst = append(dst, w)
+				i++
+			}
+			lo = i
+			if lo >= len(b) {
+				break
+			}
+		}
+		return dst
+	}
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		x, y := a[i], b[j]
+		if x == y {
+			dst = append(dst, x)
+			i++
+			j++
+		} else if x < y {
+			i++
+		} else {
+			j++
+		}
+	}
+	return dst
+}
+
+// intersect appends N(su) ∩ N(sv) to dst. Sorted layouts merge- or
+// gallop-walk against each other; any probe-able side is probed from the
+// smaller enumerable side.
+func intersect(su *nset, ou NodeID, sv *nset, ov NodeID, dst []NodeID) []NodeID {
+	if su.table == nil && sv.table == nil {
+		return intersectSorted(su.sorted(), sv.sorted(), dst)
+	}
+	// Enumerate the smaller set, probe the larger (at least one side is a
+	// table; prefer probing it).
+	if su.table != nil && (sv.table == nil || sv.n <= su.n) {
+		su, ou, sv, ov = sv, ov, su, ou
+	}
+	if su.table == nil {
+		for _, w := range su.sorted() {
+			if sv.has(ov, w) {
+				dst = append(dst, w)
+			}
+		}
+		return dst
+	}
+	for _, w := range su.table {
+		if w != ou && sv.has(ov, w) {
+			dst = append(dst, w)
+		}
+	}
+	return dst
+}
+
+// intersectCount returns |N(su) ∩ N(sv)| with the same strategy choices
+// as intersect, without materializing the result.
+func intersectCount(su *nset, ou NodeID, sv *nset, ov NodeID) int {
+	n := 0
+	if su.table == nil && sv.table == nil {
+		a, b := su.sorted(), sv.sorted()
+		if len(a) > len(b) {
+			a, b = b, a
+		}
+		if len(b) >= 8*len(a) {
+			lo := 0
+			for _, w := range a {
+				i := lo + search(b[lo:], w)
+				if i < len(b) && b[i] == w {
+					n++
+					i++
+				}
+				lo = i
+				if lo >= len(b) {
+					break
+				}
+			}
+			return n
+		}
+		i, j := 0, 0
+		for i < len(a) && j < len(b) {
+			x, y := a[i], b[j]
+			if x == y {
+				n++
+				i++
+				j++
+			} else if x < y {
+				i++
+			} else {
+				j++
+			}
+		}
+		return n
+	}
+	if su.table != nil && (sv.table == nil || sv.n <= su.n) {
+		su, ou, sv, ov = sv, ov, su, ou
+	}
+	if su.table == nil {
+		for _, w := range su.sorted() {
+			if sv.has(ov, w) {
+				n++
+			}
+		}
+		return n
+	}
+	for _, w := range su.table {
+		if w != ou && sv.has(ov, w) {
+			n++
+		}
+	}
+	return n
+}
+
+// idxEntry is one node-index slot: the node id and its arena slot plus
+// one, packed in eight bytes so a probe touches a single word. slot1 == 0
+// marks an empty index slot.
+type idxEntry struct {
+	key   NodeID
+	slot1 int32
+}
+
+// nodeIndex is an open-addressing map from NodeID to arena slot.
+// Deletion backward-shifts, so no tombstones exist and lookups stay
+// short under churn. The index grows at 50% load — every stream event
+// probes it 2·C times, so short probe chains buy more than the extra
+// 8 bytes per slot cost.
+type nodeIndex struct {
+	ents []idxEntry
+	n    int
+}
+
+const indexMinSize = 16
+
+// get returns the arena slot of u, or -1.
+func (ix *nodeIndex) get(u NodeID) int32 {
+	if ix.n == 0 {
+		return -1
+	}
+	mask := uint32(len(ix.ents) - 1)
+	for i := mix32(uint32(u)) & mask; ; i = (i + 1) & mask {
+		e := ix.ents[i]
+		if e.slot1 == 0 {
+			return -1
+		}
+		if e.key == u {
+			return e.slot1 - 1
+		}
+	}
+}
+
+// put inserts u → slot. u must be absent.
+func (ix *nodeIndex) put(u NodeID, slot int32) {
+	if len(ix.ents) == 0 {
+		ix.ents = make([]idxEntry, indexMinSize)
+	} else if ix.n >= len(ix.ents)/2 {
+		ix.grow(len(ix.ents) * 2)
+	}
+	mask := uint32(len(ix.ents) - 1)
+	i := mix32(uint32(u)) & mask
+	for ix.ents[i].slot1 != 0 {
+		i = (i + 1) & mask
+	}
+	ix.ents[i] = idxEntry{key: u, slot1: slot + 1}
+	ix.n++
+}
+
+// del removes u (which must be present) by backward-shift.
+func (ix *nodeIndex) del(u NodeID) {
+	mask := uint32(len(ix.ents) - 1)
+	i := mix32(uint32(u)) & mask
+	for ix.ents[i].key != u || ix.ents[i].slot1 == 0 {
+		i = (i + 1) & mask
+	}
+	j := i
+	for {
+		j = (j + 1) & mask
+		if ix.ents[j].slot1 == 0 {
+			break
+		}
+		home := mix32(uint32(ix.ents[j].key)) & mask
+		if (j-home)&mask >= (j-i)&mask {
+			ix.ents[i] = ix.ents[j]
+			i = j
+		}
+	}
+	ix.ents[i] = idxEntry{}
+	ix.n--
+}
+
+// grow rehashes into size slots (a power of two ≥ current).
+func (ix *nodeIndex) grow(size int) {
+	old := ix.ents
+	ix.ents = make([]idxEntry, size)
+	ix.n = 0
+	for _, e := range old {
+		if e.slot1 != 0 {
+			ix.put(e.key, e.slot1-1)
+		}
+	}
+}
+
+// each calls fn for every (node, slot) pair, in unspecified order.
+func (ix *nodeIndex) each(fn func(u NodeID, slot int32)) {
+	for _, e := range ix.ents {
+		if e.slot1 != 0 {
+			fn(e.key, e.slot1-1)
+		}
+	}
+}

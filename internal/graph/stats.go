@@ -18,11 +18,11 @@ func Summarize(stream []Edge) Summary {
 		}
 	}
 	s := Summary{Nodes: adj.Nodes(), Edges: adj.Edges()}
-	for u := range adj.nbr {
-		if d := adj.Degree(u); d > s.MaxDegree {
+	adj.idx.each(func(_ NodeID, si int32) {
+		if d := adj.sets[si].deg(); d > s.MaxDegree {
 			s.MaxDegree = d
 		}
-	}
+	})
 	if s.Nodes > 0 {
 		s.AvgDegree = 2 * float64(s.Edges) / float64(s.Nodes)
 	}

@@ -107,17 +107,18 @@ func (p *Publisher) publish() *View {
 	obs := p.src.Observe()
 	p.epoch++
 	v := &View{
-		Epoch:        p.epoch,
-		Taken:        time.Now(),
-		Global:       obs.Estimate.Global,
-		Variance:     obs.Estimate.Variance,
-		EtaHat:       obs.Estimate.EtaHat,
-		Processed:    obs.Processed,
-		Deleted:      obs.Deleted,
-		SelfLoops:    obs.SelfLoops,
-		SampledEdges: obs.SampledEdges,
-		Local:        obs.Estimate.Local,
-		Degrees:      obs.Degrees,
+		Epoch:          p.epoch,
+		Taken:          time.Now(),
+		Global:         obs.Estimate.Global,
+		Variance:       obs.Estimate.Variance,
+		EtaHat:         obs.Estimate.EtaHat,
+		Processed:      obs.Processed,
+		Deleted:        obs.Deleted,
+		SelfLoops:      obs.SelfLoops,
+		SampledEdges:   obs.SampledEdges,
+		EtaSaturations: obs.EtaSaturations,
+		Local:          obs.Estimate.Local,
+		Degrees:        obs.Degrees,
 	}
 	v.buildTopK(p.cfg.TopK)
 	p.cur.Store(v)

@@ -58,6 +58,11 @@ type View struct {
 	// SampledEdges is the number of edges stored across all logical
 	// processors at the prefix.
 	SampledEdges int
+	// EtaSaturations counts per-edge closing-counter updates clamped at
+	// the int32 boundary at the prefix — 0 on every realistic stream,
+	// non-zero when an adversarially hot edge made η̂ a bounded
+	// under-estimate instead of wrap-around garbage.
+	EtaSaturations uint64
 	// Local maps nodes to τ̂_v; nil unless local tracking is on.
 	Local map[graph.NodeID]float64
 	// Degrees maps nodes to stream degree; nil unless degree tracking is

@@ -24,6 +24,11 @@ type Observation struct {
 	// SampledEdges is the total number of edges stored across all shards'
 	// logical processors at the prefix.
 	SampledEdges int
+	// EtaSaturations counts per-edge closing-counter updates clamped at
+	// the int32 boundary across all shards (0 on every realistic stream;
+	// non-zero flags an adversarially hot edge whose η̂ contribution is a
+	// bounded under-estimate).
+	EtaSaturations uint64
 	// Processed, Deleted, and SelfLoops are the coordinator tallies at
 	// the prefix (Processed counts insertions plus deletions; Deleted the
 	// deletions alone).
@@ -46,12 +51,17 @@ func (s *Sharded) Observe() Observation {
 	for _, n := range bar.sampled {
 		total += n
 	}
+	var sat uint64
+	for _, n := range bar.etaSat {
+		sat += n
+	}
 	return Observation{
-		Estimate:     agg.Estimate(),
-		Degrees:      bar.degrees,
-		SampledEdges: total,
-		Processed:    bar.processed,
-		Deleted:      bar.deleted,
-		SelfLoops:    bar.selfLoops,
+		Estimate:       agg.Estimate(),
+		Degrees:        bar.degrees,
+		SampledEdges:   total,
+		EtaSaturations: sat,
+		Processed:      bar.processed,
+		Deleted:        bar.deleted,
+		SelfLoops:      bar.selfLoops,
 	}
 }

@@ -167,6 +167,7 @@ type batch struct {
 type barrier struct {
 	aggs    []*core.Aggregates
 	sampled []int
+	etaSat  []uint64
 	states  []*snapshot.EngineState
 	// degrees is the degree tracker's table copy at the barrier prefix;
 	// nil when degree tracking is off.
@@ -201,7 +202,15 @@ type Sharded struct {
 	cur    *batch
 	closed bool
 
-	pool sync.Pool
+	// free recycles broadcast batch buffers. A buffered channel rather
+	// than a sync.Pool: batches are always released by a shard goroutine
+	// and reacquired by a producer — the cross-P handoff pattern where
+	// per-P pool caches systematically miss — and the channel makes the
+	// steady state deterministically allocation-free. Sized past the
+	// maximum number of batches in flight (shard queue depth plus the one
+	// being filled and the ones being processed), so releases virtually
+	// never find it full; a full free list just drops the batch to the GC.
+	free chan *batch
 	done sync.WaitGroup
 
 	processed atomic.Uint64
@@ -240,7 +249,7 @@ func build(cfg Config, restore []snapshot.EngineState, restoreDegrees map[graph.
 		engines:  make([]*core.Engine, len(sub)),
 		chans:    make([]chan msg, len(sub)),
 	}
-	s.pool.New = func() any { return &batch{ups: make([]graph.Update, 0, batchLen)} }
+	s.free = make(chan *batch, queueLen+8)
 	for i, sc := range sub {
 		var eng *core.Engine
 		var err error
@@ -258,7 +267,7 @@ func build(cfg Config, restore []snapshot.EngineState, restoreDegrees map[graph.
 		s.engines[i] = eng
 		s.chans[i] = make(chan msg, queueLen)
 	}
-	s.cur = s.pool.Get().(*batch)
+	s.cur = s.getBatch()
 	s.done.Add(len(s.engines))
 	for i := range s.engines {
 		go s.run(i)
@@ -269,6 +278,26 @@ func build(cfg Config, restore []snapshot.EngineState, restoreDegrees map[graph.
 		go s.runDegrees(graph.RestoreDegreeTable(restoreDegrees))
 	}
 	return s, nil
+}
+
+// getBatch returns a recycled batch buffer, allocating only when the
+// free list is empty (start-up, or bursts beyond the in-flight bound).
+func (s *Sharded) getBatch() *batch {
+	select {
+	case b := <-s.free:
+		return b
+	default:
+		return &batch{ups: make([]graph.Update, 0, s.batchLen)}
+	}
+}
+
+// putBatch recycles a fully released batch buffer.
+func (s *Sharded) putBatch(b *batch) {
+	b.ups = b.ups[:0]
+	select {
+	case s.free <- b:
+	default: // free list full: let the GC have it
+	}
 }
 
 // runDegrees is the degree tracker goroutine: it consumes the same
@@ -286,8 +315,7 @@ func (s *Sharded) runDegrees(table *graph.DegreeTable) {
 			table.ApplyUpdate(up)
 		}
 		if m.b.refs.Add(-1) == 0 {
-			m.b.ups = m.b.ups[:0]
-			s.pool.Put(m.b)
+			s.putBatch(m.b)
 		}
 	}
 }
@@ -314,14 +342,14 @@ func (s *Sharded) run(i int) {
 			} else {
 				m.bar.aggs[i] = eng.Aggregates()
 				m.bar.sampled[i] = eng.SampledEdges()
+				m.bar.etaSat[i] = eng.EtaSaturations()
 			}
 			m.bar.wg.Done()
 			continue
 		}
 		eng.ApplyAll(m.b.ups)
 		if m.b.refs.Add(-1) == 0 {
-			m.b.ups = m.b.ups[:0]
-			s.pool.Put(m.b)
+			s.putBatch(m.b)
 		}
 	}
 	eng.Close()
@@ -445,7 +473,7 @@ func (s *Sharded) flushLocked() {
 	if s.degCh != nil {
 		s.degCh <- msg{b: b}
 	}
-	s.cur = s.pool.Get().(*batch)
+	s.cur = s.getBatch()
 }
 
 // barrier flushes pending edges and enqueues a fresh barrier on every
@@ -465,6 +493,7 @@ func (s *Sharded) barrier(wantStates bool) *barrier {
 	} else {
 		bar.aggs = make([]*core.Aggregates, len(s.chans))
 		bar.sampled = make([]int, len(s.chans))
+		bar.etaSat = make([]uint64, len(s.chans))
 	}
 	// Both tallies are only mutated under s.mu, so this read is exactly
 	// consistent with the prefix just flushed.
@@ -513,6 +542,18 @@ func (s *Sharded) SampledEdges() int {
 		total += n
 	}
 	return total
+}
+
+// EtaSaturations reports how many per-edge closing-counter updates were
+// clamped at the int32 boundary across all shards (see
+// core.Engine.EtaSaturations). It drains in-flight edges like Snapshot.
+func (s *Sharded) EtaSaturations() uint64 {
+	bar := s.barrier(false)
+	var n uint64
+	for _, v := range bar.etaSat {
+		n += v
+	}
+	return n
 }
 
 // Processed returns the number of non-loop events (insertions plus

@@ -213,6 +213,13 @@ func (e *Estimator) PairingStats() PairingStats { return e.eng.PairingCounters()
 // logical processors (expected ≈ C·|E|/M), a memory diagnostic.
 func (e *Estimator) SampledEdges() int { return e.eng.SampledEdges() }
 
+// EtaSaturations reports how many per-edge closing-counter updates were
+// clamped at the int32 boundary instead of wrapping — 0 on every
+// realistic stream. A non-zero value flags an adversarially hot edge
+// whose η̂ contribution is now a bounded under-estimate; treat the
+// variance report as optimistic.
+func (e *Estimator) EtaSaturations() uint64 { return e.eng.EtaSaturations() }
+
 // WriteSnapshot writes the estimator's complete state — config
 // fingerprint, every logical processor's sampled edges and counters, and
 // the processed/self-loop tallies — to w in the versioned binary snapshot
