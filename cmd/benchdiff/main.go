@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"os"
 	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -46,17 +47,21 @@ type recording struct {
 	cpu     string
 }
 
-// testEvent is the go test -json envelope (only the field we need).
+// testEvent is the go test -json envelope (only the fields we need).
 type testEvent struct {
-	Action string `json:"Action"`
-	Output string `json:"Output"`
+	Action  string `json:"Action"`
+	Package string `json:"Package"`
+	Output  string `json:"Output"`
 }
 
 // benchLine matches "BenchmarkName-8   12345   678.9 ns/op ...".
 var benchLine = regexp.MustCompile(`^(Benchmark[^\s-]+)(?:-\d+)?\s+(\d+)\s+([0-9.]+) ns/op`)
 
 // parseFile extracts the best (highest-iteration) result per benchmark
-// name from a go test -json stream, plus the "cpu:" banner. Plain
+// name from a go test -json stream, plus the "cpu:" banner. One
+// benchmark's report is split across several output events (the name and
+// the numbers arrive separately), so the stream is first reassembled
+// into plain text per package and then scanned line-wise. Plain
 // benchmark text (no JSON envelope) is accepted too, so locally produced
 // files work either way.
 func parseFile(path string) (recording, error) {
@@ -66,38 +71,63 @@ func parseFile(path string) (recording, error) {
 		return rec, err
 	}
 	defer f.Close()
+	texts := make(map[string]*strings.Builder) // package → reassembled output
+	text := func(pkg string) *strings.Builder {
+		b := texts[pkg]
+		if b == nil {
+			b = &strings.Builder{}
+			texts[pkg] = b
+		}
+		return b
+	}
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
 	for sc.Scan() {
 		line := sc.Text()
 		if strings.HasPrefix(line, "{") {
 			var ev testEvent
-			if err := json.Unmarshal([]byte(line), &ev); err != nil {
-				continue // tolerate stray non-event lines
-			}
-			if ev.Action != "output" {
+			if err := json.Unmarshal([]byte(line), &ev); err == nil {
+				if ev.Action == "output" {
+					text(ev.Package).WriteString(ev.Output)
+				}
 				continue
 			}
-			line = strings.TrimSpace(ev.Output)
+			// Not a test event: fall through as plain text.
 		}
-		if cpu, ok := strings.CutPrefix(line, "cpu: "); ok {
-			rec.cpu = strings.TrimSpace(cpu)
-			continue
-		}
-		m := benchLine.FindStringSubmatch(line)
-		if m == nil {
-			continue
-		}
-		iters, err1 := strconv.ParseInt(m[2], 10, 64)
-		nsOp, err2 := strconv.ParseFloat(m[3], 64)
-		if err1 != nil || err2 != nil {
-			continue
-		}
-		if prev, ok := rec.results[m[1]]; !ok || iters > prev.iters {
-			rec.results[m[1]] = result{iters: iters, nsOp: nsOp}
+		text("").WriteString(line + "\n")
+	}
+	if err := sc.Err(); err != nil {
+		return rec, err
+	}
+	pkgs := make([]string, 0, len(texts))
+	for pkg := range texts {
+		pkgs = append(pkgs, pkg)
+	}
+	sort.Strings(pkgs) // deterministic cpu-banner pick across buckets
+	for _, pkg := range pkgs {
+		for _, line := range strings.Split(texts[pkg].String(), "\n") {
+			line = strings.TrimSpace(line)
+			if cpu, ok := strings.CutPrefix(line, "cpu: "); ok {
+				if rec.cpu == "" {
+					rec.cpu = strings.TrimSpace(cpu)
+				}
+				continue
+			}
+			m := benchLine.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			iters, err1 := strconv.ParseInt(m[2], 10, 64)
+			nsOp, err2 := strconv.ParseFloat(m[3], 64)
+			if err1 != nil || err2 != nil {
+				continue
+			}
+			if prev, ok := rec.results[m[1]]; !ok || iters > prev.iters {
+				rec.results[m[1]] = result{iters: iters, nsOp: nsOp}
+			}
 		}
 	}
-	return rec, sc.Err()
+	return rec, nil
 }
 
 func run(args []string) error {

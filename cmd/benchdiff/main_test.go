@@ -43,6 +43,30 @@ func TestParseFilePicksHighestIterationRun(t *testing.T) {
 	}
 }
 
+// TestParseFileSplitOutputEvents: go test -json splits one benchmark
+// report across several output events (the name, then the numbers);
+// parsing must reassemble them.
+func TestParseFileSplitOutputEvents(t *testing.T) {
+	dir := t.TempDir()
+	path := writeFile(t, dir, "b.json",
+		`{"Action":"output","Package":"rept","Output":"cpu: Fake CPU\n"}`+"\n"+
+			`{"Action":"output","Package":"rept","Output":"BenchmarkREPTPerEdge\n"}`+"\n"+
+			`{"Action":"output","Package":"rept","Output":"BenchmarkREPTPerEdge               \t"}`+"\n"+
+			`{"Action":"output","Package":"rept","Output":" 3691238\t       692.7 ns/op\n"}`+"\n"+
+			`{"Action":"pass","Package":"rept"}`+"\n")
+	rec, err := parseFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, ok := rec.results["BenchmarkREPTPerEdge"]
+	if !ok || r.nsOp != 692.7 || r.iters != 3691238 {
+		t.Fatalf("parsed %+v, want 3691238 iterations at 692.7 ns/op", r)
+	}
+	if rec.cpu != "Fake CPU" {
+		t.Fatalf("cpu = %q", rec.cpu)
+	}
+}
+
 func TestParseFilePlainText(t *testing.T) {
 	dir := t.TempDir()
 	path := writeFile(t, dir, "b.txt",
