@@ -9,6 +9,14 @@
 //
 //	benchdiff -old bench/BENCH_abc.json -new bench/BENCH_def.json \
 //	    [-threshold 0.25] [-bench Name1,Name2,...]
+//	benchdiff -latest bench/LATEST -new bench/BENCH_def.json
+//
+// With -latest, the baseline is resolved through a pointer file holding
+// the committed baseline's file name (relative to the pointer's
+// directory). A missing pointer file is a clean skip — the trajectory
+// has to start somewhere — but a pointer that names a missing file is a
+// hard error: the trajectory record is broken and silently skipping the
+// gate would let regressions through unnoticed.
 //
 // A benchmark listed in -bench but missing from the old file is skipped
 // with a note (the trajectory starts somewhere); missing from the new
@@ -24,6 +32,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"regexp"
 	"sort"
 	"strconv"
@@ -130,17 +139,60 @@ func parseFile(path string) (recording, error) {
 	return rec, nil
 }
 
+// resolveLatest turns a LATEST pointer file into the baseline path it
+// names. Returns "" (skip, no error) when the pointer itself does not
+// exist yet; returns an error when the pointer exists but is empty or
+// names a file that is gone — a broken trajectory record must fail the
+// gate loudly, not skip it.
+func resolveLatest(pointer string) (string, error) {
+	raw, err := os.ReadFile(pointer)
+	if os.IsNotExist(err) {
+		fmt.Printf("no baseline pointer %s yet; the trajectory starts with this run\n", pointer)
+		return "", nil
+	}
+	if err != nil {
+		return "", fmt.Errorf("reading baseline pointer: %w", err)
+	}
+	name := strings.TrimSpace(string(raw))
+	if name == "" {
+		return "", fmt.Errorf("baseline pointer %s is empty; re-record the baseline or delete the pointer", pointer)
+	}
+	target := filepath.Join(filepath.Dir(pointer), name)
+	if _, err := os.Stat(target); err != nil {
+		return "", fmt.Errorf("baseline pointer %s names %s, which is missing: the bench trajectory record is broken; restore the baseline file or re-point %s", pointer, target, pointer)
+	}
+	return target, nil
+}
+
 func run(args []string) error {
 	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
 	oldPath := fs.String("old", "", "baseline BENCH json file")
+	latest := fs.String("latest", "", "baseline pointer file (e.g. bench/LATEST) naming the baseline; missing pointer skips, missing target fails")
 	newPath := fs.String("new", "", "fresh BENCH json file")
 	threshold := fs.Float64("threshold", 0.25, "fail when new ns/op exceeds old by more than this fraction")
 	benches := fs.String("bench", defaultBenchmarks, "comma-separated benchmark names to gate")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *oldPath != "" && *latest != "" {
+		return fmt.Errorf("-old and -latest are mutually exclusive")
+	}
+	if *latest != "" {
+		target, err := resolveLatest(*latest)
+		if err != nil {
+			return err
+		}
+		if target == "" {
+			return nil
+		}
+		if filepath.Clean(target) == filepath.Clean(*newPath) {
+			fmt.Println("fresh run is the committed baseline; nothing to compare")
+			return nil
+		}
+		*oldPath = target
+	}
 	if *oldPath == "" || *newPath == "" {
-		return fmt.Errorf("both -old and -new are required")
+		return fmt.Errorf("both -old (or -latest) and -new are required")
 	}
 	oldRec, err := parseFile(*oldPath)
 	if err != nil {

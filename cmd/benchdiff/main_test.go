@@ -149,3 +149,57 @@ func TestRunMissingTrackedBenchmark(t *testing.T) {
 		t.Errorf("run failed when only the baseline lacks the benchmark: %v", err)
 	}
 }
+
+// TestRunLatestPointer exercises the -latest pointer modes: no pointer
+// yet is a clean skip, a healthy pointer resolves to the baseline, a
+// self-pointing baseline skips, and a pointer naming a missing file is
+// a hard error — never a silent skip.
+func TestRunLatestPointer(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, dir, "BENCH_old.json", jsonBench(
+		"BenchmarkREPTPerEdge-8 \\t 1000000 \\t 1000 ns/op",
+		"BenchmarkFullyDynamicChurnPerEvent-8 \\t 1000000 \\t 800 ns/op",
+	))
+	fresh := writeFile(t, dir, "BENCH_new.json", jsonBench(
+		"BenchmarkREPTPerEdge-8 \\t 1000000 \\t 1300 ns/op", // +30% > 25%
+		"BenchmarkFullyDynamicChurnPerEvent-8 \\t 1000000 \\t 800 ns/op",
+	))
+	pointer := filepath.Join(dir, "LATEST")
+
+	// Pointer file absent: the trajectory starts here, clean skip.
+	if err := run([]string{"-latest", pointer, "-new", fresh}); err != nil {
+		t.Errorf("run failed with no pointer file yet: %v", err)
+	}
+
+	// Healthy pointer: resolves relative to the pointer's directory and
+	// gates for real (the fresh file regressed, so the gate must fail).
+	writeFile(t, dir, "LATEST", "BENCH_old.json\n")
+	err := run([]string{"-latest", pointer, "-new", fresh})
+	if err == nil || !strings.Contains(err.Error(), "BenchmarkREPTPerEdge") {
+		t.Errorf("run = %v, want a regression failure via the pointer baseline", err)
+	}
+
+	// Pointer naming the fresh file itself: nothing to compare.
+	writeFile(t, dir, "LATEST", "BENCH_new.json\n")
+	if err := run([]string{"-latest", pointer, "-new", fresh}); err != nil {
+		t.Errorf("run failed when the fresh run is the baseline: %v", err)
+	}
+
+	// Pointer naming a missing file: hard error, not a skip.
+	writeFile(t, dir, "LATEST", "BENCH_gone.json\n")
+	err = run([]string{"-latest", pointer, "-new", fresh})
+	if err == nil || !strings.Contains(err.Error(), "BENCH_gone.json") {
+		t.Errorf("run = %v, want a hard error naming the missing baseline", err)
+	}
+
+	// Empty pointer: also a hard error.
+	writeFile(t, dir, "LATEST", "\n")
+	if err := run([]string{"-latest", pointer, "-new", fresh}); err == nil {
+		t.Error("run succeeded with an empty pointer file")
+	}
+
+	// -old and -latest together are ambiguous.
+	if err := run([]string{"-old", fresh, "-latest", pointer, "-new", fresh}); err == nil {
+		t.Error("run accepted both -old and -latest")
+	}
+}

@@ -20,6 +20,8 @@ const (
 // parseEdgeLine parses one NDJSON edge line without allocating. ok is
 // false when the line does not match the fast shape (malformed or merely
 // unusual); the caller must then re-parse with encoding/json.
+//
+//rept:hotpath
 func parseEdgeLine(b []byte) (u, v uint32, op int, ok bool) {
 	i := skipSpace(b, 0)
 	if i >= len(b) || b[i] != '{' {
@@ -100,6 +102,8 @@ fields:
 }
 
 // skipSpace advances past JSON whitespace.
+//
+//rept:hotpath
 func skipSpace(b []byte, i int) int {
 	for i < len(b) {
 		switch b[i] {
@@ -114,6 +118,8 @@ func skipSpace(b []byte, i int) int {
 
 // parseUint32 reads a plain decimal integer (no sign, fraction, or
 // exponent) that fits uint32, returning the position after it.
+//
+//rept:hotpath
 func parseUint32(b []byte, i int) (uint32, int, bool) {
 	start := i
 	var n uint64
@@ -135,6 +141,8 @@ func parseUint32(b []byte, i int) (uint32, int, bool) {
 
 // parseOpValue reads the quoted op string, accepting exactly the values
 // the ingest endpoint accepts; op is overwritten when it parses.
+//
+//rept:hotpath
 func parseOpValue(b []byte, i int, op *int) (int, bool) {
 	if *op != opNone {
 		return 0, false // duplicate "op" field

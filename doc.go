@@ -183,6 +183,19 @@
 // field. cmd/reptserve exposes all of this as POST /checkpoint (atomic
 // temp-file-rename writes) and a -restore boot flag.
 //
+// # Static analysis
+//
+// The invariants above — allocation-free hot paths, deterministic map
+// iteration in snapshot/merge code, saturating (never wrapping) counter
+// arithmetic, epoch views that are re-loaded rather than cached, and no
+// blocking operations under the sharded ingest mutex — are enforced by
+// a bundled static-analysis suite, not just by tests. Functions, types,
+// and fields opt in with //rept: directives (hotpath, deterministic,
+// satcounter, viewholder, ingestmu, and their escape hatches), and
+// `go run ./cmd/reptvet ./...` type-checks the module and reports every
+// violation; CI runs it as a required gate. See internal/analysis and
+// the README's "Static analysis" section.
+//
 // The package also exposes the baselines the paper compares against
 // (NewMascot, NewTriest, NewGPS, and NewParallel for the "c independent
 // instances" parallelization), exact counting for ground truth

@@ -1,0 +1,144 @@
+// Package analysistest runs an analyzer over golden fixture packages and
+// checks its diagnostics against `// want` expectations, mirroring
+// golang.org/x/tools/go/analysis/analysistest without the dependency.
+//
+// Fixtures live under the analyzer package's testdata/src/<case>/ and are
+// loaded through the same go-list loader cmd/reptvet uses, so they are
+// real, fully type-checked packages (they may import the standard library
+// and module-internal packages). A line expecting diagnostics carries a
+// trailing comment of one or more quoted regular expressions:
+//
+//	m := make(map[int]int) // want `make` `map`
+//	bad()                  // want "exactly one diagnostic on this line"
+//
+// Every reported diagnostic must be matched by a want on its line and
+// every want must match a diagnostic; anything else fails the test.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strings"
+	"testing"
+
+	"rept/internal/analysis"
+	"rept/internal/analysis/load"
+)
+
+// want is one expectation: a pattern expected to match a diagnostic
+// reported on its line.
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// Run loads the fixture package at pattern (relative to the calling test's
+// package directory, e.g. "./testdata/src/bad"), runs a over it, and
+// reports every mismatch between diagnostics and `// want` expectations.
+func Run(t *testing.T, a *analysis.Analyzer, pattern string) {
+	t.Helper()
+	pkgs, err := load.Packages(".", pattern)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", pattern, err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("fixture %s matched no packages", pattern)
+	}
+	for _, pkg := range pkgs {
+		pass := &analysis.Pass{
+			Analyzer: a,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+		}
+		if err := a.Run(pass); err != nil {
+			t.Fatalf("%s on %s: %v", a.Name, pkg.Path, err)
+		}
+		wants, err := collectWants(pkg.Fset, pkg.Files)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range pass.Diagnostics() {
+			pos := pkg.Fset.Position(d.Pos)
+			if w := match(wants, pos.Filename, pos.Line, d.Message); w == nil {
+				t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+			}
+		}
+		for _, w := range wants {
+			if !w.matched {
+				t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.re)
+			}
+		}
+	}
+}
+
+// match finds the first unmatched want on the diagnostic's line whose
+// pattern matches, marks it, and returns it.
+func match(wants []*want, file string, line int, msg string) *want {
+	for _, w := range wants {
+		if w.matched || w.file != file || w.line != line {
+			continue
+		}
+		if w.re.MatchString(msg) {
+			w.matched = true
+			return w
+		}
+	}
+	return nil
+}
+
+// collectWants parses every `// want` comment into expectations.
+func collectWants(fset *token.FileSet, files []*ast.File) ([]*want, error) {
+	var wants []*want
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				patterns, err := splitPatterns(text)
+				if err != nil {
+					return nil, fmt.Errorf("%s: bad want comment: %v", pos, err)
+				}
+				for _, p := range patterns {
+					re, err := regexp.Compile(p)
+					if err != nil {
+						return nil, fmt.Errorf("%s: bad want pattern %q: %v", pos, p, err)
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return wants, nil
+}
+
+// splitPatterns splits `"a" "b c"` or backquoted equivalents into their
+// unquoted pattern strings.
+func splitPatterns(s string) ([]string, error) {
+	var out []string
+	s = strings.TrimSpace(s)
+	for len(s) > 0 {
+		quote := s[0]
+		if quote != '"' && quote != '`' {
+			return nil, fmt.Errorf("pattern must be quoted: %q", s)
+		}
+		end := strings.IndexByte(s[1:], quote)
+		if end < 0 {
+			return nil, fmt.Errorf("unterminated pattern: %q", s)
+		}
+		out = append(out, s[1:1+end])
+		s = strings.TrimSpace(s[2+end:])
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty want comment")
+	}
+	return out, nil
+}

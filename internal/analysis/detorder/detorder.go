@@ -1,0 +1,245 @@
+// Package detorder implements the reptvet analyzer enforcing
+// deterministic iteration: inside code marked //rept:deterministic (a
+// function doc comment, or the package clause doc to mark a whole
+// package — the snapshot codec, core merging, and shard barrier
+// aggregation), a bare `range` over a map is a diagnostic, because Go
+// randomizes map order and these paths must produce byte-identical
+// encodings and bit-identical merges.
+//
+// Three shapes are recognized as safe and allowed:
+//
+//   - collect-and-sort: the range body only appends to slices, and every
+//     such slice is subsequently passed to sort.*/slices.* or to a
+//     function annotated //rept:sorter (the sortedKeys idiom of
+//     internal/snapshot/codec.go, where deltaKeys sorts its key slice
+//     before encoding)
+//   - integer accumulation: every statement is a commutative integer
+//     update (`x += v`, `x++`, bit-or/xor/and assignment) or a keyed copy
+//     `dst[k] = v` under the range's own key — order-independent by
+//     arithmetic, unlike float accumulation, which stays flagged because
+//     float addition does not commute in rounding
+//   - an explicit //rept:anyorder <why> suppression on the range line
+package detorder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"rept/internal/analysis"
+)
+
+// Analyzer is the detorder analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "detorder",
+	Doc:  "forbid order-sensitive map iteration in //rept:deterministic code",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	sup := analysis.NewSuppressions(pass.Fset, pass.Files)
+	pkgWide := analysis.PackageHasDirective(pass.Files, "deterministic")
+	sorters := collectSorters(pass)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if !pkgWide && !analysis.FuncHasDirective(fn, "deterministic") {
+				continue
+			}
+			checkFunc(pass, sup, sorters, fn)
+		}
+	}
+	return nil
+}
+
+// collectSorters resolves the objects of same-package functions annotated
+// //rept:sorter, whose slice arguments detorder trusts to be sorted.
+func collectSorters(pass *analysis.Pass) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || !analysis.FuncHasDirective(fn, "sorter") {
+				continue
+			}
+			if obj := pass.Info.Defs[fn.Name]; obj != nil {
+				out[obj] = true
+			}
+		}
+	}
+	return out
+}
+
+func checkFunc(pass *analysis.Pass, sup *analysis.Suppressions, sorters map[types.Object]bool, fn *ast.FuncDecl) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok || !pass.IsMap(rng.X) {
+			return true
+		}
+		if sup.Allows(rng.Pos(), "anyorder") {
+			return true
+		}
+		if collected := collectOnly(pass, rng); collected != nil {
+			if sortedLater(pass, sorters, fn.Body, rng, collected) {
+				return true
+			}
+			pass.Reportf(rng.Pos(), "map keys collected from %s are never sorted before use", types.ExprString(rng.X))
+			return true
+		}
+		if accumulationOnly(pass, rng) {
+			return true
+		}
+		pass.Reportf(rng.Pos(), "order-sensitive iteration over map %s in deterministic code (collect keys and sort, or //rept:anyorder <why>)", types.ExprString(rng.X))
+		return true
+	})
+}
+
+// collectOnly reports whether the range body only appends to slices
+// (`s = append(s, ...)`), returning the collected slice objects, or nil
+// when the body does anything else.
+func collectOnly(pass *analysis.Pass, rng *ast.RangeStmt) []types.Object {
+	var collected []types.Object
+	for _, s := range rng.Body.List {
+		as, ok := s.(*ast.AssignStmt)
+		if !ok || as.Tok != token.ASSIGN || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return nil
+		}
+		call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok || !pass.IsBuiltin(call, "append") {
+			return nil
+		}
+		lhs, ok := ast.Unparen(as.Lhs[0]).(*ast.Ident)
+		if !ok || types.ExprString(as.Lhs[0]) != types.ExprString(call.Args[0]) {
+			return nil
+		}
+		obj := pass.Info.Uses[lhs]
+		if obj == nil {
+			obj = pass.Info.Defs[lhs]
+		}
+		if obj == nil {
+			return nil
+		}
+		collected = append(collected, obj)
+	}
+	if len(collected) == 0 {
+		return nil
+	}
+	return collected
+}
+
+// sortedLater reports whether every collected slice is, somewhere after
+// the range statement, passed to a sorting call: sort.*/slices.*, or a
+// same-package function annotated //rept:sorter.
+func sortedLater(pass *analysis.Pass, sorters map[types.Object]bool, body *ast.BlockStmt, rng *ast.RangeStmt, collected []types.Object) bool {
+	sorted := make(map[types.Object]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() <= rng.End() {
+			return true
+		}
+		if !isSortCall(pass, sorters, call) {
+			return true
+		}
+		for _, arg := range call.Args {
+			if id, ok := ast.Unparen(arg).(*ast.Ident); ok {
+				if obj := pass.Info.Uses[id]; obj != nil {
+					sorted[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	for _, obj := range collected {
+		if !sorted[obj] {
+			return false
+		}
+	}
+	return true
+}
+
+func isSortCall(pass *analysis.Pass, sorters map[types.Object]bool, call *ast.CallExpr) bool {
+	if f := pass.CalleeFunc(call); f != nil {
+		if sorters[f] {
+			return true
+		}
+		if f.Pkg() != nil {
+			switch f.Pkg().Path() {
+			case "sort", "slices":
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// accumulationOnly reports whether every statement of the range body is
+// an order-independent integer update or a keyed copy under the range
+// key, making the iteration deterministic in effect.
+func accumulationOnly(pass *analysis.Pass, rng *ast.RangeStmt) bool {
+	if len(rng.Body.List) == 0 {
+		return false
+	}
+	keyObj := rangeVarObj(pass, rng.Key)
+	for _, s := range rng.Body.List {
+		switch s := s.(type) {
+		case *ast.IncDecStmt:
+			if !isIntegerType(pass.TypeOf(s.X)) {
+				return false
+			}
+		case *ast.AssignStmt:
+			if !commutativeAssign(pass, keyObj, s) {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// commutativeAssign accepts `x op= v` with integer x and commutative op,
+// and `dst[k] = v` where k is the range key (a keyed copy: distinct map
+// keys make the writes independent).
+func commutativeAssign(pass *analysis.Pass, keyObj types.Object, as *ast.AssignStmt) bool {
+	if len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return false
+	}
+	switch as.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.OR_ASSIGN, token.AND_ASSIGN, token.XOR_ASSIGN:
+		return isIntegerType(pass.TypeOf(as.Lhs[0]))
+	case token.ASSIGN:
+		idx, ok := ast.Unparen(as.Lhs[0]).(*ast.IndexExpr)
+		if !ok || !pass.IsMap(idx.X) || keyObj == nil {
+			return false
+		}
+		id, ok := ast.Unparen(idx.Index).(*ast.Ident)
+		if !ok {
+			return false
+		}
+		obj := pass.Info.Uses[id]
+		return obj != nil && obj == keyObj
+	}
+	return false
+}
+
+func rangeVarObj(pass *analysis.Pass, e ast.Expr) types.Object {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if obj := pass.Info.Defs[id]; obj != nil {
+		return obj
+	}
+	return pass.Info.Uses[id]
+}
+
+func isIntegerType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}

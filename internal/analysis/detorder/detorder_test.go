@@ -1,0 +1,16 @@
+package detorder_test
+
+import (
+	"testing"
+
+	"rept/internal/analysis/analysistest"
+	"rept/internal/analysis/detorder"
+)
+
+func TestBad(t *testing.T) {
+	analysistest.Run(t, detorder.Analyzer, "./testdata/src/bad")
+}
+
+func TestClean(t *testing.T) {
+	analysistest.Run(t, detorder.Analyzer, "./testdata/src/clean")
+}

@@ -1,0 +1,37 @@
+// Package bad seeds the map-iteration shapes detorder must flag in
+// deterministic code.
+package bad
+
+func emit(k uint64) {}
+
+// encode iterates its map bare, so its output depends on Go's map order.
+//
+//rept:deterministic
+func encode(m map[uint64]int64) {
+	for k := range m { // want `order-sensitive iteration over map m`
+		emit(k)
+	}
+}
+
+// collectNoSort gathers keys but never sorts them before they escape.
+//
+//rept:deterministic
+func collectNoSort(m map[uint64]int64) []uint64 {
+	keys := make([]uint64, 0, len(m))
+	for k := range m { // want `map keys collected from m are never sorted`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// floatSum accumulates floats, whose addition does not commute in
+// rounding, so iteration order leaks into the result.
+//
+//rept:deterministic
+func floatSum(m map[uint64]float64) float64 {
+	var total float64
+	for _, v := range m { // want `order-sensitive iteration over map m`
+		total += v
+	}
+	return total
+}

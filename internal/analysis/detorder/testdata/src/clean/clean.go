@@ -1,0 +1,74 @@
+// Package clean exercises every map-iteration shape detorder must accept
+// in deterministic code.
+package clean
+
+import "sort"
+
+func emit(k uint64) {}
+
+// sortKeys sorts in place before consuming, the trusted local sorter.
+//
+//rept:sorter
+func sortKeys(keys []uint64) {
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+}
+
+// collectThenSortStdlib collects keys and sorts them with the stdlib.
+//
+//rept:deterministic
+func collectThenSortStdlib(m map[uint64]int64) {
+	keys := make([]uint64, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, k := range keys {
+		emit(k)
+	}
+}
+
+// collectThenSorter collects keys and hands them to a //rept:sorter.
+//
+//rept:deterministic
+func collectThenSorter(m map[uint64]int64) {
+	keys := make([]uint64, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sortKeys(keys)
+	for _, k := range keys {
+		emit(k)
+	}
+}
+
+// accumulate performs only commutative integer updates.
+//
+//rept:deterministic
+func accumulate(dst, src map[uint64]int64, mirror map[uint64]int64) int64 {
+	var total int64
+	var count int
+	for v, x := range src {
+		dst[v] += x
+		mirror[v] = x
+		total += x
+		count++
+	}
+	_ = count
+	return total
+}
+
+// justified carries an explicit suppression with its reason.
+//
+//rept:deterministic
+func justified(m map[uint64]int64) {
+	for k := range m { //rept:anyorder feeds an order-insensitive bloom filter
+		emit(k)
+	}
+}
+
+// unmarked is not deterministic code; bare iteration is fine here.
+func unmarked(m map[uint64]int64) {
+	for k := range m {
+		emit(k)
+	}
+}

@@ -1,0 +1,16 @@
+package hotpathalloc_test
+
+import (
+	"testing"
+
+	"rept/internal/analysis/analysistest"
+	"rept/internal/analysis/hotpathalloc"
+)
+
+func TestBad(t *testing.T) {
+	analysistest.Run(t, hotpathalloc.Analyzer, "./testdata/src/bad")
+}
+
+func TestClean(t *testing.T) {
+	analysistest.Run(t, hotpathalloc.Analyzer, "./testdata/src/clean")
+}

@@ -1,0 +1,37 @@
+// Package bad seeds one of every construct hotpathalloc must flag
+// inside a //rept:hotpath function.
+package bad
+
+import "fmt"
+
+type point struct{ x, y int }
+
+func cold() {}
+
+// hot is the seeded hot function: every line below allocates.
+//
+//rept:hotpath
+func hot(xs []int, b []byte) []int {
+	buf := make([]byte, 8) // want `make`
+	_ = buf
+	p := new(point) // want `new`
+	_ = p
+	ys := append(xs[:0:0], xs...) // want `append result not assigned back`
+	_ = ys
+	m := map[int]int{1: 2} // want `map literal`
+	_ = m
+	sl := []int{1, 2} // want `slice literal`
+	_ = sl
+	pt := &point{1, 2} // want `&composite literal`
+	_ = pt
+	f := func() {} // want `function literal`
+	f()
+	go cold()            // want `go statement`
+	defer cold()         // want `deferred call`
+	fmt.Println(len(xs)) // want `fmt call` `implicit conversion of int to interface`
+	s := string(b)       // want `string/\[\]byte conversion outside a comparison`
+	_ = s
+	e := any(point{1, 2}) // want `conversion to interface`
+	_ = e
+	return xs
+}

@@ -1,0 +1,36 @@
+// Package clean exercises the shapes hotpathalloc must accept in a
+// //rept:hotpath function, plus an unannotated function it must ignore.
+package clean
+
+// hot contains only allowed constructs: in-place append growth, map
+// index updates, string conversions in comparison positions, and one
+// justified suppression.
+//
+//rept:hotpath
+func hot(xs []int, m map[uint64]int32, b []byte, scratch []int) []int {
+	xs = append(xs, 1)
+	scratch = scratch[:0]
+	scratch = append(scratch, xs...)
+	m[7]++
+	delete(m, 9)
+	switch string(b) {
+	case "add":
+		xs = append(xs, 2)
+	}
+	if string(b) == "del" && len(xs) > 0 {
+		xs = xs[:len(xs)-1]
+	}
+	warm := make([]int, 4) //rept:allowalloc deliberate one-time warm-up
+	xs = append(xs, warm...)
+	return xs
+}
+
+// cold is not annotated, so its allocations are none of the analyzer's
+// business.
+func cold(n int) []int {
+	out := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, i)
+	}
+	return out
+}

@@ -1,0 +1,193 @@
+// Package load builds type-checked packages for the reptvet analyzers
+// using only the standard library: `go list -deps -json` resolves the
+// import graph (module-aware, build-tag-aware), and each package is then
+// parsed and type-checked from source in dependency order. Dependency
+// packages are checked with function bodies ignored, so the cost of a
+// full ./... load stays dominated by the target packages themselves.
+//
+// This is deliberately the same contract as golang.org/x/tools/go/packages
+// (LoadAllSyntax for targets, LoadTypes for deps) without the external
+// dependency; the analyzers only consume the ast/types surface, so they
+// could be rebased onto x/tools unchanged if it ever enters the module.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+)
+
+// Package is one type-checked package: syntax and type information for
+// targets, types only (empty function bodies) for dependencies.
+type Package struct {
+	// Path is the package's import path.
+	Path string
+	// Dir is the directory holding the package's sources.
+	Dir string
+	// Target reports whether the package matched the load patterns
+	// itself (false for packages pulled in only as dependencies).
+	Target bool
+	// Fset is the file set all syntax positions resolve against (shared
+	// by every package of one load).
+	Fset *token.FileSet
+	// Files is the parsed syntax, with comments, in GoFiles order.
+	Files []*ast.File
+	// Types is the type-checked package object.
+	Types *types.Package
+	// Info carries full type information for target packages; it is nil
+	// for dependency packages.
+	Info *types.Info
+}
+
+// listPackage is the subset of `go list -json` output the loader needs.
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	Standard   bool
+	DepOnly    bool
+	GoFiles    []string
+	Imports    []string
+	ImportMap  map[string]string
+	Error      *struct{ Err string }
+}
+
+// Packages loads the packages matched by patterns (resolved in dir) plus
+// their whole dependency closure, returning only the target packages in
+// `go list` order. CGO is disabled so the file sets are the pure-Go ones
+// the stream-serving builds use.
+func Packages(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"."}
+	}
+	args := append([]string{"list", "-deps", "-json=ImportPath,Dir,Standard,DepOnly,GoFiles,Imports,ImportMap,Error", "--"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+
+	var listed []*listPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		lp := &listPackage{}
+		if err := dec.Decode(lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %v", err)
+		}
+		listed = append(listed, lp)
+	}
+
+	fset := token.NewFileSet()
+	byPath := make(map[string]*Package, len(listed))
+	var targets []*Package
+	// -deps emits dependencies before dependents, so a single in-order
+	// pass always finds every import already checked.
+	for _, lp := range listed {
+		if lp.Error != nil {
+			return nil, fmt.Errorf("package %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		if lp.ImportPath == "unsafe" {
+			byPath["unsafe"] = &Package{Path: "unsafe", Target: false, Fset: fset, Types: types.Unsafe}
+			continue
+		}
+		pkg, err := check(fset, lp, byPath)
+		if err != nil {
+			return nil, err
+		}
+		byPath[lp.ImportPath] = pkg
+		if pkg.Target {
+			targets = append(targets, pkg)
+		}
+	}
+	return targets, nil
+}
+
+// check parses and type-checks one listed package against the already
+// loaded dependencies.
+func check(fset *token.FileSet, lp *listPackage, byPath map[string]*Package) (*Package, error) {
+	pkg := &Package{
+		Path:   lp.ImportPath,
+		Dir:    lp.Dir,
+		Target: !lp.DepOnly,
+		Fset:   fset,
+	}
+	for _, name := range lp.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("parsing %s: %v", lp.ImportPath, err)
+		}
+		pkg.Files = append(pkg.Files, f)
+	}
+
+	conf := types.Config{
+		Importer:         mapImporter{byPath: byPath, importMap: lp.ImportMap},
+		IgnoreFuncBodies: lp.DepOnly,
+		Sizes:            types.SizesFor("gc", runtime.GOARCH),
+		// Tolerate residual errors in dependency packages (assembly-backed
+		// declarations, compiler intrinsics); targets stay strict.
+		Error: func(error) {},
+	}
+	var firstErr error
+	if !lp.DepOnly {
+		conf.Error = func(err error) {
+			if firstErr == nil {
+				firstErr = err
+			}
+		}
+		pkg.Info = &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+			Implicits:  make(map[ast.Node]types.Object),
+			Scopes:     make(map[ast.Node]*types.Scope),
+			Instances:  make(map[*ast.Ident]types.Instance),
+		}
+	}
+	tpkg, err := conf.Check(lp.ImportPath, fset, pkg.Files, pkg.Info)
+	if firstErr != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", lp.ImportPath, firstErr)
+	}
+	if err != nil && !lp.DepOnly {
+		return nil, fmt.Errorf("type-checking %s: %v", lp.ImportPath, err)
+	}
+	pkg.Types = tpkg
+	return pkg, nil
+}
+
+// mapImporter resolves one package's imports against the loaded closure,
+// honoring go list's ImportMap (stdlib vendoring rewrites source import
+// paths like golang.org/x/net/... to vendor/golang.org/x/net/...).
+type mapImporter struct {
+	byPath    map[string]*Package
+	importMap map[string]string
+}
+
+var _ types.Importer = mapImporter{}
+
+func (m mapImporter) Import(path string) (*types.Package, error) {
+	if mapped, ok := m.importMap[path]; ok {
+		path = mapped
+	}
+	if p, ok := m.byPath[path]; ok {
+		return p.Types, nil
+	}
+	// Unreachable when go list succeeded, but fail with a real message
+	// rather than a nil-package panic inside go/types.
+	return nil, fmt.Errorf("load: import %q not in the go list closure", path)
+}

@@ -1,0 +1,63 @@
+package load
+
+import (
+	"testing"
+	"time"
+)
+
+// TestLoadWholeModule proves the loader can type-check the entire module
+// plus its stdlib closure from source — the exact workload cmd/reptvet
+// runs in CI — and that target/dependency classification holds.
+func TestLoadWholeModule(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads the full stdlib closure")
+	}
+	start := time.Now()
+	pkgs, err := Packages("../../..", "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("loaded %d target packages in %v", len(pkgs), time.Since(start))
+	want := map[string]bool{
+		"rept":                   false,
+		"rept/internal/core":     false,
+		"rept/internal/graph":    false,
+		"rept/internal/shard":    false,
+		"rept/cmd/reptserve":     false,
+		"rept/internal/query":    false,
+		"rept/internal/snapshot": false,
+	}
+	for _, p := range pkgs {
+		if !p.Target {
+			t.Errorf("%s returned as a non-target", p.Path)
+		}
+		if p.Info == nil || p.Types == nil {
+			t.Errorf("%s missing type information", p.Path)
+		}
+		if len(p.Files) == 0 {
+			t.Errorf("%s has no syntax", p.Path)
+		}
+		if _, ok := want[p.Path]; ok {
+			want[p.Path] = true
+		}
+	}
+	for path, seen := range want {
+		if !seen {
+			t.Errorf("package %s missing from ./... load", path)
+		}
+	}
+}
+
+// TestLoadSinglePackage checks a narrow pattern returns only its target.
+func TestLoadSinglePackage(t *testing.T) {
+	pkgs, err := Packages("../../..", "./internal/hashing")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 || pkgs[0].Path != "rept/internal/hashing" {
+		t.Fatalf("got %d packages, want exactly rept/internal/hashing", len(pkgs))
+	}
+	if pkgs[0].Types.Scope().Lookup("Mix64") == nil {
+		t.Error("rept/internal/hashing scope is missing Mix64")
+	}
+}

@@ -1,0 +1,309 @@
+// Package lockdiscipline implements the reptvet analyzer guarding the
+// shard ingest mutex: while the mutex field annotated //rept:ingestmu is
+// held, no channel send, channel receive, default-less select, or known
+// blocking call (sync.WaitGroup.Wait, sync.Cond.Wait, time.Sleep) may
+// run. A send to a full shard channel under that mutex stalls every other
+// producer — and if the consumer needs the producer to drain first, it is
+// a deadlock, the exact shape the sharded ingest layer must never
+// reacquire.
+//
+// The analysis is a conservative intraprocedural walk: Lock/Unlock on the
+// annotated field flip a held flag through straight-line code;
+// if/else joins take the union (held on either arm counts as held after,
+// unless one arm terminates); loop bodies and select clauses are walked
+// with the state at entry; a deferred Unlock leaves the mutex held for
+// the remainder of the function, which is exactly how the code behaves.
+// Functions whose name ends in "Locked", or annotated //rept:locksheld,
+// are analyzed as if the mutex were held on entry. A select with a
+// default case is non-blocking and allowed.
+package lockdiscipline
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"rept/internal/analysis"
+)
+
+// Analyzer is the lockdiscipline analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockdiscipline",
+	Doc:  "forbid channel operations and blocking calls while the //rept:ingestmu mutex is held",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	mus := collectIngestMutexes(pass)
+	if len(mus) == 0 {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			held := strings.HasSuffix(fn.Name.Name, "Locked") ||
+				analysis.FuncHasDirective(fn, "locksheld")
+			c := &checker{pass: pass, mus: mus, fn: fn}
+			c.stmts(fn.Body.List, held)
+		}
+	}
+	return nil
+}
+
+// collectIngestMutexes resolves the field objects annotated
+// //rept:ingestmu in this package's struct declarations.
+func collectIngestMutexes(pass *analysis.Pass) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				if !analysis.FieldHasDirective(field, "ingestmu") {
+					continue
+				}
+				for _, name := range field.Names {
+					if obj := pass.Info.Defs[name]; obj != nil {
+						out[obj] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+type checker struct {
+	pass *analysis.Pass
+	mus  map[types.Object]bool
+	fn   *ast.FuncDecl
+}
+
+// stmts walks a statement list with the held flag at entry and returns
+// the flag after the last statement.
+func (c *checker) stmts(list []ast.Stmt, held bool) bool {
+	for _, s := range list {
+		held = c.stmt(s, held)
+	}
+	return held
+}
+
+func (c *checker) stmt(s ast.Stmt, held bool) bool {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
+			switch c.lockOp(call) {
+			case "Lock":
+				c.exprs(call.Args, held)
+				return true
+			case "Unlock":
+				return false
+			}
+		}
+		c.expr(s.X, held)
+	case *ast.SendStmt:
+		if held {
+			c.pass.Reportf(s.Arrow, "channel send while holding the ingest mutex in %s", c.fn.Name.Name)
+		}
+		c.expr(s.Chan, held)
+		c.expr(s.Value, held)
+	case *ast.SelectStmt:
+		hasDefault := false
+		for _, clause := range s.Body.List {
+			if clause.(*ast.CommClause).Comm == nil {
+				hasDefault = true
+			}
+		}
+		if held && !hasDefault {
+			c.pass.Reportf(s.Select, "blocking select while holding the ingest mutex in %s", c.fn.Name.Name)
+		}
+		for _, clause := range s.Body.List {
+			c.stmts(clause.(*ast.CommClause).Body, held)
+		}
+	case *ast.DeferStmt:
+		// A deferred Unlock keeps the mutex held until return; any
+		// other deferred call runs after the body, outside this walk.
+		if c.lockOp(s.Call) != "Unlock" {
+			c.exprs(s.Call.Args, held)
+		}
+	case *ast.GoStmt:
+		// The spawned goroutine does not run under this lock; starting
+		// it never blocks.
+		c.exprs(s.Call.Args, held)
+	case *ast.AssignStmt:
+		c.exprs(s.Rhs, held)
+		c.exprs(s.Lhs, held)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					c.exprs(vs.Values, held)
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		c.exprs(s.Results, held)
+	case *ast.IncDecStmt:
+		c.expr(s.X, held)
+	case *ast.BlockStmt:
+		return c.stmts(s.List, held)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			held = c.stmt(s.Init, held)
+		}
+		c.expr(s.Cond, held)
+		bodyHeld := c.stmts(s.Body.List, held)
+		elseHeld := held
+		if s.Else != nil {
+			elseHeld = c.stmt(s.Else, held)
+		}
+		switch {
+		case terminates(s.Body):
+			return elseHeld
+		case s.Else != nil && terminatesStmt(s.Else):
+			return bodyHeld
+		default:
+			return bodyHeld || elseHeld
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			held = c.stmt(s.Init, held)
+		}
+		if s.Cond != nil {
+			c.expr(s.Cond, held)
+		}
+		c.stmts(s.Body.List, held)
+		return held
+	case *ast.RangeStmt:
+		if held {
+			if t := c.pass.TypeOf(s.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					c.pass.Reportf(s.For, "channel receive while holding the ingest mutex in %s", c.fn.Name.Name)
+				}
+			}
+		}
+		c.expr(s.X, held)
+		c.stmts(s.Body.List, held)
+		return held
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			held = c.stmt(s.Init, held)
+		}
+		if s.Tag != nil {
+			c.expr(s.Tag, held)
+		}
+		out := held
+		for _, clause := range s.Body.List {
+			out = out || c.stmts(clause.(*ast.CaseClause).Body, held)
+		}
+		return out
+	case *ast.TypeSwitchStmt:
+		out := held
+		for _, clause := range s.Body.List {
+			out = out || c.stmts(clause.(*ast.CaseClause).Body, held)
+		}
+		return out
+	case *ast.LabeledStmt:
+		return c.stmt(s.Stmt, held)
+	}
+	return held
+}
+
+func (c *checker) exprs(list []ast.Expr, held bool) {
+	for _, e := range list {
+		c.expr(e, held)
+	}
+}
+
+// expr reports channel receives and known blocking calls inside e when
+// the mutex is held.
+func (c *checker) expr(e ast.Expr, held bool) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && held {
+				c.pass.Reportf(n.OpPos, "channel receive while holding the ingest mutex in %s", c.fn.Name.Name)
+			}
+		case *ast.CallExpr:
+			if held && c.isBlockingCall(n) {
+				c.pass.Reportf(n.Pos(), "blocking call while holding the ingest mutex in %s", c.fn.Name.Name)
+			}
+		case *ast.FuncLit:
+			// A function literal's body runs when called, not here;
+			// if it is invoked under the lock it is analyzed at the
+			// call through its named callees only.
+			return false
+		}
+		return true
+	})
+}
+
+// lockOp classifies call as "Lock"/"Unlock" on an annotated ingest mutex,
+// or "" otherwise.
+func (c *checker) lockOp(call *ast.CallExpr) string {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "Unlock") {
+		return ""
+	}
+	recv, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	if obj := c.pass.Info.Uses[recv.Sel]; obj != nil && c.mus[obj] {
+		return sel.Sel.Name
+	}
+	return ""
+}
+
+// isBlockingCall recognizes calls that can park the goroutine:
+// sync.WaitGroup.Wait, sync.Cond.Wait, time.Sleep, and Lock on any other
+// sync mutex (lock-ordering hazard under the ingest mutex).
+func (c *checker) isBlockingCall(call *ast.CallExpr) bool {
+	f := c.pass.CalleeFunc(call)
+	if f == nil || f.Pkg() == nil {
+		return false
+	}
+	switch f.Pkg().Path() {
+	case "time":
+		return f.Name() == "Sleep"
+	case "sync":
+		return f.Name() == "Wait" || f.Name() == "Lock" || f.Name() == "RLock"
+	}
+	return false
+}
+
+// terminates reports whether a block's last statement leaves the
+// function (return or panic), so control never falls through it.
+func terminates(b *ast.BlockStmt) bool {
+	if len(b.List) == 0 {
+		return false
+	}
+	return terminatesStmt(b.List[len(b.List)-1])
+}
+
+func terminatesStmt(s ast.Stmt) bool {
+	switch s := s.(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.BlockStmt:
+		return terminates(s)
+	case *ast.ExprStmt:
+		call, ok := ast.Unparen(s.X).(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		return ok && id.Name == "panic"
+	}
+	return false
+}

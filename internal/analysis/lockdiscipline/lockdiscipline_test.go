@@ -1,0 +1,16 @@
+package lockdiscipline_test
+
+import (
+	"testing"
+
+	"rept/internal/analysis/analysistest"
+	"rept/internal/analysis/lockdiscipline"
+)
+
+func TestBad(t *testing.T) {
+	analysistest.Run(t, lockdiscipline.Analyzer, "./testdata/src/bad")
+}
+
+func TestClean(t *testing.T) {
+	analysistest.Run(t, lockdiscipline.Analyzer, "./testdata/src/clean")
+}

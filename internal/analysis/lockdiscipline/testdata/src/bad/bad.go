@@ -1,0 +1,60 @@
+// Package bad seeds channel operations and blocking calls while the
+// annotated ingest mutex is held.
+package bad
+
+import (
+	"sync"
+	"time"
+)
+
+type coord struct {
+	// mu is the ingest mutex.
+	//
+	//rept:ingestmu
+	mu sync.Mutex
+	ch chan int
+	wg sync.WaitGroup
+}
+
+func (c *coord) send(v int) {
+	c.mu.Lock()
+	c.ch <- v // want `channel send while holding the ingest mutex in send`
+	c.mu.Unlock()
+}
+
+func (c *coord) receive() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return <-c.ch // want `channel receive while holding the ingest mutex in receive`
+}
+
+// drainLocked is analyzed as entered with the mutex held (the Locked
+// naming convention).
+func (c *coord) drainLocked() {
+	for range c.ch { // want `channel receive while holding the ingest mutex in drainLocked`
+	}
+}
+
+func (c *coord) waits() {
+	c.mu.Lock()
+	c.wg.Wait()                  // want `blocking call while holding the ingest mutex in waits`
+	time.Sleep(time.Millisecond) // want `blocking call while holding the ingest mutex in waits`
+	c.mu.Unlock()
+}
+
+func (c *coord) selects(v int) {
+	c.mu.Lock()
+	select { // want `blocking select while holding the ingest mutex in selects`
+	case c.ch <- v:
+	}
+	c.mu.Unlock()
+}
+
+func (c *coord) branchy(v int, flag bool) {
+	c.mu.Lock()
+	if flag {
+		c.mu.Unlock()
+	}
+	// Held on the flag == false path: the join must keep the mutex held.
+	c.ch <- v // want `channel send while holding the ingest mutex in branchy`
+}

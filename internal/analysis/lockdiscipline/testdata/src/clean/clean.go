@@ -1,0 +1,60 @@
+// Package clean exercises the lock discipline done right: detach under
+// the mutex, deliver after unlock, non-blocking select under the lock.
+package clean
+
+import "sync"
+
+type coord struct {
+	// mu is the ingest mutex.
+	//
+	//rept:ingestmu
+	mu   sync.Mutex
+	ch   chan int
+	free chan []int
+	cur  []int
+}
+
+// add appends under the mutex and sends only after unlocking.
+func (c *coord) add(v int) {
+	var full []int
+	c.mu.Lock()
+	c.cur = append(c.cur, v)
+	if len(c.cur) >= 4 {
+		full = c.cur
+		c.cur = c.getLocked()
+	}
+	c.mu.Unlock()
+	for _, x := range full {
+		c.ch <- x
+	}
+}
+
+// getLocked runs under the mutex; its select has a default case, so it
+// never blocks.
+func (c *coord) getLocked() []int {
+	select {
+	case b := <-c.free:
+		return b[:0]
+	default:
+		return make([]int, 0, 4)
+	}
+}
+
+// earlyUnlock releases on both paths before any channel work.
+func (c *coord) earlyUnlock(v int, flag bool) {
+	c.mu.Lock()
+	if flag {
+		c.mu.Unlock()
+		c.ch <- v
+		return
+	}
+	c.cur = append(c.cur, v)
+	c.mu.Unlock()
+	c.ch <- v
+}
+
+// unrelated never touches the mutex at all.
+func (c *coord) unrelated(v int) {
+	c.ch <- v
+	<-c.ch
+}

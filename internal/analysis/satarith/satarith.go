@@ -1,0 +1,112 @@
+// Package satarith implements the reptvet analyzer guarding saturating
+// counter arithmetic. Types annotated //rept:satcounter (the core
+// triangle-count table's satcount, the degree table's degcount) clamp at
+// their bounds instead of wrapping; the clamping lives in a handful of
+// functions annotated //rept:sathelper. Everywhere else, raw `+`, `-`,
+// `+=`, `-=`, `++`, `--` on a satcounter value is a wrap waiting to
+// happen, and this analyzer reports it.
+//
+// Satcounter types are deliberately unexported, so every arithmetic site
+// is in the type's own package, where the directive on the type
+// declaration is visible to the analyzer. Comparisons, conversions, and
+// plain assignment are untouched — only additive operators are the
+// hazard.
+package satarith
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"rept/internal/analysis"
+)
+
+// Analyzer is the satarith analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "satarith",
+	Doc:  "forbid raw additive arithmetic on //rept:satcounter types outside //rept:sathelper functions",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	satTypes := collectSatTypes(pass)
+	if len(satTypes) == 0 {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || analysis.FuncHasDirective(fn, "sathelper") {
+				continue
+			}
+			checkFunc(pass, satTypes, fn)
+		}
+	}
+	return nil
+}
+
+// collectSatTypes resolves the type objects of this package's
+// //rept:satcounter declarations.
+func collectSatTypes(pass *analysis.Pass) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts := spec.(*ast.TypeSpec)
+				if !analysis.SpecHasDirective(gd, ts.Doc, ts.Comment, "satcounter") {
+					continue
+				}
+				if obj := pass.Info.Defs[ts.Name]; obj != nil {
+					out[obj] = true
+				}
+			}
+		}
+	}
+	return out
+}
+
+func checkFunc(pass *analysis.Pass, satTypes map[types.Object]bool, fn *ast.FuncDecl) {
+	sat := func(e ast.Expr) bool { return isSatType(pass.TypeOf(e), satTypes) }
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BinaryExpr:
+			if (n.Op == token.ADD || n.Op == token.SUB) && (sat(n.X) || sat(n.Y)) {
+				pass.Reportf(n.OpPos, "raw %s on saturating counter type in %s (use the //rept:sathelper accessors)", n.Op, fn.Name.Name)
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN || n.Tok == token.SUB_ASSIGN {
+				for _, lhs := range n.Lhs {
+					if sat(lhs) {
+						pass.Reportf(n.TokPos, "raw %s on saturating counter type in %s (use the //rept:sathelper accessors)", n.Tok, fn.Name.Name)
+					}
+				}
+			}
+		case *ast.IncDecStmt:
+			if sat(n.X) {
+				pass.Reportf(n.TokPos, "raw %s on saturating counter type in %s (use the //rept:sathelper accessors)", n.Tok, fn.Name.Name)
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.SUB && sat(n.X) {
+				pass.Reportf(n.OpPos, "raw negation of saturating counter type in %s (use the //rept:sathelper accessors)", fn.Name.Name)
+			}
+		}
+		return true
+	})
+}
+
+// isSatType reports whether t (or its pointee) is a named type declared
+// //rept:satcounter in this package.
+func isSatType(t types.Type, satTypes map[types.Object]bool) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && satTypes[named.Obj()]
+}

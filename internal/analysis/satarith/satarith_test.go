@@ -1,0 +1,16 @@
+package satarith_test
+
+import (
+	"testing"
+
+	"rept/internal/analysis/analysistest"
+	"rept/internal/analysis/satarith"
+)
+
+func TestBad(t *testing.T) {
+	analysistest.Run(t, satarith.Analyzer, "./testdata/src/bad")
+}
+
+func TestClean(t *testing.T) {
+	analysistest.Run(t, satarith.Analyzer, "./testdata/src/clean")
+}

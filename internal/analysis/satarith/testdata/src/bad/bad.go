@@ -1,0 +1,20 @@
+// Package bad seeds raw arithmetic on a saturating counter type outside
+// its //rept:sathelper accessors.
+package bad
+
+// cnt clamps at the int32 bounds; arithmetic belongs in helpers.
+//
+//rept:satcounter
+type cnt int32
+
+type table struct{ vals []cnt }
+
+func misuse(t *table, i int) cnt {
+	t.vals[i] += 1            // want `raw \+= on saturating counter type`
+	t.vals[i] = t.vals[i] + 1 // want `raw \+ on saturating counter type`
+	t.vals[i]++               // want `raw \+\+ on saturating counter type`
+	x := t.vals[i]
+	x--        // want `raw -- on saturating counter type`
+	y := x - 1 // want `raw - on saturating counter type`
+	return -y  // want `raw negation of saturating counter type`
+}

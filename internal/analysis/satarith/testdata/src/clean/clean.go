@@ -1,0 +1,46 @@
+// Package clean exercises the allowed uses of a saturating counter type:
+// helper-internal arithmetic, comparisons, conversions, plain stores.
+package clean
+
+import "math"
+
+// cnt clamps at the int32 bounds; arithmetic belongs in helpers.
+//
+//rept:satcounter
+type cnt int32
+
+type table struct {
+	vals []cnt
+	sat  uint64
+}
+
+// bump adds delta with saturating arithmetic, the designated helper.
+//
+//rept:sathelper
+func (t *table) bump(i int, delta int32) (old, cur int32) {
+	old = int32(t.vals[i])
+	wide := int64(old) + int64(delta)
+	switch {
+	case wide > math.MaxInt32:
+		cur = math.MaxInt32
+		t.sat++
+	case wide < math.MinInt32:
+		cur = math.MinInt32
+		t.sat++
+	default:
+		cur = int32(wide)
+	}
+	t.vals[i] = cnt(cur)
+	return old, cur
+}
+
+// read compares, converts, and copies — none of which can wrap.
+func read(t *table, i, j int) int32 {
+	if t.vals[i] > t.vals[j] {
+		t.vals[j] = t.vals[i]
+	}
+	if t.vals[i] == 0 {
+		return 0
+	}
+	return int32(t.vals[i])
+}

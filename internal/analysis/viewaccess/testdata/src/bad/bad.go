@@ -1,0 +1,31 @@
+// Package bad retains query epoch views in every way viewaccess must
+// flag: struct fields, package-level variables, and stores into retained
+// locations.
+package bad
+
+import (
+	"sync/atomic"
+
+	"rept/internal/query"
+)
+
+// holder caches views across epochs.
+type holder struct {
+	view   *query.View                // want `struct field retains query.View`
+	val    query.View                 // want `struct field retains query.View`
+	atomic atomic.Pointer[query.View] // want `struct field retains query.View`
+}
+
+var cached *query.View // want `package-level variable retains query.View`
+
+func stashField(h *holder, p *query.Publisher) {
+	h.view = p.View() // want `query.View stored into a retained location in stashField`
+}
+
+func stashGlobal(p *query.Publisher) {
+	cached = p.View() // want `query.View stored into a retained location in stashGlobal`
+}
+
+func stashMap(cache map[string]*query.View, p *query.Publisher) {
+	cache["latest"] = p.View() // want `query.View stored into a retained location in stashMap`
+}

@@ -1,0 +1,33 @@
+// Package clean exercises the allowed epoch-view usage: load through the
+// publisher, use locally within one call, or declare a deliberate holder.
+package clean
+
+import (
+	"rept/internal/graph"
+	"rept/internal/query"
+)
+
+// server re-loads the view from its publisher on every request, the
+// intended consumption pattern.
+type server struct {
+	pub *query.Publisher
+}
+
+func (s *server) epoch() uint64 {
+	v := s.pub.View()
+	return v.Epoch
+}
+
+func (s *server) local(n graph.NodeID) float64 {
+	v := s.pub.View()
+	return v.LocalOf(n)
+}
+
+// debugCache deliberately pins one epoch for offline comparison.
+type debugCache struct {
+	pinned *query.View //rept:viewholder frozen epoch for A/B debugging
+}
+
+func (d *debugCache) pin(p *query.Publisher) {
+	d.pinned = p.View() //rept:viewholder frozen epoch for A/B debugging
+}

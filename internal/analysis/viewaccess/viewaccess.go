@@ -1,0 +1,159 @@
+// Package viewaccess implements the reptvet analyzer enforcing the
+// epoch-view access discipline: a query.View is immutable and published
+// through the Publisher's atomic pointer, and consumers must re-load it
+// through the publisher on every use. Retaining a View (or *View, or an
+// atomic.Pointer[View]) in a struct field or package-level variable
+// outside rept/internal/query keeps serving a stale epoch after the next
+// publish, silently undoing the freshness guarantee — so every such
+// retention site is a diagnostic.
+//
+// The query package itself is exempt (the Publisher is the one legitimate
+// holder). A deliberate cross-epoch cache elsewhere is declared with
+// //rept:viewholder on the field, variable, or assignment line.
+//
+// Local variables are allowed: a View loaded at the top of a request and
+// used within that call observes one consistent epoch by design.
+package viewaccess
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"rept/internal/analysis"
+)
+
+// Analyzer is the viewaccess analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "viewaccess",
+	Doc:  "forbid retaining query.View beyond a single epoch outside its home package",
+	Run:  run,
+}
+
+const queryPkg = "rept/internal/query"
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg.Path() == queryPkg {
+		return nil
+	}
+	sup := analysis.NewSuppressions(pass.Fset, pass.Files)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			switch decl := decl.(type) {
+			case *ast.GenDecl:
+				checkGenDecl(pass, decl)
+			case *ast.FuncDecl:
+				if decl.Body != nil {
+					checkFunc(pass, sup, decl)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// checkGenDecl flags struct fields and package-level variables whose type
+// retains a View.
+func checkGenDecl(pass *analysis.Pass, decl *ast.GenDecl) {
+	switch decl.Tok {
+	case token.TYPE:
+		for _, spec := range decl.Specs {
+			st, ok := spec.(*ast.TypeSpec).Type.(*ast.StructType)
+			if !ok {
+				continue
+			}
+			for _, field := range st.Fields.List {
+				if !viewish(pass.TypeOf(field.Type)) || analysis.FieldHasDirective(field, "viewholder") {
+					continue
+				}
+				pass.Reportf(field.Pos(), "struct field retains query.View across epochs (re-load from the publisher, or declare //rept:viewholder)")
+			}
+		}
+	case token.VAR:
+		for _, spec := range decl.Specs {
+			vs := spec.(*ast.ValueSpec)
+			if analysis.SpecHasDirective(decl, vs.Doc, vs.Comment, "viewholder") {
+				continue
+			}
+			for _, name := range vs.Names {
+				obj := pass.Info.Defs[name]
+				if obj == nil || obj.Parent() != pass.Pkg.Scope() || !viewish(obj.Type()) {
+					continue
+				}
+				pass.Reportf(name.Pos(), "package-level variable retains query.View across epochs (re-load from the publisher, or declare //rept:viewholder)")
+			}
+		}
+	}
+}
+
+// checkFunc flags assignments that store a View into a retained location:
+// a struct field (selector) or a package-level variable.
+func checkFunc(pass *analysis.Pass, sup *analysis.Suppressions, fn *ast.FuncDecl) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			if i >= len(as.Rhs) {
+				break
+			}
+			if !viewish(pass.TypeOf(as.Rhs[i])) || !retainedLocation(pass, lhs) {
+				continue
+			}
+			if sup.Allows(as.Pos(), "viewholder") {
+				continue
+			}
+			pass.Reportf(as.Pos(), "query.View stored into a retained location in %s (epoch views must be re-loaded, not cached)", fn.Name.Name)
+		}
+		return true
+	})
+}
+
+// retainedLocation reports whether lhs outlives the enclosing call: a
+// field selector, an element of a map/slice, or a package-level variable.
+func retainedLocation(pass *analysis.Pass, lhs ast.Expr) bool {
+	switch lhs := ast.Unparen(lhs).(type) {
+	case *ast.SelectorExpr:
+		// A selector on a package name is a package-level variable;
+		// any other selector is a field write. Both retain.
+		return true
+	case *ast.IndexExpr:
+		return true
+	case *ast.Ident:
+		obj := pass.Info.Uses[lhs]
+		if obj == nil {
+			obj = pass.Info.Defs[lhs]
+		}
+		return obj != nil && obj.Parent() == pass.Pkg.Scope()
+	}
+	return false
+}
+
+// viewish reports whether t is query.View, *query.View, or an
+// atomic.Pointer[query.View] (directly or behind one pointer).
+func viewish(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return false
+	}
+	if obj.Pkg().Path() == queryPkg && obj.Name() == "View" {
+		return true
+	}
+	if obj.Pkg().Path() == "sync/atomic" && obj.Name() == "Pointer" {
+		if args := named.TypeArgs(); args != nil && args.Len() == 1 {
+			return viewish(args.At(0))
+		}
+	}
+	return false
+}

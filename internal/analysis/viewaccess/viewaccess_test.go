@@ -1,0 +1,16 @@
+package viewaccess_test
+
+import (
+	"testing"
+
+	"rept/internal/analysis/analysistest"
+	"rept/internal/analysis/viewaccess"
+)
+
+func TestBad(t *testing.T) {
+	analysistest.Run(t, viewaccess.Analyzer, "./testdata/src/bad")
+}
+
+func TestClean(t *testing.T) {
+	analysistest.Run(t, viewaccess.Analyzer, "./testdata/src/clean")
+}

@@ -41,3 +41,31 @@ func TestApplyAllSteadyStateZeroAlloc(t *testing.T) {
 		t.Errorf("steady-state ApplyAll allocates %.1f per %d-event block, want 0", allocs, len(block))
 	}
 }
+
+// TestDeleteSteadyStateZeroAlloc gates the per-event deletion path the
+// same way: once the working set is warm, Engine.Delete followed by
+// re-insertion of the same edges — the tombstone-recycling churn the ctab
+// ping-pong buffers exist for — must not allocate.
+func TestDeleteSteadyStateZeroAlloc(t *testing.T) {
+	e, err := NewEngine(Config{M: 2, C: 4, Seed: 7, FullyDynamic: true, TrackLocal: true, TrackEta: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	base := gen.Shuffle(gen.HolmeKim(300, 6, 0.4, 5), 2)
+	e.AddAll(base)
+
+	slice := base[:64]
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := len(slice) - 1; i >= 0; i-- {
+			e.Delete(slice[i].U, slice[i].V)
+		}
+		for _, ed := range slice {
+			e.Add(ed.U, ed.V)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state Delete/Add churn allocates %.1f per %d-event round, want 0", allocs, 2*len(slice))
+	}
+}

@@ -28,15 +28,24 @@ import (
 // error and reports it.
 type ctab struct {
 	keys []uint64
-	vals []int32
+	vals []satcount
 	// spareK/spareV are the retained ping-pong buffers for same-capacity
 	// tombstone purges.
 	spareK []uint64
-	spareV []int32
+	spareV []satcount
 	live   int // entries with a real key
 	used   int // live + tombstones
 	sat    uint64
 }
+
+// satcount is a per-edge closing counter that clamps at the int32 bounds
+// instead of wrapping (a wrapped counter would silently corrupt η̂; a
+// clamped one bounds the error and surfaces it via Engine.EtaSaturations).
+// All arithmetic on it goes through the //rept:sathelper methods bump and
+// setClamped; satarith reports any raw additive operator elsewhere.
+//
+//rept:satcounter
+type satcount int32
 
 const (
 	ctabEmpty    = uint64(0)
@@ -52,6 +61,8 @@ func newCtab() *ctab { return &ctab{} }
 func (t *ctab) len() int { return t.live }
 
 // get returns the counter at k (0 if absent).
+//
+//rept:hotpath
 func (t *ctab) get(k uint64) int32 {
 	if t.live == 0 {
 		return 0
@@ -60,19 +71,28 @@ func (t *ctab) get(k uint64) int32 {
 	for i := hashing.Mix64(k) & mask; ; i = (i + 1) & mask {
 		switch t.keys[i] {
 		case k:
-			return t.vals[i]
+			return int32(t.vals[i])
 		case ctabEmpty:
 			return 0
 		}
 	}
 }
 
+// init allocates the initial buckets, the one-time cold transition out of
+// slot's probe loop (kept separate so the //rept:hotpath gate sees slot
+// itself allocation-free).
+func (t *ctab) init() {
+	t.keys = make([]uint64, ctabMinSize)
+	t.vals = make([]satcount, ctabMinSize)
+}
+
 // slot returns the index holding k, inserting a zero-valued entry
 // (reusing a tombstone when the probe chain has one) if absent.
+//
+//rept:hotpath
 func (t *ctab) slot(k uint64) int {
 	if len(t.keys) == 0 {
-		t.keys = make([]uint64, ctabMinSize)
-		t.vals = make([]int32, ctabMinSize)
+		t.init()
 	} else if t.used >= len(t.keys)*3/4 {
 		t.rehash()
 	}
@@ -104,9 +124,12 @@ func (t *ctab) slot(k uint64) int {
 // bump adds delta to the counter at k with saturating int32 arithmetic,
 // inserting a zero entry if absent. It returns the previous and the
 // stored value; a clamp increments sat.
+//
+//rept:hotpath
+//rept:sathelper
 func (t *ctab) bump(k uint64, delta int32) (old, cur int32) {
 	i := t.slot(k)
-	old = t.vals[i]
+	old = int32(t.vals[i])
 	wide := int64(old) + int64(delta)
 	switch {
 	case wide > int64(ctabMaxInt32):
@@ -118,27 +141,32 @@ func (t *ctab) bump(k uint64, delta int32) (old, cur int32) {
 	default:
 		cur = int32(wide)
 	}
-	t.vals[i] = cur
+	t.vals[i] = satcount(cur)
 	return old, cur
 }
 
 // setClamped stores v (an int64 clamped into int32 range) at k, counting
 // a saturation when clamping was needed.
+//
+//rept:hotpath
+//rept:sathelper
 func (t *ctab) setClamped(k uint64, v int64) {
 	i := t.slot(k)
 	switch {
 	case v > int64(ctabMaxInt32):
-		t.vals[i] = ctabMaxInt32
+		t.vals[i] = satcount(ctabMaxInt32)
 		t.sat++
 	case v < int64(ctabMinInt32):
-		t.vals[i] = ctabMinInt32
+		t.vals[i] = satcount(ctabMinInt32)
 		t.sat++
 	default:
-		t.vals[i] = int32(v)
+		t.vals[i] = satcount(v)
 	}
 }
 
 // del removes k's entry (if present), leaving a tombstone.
+//
+//rept:hotpath
 func (t *ctab) del(k uint64) {
 	if t.live == 0 {
 		return
@@ -173,7 +201,7 @@ func (t *ctab) rehash() {
 		}
 	} else {
 		t.keys = make([]uint64, size)
-		t.vals = make([]int32, size)
+		t.vals = make([]satcount, size)
 	}
 	t.spareK, t.spareV = oldK, oldV
 	t.live, t.used = 0, 0
@@ -198,7 +226,7 @@ func (t *ctab) toMap() map[uint64]int32 {
 	out := make(map[uint64]int32, t.live)
 	for i, k := range t.keys {
 		if k != ctabEmpty && k != ctabTomb {
-			out[k] = t.vals[i]
+			out[k] = int32(t.vals[i])
 		}
 	}
 	return out
@@ -208,6 +236,6 @@ func (t *ctab) toMap() map[uint64]int32 {
 func (t *ctab) load(m map[uint64]int32) {
 	for k, v := range m {
 		i := t.slot(k)
-		t.vals[i] = v
+		t.vals[i] = satcount(v)
 	}
 }

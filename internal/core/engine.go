@@ -119,6 +119,10 @@ func (e *Engine) Apply(up graph.Update) {
 	e.apply(up)
 }
 
+// apply routes one event: inline fan-out in sequential mode, batch
+// buffering (self-append into the retained buffer) in worker mode.
+//
+//rept:hotpath
 func (e *Engine) apply(up graph.Update) {
 	if e.closed {
 		panic(ErrClosed)
@@ -181,7 +185,11 @@ func (e *Engine) flush() {
 
 // Aggregates drains pending work and gathers the per-processor counters.
 // The engine remains usable afterwards, so interval workloads can snapshot
-// estimates mid-stream.
+// estimates mid-stream. Its result must not depend on iteration order
+// (merges and snapshots consume it); the only map walks are commutative
+// int64 accumulations.
+//
+//rept:deterministic
 func (e *Engine) Aggregates() *Aggregates {
 	if e.closed {
 		panic(ErrClosed)

@@ -23,7 +23,11 @@ import (
 // η counters are merged only when every shard tracked them; otherwise the
 // merged EtaProc is nil and, if the merged layout needs Algorithm 2's
 // combination, the variance weights degrade gracefully (η̂ = 0) while the
-// estimate remains unbiased.
+// estimate remains unbiased. The merge must not depend on map iteration
+// order — merged aggregates feed canonical snapshots — so its map walks
+// are restricted to commutative integer accumulation.
+//
+//rept:deterministic
 func MergeGroups(shards ...*Aggregates) (*Aggregates, error) {
 	if len(shards) == 0 {
 		return nil, fmt.Errorf("core: MergeGroups needs at least one shard")

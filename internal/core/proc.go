@@ -75,6 +75,8 @@ func newProc(group, color int, trackLocal, trackEta bool) *proc {
 // into E⁽ⁱ⁾. The caller filters self-loops and precomputes the edge's
 // color under the processor's group hash once per (edge, group), since
 // all m processors of a group share the hash.
+//
+//rept:hotpath
 func (p *proc) processEdge(u, v graph.NodeID, key uint64, color int) {
 	var n int64
 	if p.trackLocal || p.trackEta {
@@ -132,6 +134,8 @@ func (p *proc) processEdge(u, v graph.NodeID, key uint64, color int) {
 // arithmetic (an edge is never a wedge of its own triangle-closing
 // events), so every processor applies the same signed update and the
 // cross-processor counter semantics stay aligned.
+//
+//rept:hotpath
 func (p *proc) deleteEdge(u, v graph.NodeID, key uint64, color int) {
 	if color == p.color {
 		if p.adj.Remove(u, v) {
@@ -182,6 +186,8 @@ func (p *proc) deleteEdge(u, v graph.NodeID, key uint64, color int) {
 }
 
 // apply dispatches one signed stream event.
+//
+//rept:hotpath
 func (p *proc) apply(up graph.Update, key uint64, color int) {
 	if up.Del {
 		p.deleteEdge(up.U, up.V, key, color)

@@ -47,7 +47,10 @@ func (a *Adjacency) release(u NodeID, si int32) {
 }
 
 // Add inserts the undirected edge {u, v}. It returns false (and does
-// nothing) for self-loops and edges already present.
+// nothing) for self-loops and edges already present. Arena growth lives
+// in slot; the steady-state body allocates nothing.
+//
+//rept:hotpath
 func (a *Adjacency) Add(u, v NodeID) bool {
 	if u == v {
 		return false
@@ -70,6 +73,8 @@ func (a *Adjacency) Add(u, v NodeID) bool {
 
 // Remove deletes the undirected edge {u, v}, reporting whether it existed.
 // Nodes left with no incident edges are dropped from the structure.
+//
+//rept:hotpath
 func (a *Adjacency) Remove(u, v NodeID) bool {
 	if u == v {
 		return false
@@ -91,6 +96,8 @@ func (a *Adjacency) Remove(u, v NodeID) bool {
 }
 
 // Has reports whether the undirected edge {u, v} is present.
+//
+//rept:hotpath
 func (a *Adjacency) Has(u, v NodeID) bool {
 	si := a.idx.get(u)
 	return si >= 0 && a.sets[si].has(u, v)
@@ -138,6 +145,8 @@ func (a *Adjacency) AppendEdges(dst []Edge) []Edge {
 // small sorted slices, otherwise enumerate-the-smaller probe-the-larger,
 // so the cost is O(min(deg u, deg v)) expected. Passing a reusable dst[:0]
 // avoids per-call allocation.
+//
+//rept:hotpath
 func (a *Adjacency) CommonNeighbors(u, v NodeID, dst []NodeID) []NodeID {
 	si := a.idx.get(u)
 	if si < 0 {
@@ -152,6 +161,8 @@ func (a *Adjacency) CommonNeighbors(u, v NodeID, dst []NodeID) []NodeID {
 
 // CommonCount returns |N(u) ∩ N(v)| without materializing the
 // intersection — the counting-only hot path of proc.processEdge.
+//
+//rept:hotpath
 func (a *Adjacency) CommonCount(u, v NodeID) int {
 	si := a.idx.get(u)
 	if si < 0 {

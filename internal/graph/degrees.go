@@ -31,7 +31,7 @@ package graph
 // safe for concurrent use; the shard layer confines each table to one
 // goroutine.
 type DegreeTable struct {
-	deg  map[NodeID]uint32
+	deg  map[NodeID]degcount
 	seen edgeSet
 	// legacy is the best-effort budget of pre-restore live edges that are
 	// absent from seen; deletions that miss the membership set decrement
@@ -39,24 +39,34 @@ type DegreeTable struct {
 	legacy uint64
 }
 
+// degcount is a per-node degree counter that clamps at the uint32
+// maximum instead of wrapping. All arithmetic on it goes through the
+// //rept:sathelper methods bump and drop; satarith reports any raw
+// additive operator elsewhere.
+//
+//rept:satcounter
+type degcount uint32
+
+// degMax is the saturation ceiling of degcount.
+const degMax = ^degcount(0)
+
 // NewDegreeTable returns an empty degree table.
 func NewDegreeTable() *DegreeTable {
-	return &DegreeTable{deg: make(map[NodeID]uint32)}
+	return &DegreeTable{deg: make(map[NodeID]degcount)}
 }
 
-// RestoreDegreeTable builds a table around m, taking ownership of the map
-// (nil is treated as empty). It is the snapshot-restore entry point. The
-// live-edge membership set starts empty (see the type comment); the
-// restored degree mass seeds the legacy-deletion budget.
+// RestoreDegreeTable builds a table around the exported map form m,
+// copying it (nil is treated as empty). It is the snapshot-restore entry
+// point. The live-edge membership set starts empty (see the type
+// comment); the restored degree mass seeds the legacy-deletion budget.
 func RestoreDegreeTable(m map[NodeID]uint32) *DegreeTable {
-	if m == nil {
-		m = make(map[NodeID]uint32)
-	}
+	deg := make(map[NodeID]degcount, len(m))
 	var mass uint64
-	for _, d := range m {
+	for v, d := range m {
+		deg[v] = degcount(d)
 		mass += uint64(d)
 	}
-	return &DegreeTable{deg: m, legacy: mass / 2}
+	return &DegreeTable{deg: deg, legacy: mass / 2}
 }
 
 // AddEdge records one non-loop edge insertion, incrementing both endpoint
@@ -74,8 +84,11 @@ func (t *DegreeTable) AddEdge(u, v NodeID) {
 	t.bump(v)
 }
 
+// bump increments v's degree, saturating at degMax.
+//
+//rept:sathelper
 func (t *DegreeTable) bump(v NodeID) {
-	if d := t.deg[v]; d != ^uint32(0) {
+	if d := t.deg[v]; d != degMax {
 		t.deg[v] = d + 1
 	}
 }
@@ -105,9 +118,12 @@ func (t *DegreeTable) RemoveEdge(u, v NodeID) {
 	}
 }
 
+// drop decrements v's degree; zero floors and degMax stays saturated.
+//
+//rept:sathelper
 func (t *DegreeTable) drop(v NodeID) {
 	switch d := t.deg[v]; d {
-	case 0, ^uint32(0):
+	case 0, degMax:
 		// Zero (legacy deletion of an unknown edge) or saturated: leave
 		// untouched.
 	case 1:
@@ -127,7 +143,7 @@ func (t *DegreeTable) ApplyUpdate(up Update) {
 }
 
 // Degree returns the recorded degree of v (0 if never seen).
-func (t *DegreeTable) Degree(v NodeID) uint32 { return t.deg[v] }
+func (t *DegreeTable) Degree(v NodeID) uint32 { return uint32(t.deg[v]) }
 
 // Nodes returns the number of nodes with non-zero degree.
 func (t *DegreeTable) Nodes() int { return len(t.deg) }
@@ -142,7 +158,7 @@ func (t *DegreeTable) Edges() int { return t.seen.n }
 func (t *DegreeTable) Snapshot() map[NodeID]uint32 {
 	out := make(map[NodeID]uint32, len(t.deg))
 	for v, d := range t.deg {
-		out[v] = d
+		out[v] = uint32(d)
 	}
 	return out
 }

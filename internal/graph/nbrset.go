@@ -72,6 +72,8 @@ func (s *nset) reset() {
 }
 
 // search returns the insertion position of w in the sorted slice sl.
+//
+//rept:hotpath
 func search(sl []NodeID, w NodeID) int {
 	lo, hi := 0, len(sl)
 	for lo < hi {
@@ -88,6 +90,8 @@ func search(sl []NodeID, w NodeID) int {
 // has reports whether w is a neighbor. owner is the set's node id; asking
 // for the owner itself answers false (it doubles as the empty sentinel in
 // table mode, and a node is never its own neighbor).
+//
+//rept:hotpath
 func (s *nset) has(owner, w NodeID) bool {
 	if w == owner {
 		return false
@@ -110,7 +114,11 @@ func (s *nset) has(owner, w NodeID) bool {
 
 // add inserts w, reporting whether it was absent. Inserting the owner
 // itself is rejected (self-loops never reach the set, and the owner id is
-// the table-mode empty sentinel).
+// the table-mode empty sentinel). Growth transitions (spill, promote,
+// grow) live in separate cold functions; the steady-state body allocates
+// nothing.
+//
+//rept:hotpath
 func (s *nset) add(owner, w NodeID) bool {
 	if w == owner {
 		return false
@@ -127,11 +135,7 @@ func (s *nset) add(owner, w NodeID) bool {
 			copy(s.inl[i+1:s.n+1], s.inl[i:s.n])
 			s.inl[i] = w
 		case s.small == nil:
-			// Spill inline storage to a sorted slice.
-			s.small = make([]NodeID, 0, 2*inlineCap)
-			s.small = append(s.small, s.inl[:i]...)
-			s.small = append(s.small, w)
-			s.small = append(s.small, s.inl[i:s.n]...)
+			s.spill(i, w)
 		case len(s.small) >= promoteDeg:
 			s.promote(owner)
 			return s.add(owner, w)
@@ -161,6 +165,8 @@ func (s *nset) add(owner, w NodeID) bool {
 
 // remove deletes w, reporting whether it was present. Table mode uses
 // backward-shift deletion, so probe chains stay tombstone-free.
+//
+//rept:hotpath
 func (s *nset) remove(owner, w NodeID) bool {
 	if w == owner {
 		return false
@@ -213,6 +219,17 @@ func (s *nset) remove(owner, w NodeID) bool {
 	return true
 }
 
+// spill moves inline storage to a freshly allocated sorted slice,
+// inserting w at position i. It is the one-time growth transition out of
+// add's inline layout, kept as a separate cold function so add itself
+// stays allocation-free under the //rept:hotpath gate.
+func (s *nset) spill(i int, w NodeID) {
+	s.small = make([]NodeID, 0, 2*inlineCap)
+	s.small = append(s.small, s.inl[:i]...)
+	s.small = append(s.small, w)
+	s.small = append(s.small, s.inl[i:s.n]...)
+}
+
 // promote migrates the sorted slice into a fresh open-addressing table.
 func (s *nset) promote(owner NodeID) {
 	old := s.small
@@ -260,6 +277,8 @@ func (s *nset) each(owner NodeID, fn func(w NodeID)) {
 // intersectSorted appends the intersection of two sorted slices to dst: a
 // plain merge walk for comparable sizes, a galloping binary-search walk
 // when one side is much longer.
+//
+//rept:hotpath
 func intersectSorted(a, b []NodeID, dst []NodeID) []NodeID {
 	if len(a) > len(b) {
 		a, b = b, a
@@ -298,6 +317,8 @@ func intersectSorted(a, b []NodeID, dst []NodeID) []NodeID {
 // intersect appends N(su) ∩ N(sv) to dst. Sorted layouts merge- or
 // gallop-walk against each other; any probe-able side is probed from the
 // smaller enumerable side.
+//
+//rept:hotpath
 func intersect(su *nset, ou NodeID, sv *nset, ov NodeID, dst []NodeID) []NodeID {
 	if su.table == nil && sv.table == nil {
 		return intersectSorted(su.sorted(), sv.sorted(), dst)
@@ -325,6 +346,8 @@ func intersect(su *nset, ou NodeID, sv *nset, ov NodeID, dst []NodeID) []NodeID 
 
 // intersectCount returns |N(su) ∩ N(sv)| with the same strategy choices
 // as intersect, without materializing the result.
+//
+//rept:hotpath
 func intersectCount(su *nset, ou NodeID, sv *nset, ov NodeID) int {
 	n := 0
 	if su.table == nil && sv.table == nil {

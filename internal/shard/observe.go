@@ -38,7 +38,11 @@ type Observation struct {
 // Observe drains in-flight edges and returns a barrier-consistent
 // Observation. Safe for concurrent use with Add; edges added while the
 // barrier is taken land after it. Like every non-Close method, Observe
-// panics with core.ErrClosed after Close.
+// panics with core.ErrClosed after Close. The aggregation must not
+// depend on iteration order — two Observations at the same barrier
+// prefix must be identical.
+//
+//rept:deterministic
 func (s *Sharded) Observe() Observation {
 	bar := s.barrier(false)
 	agg, err := core.MergeGroups(bar.aggs...)

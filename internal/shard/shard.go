@@ -198,9 +198,31 @@ type Sharded struct {
 	// sequence as the engine shards; nil when TrackDegrees is off.
 	degCh chan msg
 
-	mu     sync.Mutex // guards cur, closed, and channel sends
+	// mu guards cur, closed, and delivery-ticket issue. It is the ingest
+	// critical section every producer passes through, so no channel send
+	// or other blocking operation may run while it is held — a send to a
+	// backed-up shard channel under mu would stall every producer behind
+	// one slow consumer. Batches detached under mu are delivered through
+	// send after unlock, in ticket order; reptvet's lockdiscipline
+	// analyzer enforces the no-blocking rule.
+	//
+	//rept:ingestmu
+	mu     sync.Mutex
 	cur    *batch
 	closed bool
+	// seq is the last delivery ticket issued; a detached batch or barrier
+	// owns exactly one ticket and send delivers tickets in order, so the
+	// channel sequence every consumer sees is identical to the order the
+	// critical sections ran in.
+	seq uint64
+
+	// sendMu and sendCond serialize deliveries in ticket order. Producers
+	// blocked here hold no ingest mutex, so ingestion keeps accepting
+	// events while a backed-up shard applies backpressure. sentSeq is the
+	// last ticket fully delivered to every consumer channel.
+	sendMu   sync.Mutex
+	sendCond sync.Cond
+	sentSeq  uint64
 
 	// free recycles broadcast batch buffers. A buffered channel rather
 	// than a sync.Pool: batches are always released by a shard goroutine
@@ -250,6 +272,7 @@ func build(cfg Config, restore []snapshot.EngineState, restoreDegrees map[graph.
 		chans:    make([]chan msg, len(sub)),
 	}
 	s.free = make(chan *batch, queueLen+8)
+	s.sendCond.L = &s.sendMu
 	for i, sc := range sub {
 		var eng *core.Engine
 		var err error
@@ -282,6 +305,9 @@ func build(cfg Config, restore []snapshot.EngineState, restoreDegrees map[graph.
 
 // getBatch returns a recycled batch buffer, allocating only when the
 // free list is empty (start-up, or bursts beyond the in-flight bound).
+// It runs under the ingest mutex; the select is non-blocking.
+//
+//rept:locksheld
 func (s *Sharded) getBatch() *batch {
 	select {
 	case b := <-s.free:
@@ -370,7 +396,15 @@ func (s *Sharded) Delete(u, v graph.NodeID) {
 	s.apply(graph.Update{U: u, V: v, Del: true})
 }
 
+// apply appends one event under the ingest mutex; a batch that fills
+// detaches inside the critical section and is delivered after unlock.
+//
+//rept:hotpath
 func (s *Sharded) apply(up graph.Update) {
+	var (
+		ticket uint64
+		full   *batch
+	)
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -383,7 +417,7 @@ func (s *Sharded) apply(up graph.Update) {
 	}
 	s.cur.ups = append(s.cur.ups, up)
 	if len(s.cur.ups) >= s.batchLen {
-		s.flushLocked()
+		ticket, full = s.detachLocked()
 	}
 	// Counted before the unlock so a concurrent Snapshot can never
 	// reflect an event that Processed does not yet count.
@@ -392,13 +426,20 @@ func (s *Sharded) apply(up graph.Update) {
 		s.deleted.Add(1)
 	}
 	s.mu.Unlock()
+	if full != nil {
+		s.send(ticket, msg{b: full})
+	}
 }
 
 // AddAll feeds a slice of stream edge insertions in order under one
 // critical section, which is markedly cheaper than per-edge Add for bulk
 // callers (the HTTP ingest path batches request bodies through here).
 func (s *Sharded) AddAll(edges []graph.Edge) {
-	var accepted, loops uint64
+	var (
+		accepted, loops uint64
+		buf             [pendInline]sendItem
+	)
+	pend := buf[:0]
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -412,12 +453,14 @@ func (s *Sharded) AddAll(edges []graph.Edge) {
 		s.cur.ups = append(s.cur.ups, graph.Update{U: e.U, V: e.V})
 		accepted++
 		if len(s.cur.ups) >= s.batchLen {
-			s.flushLocked()
+			ticket, b := s.detachLocked()
+			pend = append(pend, sendItem{ticket: ticket, m: msg{b: b}})
 		}
 	}
 	s.processed.Add(accepted)
 	s.selfLoops.Add(loops)
 	s.mu.Unlock()
+	s.sendAll(pend)
 }
 
 // ApplyAll feeds a slice of signed stream events in order under one
@@ -425,7 +468,11 @@ func (s *Sharded) AddAll(edges []graph.Edge) {
 // Deletion events require Config.FullyDynamic (panics with
 // core.ErrNotDynamic before touching the batch).
 func (s *Sharded) ApplyAll(ups []graph.Update) {
-	var accepted, dels, loops uint64
+	var (
+		accepted, dels, loops uint64
+		buf                   [pendInline]sendItem
+	)
+	pend := buf[:0]
 	if !s.cfg.FullyDynamic {
 		for _, up := range ups {
 			if up.Del {
@@ -449,44 +496,96 @@ func (s *Sharded) ApplyAll(ups []graph.Update) {
 			dels++
 		}
 		if len(s.cur.ups) >= s.batchLen {
-			s.flushLocked()
+			ticket, b := s.detachLocked()
+			pend = append(pend, sendItem{ticket: ticket, m: msg{b: b}})
 		}
 	}
 	s.processed.Add(accepted)
 	s.deleted.Add(dels)
 	s.selfLoops.Add(loops)
 	s.mu.Unlock()
+	s.sendAll(pend)
 }
 
-// flushLocked broadcasts the pending batch to every shard channel. Caller
-// holds s.mu. The batch is shared read-only; shards refcount it back into
-// the pool.
-func (s *Sharded) flushLocked() {
-	if len(s.cur.ups) == 0 {
-		return
-	}
+// sendItem is one ticketed delivery detached under the ingest mutex and
+// pending hand-off to the consumer channels.
+type sendItem struct {
+	ticket uint64
+	m      msg
+}
+
+// pendInline sizes the stack buffers that collect detached batches inside
+// one critical section; bulk calls that detach more simply spill the
+// pending list to the heap.
+const pendInline = 8
+
+// detachLocked issues the filled current batch a delivery ticket,
+// installs a fresh buffer, and returns the pair for the caller to send
+// after unlock. Caller holds s.mu and guarantees the batch is non-empty.
+func (s *Sharded) detachLocked() (uint64, *batch) {
 	b := s.cur
 	b.refs.Store(int32(s.fanout()))
-	for _, ch := range s.chans {
-		ch <- msg{b: b}
-	}
-	if s.degCh != nil {
-		s.degCh <- msg{b: b}
-	}
+	s.seq++
 	s.cur = s.getBatch()
+	return s.seq, b
 }
 
-// barrier flushes pending edges and enqueues a fresh barrier on every
-// shard channel before releasing the mutex, so no later Add can slip
-// between the flush and the barrier on any shard. With wantStates it
+// send delivers one ticketed message to every consumer channel. Tickets
+// are delivered strictly in issue order: the sender of ticket t waits
+// until t-1 has been fully delivered, so every consumer sees the exact
+// sequence the ingest critical sections produced. Channel sends here may
+// block on a backed-up shard (that is the backpressure), but the caller
+// holds no ingest mutex, so other producers keep appending meanwhile.
+func (s *Sharded) send(ticket uint64, m msg) {
+	s.sendMu.Lock()
+	for s.sentSeq+1 != ticket {
+		s.sendCond.Wait()
+	}
+	for _, ch := range s.chans {
+		ch <- m
+	}
+	if s.degCh != nil {
+		s.degCh <- m
+	}
+	s.sentSeq = ticket
+	s.sendCond.Broadcast()
+	s.sendMu.Unlock()
+}
+
+// sendAll delivers the pending items collected by one critical section.
+func (s *Sharded) sendAll(pend []sendItem) {
+	for _, it := range pend {
+		s.send(it.ticket, it.m)
+	}
+}
+
+// waitSent blocks until every ticket up to and including ticket has been
+// delivered to all consumer channels.
+func (s *Sharded) waitSent(ticket uint64) {
+	s.sendMu.Lock()
+	for s.sentSeq < ticket {
+		s.sendCond.Wait()
+	}
+	s.sendMu.Unlock()
+}
+
+// barrier flushes pending edges and enqueues a fresh barrier ticket
+// immediately after them, so no later Add can slip between the flush and
+// the barrier on any shard: both tickets are issued inside one critical
+// section and send delivers tickets in issue order. With wantStates it
 // collects full engine states (for checkpoints) instead of aggregates.
 func (s *Sharded) barrier(wantStates bool) *barrier {
+	var buf [2]sendItem
+	pend := buf[:0]
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
 		panic(core.ErrClosed)
 	}
-	s.flushLocked()
+	if len(s.cur.ups) > 0 {
+		ticket, b := s.detachLocked()
+		pend = append(pend, sendItem{ticket: ticket, m: msg{b: b}})
+	}
 	bar := &barrier{}
 	if wantStates {
 		bar.states = make([]*snapshot.EngineState, len(s.chans))
@@ -495,19 +594,17 @@ func (s *Sharded) barrier(wantStates bool) *barrier {
 		bar.sampled = make([]int, len(s.chans))
 		bar.etaSat = make([]uint64, len(s.chans))
 	}
-	// Both tallies are only mutated under s.mu, so this read is exactly
-	// consistent with the prefix just flushed.
+	// The tallies are only mutated under s.mu, so this read is exactly
+	// consistent with the prefix ticketed so far: every credited event
+	// sits in a batch whose ticket precedes the barrier's.
 	bar.processed = s.processed.Load()
 	bar.deleted = s.deleted.Load()
 	bar.selfLoops = s.selfLoops.Load()
 	bar.wg.Add(s.fanout())
-	for _, ch := range s.chans {
-		ch <- msg{bar: bar}
-	}
-	if s.degCh != nil {
-		s.degCh <- msg{bar: bar}
-	}
+	s.seq++
+	pend = append(pend, sendItem{ticket: s.seq, m: msg{bar: bar}})
 	s.mu.Unlock()
+	s.sendAll(pend)
 	bar.wg.Wait()
 	return bar
 }
@@ -575,19 +672,30 @@ func (s *Sharded) Shards() int { return len(s.engines) }
 // underlying engines. Close is idempotent; any other method called after
 // Close panics with core.ErrClosed.
 func (s *Sharded) Close() {
+	var buf [1]sendItem
+	pend := buf[:0]
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
 		return
 	}
-	s.flushLocked()
+	if len(s.cur.ups) > 0 {
+		ticket, b := s.detachLocked()
+		pend = append(pend, sendItem{ticket: ticket, m: msg{b: b}})
+	}
 	s.closed = true
+	last := s.seq
+	s.mu.Unlock()
+	s.sendAll(pend)
+	// closed stops new tickets from being issued, but producers that
+	// detached a batch before we flipped it may still be delivering;
+	// wait for every issued ticket before closing the channels.
+	s.waitSent(last)
 	for _, ch := range s.chans {
 		close(ch)
 	}
 	if s.degCh != nil {
 		close(s.degCh)
 	}
-	s.mu.Unlock()
 	s.done.Wait()
 }

@@ -120,7 +120,10 @@ func (e *encoder) engineBody(st *EngineState) {
 // deltaKeys writes a strictly-increasing key sequence: count, first key
 // raw, then deltas. When val is non-nil it is called after each key to
 // append the key's accompanying value — the one shared shape behind the
-// edge set and both counter maps.
+// edge set and both counter maps. It sorts keys in place before writing,
+// which is what makes the map-derived encodings canonical.
+//
+//rept:sorter
 func (e *encoder) deltaKeys(keys []uint64, val func(k uint64)) {
 	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
 	e.uvarint(uint64(len(keys)))

@@ -46,6 +46,12 @@
 // degree table). It is also the hook for future cross-node state handoff:
 // a newer node can keep emitting version-N snapshots while older peers
 // are still draining.
+//
+// The whole package is marked deterministic: encodings are canonical, so
+// no code here may depend on map iteration order (reptvet's detorder
+// enforces this — collect keys and sort, as deltaKeys does).
+//
+//rept:deterministic
 package snapshot
 
 import (
