@@ -10,6 +10,8 @@ package rept_test
 
 import (
 	"io"
+	"path/filepath"
+	"strconv"
 	"testing"
 
 	"rept"
@@ -113,6 +115,48 @@ func BenchmarkREPTPerEdge(b *testing.B) {
 		}
 		return est
 	})
+}
+
+// BenchmarkREPTPerEdgeWAL measures the per-event cost of DURABLE ingest:
+// the same m=10, c=10 configuration behind a local-disk write-ahead log
+// in per-batch sync mode, fed 512-event request batches (each batch is
+// appended, CRC-stamped, and fsynced before the call returns). Compare
+// with BenchmarkREPTPerEdge for the per-event durability overhead; the
+// gap is dominated by the fsync, so larger request batches amortize it
+// down and -wal-sync intervals remove it from the ingest path entirely.
+func BenchmarkREPTPerEdgeWAL(b *testing.B) {
+	ups := make([]rept.Update, len(microStream))
+	for i, e := range microStream {
+		ups[i] = rept.Update{U: e.U, V: e.V}
+	}
+	root := b.TempDir()
+	b.ReportAllocs()
+	b.ResetTimer()
+	done, pass := 0, 0
+	for done < b.N {
+		pass++
+		est, err := rept.ResumeDurable(
+			rept.ConcurrentConfig{M: 10, C: 10, Seed: int64(pass)},
+			rept.WALOptions{Dir: filepath.Join(root, strconv.Itoa(pass))},
+		)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < len(ups) && done < b.N; i += 512 {
+			end := i + 512
+			if end > len(ups) {
+				end = len(ups)
+			}
+			if rem := b.N - done; end-i > rem {
+				end = i + rem
+			}
+			if err := est.ApplyAllDurable(ups[i:end]); err != nil {
+				b.Fatal(err)
+			}
+			done += end - i
+		}
+		est.Close()
+	}
 }
 
 // BenchmarkREPTPerEdgeParallel is the same configuration spread over

@@ -40,8 +40,10 @@ import (
 )
 
 // defaultBenchmarks are the per-event ingest datapoints gated by default:
-// the insert-only and fully-dynamic per-event costs.
-const defaultBenchmarks = "BenchmarkREPTPerEdge,BenchmarkFullyDynamicChurnPerEvent"
+// the insert-only, fully-dynamic, and durable (write-ahead-logged)
+// per-event costs. A benchmark missing from the old baseline is skipped
+// with a note, so newly added datapoints phase in on their first run.
+const defaultBenchmarks = "BenchmarkREPTPerEdge,BenchmarkFullyDynamicChurnPerEvent,BenchmarkREPTPerEdgeWAL"
 
 // result is one parsed benchmark line.
 type result struct {

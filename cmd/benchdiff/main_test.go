@@ -106,10 +106,12 @@ func TestRunPassesWithinThreshold(t *testing.T) {
 	old := writeFile(t, dir, "old.json", jsonBench(
 		"BenchmarkREPTPerEdge-8 \\t 1000000 \\t 1000 ns/op",
 		"BenchmarkFullyDynamicChurnPerEvent-8 \\t 1000000 \\t 800 ns/op",
+		"BenchmarkREPTPerEdgeWAL-8 \\t 1000000 \\t 1500 ns/op",
 	))
 	fresh := writeFile(t, dir, "new.json", jsonBench(
 		"BenchmarkREPTPerEdge-8 \\t 1000000 \\t 1200 ns/op", // +20% < 25%
 		"BenchmarkFullyDynamicChurnPerEvent-8 \\t 1000000 \\t 500 ns/op",
+		"BenchmarkREPTPerEdgeWAL-8 \\t 1000000 \\t 1600 ns/op",
 	))
 	if err := run([]string{"-old", old, "-new", fresh}); err != nil {
 		t.Errorf("run failed within threshold: %v", err)
@@ -121,13 +123,15 @@ func TestRunFailsOnRegression(t *testing.T) {
 	old := writeFile(t, dir, "old.json", jsonBench(
 		"BenchmarkREPTPerEdge-8 \\t 1000000 \\t 1000 ns/op",
 		"BenchmarkFullyDynamicChurnPerEvent-8 \\t 1000000 \\t 800 ns/op",
+		"BenchmarkREPTPerEdgeWAL-8 \\t 1000000 \\t 1500 ns/op",
 	))
 	fresh := writeFile(t, dir, "new.json", jsonBench(
 		"BenchmarkREPTPerEdge-8 \\t 1000000 \\t 1300 ns/op", // +30% > 25%
 		"BenchmarkFullyDynamicChurnPerEvent-8 \\t 1000000 \\t 800 ns/op",
+		"BenchmarkREPTPerEdgeWAL-8 \\t 1000000 \\t 1500 ns/op",
 	))
 	err := run([]string{"-old", old, "-new", fresh})
-	if err == nil || !strings.Contains(err.Error(), "BenchmarkREPTPerEdge") {
+	if err == nil || !strings.Contains(err.Error(), "BenchmarkREPTPerEdge regressed") {
 		t.Errorf("run = %v, want a regression failure naming BenchmarkREPTPerEdge", err)
 	}
 }
@@ -159,10 +163,12 @@ func TestRunLatestPointer(t *testing.T) {
 	writeFile(t, dir, "BENCH_old.json", jsonBench(
 		"BenchmarkREPTPerEdge-8 \\t 1000000 \\t 1000 ns/op",
 		"BenchmarkFullyDynamicChurnPerEvent-8 \\t 1000000 \\t 800 ns/op",
+		"BenchmarkREPTPerEdgeWAL-8 \\t 1000000 \\t 1500 ns/op",
 	))
 	fresh := writeFile(t, dir, "BENCH_new.json", jsonBench(
 		"BenchmarkREPTPerEdge-8 \\t 1000000 \\t 1300 ns/op", // +30% > 25%
 		"BenchmarkFullyDynamicChurnPerEvent-8 \\t 1000000 \\t 800 ns/op",
+		"BenchmarkREPTPerEdgeWAL-8 \\t 1000000 \\t 1500 ns/op",
 	))
 	pointer := filepath.Join(dir, "LATEST")
 

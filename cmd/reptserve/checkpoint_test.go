@@ -76,7 +76,7 @@ func TestKillAndRestoreBitForBit(t *testing.T) {
 	snapPath := filepath.Join(t.TempDir(), "state.snap")
 
 	// Phase 1: fresh server, stream the prefix, checkpoint, kill.
-	estA, err := newEstimator(cfg, "")
+	estA, err := newEstimator(cfg, "", rept.WALOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,7 +96,7 @@ func TestKillAndRestoreBitForBit(t *testing.T) {
 
 	// Phase 2: boot from the snapshot (exactly what -restore does),
 	// stream the suffix.
-	estB, err := newEstimator(cfg, snapPath)
+	estB, err := newEstimator(cfg, snapPath, rept.WALOptions{})
 	if err != nil {
 		t.Fatalf("restore boot: %v", err)
 	}
@@ -112,7 +112,7 @@ func TestKillAndRestoreBitForBit(t *testing.T) {
 	restored := getStatistical(t, tsB.URL+"/estimate?fresh=1")
 
 	// Reference: one server fed the whole stream without interruption.
-	estC, err := newEstimator(cfg, "")
+	estC, err := newEstimator(cfg, "", rept.WALOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,7 +141,7 @@ func TestKillAndRestoreBitForBit(t *testing.T) {
 func TestCheckpointOverwritesAtomically(t *testing.T) {
 	dir := t.TempDir()
 	snapPath := filepath.Join(dir, "state.snap")
-	est, err := newEstimator(rept.ConcurrentConfig{M: 2, C: 4, Seed: 1}, "")
+	est, err := newEstimator(rept.ConcurrentConfig{M: 2, C: 4, Seed: 1}, "", rept.WALOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -174,13 +174,71 @@ func TestCheckpointOverwritesAtomically(t *testing.T) {
 		t.Errorf("snapshot dir holds %v, want exactly [state.snap] (temp files must not leak)", names)
 	}
 	// The overwritten snapshot restores to the newer prefix.
-	resumed, err := newEstimator(rept.ConcurrentConfig{M: 2, C: 4, Seed: 1}, snapPath)
+	resumed, err := newEstimator(rept.ConcurrentConfig{M: 2, C: 4, Seed: 1}, snapPath, rept.WALOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer resumed.Close()
 	if resumed.Processed() != 1 {
 		t.Errorf("restored Processed = %d, want 1", resumed.Processed())
+	}
+}
+
+// TestCheckpointCompactsWAL: on a durable server POST /checkpoint folds
+// the log into its checkpoint — with -snapshot it additionally writes
+// the portable snapshot file, without it the compaction is the whole
+// request (no 409).
+func TestCheckpointCompactsWAL(t *testing.T) {
+	cfg := rept.ConcurrentConfig{M: 2, C: 4, Seed: 1}
+	est, err := newEstimator(cfg, "", rept.WALOptions{Dir: filepath.Join(t.TempDir(), "wal")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer est.Close()
+	ts := httptest.NewServer(NewServer(est, ""))
+	defer ts.Close()
+
+	if _, resp := postEdges(t, ts.URL, ndjson(gen.HolmeKim(40, 3, 0.4, 2))); resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest: status %d", resp.StatusCode)
+	}
+	want := est.Processed()
+	cr, resp := postCheckpoint(t, ts.URL)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /checkpoint on a durable server without -snapshot: status %d, want 200", resp.StatusCode)
+	}
+	if cr.Path != "" || cr.Bytes != 0 {
+		t.Errorf("wal-only checkpoint response carries a snapshot file: %+v", cr)
+	}
+	if cr.WAL == nil {
+		t.Fatal("durable checkpoint response has no wal block")
+	}
+	if cr.WAL.CheckpointPos != want {
+		t.Errorf("wal checkpoint position = %d after /checkpoint, want %d", cr.WAL.CheckpointPos, want)
+	}
+
+	// With -snapshot too, the same request both writes the file and
+	// advances the log's checkpoint.
+	snapPath := filepath.Join(t.TempDir(), "state.snap")
+	est2, err := newEstimator(cfg, "", rept.WALOptions{Dir: filepath.Join(t.TempDir(), "wal")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer est2.Close()
+	ts2 := httptest.NewServer(NewServer(est2, snapPath))
+	defer ts2.Close()
+	if _, resp := postEdges(t, ts2.URL, ndjson(gen.HolmeKim(40, 3, 0.4, 2))); resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest: status %d", resp.StatusCode)
+	}
+	want = est2.Processed()
+	cr, resp = postCheckpoint(t, ts2.URL)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /checkpoint: status %d", resp.StatusCode)
+	}
+	if cr.Path != snapPath || cr.Bytes <= 0 {
+		t.Errorf("checkpoint response %+v, want snapshot file at %s", cr, snapPath)
+	}
+	if cr.WAL == nil || cr.WAL.CheckpointPos != want {
+		t.Errorf("checkpoint response wal block = %+v, want checkpoint position %d", cr.WAL, want)
 	}
 }
 
@@ -201,18 +259,18 @@ func TestRestoreBootErrors(t *testing.T) {
 	cfg := rept.ConcurrentConfig{M: 4, C: 8, Shards: 2, Seed: 5}
 	snapPath := filepath.Join(t.TempDir(), "state.snap")
 
-	if _, err := newEstimator(cfg, snapPath); err == nil {
+	if _, err := newEstimator(cfg, snapPath, rept.WALOptions{}); err == nil {
 		t.Error("restore from a missing file succeeded")
 	}
 
 	if err := os.WriteFile(snapPath, []byte("not a snapshot"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := newEstimator(cfg, snapPath); err == nil {
+	if _, err := newEstimator(cfg, snapPath, rept.WALOptions{}); err == nil {
 		t.Error("restore from garbage succeeded")
 	}
 
-	est, err := newEstimator(cfg, "")
+	est, err := newEstimator(cfg, "", rept.WALOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -228,7 +286,7 @@ func TestRestoreBootErrors(t *testing.T) {
 
 	wrong := cfg
 	wrong.M = 7
-	_, err = newEstimator(wrong, snapPath)
+	_, err = newEstimator(wrong, snapPath, rept.WALOptions{})
 	if err == nil {
 		t.Fatal("restore under a different -m succeeded")
 	}

@@ -134,7 +134,7 @@ func TestKillAndRestoreBitForBitFullyDynamic(t *testing.T) {
 	snapPath := filepath.Join(t.TempDir(), "state.snap")
 
 	// Phase 1: fresh server, stream the churn prefix, checkpoint, kill.
-	estA, err := newEstimator(cfg, "")
+	estA, err := newEstimator(cfg, "", rept.WALOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,7 +153,7 @@ func TestKillAndRestoreBitForBitFullyDynamic(t *testing.T) {
 	estA.Close()
 
 	// Phase 2: boot from the snapshot, stream the suffix.
-	estB, err := newEstimator(cfg, snapPath)
+	estB, err := newEstimator(cfg, snapPath, rept.WALOptions{})
 	if err != nil {
 		t.Fatalf("restore boot: %v", err)
 	}
@@ -169,7 +169,7 @@ func TestKillAndRestoreBitForBitFullyDynamic(t *testing.T) {
 	restored := getStatistical(t, tsB.URL+"/estimate?fresh=1")
 
 	// Reference: one server fed the whole churn stream uninterrupted.
-	estC, err := newEstimator(cfg, "")
+	estC, err := newEstimator(cfg, "", rept.WALOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -7,6 +7,8 @@
 //	reptserve -addr :8080 -m 10 -c 40 [-shards 4 -local -dynamic -seed 1]
 //	          [-view-interval 200ms -view-edges 0 -topk 100]
 //	          [-snapshot state.snap] [-restore state.snap]
+//	          [-wal-dir walspool [-wal-sync batch|250ms]
+//	           [-wal-compact-every 500000] [-wal-segment-bytes 67108864]]
 //
 // Endpoints:
 //
@@ -54,6 +56,29 @@
 // fields; -local -degrees=false restores checkpoints taken before degree
 // tracking existed.
 //
+// Write-ahead logging: -wal-dir upgrades the server from
+// checkpoint-on-demand to continuous durability. Every accepted edge
+// event is appended to a segmented, CRC-checked log in that directory,
+// and on restart — clean or after a kill — the server replays the log's
+// own checkpoint plus the surviving tail before serving, announcing
+// "wal recovered to position N" on stderr. With -wal-sync batch (the
+// default) a 200 from POST /edges is a durability receipt: the response
+// is sent only after the request's events are fsynced, so "accepted"
+// events survive any crash; a sync failure fails the request with HTTP
+// 500 and no events are credited. With -wal-sync <duration> the log is
+// group-committed on that interval instead — ingest never waits on the
+// disk, at the cost of losing at most the last interval's events on
+// power failure (a kill -9 with a healthy disk still loses nothing).
+// Sealed segments are folded into an incremental checkpoint every
+// -wal-compact-every events (and on demand via POST /checkpoint, which
+// also compacts the log when one is running), bounding both replay time
+// and disk usage; -wal-segment-bytes caps individual segment files. The
+// WAL's append/durable/checkpoint positions, segment count, and failure
+// counters are reported in the "wal" block of /stats and as
+// rept_wal_* gauges in /metrics. Combining -wal-dir with -restore seeds
+// an EMPTY log directory from a legacy snapshot file — the one-time
+// migration path from snapshot-only deployments.
+//
 // The process drains in-flight edges and exits cleanly on SIGINT/SIGTERM.
 package main
 
@@ -62,6 +87,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -80,8 +106,26 @@ func main() {
 
 // newEstimator builds the serving estimator: fresh for an empty
 // restorePath, otherwise resumed from the snapshot file (the exact code
-// path the -restore flag takes, shared with tests).
-func newEstimator(cfg rept.ConcurrentConfig, restorePath string) (*rept.Concurrent, error) {
+// path the -restore flag takes, shared with tests). With a WAL directory
+// it opens (or creates) the durable estimator instead — recovering from
+// the log's own checkpoint and tail — and -restore seeds an EMPTY log
+// directory from a legacy snapshot file.
+func newEstimator(cfg rept.ConcurrentConfig, restorePath string, walOpt rept.WALOptions) (*rept.Concurrent, error) {
+	if walOpt.Dir != "" {
+		if restorePath != "" {
+			f, err := os.Open(restorePath)
+			if err != nil {
+				return nil, fmt.Errorf("restore: %w", err)
+			}
+			defer f.Close()
+			walOpt.Bootstrap = f
+		}
+		est, err := rept.ResumeDurable(cfg, walOpt)
+		if err != nil {
+			return nil, err
+		}
+		return est, nil
+	}
 	if restorePath == "" {
 		return rept.NewConcurrent(cfg)
 	}
@@ -95,6 +139,25 @@ func newEstimator(cfg rept.ConcurrentConfig, restorePath string) (*rept.Concurre
 		return nil, fmt.Errorf("restore %s: %w", restorePath, err)
 	}
 	return est, nil
+}
+
+// parseWALSync maps the -wal-sync flag onto WALOptions.SyncInterval:
+// "batch" (sync before acknowledging every ingest request) or a positive
+// duration (group sync on that period; acknowledgments then promise only
+// that the events are in the log buffer, with a loss window of at most
+// the interval).
+func parseWALSync(s string) (time.Duration, error) {
+	if s == "batch" {
+		return 0, nil
+	}
+	d, err := time.ParseDuration(s)
+	if err != nil {
+		return 0, fmt.Errorf("-wal-sync: %q is neither \"batch\" nor a duration: %w", s, err)
+	}
+	if d <= 0 {
+		return 0, fmt.Errorf("-wal-sync: duration must be positive (got %v); use \"batch\" for per-request sync", d)
+	}
+	return d, nil
 }
 
 func run(args []string) error {
@@ -116,9 +179,26 @@ func run(args []string) error {
 		interval = fs.Duration("view-interval", 200*time.Millisecond, "max time between query-view epochs")
 		vedges   = fs.Uint64("view-edges", 0, "also republish the query view every N ingested edges (0 = off)")
 		topk     = fs.Int("topk", 100, "precomputed heavy-hitter ranking size (caps /topk?k=)")
+		walDir   = fs.String("wal-dir", "", "write-ahead log directory; enables durable ingest with crash recovery")
+		walSync  = fs.String("wal-sync", "batch", "WAL sync policy: \"batch\" (sync before every ingest ack) or a duration (group sync, bounded loss window)")
+		walComp  = fs.Uint64("wal-compact-every", 500_000, "fold the WAL into an incremental checkpoint every N events (0 = never)")
+		walSeg   = fs.Int64("wal-segment-bytes", 0, "rotate WAL segments at this size (0 = 64MiB default)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	var walOpt rept.WALOptions
+	if *walDir != "" {
+		sync, err := parseWALSync(*walSync)
+		if err != nil {
+			return err
+		}
+		walOpt = rept.WALOptions{
+			Dir:          *walDir,
+			SyncInterval: sync,
+			SegmentBytes: *walSeg,
+			CompactEvery: *walComp,
+		}
 	}
 
 	est, err := newEstimator(rept.ConcurrentConfig{
@@ -136,7 +216,7 @@ func run(args []string) error {
 		// (the table is part of the snapshot fingerprint contract).
 		TrackDegrees: *local && *degrees,
 		BatchSize:    *batch,
-	}, *restore)
+	}, *restore, walOpt)
 	if err != nil {
 		return err
 	}
@@ -147,7 +227,6 @@ func run(args []string) error {
 	}
 	api := NewServer(est, *snapshot)
 	srv := &http.Server{
-		Addr:              *addr,
 		Handler:           api,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
@@ -158,12 +237,24 @@ func run(args []string) error {
 	if *restore != "" {
 		fmt.Fprintf(os.Stderr, "reptserve: restored %d processed edges from %s\n", est.Processed(), *restore)
 	}
+	if *walDir != "" {
+		fmt.Fprintf(os.Stderr, "reptserve: wal recovered to position %d (dir=%s sync=%s)\n",
+			est.Position(), *walDir, *walSync)
+	}
 
+	// Listen before announcing: with -addr :0 the kernel picks the port,
+	// and the line below is how tests (and scripts) learn the real one.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		api.Stop()
+		est.Close()
+		return err
+	}
 	errc := make(chan error, 1)
 	go func() {
 		fmt.Fprintf(os.Stderr, "reptserve: listening on %s (m=%d c=%d shards=%d local=%v dynamic=%v)\n",
-			*addr, *m, *c, est.Shards(), *local, *dynamic)
-		errc <- srv.ListenAndServe()
+			ln.Addr(), *m, *c, est.Shards(), *local, *dynamic)
+		errc <- srv.Serve(ln)
 	}()
 
 	select {

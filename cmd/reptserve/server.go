@@ -68,6 +68,11 @@ type Server struct {
 	snapshotPath string
 	checkpointMu sync.Mutex
 
+	// durable routes ingest through the write-ahead log: /edges responds
+	// only after the estimator acknowledges durability, and a WAL failure
+	// turns into a 500 with the events NOT counted as accepted.
+	durable bool
+
 	// mu guards estimator access against Stop: handlers hold the read
 	// lock around each estimator call, Stop takes the write lock to
 	// drain them before the estimator is closed underneath.
@@ -97,6 +102,7 @@ func NewServer(est *rept.Concurrent, snapshotPath string) *Server {
 		mux:          http.NewServeMux(),
 		start:        time.Now(),
 		snapshotPath: snapshotPath,
+		durable:      est.Durable(),
 		counters:     make(map[string]*atomic.Uint64, len(endpoints)),
 	}
 	for _, ep := range endpoints {
@@ -226,6 +232,9 @@ func statRow(v *rept.View, st rept.NodeStat) nodeJSON {
 // ingestResponse summarizes one POST/DELETE /edges request.
 type ingestResponse struct {
 	// Accepted counts non-loop events ingested from this request body.
+	// On a durable server (-wal-dir) an event counts as accepted only
+	// once the write-ahead log has acknowledged it, so a 200 response is
+	// a durability receipt for every accepted event.
 	Accepted int `json:"accepted"`
 	// Deleted counts how many of the accepted events were deletions.
 	Deleted int `json:"deleted,omitempty"`
@@ -234,6 +243,9 @@ type ingestResponse struct {
 	// Processed is the estimator's total non-loop event count afterwards
 	// (all clients combined).
 	Processed uint64 `json:"processed"`
+	// Durable is true when the accepted events went through the
+	// write-ahead log (the server runs with -wal-dir).
+	Durable bool `json:"durable,omitempty"`
 }
 
 // ingestBuffers is the per-request scratch of handleEdges — the scanner's
@@ -290,27 +302,51 @@ func (s *Server) handleEdges(w http.ResponseWriter, r *http.Request) {
 	sc.Buffer(bufs.line[:0], maxLineLen)
 
 	var resp ingestResponse
+	resp.Durable = s.durable
 	batch := bufs.batch[:0]
 	// pend tallies the events sitting in the unflushed batch; they are
 	// credited to resp only once a flush hands them to the estimator.
 	var pend struct{ accepted, deleted, loops int }
+	// walErr is the sticky write-ahead-log failure: once set, no further
+	// events are credited (durability is unknown for them at best) and
+	// the request fails with 500.
+	var walErr error
 	// flush hands the parsed batch to the estimator; false means the
-	// server is shutting down and the handler must bail with 503 — the
-	// batch was dropped, so its pending tallies are discarded, not
-	// reported.
+	// server is shutting down (503) or, on a durable server, the log
+	// refused the batch (walErr set, 500) — either way the batch's
+	// pending tallies are discarded, not reported, because the events
+	// were not accepted under the response's contract.
 	flush := func() bool {
 		if len(batch) == 0 {
 			return true
 		}
-		ok := s.estCall(func() { s.est.ApplyAll(batch) })
+		credited := false
+		ok := s.estCall(func() {
+			if s.durable {
+				walErr = s.est.ApplyAllDurable(batch)
+				credited = walErr == nil
+			} else {
+				s.est.ApplyAll(batch)
+				credited = true
+			}
+		})
 		batch = batch[:0]
-		if ok {
+		if ok && credited {
 			resp.Accepted += pend.accepted
 			resp.Deleted += pend.deleted
 			resp.SelfLoops += pend.loops
 		}
 		pend.accepted, pend.deleted, pend.loops = 0, 0, 0
-		return ok
+		return ok && credited
+	}
+	// failFlush writes the response for a failed flush: 500 for a WAL
+	// failure, 503 for shutdown.
+	failFlush := func() {
+		if walErr != nil {
+			writeError(w, http.StatusInternalServerError, "write-ahead log: %v (accepted %d events)", walErr, resp.Accepted)
+			return
+		}
+		writeError(w, http.StatusServiceUnavailable, "server is shutting down (accepted %d events)", resp.Accepted)
 	}
 	line := 0
 	for sc.Scan() {
@@ -373,7 +409,7 @@ func (s *Server) handleEdges(w http.ResponseWriter, r *http.Request) {
 		}
 		batch = append(batch, rept.Update{U: rept.NodeID(u), V: rept.NodeID(v), Del: del})
 		if len(batch) == cap(batch) && !flush() {
-			writeError(w, http.StatusServiceUnavailable, "server is shutting down (accepted %d events)", resp.Accepted)
+			failFlush()
 			return
 		}
 	}
@@ -383,7 +419,7 @@ func (s *Server) handleEdges(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if !flush() {
-		writeError(w, http.StatusServiceUnavailable, "server is shutting down (accepted %d events)", resp.Accepted)
+		failFlush()
 		return
 	}
 	resp.Processed = s.est.Processed()
@@ -619,6 +655,52 @@ type statsResponse struct {
 	IntervalMs     float64           `json:"viewIntervalMs"`
 	Uptime         string            `json:"uptime"`
 	Requests       map[string]uint64 `json:"requests"`
+	// WAL is the write-ahead-log report; present only with -wal-dir.
+	WAL *walStatsJSON `json:"wal,omitempty"`
+}
+
+// walStatsJSON is the /stats write-ahead-log block. All positions count
+// accepted non-loop events since the estimator's birth.
+type walStatsJSON struct {
+	// AppendedPos/DurablePos/CheckpointPos are the log's three frontiers:
+	// written into the active segment, covered by a sync, and folded into
+	// the latest checkpoint.
+	AppendedPos   uint64 `json:"appendedPos"`
+	DurablePos    uint64 `json:"durablePos"`
+	CheckpointPos uint64 `json:"checkpointPos"`
+	// SyncLagEvents is AppendedPos-DurablePos: the events that would be
+	// lost by a crash right now (bounded by the -wal-sync interval; ~0 in
+	// batch mode).
+	SyncLagEvents uint64 `json:"syncLagEvents"`
+	// Segments counts log segment files (including the active one);
+	// ActiveBytes is the active segment's size.
+	Segments    int   `json:"segments"`
+	ActiveBytes int64 `json:"activeBytes"`
+	// Failed means the log refused a write or sync; durable ingest is
+	// refusing events until restart.
+	Failed bool `json:"failed"`
+	// CompactionFailures counts automatic compactions that failed (the
+	// log keeps growing until one succeeds).
+	CompactionFailures uint64 `json:"compactionFailures,omitempty"`
+}
+
+// walStats assembles the /stats WAL block; nil when the server is not
+// durable.
+func (s *Server) walStats() *walStatsJSON {
+	if !s.durable {
+		return nil
+	}
+	st := s.est.WALStats()
+	return &walStatsJSON{
+		AppendedPos:        st.AppendedPos,
+		DurablePos:         st.DurablePos,
+		CheckpointPos:      st.CheckpointPos,
+		SyncLagEvents:      st.AppendedPos - st.DurablePos,
+		Segments:           st.Segments,
+		ActiveBytes:        st.ActiveBytes,
+		Failed:             st.Failed,
+		CompactionFailures: s.est.WALCompactionFailures(),
+	}
 }
 
 // handleStats serves GET /stats: epoch and staleness state, ingest
@@ -653,6 +735,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		IntervalMs:     float64(s.views.Config().Interval.Microseconds()) / 1e3,
 		Uptime:         time.Since(s.start).Round(time.Millisecond).String(),
 		Requests:       reqs,
+		WAL:            s.walStats(),
 	})
 }
 
@@ -685,6 +768,21 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	gauge("rept_view_age_seconds", "Wall-clock age of the current view.", v.Age().Seconds())
 	counter("rept_view_processed_edges", "Non-loop edges at the current view's prefix.", v.Processed)
 	gauge("rept_uptime_seconds", "Server uptime.", time.Since(s.start).Seconds())
+	if s.durable {
+		st := s.est.WALStats()
+		counter("rept_wal_appended_events_total", "Events written into the write-ahead log.", st.AppendedPos)
+		counter("rept_wal_durable_events_total", "Events covered by a WAL sync (survive a crash).", st.DurablePos)
+		counter("rept_wal_checkpoint_events_total", "Events folded into the latest WAL checkpoint.", st.CheckpointPos)
+		gauge("rept_wal_sync_lag_events", "Appended-but-unsynced events (the crash loss window).", float64(st.AppendedPos-st.DurablePos))
+		gauge("rept_wal_segments", "WAL segment files on disk, including the active one.", float64(st.Segments))
+		gauge("rept_wal_active_segment_bytes", "Size of the active WAL segment.", float64(st.ActiveBytes))
+		failed := 0.0
+		if st.Failed {
+			failed = 1
+		}
+		gauge("rept_wal_failed", "1 when the WAL has failed and durable ingest is refusing events.", failed)
+		counter("rept_wal_compaction_failures_total", "Automatic WAL compactions that failed.", s.est.WALCompactionFailures())
+	}
 	counter("rept_http_requests_total_all", "HTTP requests served, all endpoints.", s.requests.Load())
 	// Per-endpoint counters, emitted in sorted label order so scrapes
 	// are diff-stable.
@@ -703,31 +801,39 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 
 // checkpointResponse is the POST /checkpoint payload.
 type checkpointResponse struct {
-	// Path is the snapshot file written.
-	Path string `json:"path"`
+	// Path is the snapshot file written; empty on a durable server
+	// running without -snapshot (the WAL checkpoint is the only output).
+	Path string `json:"path,omitempty"`
 	// Bytes is the size of the snapshot file.
-	Bytes int64 `json:"bytes"`
+	Bytes int64 `json:"bytes,omitempty"`
 	// Processed is the estimator's non-loop edge count when the response
 	// was built. The snapshot itself is barrier-consistent at its own
 	// prefix, which this count can only exceed (by edges that clients
 	// streamed while the checkpoint was written).
 	Processed uint64 `json:"processed"`
+	// WAL reports the log after the compaction this request ran; only on
+	// durable servers.
+	WAL *walStatsJSON `json:"wal,omitempty"`
 }
 
 // handleCheckpoint serves POST /checkpoint: a barrier-consistent snapshot
 // of the estimator, written atomically (temp file in the destination
 // directory, fsync, rename) so a crash mid-checkpoint can never clobber
-// the previous snapshot. Ingestion keeps running; edges streamed while
-// the checkpoint is being taken land after its prefix. 409 when the
-// server runs without -snapshot.
+// the previous snapshot. On a durable server the request also compacts
+// the write-ahead log — the sealed segments fold into the log's own
+// checkpoint — so operators get an on-demand recovery-time bound next to
+// the portable snapshot file; with -wal-dir but no -snapshot the
+// compaction is the whole request. Ingestion keeps running; edges
+// streamed while the checkpoint is being taken land after its prefix.
+// 409 when the server runs with neither -snapshot nor -wal-dir.
 func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)
 		writeError(w, http.StatusMethodNotAllowed, "POST /checkpoint")
 		return
 	}
-	if s.snapshotPath == "" {
-		writeError(w, http.StatusConflict, "checkpointing is disabled; start reptserve with -snapshot <path>")
+	if s.snapshotPath == "" && !s.durable {
+		writeError(w, http.StatusConflict, "checkpointing is disabled; start reptserve with -snapshot <path> or -wal-dir <dir>")
 		return
 	}
 	s.checkpointMu.Lock()
@@ -735,7 +841,20 @@ func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 
 	var resp checkpointResponse
 	var snapErr error
-	if !s.estCall(func() { resp, snapErr = writeSnapshotFile(s.est, s.snapshotPath) }) {
+	ok := s.estCall(func() {
+		if s.durable {
+			if err := s.est.CompactWAL(); err != nil {
+				snapErr = fmt.Errorf("wal compaction: %w", err)
+				return
+			}
+		}
+		if s.snapshotPath != "" {
+			resp, snapErr = writeSnapshotFile(s.est, s.snapshotPath)
+		} else {
+			resp.Processed = s.est.Processed()
+		}
+	})
+	if !ok {
 		writeStopping(w)
 		return
 	}
@@ -743,6 +862,7 @@ func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, "checkpoint: %v", snapErr)
 		return
 	}
+	resp.WAL = s.walStats()
 	writeJSON(w, http.StatusOK, resp)
 }
 

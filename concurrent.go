@@ -4,10 +4,12 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 	"sync/atomic"
 
 	"rept/internal/query"
 	"rept/internal/shard"
+	"rept/internal/wal"
 )
 
 // ConcurrentConfig configures a Concurrent estimator. M, C, Seed,
@@ -65,6 +67,15 @@ type Concurrent struct {
 	// views is the epoch-view publisher once StartViews has run; while it
 	// is nil every read goes through a fresh barrier.
 	views atomic.Pointer[query.Publisher]
+
+	// Durable-mode state, set by ResumeDurable (nil/zero otherwise): the
+	// write-ahead log, the automatic-compaction trigger channel, and the
+	// compactor goroutine's lifetime.
+	lg           *wal.Log
+	compactEvery uint64
+	compactCh    chan struct{}
+	compactWG    sync.WaitGroup
+	compactErrs  atomic.Uint64
 }
 
 var _ Counter = (*Concurrent)(nil)
@@ -229,7 +240,13 @@ func (c *Concurrent) Close() {
 	if p := c.views.Load(); p != nil {
 		p.Close()
 	}
+	// The compactor snapshots through the coordinator, so it must be
+	// fully stopped before the coordinator shuts down.
+	c.stopCompactor()
 	c.sh.Close()
+	if c.lg != nil {
+		c.lg.Close()
+	}
 }
 
 // Config returns the configuration the estimator was built with.

@@ -183,6 +183,33 @@
 // field. cmd/reptserve exposes all of this as POST /checkpoint (atomic
 // temp-file-rename writes) and a -restore boot flag.
 //
+// Snapshots protect the stream only up to the last checkpoint; the
+// write-ahead log closes the rest of the gap. ResumeDurable opens a
+// Concurrent estimator on a segmented, CRC-checked log of accepted
+// events (WALOptions: local-disk directory or any WALBackend), and
+// ApplyAllDurable returns only once the log acknowledges its events —
+// fsynced in per-batch mode (zero loss window), appended in interval
+// mode (loss window of at most the sync interval on power failure).
+// Appends are group-committed by a dedicated logger goroutine off the
+// allocation-free ingest hot path. The log folds itself into
+// incremental checkpoints (WALOptions.CompactEvery, or CompactWAL on
+// demand): a barrier-consistent snapshot becomes the recovery base and
+// the sealed segments it covers are deleted, bounding replay time and
+// disk usage. Recovery is snapshot-plus-tail — restore the log's
+// checkpoint, replay the surviving records through the normal ingest
+// path — and lands bit-for-bit on the acknowledged prefix: a torn final
+// record is the expected shape of a crash and is dropped, while
+// interior corruption, missing log stretches, and logs written under a
+// different configuration are refused (ErrWALCorrupt, ErrWALGap,
+// ErrWALMismatch). WALOptions.Bootstrap migrates a legacy snapshot into
+// an empty log directory in one step. A write or sync failure is
+// sticky: the failed batch (and every one after it) is refused rather
+// than acknowledged, so "accepted" keeps meaning "recoverable".
+// cmd/reptserve wires the layer to -wal-dir/-wal-sync/-wal-compact-every
+// flags, reports positions and lag in /stats and /metrics, and its
+// crash-kill harness SIGKILLs the real process mid-ingest and asserts
+// zero acknowledged-event loss on restart.
+//
 // # Static analysis
 //
 // The invariants above — allocation-free hot paths, deterministic map

@@ -180,9 +180,13 @@ type barrier struct {
 }
 
 // msg is one item of a shard channel: either an edge batch or a barrier.
+// ticket is the delivery ticket the message was sent under; the WAL
+// goroutine uses it as the durability watermark (engine shards ignore
+// it — their ordering comes from the channel sequence itself).
 type msg struct {
-	b   *batch
-	bar *barrier
+	b      *batch
+	bar    *barrier
+	ticket uint64
 }
 
 // Sharded is a concurrency-safe REPT front end over N engine shards. All
@@ -197,6 +201,11 @@ type Sharded struct {
 	// degCh feeds the degree tracker goroutine the same batch/barrier
 	// sequence as the engine shards; nil when TrackDegrees is off.
 	degCh chan msg
+	// walCh feeds the write-ahead-log goroutine the same sequence; nil
+	// until StartWAL. queueLen is kept for sizing it late.
+	walCh    chan msg
+	wal      *walRunner
+	queueLen int
 
 	// mu guards cur, closed, and delivery-ticket issue. It is the ingest
 	// critical section every producer passes through, so no channel send
@@ -213,8 +222,11 @@ type Sharded struct {
 	// seq is the last delivery ticket issued; a detached batch or barrier
 	// owns exactly one ticket and send delivers tickets in order, so the
 	// channel sequence every consumer sees is identical to the order the
-	// critical sections ran in.
-	seq uint64
+	// critical sections ran in. lastBatch is the latest ticket that
+	// belongs to a BATCH (barriers get tickets too): the watermark a
+	// durable ingest waits on.
+	seq       uint64
+	lastBatch uint64
 
 	// sendMu and sendCond serialize deliveries in ticket order. Producers
 	// blocked here hold no ingest mutex, so ingestion keeps accepting
@@ -268,6 +280,7 @@ func build(cfg Config, restore []snapshot.EngineState, restoreDegrees map[graph.
 	s := &Sharded{
 		cfg:      cfg,
 		batchLen: batchLen,
+		queueLen: queueLen,
 		engines:  make([]*core.Engine, len(sub)),
 		chans:    make([]chan msg, len(sub)),
 	}
@@ -346,11 +359,14 @@ func (s *Sharded) runDegrees(table *graph.DegreeTable) {
 	}
 }
 
-// fanout returns the number of broadcast consumers (engine shards plus the
-// degree tracker when enabled).
+// fanout returns the number of broadcast consumers (engine shards plus
+// the degree tracker and the WAL goroutine when enabled).
 func (s *Sharded) fanout() int {
 	n := len(s.chans)
 	if s.degCh != nil {
+		n++
+	}
+	if s.walCh != nil {
 		n++
 	}
 	return n
@@ -526,6 +542,7 @@ func (s *Sharded) detachLocked() (uint64, *batch) {
 	b := s.cur
 	b.refs.Store(int32(s.fanout()))
 	s.seq++
+	s.lastBatch = s.seq
 	s.cur = s.getBatch()
 	return s.seq, b
 }
@@ -537,6 +554,7 @@ func (s *Sharded) detachLocked() (uint64, *batch) {
 // block on a backed-up shard (that is the backpressure), but the caller
 // holds no ingest mutex, so other producers keep appending meanwhile.
 func (s *Sharded) send(ticket uint64, m msg) {
+	m.ticket = ticket
 	s.sendMu.Lock()
 	for s.sentSeq+1 != ticket {
 		s.sendCond.Wait()
@@ -546,6 +564,9 @@ func (s *Sharded) send(ticket uint64, m msg) {
 	}
 	if s.degCh != nil {
 		s.degCh <- m
+	}
+	if s.walCh != nil {
+		s.walCh <- m
 	}
 	s.sentSeq = ticket
 	s.sendCond.Broadcast()
@@ -696,6 +717,11 @@ func (s *Sharded) Close() {
 	}
 	if s.degCh != nil {
 		close(s.degCh)
+	}
+	if s.walCh != nil {
+		// The WAL goroutine group-commits whatever is still appended but
+		// unsynced before exiting, so a clean Close loses nothing.
+		close(s.walCh)
 	}
 	s.done.Wait()
 }

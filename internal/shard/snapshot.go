@@ -29,6 +29,15 @@ func (c Config) fingerprint() snapshot.Fingerprint {
 // concurrent use with Add; the coordinator keeps ingesting afterwards
 // (edges added while the checkpoint is being taken land after it).
 func (s *Sharded) WriteSnapshot(w io.Writer) error {
+	_, err := s.WriteSnapshotPos(w)
+	return err
+}
+
+// WriteSnapshotPos is WriteSnapshot, additionally reporting the stream
+// position (the snapshot's Processed tally) the checkpoint covers — the
+// quantity WAL compaction needs to decide which sealed segments the
+// checkpoint makes redundant.
+func (s *Sharded) WriteSnapshotPos(w io.Writer) (uint64, error) {
 	bar := s.barrier(true)
 	st := &snapshot.ShardedState{
 		Fingerprint:  s.cfg.fingerprint(),
@@ -43,7 +52,7 @@ func (s *Sharded) WriteSnapshot(w io.Writer) error {
 	for i, es := range bar.states {
 		st.Shards[i] = *es
 	}
-	return snapshot.WriteSharded(w, st)
+	return bar.processed, snapshot.WriteSharded(w, st)
 }
 
 // Resume reads a multi-shard snapshot from r and restores it into a new

@@ -55,8 +55,10 @@
 package snapshot
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"math"
 	"strings"
@@ -108,6 +110,36 @@ type Fingerprint struct {
 	// FullyDynamic records whether the engine accepted deletion events.
 	// Snapshots written before version 3 decode with it false.
 	FullyDynamic bool
+}
+
+// Hash returns a stable 64-bit digest of the fingerprint (FNV-1a over a
+// fixed-width field encoding). The write-ahead log stamps it into every
+// segment header so recovery can reject segments written under a
+// different statistical configuration without decoding a full snapshot;
+// it is a binding check, not a substitute for Match (which still runs on
+// the snapshot itself and names the differing fields).
+func (f Fingerprint) Hash() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(x uint64) {
+		binary.LittleEndian.PutUint64(buf[:], x)
+		h.Write(buf[:])
+	}
+	put(uint64(f.M))
+	put(uint64(f.C))
+	put(uint64(f.Seed))
+	var flags uint64
+	if f.TrackLocal {
+		flags |= 1
+	}
+	if f.TrackEta {
+		flags |= 2
+	}
+	if f.FullyDynamic {
+		flags |= 4
+	}
+	put(flags)
+	return h.Sum64()
 }
 
 // Match compares the snapshot fingerprint against the configuration a

@@ -1,0 +1,190 @@
+package wal
+
+import (
+	"errors"
+	"io"
+	"testing"
+)
+
+func TestFailedSyncDoesNotAdvanceDurable(t *testing.T) {
+	be := NewMemBackend()
+	lg, _, _ := openFresh(t, be, 0, Options{})
+	ups := testUpdates(200, 11)
+	appendBatches(t, lg, ups[:100], 50)
+
+	be.FailSync(1)
+	if err := lg.Append(ups[100:150]); err != nil {
+		t.Fatal(err)
+	}
+	if err := lg.Commit(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("commit under injected sync failure: %v, want ErrInjected", err)
+	}
+	st := lg.Stats()
+	if st.DurablePos != 100 {
+		t.Fatalf("failed sync advanced durable position to %d, want 100", st.DurablePos)
+	}
+	if !st.Failed {
+		t.Fatal("stats do not report the sticky failure")
+	}
+	// The error is sticky: the log refuses further work.
+	if err := lg.Append(ups[150:]); !errors.Is(err, ErrInjected) {
+		t.Fatalf("append after failed sync: %v, want sticky ErrInjected", err)
+	}
+	if err := lg.Commit(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("commit after failed sync: %v, want sticky ErrInjected", err)
+	}
+
+	// Crash and recover: exactly the durable prefix survives.
+	be.Crash()
+	got, pos, err := replayAll(t, be)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pos != 100 {
+		t.Fatalf("recovered to %d, want the durable prefix 100", pos)
+	}
+	wantUpdates(t, got, ups[:100])
+}
+
+func TestFailedMidAppendIsSticky(t *testing.T) {
+	be := NewMemBackend()
+	lg, _, _ := openFresh(t, be, 0, Options{})
+	ups := testUpdates(150, 12)
+	appendBatches(t, lg, ups[:100], 50)
+
+	// The next file write tears half-way through the record.
+	be.FailWrite(1)
+	if err := lg.Append(ups[100:]); !errors.Is(err, ErrInjected) {
+		t.Fatalf("append under injected write failure: %v, want ErrInjected", err)
+	}
+	st := lg.Stats()
+	if st.AppendedPos != 100 || st.DurablePos != 100 {
+		t.Fatalf("torn append moved positions: appended=%d durable=%d, want 100/100", st.AppendedPos, st.DurablePos)
+	}
+	if err := lg.Commit(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("commit after torn append: %v, want sticky ErrInjected", err)
+	}
+
+	// The half-written record is a torn tail: recovery cuts it off.
+	be.Crash()
+	got, pos, err := replayAll(t, be)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pos != 100 {
+		t.Fatalf("recovered to %d, want 100", pos)
+	}
+	wantUpdates(t, got, ups[:100])
+}
+
+func TestFailedCompactionRenameLeavesLogRecoverable(t *testing.T) {
+	be := NewMemBackend()
+	lg, _, _ := openFresh(t, be, 0, Options{SegmentBytes: 256})
+	ups := testUpdates(300, 13)
+	appendBatches(t, lg, ups[:200], 25)
+
+	// First compaction succeeds: checkpoint at 200.
+	ck1 := []byte("checkpoint-at-200")
+	err := lg.Compact(func(w io.Writer) (uint64, error) {
+		_, err := w.Write(ck1)
+		return 200, err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	appendBatches(t, lg, ups[200:], 25)
+	segsBefore := lg.Stats().Segments
+
+	// Second compaction dies at the publish rename: the previous
+	// checkpoint and every segment must stay untouched.
+	be.FailRename(1)
+	err = lg.Compact(func(w io.Writer) (uint64, error) {
+		_, err := w.Write([]byte("checkpoint-at-300"))
+		return 300, err
+	})
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("compaction under injected rename failure: %v, want ErrInjected", err)
+	}
+	if st := lg.Stats(); st.CheckpointPos != 200 {
+		t.Fatalf("failed compaction moved the checkpoint to %d, want 200", st.CheckpointPos)
+	}
+	if st := lg.Stats(); st.Segments != segsBefore {
+		t.Fatalf("failed compaction trimmed segments: %d, want %d", st.Segments, segsBefore)
+	}
+
+	// Crash: recovery must see the OLD checkpoint and replay the full
+	// tail after it — nothing was lost to the failed compaction.
+	be.Crash()
+	rec, err := Recover(be, testFP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(rec.Snapshot) != string(ck1) {
+		t.Fatalf("recovered checkpoint %q, want %q", rec.Snapshot, ck1)
+	}
+	var c collector
+	pos, err := rec.Replay(200, c.apply)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pos != 300 {
+		t.Fatalf("recovered to %d, want 300", pos)
+	}
+	wantUpdates(t, c.ups, ups[200:])
+
+	// And the log reopens and keeps working after the failed compaction.
+	lg2, err := rec.Log(Options{SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	more := testUpdates(50, 14)
+	appendBatches(t, lg2, more, 25)
+	if st := lg2.Stats(); st.DurablePos != 350 {
+		t.Fatalf("post-recovery appends reached %d, want 350", st.DurablePos)
+	}
+}
+
+func TestFailedCompactionWriteLeavesCheckpoint(t *testing.T) {
+	be := NewMemBackend()
+	lg, _, _ := openFresh(t, be, 0, Options{})
+	appendBatches(t, lg, testUpdates(100, 15), 50)
+
+	ck1 := []byte("checkpoint-at-100")
+	if err := lg.Compact(func(w io.Writer) (uint64, error) {
+		_, err := w.Write(ck1)
+		return 100, err
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// The snapshot writer itself fails mid-way (e.g. the estimator's
+	// encoder hit an I/O error): the staged tmp file must not be
+	// published.
+	boom := errors.New("snapshot writer failed")
+	err := lg.Compact(func(w io.Writer) (uint64, error) {
+		_, _ = w.Write([]byte("partial gar"))
+		return 0, boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("compaction with failing writer: %v, want the writer's error", err)
+	}
+	be.Crash()
+	rec, err := Recover(be, testFP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(rec.Snapshot) != string(ck1) {
+		t.Fatalf("recovered checkpoint %q, want %q", rec.Snapshot, ck1)
+	}
+	// The abandoned tmp file is cleaned up by Recover.
+	names, err := be.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range names {
+		if n == CheckpointTmp {
+			t.Fatal("stale checkpoint.tmp survived recovery")
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package wal
+
+import (
+	"testing"
+
+	"rept/internal/graph"
+)
+
+// FuzzReadWAL: segment replay must never panic or allocate unboundedly,
+// whatever bytes a segment file holds — recovery of a damaged directory
+// yields a clean prefix or a typed error. The seed corpus holds a valid
+// multi-record segment plus truncations and near-misses so mutations
+// explore the record decoder rather than dying on the magic check.
+func FuzzReadWAL(f *testing.F) {
+	be := NewMemBackend()
+	rec, err := Recover(be, testFP)
+	if err != nil {
+		f.Fatal(err)
+	}
+	if _, err := rec.Replay(0, func([]graph.Update) error { return nil }); err != nil {
+		f.Fatal(err)
+	}
+	lg, err := rec.Log(Options{})
+	if err != nil {
+		f.Fatal(err)
+	}
+	ups := testUpdates(100, 99)
+	for i := 0; i < 100; i += 20 {
+		if err := lg.Append(ups[i : i+20]); err != nil {
+			f.Fatal(err)
+		}
+		if err := lg.Commit(); err != nil {
+			f.Fatal(err)
+		}
+	}
+	valid, ok := be.Bytes(segName(0))
+	if !ok {
+		f.Fatal("no segment written")
+	}
+	f.Add(valid)
+	f.Add(valid[:headerLen])
+	f.Add(valid[:headerLen+recHdrLen+1])
+	f.Add(valid[:len(valid)-3])
+	f.Add([]byte("REPTWAL1"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fz := NewMemBackend()
+		fz.SetBytes(segName(0), data)
+		rec, err := Recover(fz, testFP)
+		if err != nil {
+			t.Fatalf("recover of in-memory dir: %v", err)
+		}
+		var n uint64
+		pos, err := rec.Replay(0, func(ups []graph.Update) error {
+			for _, up := range ups {
+				if up.U == up.V {
+					t.Fatalf("replayed a self-loop: %+v", up)
+				}
+			}
+			n += uint64(len(ups))
+			return nil
+		})
+		if err != nil {
+			return // typed rejection is fine; losing position accounting is not
+		}
+		if pos != n {
+			t.Fatalf("replay position %d but %d events delivered", pos, n)
+		}
+	})
+}

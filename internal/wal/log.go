@@ -1,0 +1,327 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"rept/internal/graph"
+)
+
+// DefaultSegmentBytes is the rotation threshold when Options leaves
+// SegmentBytes zero.
+const DefaultSegmentBytes = 64 << 20
+
+// Options shape a Log opened by Recovered.Log.
+type Options struct {
+	// SegmentBytes is the rotation threshold: after a Commit that leaves
+	// the active segment at or past this many bytes, the segment is
+	// sealed and a fresh one started. Defaults to DefaultSegmentBytes.
+	SegmentBytes int64
+}
+
+// Stats is a point-in-time view of a Log's positions and size, safe to
+// read from any goroutine.
+type Stats struct {
+	// AppendedPos is the stream position one past the last appended
+	// event (durable only up to DurablePos).
+	AppendedPos uint64
+	// DurablePos is the stream position covered by the last successful
+	// Commit — the position an acknowledged client write is never rolled
+	// back behind.
+	DurablePos uint64
+	// CheckpointPos is the stream position the last compacted checkpoint
+	// covers; segments wholly below it are trimmed by Compact.
+	CheckpointPos uint64
+	// Segments counts live segment files, including the active one.
+	Segments int
+	// ActiveBytes is the byte size of the active (unsealed) segment.
+	ActiveBytes int64
+	// Failed reports a sticky append/sync error: the log stopped
+	// accepting writes and every durable ingest since has been refused.
+	Failed bool
+}
+
+// Log is an open write-ahead log. Append, Commit, and Close must be
+// driven by ONE goroutine (the ingest layer's dedicated logger); Compact
+// and Stats are safe from any goroutine concurrently with it. Errors are
+// sticky: after a failed write or sync the log refuses further appends,
+// because a hole in the middle of a segment cannot be represented.
+type Log struct {
+	be Backend
+	fp uint64
+
+	segBytes int64
+
+	// Appender-owned state (single goroutine).
+	buf         []byte
+	active      File
+	activeBase  uint64
+	activeBytes int64
+	pos         uint64
+	err         error
+
+	// mu guards the sealed-segment list and checkpoint position, shared
+	// between the appender (rotation) and Compact (trimming).
+	mu      sync.Mutex
+	sealed  []segment
+	ckptPos uint64
+
+	// compactMu serializes whole Compact calls: two at once would race on
+	// the shared checkpoint temp-file name.
+	compactMu sync.Mutex
+
+	// Published mirrors for Stats readers.
+	statAppended atomic.Uint64
+	statDurable  atomic.Uint64
+	statCkpt     atomic.Uint64
+	statSegments atomic.Int64
+	statActiveB  atomic.Int64
+	statFailed   atomic.Bool
+}
+
+// open starts a fresh active segment at position pos over the given
+// sealed history. The header is written and synced before open returns,
+// so the segment is well-formed on disk from the start.
+func open(be Backend, fp uint64, opt Options, pos, ckptPos uint64, sealed []segment) (*Log, error) {
+	segBytes := opt.SegmentBytes
+	if segBytes <= 0 {
+		segBytes = DefaultSegmentBytes
+	}
+	l := &Log{
+		be:       be,
+		fp:       fp,
+		segBytes: segBytes,
+		pos:      pos,
+		ckptPos:  ckptPos,
+		sealed:   sealed,
+	}
+	// A recovered segment whose base is exactly pos would collide with
+	// the new active segment's name. Its clean extent is necessarily
+	// empty (base == end == pos: a crash right after rotation, or a
+	// fully torn tail), so replacing it loses nothing.
+	if n := len(l.sealed); n > 0 && l.sealed[n-1].base == pos {
+		last := l.sealed[n-1]
+		l.sealed = l.sealed[:n-1]
+		if err := be.Remove(last.name); err != nil {
+			return nil, fmt.Errorf("wal: removing empty segment %s: %w", last.name, err)
+		}
+	}
+	if err := l.startSegment(pos); err != nil {
+		return nil, err
+	}
+	l.statAppended.Store(pos)
+	l.statDurable.Store(pos)
+	l.statCkpt.Store(ckptPos)
+	l.statSegments.Store(int64(len(l.sealed)) + 1)
+	return l, nil
+}
+
+// startSegment creates and headers a fresh active segment at base.
+func (l *Log) startSegment(base uint64) error {
+	f, err := l.be.Create(segName(base))
+	if err != nil {
+		return fmt.Errorf("wal: creating segment: %w", err)
+	}
+	var hdr [headerLen]byte
+	putHeader(&hdr, l.fp, base)
+	if _, err := f.Write(hdr[:]); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: writing segment header: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: syncing segment header: %w", err)
+	}
+	l.active = f
+	l.activeBase = base
+	l.activeBytes = headerLen
+	l.statActiveB.Store(headerLen)
+	return nil
+}
+
+// Append encodes ups as one record at the current position and writes it
+// to the active segment. The record is NOT durable until the next
+// Commit. ups must be non-empty and already loop-free (the ingest layer
+// filters self-loops before batching). Append is the per-batch hot path:
+// the record buffer is reused and only ever grows, so steady state is
+// allocation-free.
+//
+//rept:hotpath
+func (l *Log) Append(ups []graph.Update) error {
+	if l.err != nil {
+		return l.err
+	}
+	l.buf = l.buf[:0]
+	l.buf = append(l.buf, 0, 0, 0, 0, 0, 0, 0, 0) // length + crc backfilled below
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], l.pos)
+	l.buf = append(l.buf, tmp[:n]...)
+	n = binary.PutUvarint(tmp[:], uint64(len(ups)))
+	l.buf = append(l.buf, tmp[:n]...)
+	for _, up := range ups {
+		uv := uint64(up.U) << 1
+		if up.Del {
+			uv |= 1
+		}
+		n = binary.PutUvarint(tmp[:], uv)
+		l.buf = append(l.buf, tmp[:n]...)
+		n = binary.PutUvarint(tmp[:], uint64(up.V))
+		l.buf = append(l.buf, tmp[:n]...)
+	}
+	binary.LittleEndian.PutUint32(l.buf[0:4], uint32(len(l.buf)-recHdrLen))
+	binary.LittleEndian.PutUint32(l.buf[4:8], crc32.ChecksumIEEE(l.buf[recHdrLen:]))
+	if _, err := l.active.Write(l.buf); err != nil {
+		l.err = err
+		l.statFailed.Store(true)
+		return err
+	}
+	l.pos += uint64(len(ups))
+	l.activeBytes += int64(len(l.buf))
+	l.statAppended.Store(l.pos)
+	l.statActiveB.Store(l.activeBytes)
+	return nil
+}
+
+// Commit makes every appended record durable (one sync — the group
+// commit boundary) and rotates the active segment once it has grown past
+// the threshold. Acknowledge clients only after Commit returns nil.
+func (l *Log) Commit() error {
+	if l.err != nil {
+		return l.err
+	}
+	if err := l.active.Sync(); err != nil {
+		l.err = err
+		l.statFailed.Store(true)
+		return err
+	}
+	l.statDurable.Store(l.pos)
+	if l.activeBytes >= l.segBytes {
+		return l.rotate()
+	}
+	return nil
+}
+
+// rotate seals the active segment and starts a fresh one at the current
+// position. The caller has just synced, so the sealed segment is durable
+// through its end.
+func (l *Log) rotate() error {
+	if err := l.active.Close(); err != nil {
+		l.err = err
+		l.statFailed.Store(true)
+		return fmt.Errorf("wal: sealing segment: %w", err)
+	}
+	l.mu.Lock()
+	l.sealed = append(l.sealed, segment{name: segName(l.activeBase), base: l.activeBase, end: l.pos})
+	l.mu.Unlock()
+	if err := l.startSegment(l.pos); err != nil {
+		l.err = err
+		l.statFailed.Store(true)
+		return err
+	}
+	l.statSegments.Add(1)
+	return nil
+}
+
+// Compact folds the log prefix into a checkpoint: write persists a
+// snapshot (returning the stream position it covers — for REPT, the
+// snapshot's Processed tally) to a temporary file that is synced and
+// atomically renamed over the previous checkpoint, and every sealed
+// segment wholly covered by it is then removed. A crash or error at any
+// point leaves the previous checkpoint and all segments intact, so the
+// directory stays recoverable. Safe to call concurrently with Append,
+// Commit, and other Compact calls (concurrent compactions serialize).
+func (l *Log) Compact(write func(io.Writer) (uint64, error)) error {
+	l.compactMu.Lock()
+	defer l.compactMu.Unlock()
+	f, err := l.be.Create(CheckpointTmp)
+	if err != nil {
+		return fmt.Errorf("wal: creating checkpoint: %w", err)
+	}
+	pos, err := write(f)
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("wal: writing checkpoint: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: syncing checkpoint: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("wal: closing checkpoint: %w", err)
+	}
+	if err := l.be.Rename(CheckpointTmp, CheckpointName); err != nil {
+		return fmt.Errorf("wal: publishing checkpoint: %w", err)
+	}
+	// The checkpoint is durable; trim every sealed segment it covers.
+	l.mu.Lock()
+	if pos > l.ckptPos {
+		l.ckptPos = pos
+		l.statCkpt.Store(pos)
+	}
+	var trim []segment
+	kept := l.sealed[:0]
+	for _, s := range l.sealed {
+		if s.end <= l.ckptPos {
+			trim = append(trim, s)
+		} else {
+			kept = append(kept, s)
+		}
+	}
+	l.sealed = kept
+	l.mu.Unlock()
+	var firstErr error
+	for _, s := range trim {
+		if err := l.be.Remove(s.name); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("wal: trimming segment %s: %w", s.name, err)
+		}
+		l.statSegments.Add(-1)
+	}
+	return firstErr
+}
+
+// Stats returns the log's current positions and sizes.
+func (l *Log) Stats() Stats {
+	return Stats{
+		AppendedPos:   l.statAppended.Load(),
+		DurablePos:    l.statDurable.Load(),
+		CheckpointPos: l.statCkpt.Load(),
+		Segments:      int(l.statSegments.Load()),
+		ActiveBytes:   l.statActiveB.Load(),
+		Failed:        l.statFailed.Load(),
+	}
+}
+
+// Close syncs and closes the active segment; appends after Close fail.
+// Close is idempotent and returns the first error of its own sync/close
+// pair (a prior sticky append error does not resurface here — the
+// ingest layer already saw it).
+func (l *Log) Close() error {
+	if l.active == nil {
+		return nil
+	}
+	var ret error
+	if l.err == nil {
+		if err := l.active.Sync(); err != nil {
+			l.err = err
+			l.statFailed.Store(true)
+			ret = err
+		} else {
+			l.statDurable.Store(l.pos)
+		}
+	}
+	if err := l.active.Close(); err != nil && ret == nil {
+		ret = err
+	}
+	l.active = nil
+	if l.err == nil {
+		l.err = errClosed
+	}
+	return ret
+}
+
+var errClosed = errors.New("wal: log closed")

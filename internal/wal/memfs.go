@@ -1,0 +1,256 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// ErrInjected is the error every MemBackend fault returns, so tests can
+// assert the failure they observed is the one they injected.
+var ErrInjected = errors.New("wal: injected fault")
+
+// MemBackend is an in-memory Backend with fault injection, the errfs of
+// the WAL test suite. Beyond behaving like a crash-consistent directory
+// (every file tracks its synced prefix separately from its written
+// bytes), it can fail the Nth sync, tear the Nth write after a byte
+// offset, fail the Nth rename, shuffle listing order, and simulate a
+// whole-process crash that discards all unsynced bytes. Counters are
+// global across files and 1-based; 0 disarms a fault.
+type MemBackend struct {
+	mu    sync.Mutex
+	files map[string]*memFile
+
+	syncCalls   int
+	failSyncN   int
+	writeCalls  int
+	failWriteN  int
+	renameCalls int
+	failRenameN int
+	shuffle     bool
+}
+
+// NewMemBackend returns an empty in-memory log directory.
+func NewMemBackend() *MemBackend {
+	return &MemBackend{files: map[string]*memFile{}}
+}
+
+type memFile struct {
+	be     *MemBackend
+	name   string
+	data   []byte
+	synced int
+	closed bool
+}
+
+// FailSync arms the backend to fail the nth Sync call from now (1 = the
+// very next). The failed sync does not advance the file's durable prefix.
+func (b *MemBackend) FailSync(n int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.syncCalls = 0
+	b.failSyncN = n
+}
+
+// FailWrite arms the backend to fail the nth Write call from now,
+// writing only the first half of the buffer before erroring — a torn
+// in-flight append.
+func (b *MemBackend) FailWrite(n int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.writeCalls = 0
+	b.failWriteN = n
+}
+
+// FailRename arms the backend to fail the nth Rename call from now,
+// leaving the file at its old name.
+func (b *MemBackend) FailRename(n int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.renameCalls = 0
+	b.failRenameN = n
+}
+
+// ShuffleList makes List return names in reversed-sorted-insertion
+// order, exercising readers that assume directory order.
+func (b *MemBackend) ShuffleList(on bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.shuffle = on
+}
+
+// Crash simulates a process crash plus remount: every file's bytes
+// revert to its synced prefix. Names always survive (Create, Rename,
+// and Remove model a directory-synced filesystem).
+func (b *MemBackend) Crash() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, f := range b.files {
+		f.data = f.data[:f.synced]
+		f.closed = true
+	}
+}
+
+// Tear truncates the named file to n bytes, modeling a torn tail found
+// after a crash. It clamps the synced prefix too.
+func (b *MemBackend) Tear(name string, n int) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	f, ok := b.files[name]
+	if !ok {
+		return fmt.Errorf("wal: no such file %q", name)
+	}
+	if n < len(f.data) {
+		f.data = f.data[:n]
+	}
+	if f.synced > len(f.data) {
+		f.synced = len(f.data)
+	}
+	return nil
+}
+
+// Corrupt flips one bit of the named file at byte offset off.
+func (b *MemBackend) Corrupt(name string, off int) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	f, ok := b.files[name]
+	if !ok {
+		return fmt.Errorf("wal: no such file %q", name)
+	}
+	if off < 0 || off >= len(f.data) {
+		return fmt.Errorf("wal: corrupt offset %d out of range [0, %d)", off, len(f.data))
+	}
+	f.data[off] ^= 0x40
+	return nil
+}
+
+// Bytes returns a copy of the named file's current contents and whether
+// it exists.
+func (b *MemBackend) Bytes(name string) ([]byte, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	f, ok := b.files[name]
+	if !ok {
+		return nil, false
+	}
+	return append([]byte(nil), f.data...), true
+}
+
+// SetBytes creates or replaces the named file with fully synced
+// contents — the hook duplicate-segment tests build adversarial
+// directories with.
+func (b *MemBackend) SetBytes(name string, data []byte) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.files[name] = &memFile{be: b, name: name, data: append([]byte(nil), data...), synced: len(data)}
+}
+
+// Create implements Backend.
+func (b *MemBackend) Create(name string) (File, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	f := &memFile{be: b, name: name}
+	b.files[name] = f
+	return f, nil
+}
+
+// Open implements Backend. The reader sees a stable copy of the bytes at
+// open time.
+func (b *MemBackend) Open(name string) (io.ReadCloser, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	f, ok := b.files[name]
+	if !ok {
+		return nil, fmt.Errorf("wal: no such file %q", name)
+	}
+	return io.NopCloser(bytes.NewReader(append([]byte(nil), f.data...))), nil
+}
+
+// List implements Backend.
+func (b *MemBackend) List() ([]string, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	names := make([]string, 0, len(b.files))
+	for name := range b.files {
+		names = append(names, name)
+	}
+	// Deterministic but adversarial when shuffling: reverse-sorted, the
+	// worst case for readers that trust listing order. Sorted otherwise;
+	// map iteration order must never leak out (determinism discipline).
+	sort.Strings(names)
+	if b.shuffle {
+		for i, j := 0, len(names)-1; i < j; i, j = i+1, j-1 {
+			names[i], names[j] = names[j], names[i]
+		}
+	}
+	return names, nil
+}
+
+// Remove implements Backend.
+func (b *MemBackend) Remove(name string) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, ok := b.files[name]; !ok {
+		return fmt.Errorf("wal: no such file %q", name)
+	}
+	delete(b.files, name)
+	return nil
+}
+
+// Rename implements Backend.
+func (b *MemBackend) Rename(oldName, newName string) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	f, ok := b.files[oldName]
+	if !ok {
+		return fmt.Errorf("wal: no such file %q", oldName)
+	}
+	b.renameCalls++
+	if b.failRenameN > 0 && b.renameCalls == b.failRenameN {
+		return fmt.Errorf("rename %s -> %s: %w", oldName, newName, ErrInjected)
+	}
+	delete(b.files, oldName)
+	f.name = newName
+	b.files[newName] = f
+	return nil
+}
+
+func (f *memFile) Write(p []byte) (int, error) {
+	f.be.mu.Lock()
+	defer f.be.mu.Unlock()
+	if f.closed {
+		return 0, fmt.Errorf("wal: write to closed file %q", f.name)
+	}
+	f.be.writeCalls++
+	if f.be.failWriteN > 0 && f.be.writeCalls == f.be.failWriteN {
+		n := len(p) / 2
+		f.data = append(f.data, p[:n]...)
+		return n, fmt.Errorf("write %s: %w", f.name, ErrInjected)
+	}
+	f.data = append(f.data, p...)
+	return len(p), nil
+}
+
+func (f *memFile) Sync() error {
+	f.be.mu.Lock()
+	defer f.be.mu.Unlock()
+	if f.closed {
+		return fmt.Errorf("wal: sync of closed file %q", f.name)
+	}
+	f.be.syncCalls++
+	if f.be.failSyncN > 0 && f.be.syncCalls == f.be.failSyncN {
+		return fmt.Errorf("sync %s: %w", f.name, ErrInjected)
+	}
+	f.synced = len(f.data)
+	return nil
+}
+
+func (f *memFile) Close() error {
+	f.be.mu.Lock()
+	defer f.be.mu.Unlock()
+	f.closed = true
+	return nil
+}

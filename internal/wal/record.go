@@ -1,0 +1,172 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+
+	"rept/internal/graph"
+)
+
+const (
+	version = 1
+
+	headerLen = 8 + 1 + 8 + 8 // magic + version + fingerprint hash + base
+	recHdrLen = 4 + 4         // payload length + payload crc32
+
+	// maxRecordBytes bounds a single record's payload. The writer never
+	// comes close (a batch is a few thousand events), so any length above
+	// it is corruption and the reader can reject it before allocating.
+	maxRecordBytes = 1 << 26
+	// maxPrealloc caps slice pre-allocation from decoded counts, so a
+	// corrupt count cannot OOM the reader before the bytes run out.
+	maxPrealloc = 1 << 12
+)
+
+var segMagic = [8]byte{'R', 'E', 'P', 'T', 'W', 'A', 'L', '1'}
+
+// putHeader encodes a segment header.
+func putHeader(buf *[headerLen]byte, fp, base uint64) {
+	copy(buf[:8], segMagic[:])
+	buf[8] = version
+	binary.LittleEndian.PutUint64(buf[9:17], fp)
+	binary.LittleEndian.PutUint64(buf[17:25], base)
+}
+
+// headerInfo is a decoded segment header.
+type headerInfo struct {
+	fp   uint64
+	base uint64
+}
+
+// errTorn is the internal sentinel for "the bytes stop making sense
+// here": short reads, CRC failures, impossible lengths. Whether that is
+// fine (tail of the last segment) or fatal (interior segment not covered
+// by its successor) is decided by the chain rule in Replay, not here.
+var errTorn = errors.New("wal: torn")
+
+// readHeader decodes a segment header from r. It reports errTorn for a
+// short or garbled header (possible for a segment created just before a
+// crash) and ErrMismatch for a well-formed header with the wrong
+// fingerprint.
+func readHeader(r io.Reader, wantFP uint64) (headerInfo, error) {
+	var buf [headerLen]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return headerInfo{}, errTorn
+	}
+	if [8]byte(buf[:8]) != segMagic || buf[8] != version {
+		return headerInfo{}, errTorn
+	}
+	h := headerInfo{
+		fp:   binary.LittleEndian.Uint64(buf[9:17]),
+		base: binary.LittleEndian.Uint64(buf[17:25]),
+	}
+	if h.fp != wantFP {
+		return h, fmt.Errorf("%w: segment written under fingerprint %#x, want %#x", ErrMismatch, h.fp, wantFP)
+	}
+	return h, nil
+}
+
+// record is one decoded log record.
+type record struct {
+	startPos uint64
+	ups      []graph.Update
+}
+
+// recordReader decodes the record stream of one segment. It reuses its
+// buffers across records; the returned record's ups slice is only valid
+// until the next call.
+type recordReader struct {
+	r   io.Reader
+	buf []byte
+	ups []graph.Update
+}
+
+// next decodes the next record. It returns io.EOF at a clean end of the
+// segment and errTorn for anything undecodable — the caller applies the
+// chain rule to decide whether torn is acceptable.
+func (rr *recordReader) next() (record, error) {
+	var hdr [recHdrLen]byte
+	if _, err := io.ReadFull(rr.r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return record{}, io.EOF
+		}
+		return record{}, errTorn // partial record header
+	}
+	length := binary.LittleEndian.Uint32(hdr[0:4])
+	wantCRC := binary.LittleEndian.Uint32(hdr[4:8])
+	if length == 0 || length > maxRecordBytes {
+		return record{}, errTorn
+	}
+	if cap(rr.buf) < int(length) {
+		n := cap(rr.buf) * 2
+		if n < int(length) {
+			n = int(length)
+		}
+		if n > maxRecordBytes {
+			n = maxRecordBytes
+		}
+		rr.buf = make([]byte, n)
+	}
+	payload := rr.buf[:length]
+	if _, err := io.ReadFull(rr.r, payload); err != nil {
+		return record{}, errTorn
+	}
+	if crc32.ChecksumIEEE(payload) != wantCRC {
+		return record{}, errTorn
+	}
+	rec := record{ups: rr.ups[:0]}
+	pos := 0
+	var ok bool
+	if rec.startPos, pos, ok = uvarintAt(payload, pos); !ok {
+		return record{}, errTorn
+	}
+	var count uint64
+	if count, pos, ok = uvarintAt(payload, pos); !ok {
+		return record{}, errTorn
+	}
+	// Two varints of at least one byte each per event: a count the
+	// remaining bytes cannot possibly hold is corruption, reject before
+	// allocating for it.
+	if count == 0 || count > uint64(len(payload)-pos) {
+		return record{}, errTorn
+	}
+	if cap(rec.ups) < int(count) && cap(rec.ups) < maxPrealloc {
+		rec.ups = make([]graph.Update, 0, min(int(count), maxPrealloc))
+	}
+	for i := uint64(0); i < count; i++ {
+		var uv, v uint64
+		if uv, pos, ok = uvarintAt(payload, pos); !ok {
+			return record{}, errTorn
+		}
+		if v, pos, ok = uvarintAt(payload, pos); !ok {
+			return record{}, errTorn
+		}
+		u := uv >> 1
+		if u > math.MaxUint32 || v > math.MaxUint32 || u == v {
+			return record{}, errTorn
+		}
+		rec.ups = append(rec.ups, graph.Update{
+			U:   graph.NodeID(u),
+			V:   graph.NodeID(v),
+			Del: uv&1 != 0,
+		})
+	}
+	if pos != len(payload) {
+		return record{}, errTorn // trailing garbage inside a valid CRC: impossible from the writer
+	}
+	rr.ups = rec.ups[:0]
+	return rec, nil
+}
+
+// uvarintAt decodes one uvarint from p at offset off.
+func uvarintAt(p []byte, off int) (uint64, int, bool) {
+	x, n := binary.Uvarint(p[off:])
+	if n <= 0 {
+		return 0, off, false
+	}
+	return x, off + n, true
+}

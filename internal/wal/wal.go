@@ -1,0 +1,257 @@
+// Package wal implements the append-only, segmented write-ahead log that
+// closes REPT's durability gap between checkpoints: every accepted edge
+// event (a signed graph.Update, exactly the payload the engines consume)
+// is logged in arrival order, so recovery is "load the last REPTSNAP
+// checkpoint, then replay the log tail" and an acknowledged event is
+// never lost to a crash.
+//
+// # Position arithmetic
+//
+// The log is addressed by STREAM POSITION: the number of accepted
+// non-loop events (insertions plus deletions) since the estimator was
+// born — the same quantity the snapshot layer persists as Processed.
+// Every record states the position of its first event, every segment
+// header states the position its records start at, and a checkpoint
+// covers exactly the prefix [0, Processed). Recovery therefore composes
+// by position alone: replay skips any record the snapshot already
+// covers, applies the sub-slice of a record that straddles the boundary,
+// and detects missing data as a position gap. Self-loops are NOT logged
+// (the ingest layer drops them before batching, and they do not touch
+// estimator state); the self-loop tally is the one counter with a
+// checkpoint-granularity loss window, documented at the API layer.
+//
+// # On-disk format
+//
+// A segment is
+//
+//	magic   "REPTWAL1"                  (8 bytes)
+//	version byte                        (currently 1)
+//	fphash  uint64 little-endian        (snapshot.Fingerprint.Hash)
+//	base    uint64 little-endian        (stream position of first event)
+//	records...
+//
+// and each record is
+//
+//	length  uint32 little-endian        (payload bytes)
+//	crc32   uint32 little-endian        (IEEE, over the payload)
+//	payload uvarint startPos,
+//	        uvarint count,
+//	        count × (uvarint u<<1|del, uvarint v)
+//
+// Segments are named wal-%016x.seg after their base position, so the
+// directory listing alone orders them; the checkpoint lives next to them
+// as checkpoint.reptsnap (written to checkpoint.tmp and renamed, so a
+// crashed compaction never damages the previous checkpoint).
+//
+// # Crash semantics
+//
+// Appends become durable at Commit (one fsync per group of appended
+// batches). A crash can therefore leave a torn tail: a partially written
+// record, a record whose CRC fails, or a half-written segment header.
+// Recovery treats the tail of the LAST segment as best-effort — the
+// longest clean record prefix wins, everything after it is discarded as
+// never-acknowledged — but holds interior segments to the strict chain
+// rule: every position after the checkpoint must be covered by exactly
+// the clean prefixes of the segments in base order, or recovery fails
+// with a typed error (ErrCorrupt, ErrGap, ErrMismatch) instead of
+// silently dropping acknowledged events.
+//
+// Persistence is abstracted behind the small Backend interface; DiskBackend
+// is the production implementation and MemBackend the fault-injecting
+// in-memory one the crash tests are built on.
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Typed recovery errors. Replay failures wrap one of these so callers can
+// distinguish "the directory is damaged" from "this log belongs to a
+// different estimator".
+var (
+	// ErrCorrupt reports a structurally invalid segment where strictness
+	// is required: a bad magic or version in an interior segment, or a
+	// header whose base contradicts the segment's name.
+	ErrCorrupt = errors.New("wal: corrupt")
+	// ErrGap reports that the segment chain does not cover every position
+	// after the checkpoint: events were acknowledged (they are referenced
+	// by later positions) but their bytes are missing.
+	ErrGap = errors.New("wal: position gap")
+	// ErrMismatch reports a segment written under a different statistical
+	// configuration (fingerprint hash differs).
+	ErrMismatch = errors.New("wal: fingerprint mismatch")
+)
+
+const (
+	segPrefix = "wal-"
+	segSuffix = ".seg"
+	// CheckpointName is the compacted snapshot the log folds sealed
+	// segments into; CheckpointTmp is its atomic-rename staging name.
+	CheckpointName = "checkpoint.reptsnap"
+	CheckpointTmp  = "checkpoint.tmp"
+)
+
+// segName formats the canonical segment file name for a base position.
+func segName(base uint64) string {
+	return fmt.Sprintf("%s%016x%s", segPrefix, base, segSuffix)
+}
+
+// parseSegName extracts the base position from a segment file name,
+// reporting ok=false for names that are not segments at all.
+func parseSegName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, segPrefix) || !strings.HasSuffix(name, segSuffix) {
+		return 0, false
+	}
+	hexs := name[len(segPrefix) : len(name)-len(segSuffix)]
+	if len(hexs) != 16 {
+		return 0, false
+	}
+	var base uint64
+	for i := 0; i < len(hexs); i++ {
+		c := hexs[i]
+		var d uint64
+		switch {
+		case c >= '0' && c <= '9':
+			d = uint64(c - '0')
+		case c >= 'a' && c <= 'f':
+			d = uint64(c-'a') + 10
+		default:
+			return 0, false
+		}
+		base = base<<4 | d
+	}
+	return base, true
+}
+
+// File is one writable log file. Writes are buffered by the operating
+// system (or the in-memory backend) until Sync, which must make every
+// byte written so far durable before returning.
+type File interface {
+	io.Writer
+	Sync() error
+	Close() error
+}
+
+// Backend abstracts the directory a log lives in, so tests can inject
+// faults (failed syncs, torn writes, reordered listings) without touching
+// a real filesystem. Implementations must make Create, Rename, and Remove
+// durably visible in the listing — DiskBackend fsyncs the directory —
+// and Rename must be atomic with respect to crashes.
+type Backend interface {
+	// Create creates or truncates the named file for appending.
+	Create(name string) (File, error)
+	// Open opens the named file for reading from the start.
+	Open(name string) (io.ReadCloser, error)
+	// List returns the names of all files present, in no particular
+	// order (recovery sorts; a backend is free to shuffle).
+	List() ([]string, error)
+	// Remove deletes the named file.
+	Remove(name string) error
+	// Rename atomically replaces newName with oldName's file.
+	Rename(oldName, newName string) error
+}
+
+// DiskBackend stores log files in one local directory, fsyncing the
+// directory after every namespace change so names survive a crash as
+// reliably as the bytes behind them.
+type DiskBackend struct {
+	dir string
+}
+
+// NewDiskBackend opens (creating if needed) dir as a log directory.
+func NewDiskBackend(dir string) (*DiskBackend, error) {
+	if err := os.MkdirAll(dir, 0o777); err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	return &DiskBackend{dir: dir}, nil
+}
+
+// Dir returns the backing directory path.
+func (b *DiskBackend) Dir() string { return b.dir }
+
+// syncDir fsyncs the directory inode, making renames/creates/removes
+// durable.
+func (b *DiskBackend) syncDir() error {
+	d, err := os.Open(b.dir)
+	if err != nil {
+		return err
+	}
+	syncErr := d.Sync()
+	closeErr := d.Close()
+	if syncErr != nil {
+		return syncErr
+	}
+	return closeErr
+}
+
+// Create implements Backend.
+func (b *DiskBackend) Create(name string) (File, error) {
+	f, err := os.OpenFile(filepath.Join(b.dir, name), os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o666)
+	if err != nil {
+		return nil, err
+	}
+	if err := b.syncDir(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return f, nil
+}
+
+// Open implements Backend.
+func (b *DiskBackend) Open(name string) (io.ReadCloser, error) {
+	return os.Open(filepath.Join(b.dir, name))
+}
+
+// List implements Backend.
+func (b *DiskBackend) List() ([]string, error) {
+	ents, err := os.ReadDir(b.dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	return names, nil
+}
+
+// Remove implements Backend.
+func (b *DiskBackend) Remove(name string) error {
+	if err := os.Remove(filepath.Join(b.dir, name)); err != nil {
+		return err
+	}
+	return b.syncDir()
+}
+
+// Rename implements Backend.
+func (b *DiskBackend) Rename(oldName, newName string) error {
+	if err := os.Rename(filepath.Join(b.dir, oldName), filepath.Join(b.dir, newName)); err != nil {
+		return err
+	}
+	return b.syncDir()
+}
+
+// sortSegments orders segment infos by base position (equivalently by
+// name, since the name embeds the zero-padded hex base).
+func sortSegments(segs []segment) {
+	sort.Slice(segs, func(i, j int) bool { return segs[i].base < segs[j].base })
+}
+
+// segment is one log segment's identity plus, once scanned, the clean
+// position extent of its records.
+type segment struct {
+	name string
+	base uint64
+	// end is the position one past the last cleanly decoded record,
+	// filled in by Replay (end == base for an unscanned or empty
+	// segment).
+	end uint64
+}
