@@ -159,6 +159,54 @@ func BenchmarkREPTPerEdgeWAL(b *testing.B) {
 	}
 }
 
+// benchConcurrentPerEdge measures per-event ingest through the
+// Concurrent shard fan-out (m=10, c=10, 512-event batches), optionally
+// with a telemetry bundle attached — the instrumented/uninstrumented
+// pair the CI bench gate holds within 5% of each other.
+func benchConcurrentPerEdge(b *testing.B, instrumented bool) {
+	ups := make([]rept.Update, len(microStream))
+	for i, e := range microStream {
+		ups[i] = rept.Update{U: e.U, V: e.V}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	done, pass := 0, 0
+	for done < b.N {
+		pass++
+		cfg := rept.ConcurrentConfig{M: 10, C: 10, Seed: int64(pass)}
+		if instrumented {
+			cfg.Telemetry = rept.NewTelemetry()
+		}
+		est, err := rept.NewConcurrent(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < len(ups) && done < b.N; i += 512 {
+			end := i + 512
+			if end > len(ups) {
+				end = len(ups)
+			}
+			if rem := b.N - done; end-i > rem {
+				end = i + rem
+			}
+			est.ApplyAll(ups[i:end])
+			done += end - i
+		}
+		est.Close()
+	}
+}
+
+// BenchmarkConcurrentPerEdge is the uninstrumented concurrent per-event
+// baseline BenchmarkREPTPerEdgeInstrumented is gated against.
+func BenchmarkConcurrentPerEdge(b *testing.B) { benchConcurrentPerEdge(b, false) }
+
+// BenchmarkREPTPerEdgeInstrumented is the identical workload with a full
+// telemetry bundle attached: stage histograms, per-shard series, and the
+// flight recorder all live. CI fails when it exceeds
+// BenchmarkConcurrentPerEdge by more than 5% (benchdiff -pair), the
+// always-on-instrumentation budget.
+func BenchmarkREPTPerEdgeInstrumented(b *testing.B) { benchConcurrentPerEdge(b, true) }
+
 // BenchmarkREPTPerEdgeParallel is the same configuration spread over
 // worker goroutines.
 func BenchmarkREPTPerEdgeParallel(b *testing.B) {

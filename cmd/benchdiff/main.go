@@ -10,6 +10,17 @@
 //	benchdiff -old bench/BENCH_abc.json -new bench/BENCH_def.json \
 //	    [-threshold 0.25] [-bench Name1,Name2,...]
 //	benchdiff -latest bench/LATEST -new bench/BENCH_def.json
+//	benchdiff -new bench/BENCH_def.json \
+//	    -pair BenchmarkREPTPerEdgeInstrumented=BenchmarkConcurrentPerEdge \
+//	    [-pair-threshold 0.05]
+//
+// -pair gates WITHIN one recording instead of across two: each A=B entry
+// fails when A's ns/op exceeds B's by more than -pair-threshold. Both
+// sides come from the same run on the same hardware, so the comparison
+// is immune to the cross-hardware skips below — it is how CI bounds the
+// overhead of always-on instrumentation (the instrumented ingest
+// benchmark must stay within 5% of its uninstrumented twin). -pair
+// composes with the baseline gate or runs alone with just -new.
 //
 // With -latest, the baseline is resolved through a pointer file holding
 // the committed baseline's file name (relative to the pointer's
@@ -173,11 +184,31 @@ func run(args []string) error {
 	newPath := fs.String("new", "", "fresh BENCH json file")
 	threshold := fs.Float64("threshold", 0.25, "fail when new ns/op exceeds old by more than this fraction")
 	benches := fs.String("bench", defaultBenchmarks, "comma-separated benchmark names to gate")
+	pairs := fs.String("pair", "", "comma-separated A=B within-run gates on -new: fail when A's ns/op exceeds B's by more than -pair-threshold")
+	pairThreshold := fs.Float64("pair-threshold", 0.05, "fail a -pair when A exceeds B by more than this fraction")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *oldPath != "" && *latest != "" {
 		return fmt.Errorf("-old and -latest are mutually exclusive")
+	}
+	if *newPath == "" {
+		return fmt.Errorf("-new is required")
+	}
+	newRec, err := parseFile(*newPath)
+	if err != nil {
+		return fmt.Errorf("reading fresh run: %w", err)
+	}
+	// Within-run pair gates run first: they need only -new and must not be
+	// skipped by the baseline-resolution early returns below.
+	if err := checkPairs(newRec.results, *pairs, *pairThreshold, *newPath); err != nil {
+		return err
+	}
+	if *oldPath == "" && *latest == "" {
+		if *pairs != "" {
+			return nil // pair-only invocation
+		}
+		return fmt.Errorf("both -old (or -latest) and -new are required")
 	}
 	if *latest != "" {
 		target, err := resolveLatest(*latest)
@@ -193,16 +224,9 @@ func run(args []string) error {
 		}
 		*oldPath = target
 	}
-	if *oldPath == "" || *newPath == "" {
-		return fmt.Errorf("both -old (or -latest) and -new are required")
-	}
 	oldRec, err := parseFile(*oldPath)
 	if err != nil {
 		return fmt.Errorf("reading baseline: %w", err)
-	}
-	newRec, err := parseFile(*newPath)
-	if err != nil {
-		return fmt.Errorf("reading fresh run: %w", err)
 	}
 	oldRes, newRes := oldRec.results, newRec.results
 	if oldRec.cpu != newRec.cpu {
@@ -235,6 +259,41 @@ func run(args []string) error {
 	}
 	if len(failures) > 0 {
 		return fmt.Errorf("per-event ingest regression:\n  %s", strings.Join(failures, "\n  "))
+	}
+	return nil
+}
+
+// checkPairs evaluates the -pair A=B gates against one recording: both
+// sides must be present (a dropped benchmark fails loudly, like a
+// dropped -bench entry), and A may not exceed B by more than threshold.
+func checkPairs(res map[string]result, pairs string, threshold float64, path string) error {
+	if pairs == "" {
+		return nil
+	}
+	var failures []string
+	for _, p := range strings.Split(pairs, ",") {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		a, b, ok := strings.Cut(p, "=")
+		a, b = strings.TrimSpace(a), strings.TrimSpace(b)
+		if !ok || a == "" || b == "" {
+			return fmt.Errorf("-pair entry %q is not of the form A=B", p)
+		}
+		ra, okA := res[a]
+		rb, okB := res[b]
+		if !okA || !okB {
+			return fmt.Errorf("-pair %s: %s present=%v, %s present=%v in %s (tracked benchmark dropped?)", p, a, okA, b, okB, path)
+		}
+		ratio := ra.nsOp / rb.nsOp
+		fmt.Printf("%-40s %12.1f ns/op vs %s %.1f ns/op (%+.1f%%)\n", a, ra.nsOp, b, rb.nsOp, (ratio-1)*100)
+		if ratio > 1+threshold {
+			failures = append(failures, fmt.Sprintf("%s exceeds %s by %.1f%% (threshold %.0f%%)", a, b, (ratio-1)*100, threshold*100))
+		}
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("within-run pair regression:\n  %s", strings.Join(failures, "\n  "))
 	}
 	return nil
 }

@@ -209,3 +209,64 @@ func TestRunLatestPointer(t *testing.T) {
 		t.Error("run accepted both -old and -latest")
 	}
 }
+
+func TestRunPairWithinThreshold(t *testing.T) {
+	dir := t.TempDir()
+	fresh := writeFile(t, dir, "new.json", jsonBench(
+		"BenchmarkConcurrentPerEdge-8 \\t 1000000 \\t 1000 ns/op",
+		"BenchmarkREPTPerEdgeInstrumented-8 \\t 1000000 \\t 1040 ns/op", // +4% < 5%
+	))
+	err := run([]string{"-new", fresh,
+		"-pair", "BenchmarkREPTPerEdgeInstrumented=BenchmarkConcurrentPerEdge"})
+	if err != nil {
+		t.Errorf("pair gate failed within threshold: %v", err)
+	}
+}
+
+func TestRunPairFailsOnOverhead(t *testing.T) {
+	dir := t.TempDir()
+	fresh := writeFile(t, dir, "new.json", jsonBench(
+		"BenchmarkConcurrentPerEdge-8 \\t 1000000 \\t 1000 ns/op",
+		"BenchmarkREPTPerEdgeInstrumented-8 \\t 1000000 \\t 1080 ns/op", // +8% > 5%
+	))
+	err := run([]string{"-new", fresh,
+		"-pair", "BenchmarkREPTPerEdgeInstrumented=BenchmarkConcurrentPerEdge"})
+	if err == nil || !strings.Contains(err.Error(), "BenchmarkREPTPerEdgeInstrumented exceeds BenchmarkConcurrentPerEdge") {
+		t.Errorf("run = %v, want a pair-overhead failure", err)
+	}
+}
+
+func TestRunPairMissingSide(t *testing.T) {
+	dir := t.TempDir()
+	fresh := writeFile(t, dir, "new.json", jsonBench(
+		"BenchmarkConcurrentPerEdge-8 \\t 1000000 \\t 1000 ns/op",
+	))
+	err := run([]string{"-new", fresh,
+		"-pair", "BenchmarkREPTPerEdgeInstrumented=BenchmarkConcurrentPerEdge"})
+	if err == nil || !strings.Contains(err.Error(), "dropped") {
+		t.Errorf("run = %v, want a missing-benchmark failure", err)
+	}
+}
+
+// TestRunPairComposesWithBaseline: one invocation can run both gates;
+// the pair verdict must not be masked by a clean baseline comparison.
+func TestRunPairComposesWithBaseline(t *testing.T) {
+	dir := t.TempDir()
+	old := writeFile(t, dir, "old.json", jsonBench(
+		"BenchmarkREPTPerEdge-8 \\t 1000000 \\t 1000 ns/op",
+		"BenchmarkFullyDynamicChurnPerEvent-8 \\t 1000000 \\t 800 ns/op",
+		"BenchmarkREPTPerEdgeWAL-8 \\t 1000000 \\t 1500 ns/op",
+	))
+	fresh := writeFile(t, dir, "new.json", jsonBench(
+		"BenchmarkREPTPerEdge-8 \\t 1000000 \\t 1000 ns/op",
+		"BenchmarkFullyDynamicChurnPerEvent-8 \\t 1000000 \\t 800 ns/op",
+		"BenchmarkREPTPerEdgeWAL-8 \\t 1000000 \\t 1500 ns/op",
+		"BenchmarkConcurrentPerEdge-8 \\t 1000000 \\t 1000 ns/op",
+		"BenchmarkREPTPerEdgeInstrumented-8 \\t 1000000 \\t 1200 ns/op", // +20% > 5%
+	))
+	err := run([]string{"-old", old, "-new", fresh,
+		"-pair", "BenchmarkREPTPerEdgeInstrumented=BenchmarkConcurrentPerEdge"})
+	if err == nil || !strings.Contains(err.Error(), "pair regression") {
+		t.Errorf("run = %v, want the pair failure to surface alongside a clean baseline", err)
+	}
+}

@@ -25,6 +25,10 @@
 //	GET  /metrics     Prometheus text format
 //	POST /checkpoint  write a durable snapshot to the -snapshot path
 //	GET  /healthz     liveness and ingest counters
+//	GET  /readyz      readiness: 200 only once recovery finished and the
+//	                  first view published; 503 while draining
+//	GET  /debug/flight  JSON dump of the flight recorder (recent pipeline
+//	                  events with timestamps and durations)
 //
 // Queries answer from materialized epoch views, republished every
 // -view-interval (and, with -view-edges N, whenever N new edges arrive):
@@ -79,6 +83,20 @@
 // an EMPTY log directory from a legacy snapshot file — the one-time
 // migration path from snapshot-only deployments.
 //
+// Observability: /metrics renders every series from the estimator's
+// telemetry bundle (see rept.NewTelemetry) — ingest tallies, WAL
+// positions, per-shard queue depth and throughput, and latency
+// histograms for every pipeline stage (NDJSON parse, shard dispatch,
+// batch apply, barrier, WAL append and fsync, view publish). Recording
+// is zero-allocation, so instrumentation is always on. /debug/flight
+// dumps the flight recorder: the last few thousand pipeline events with
+// nanosecond timestamps, for postmortems where aggregated histograms
+// are too coarse. -pprof-addr serves net/http/pprof on a separate
+// listener (keep it off the public address); -access-log emits one
+// structured JSON line per request on stderr, and requests slower than
+// -slow-log (default 1s; 0 disables) are logged as warnings even
+// without -access-log.
+//
 // The process drains in-flight edges and exits cleanly on SIGINT/SIGTERM.
 package main
 
@@ -87,10 +105,13 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -160,6 +181,24 @@ func parseWALSync(s string) (time.Duration, error) {
 	return d, nil
 }
 
+// bootHandler answers the listener while the estimator is still booting
+// (WAL recovery on a large log is the slow case): liveness succeeds
+// immediately, readiness reports "not yet", and every other request gets
+// a 503 — the socket is open, but nothing can reach a half-built
+// estimator.
+type bootHandler struct{}
+
+func (bootHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch r.URL.Path {
+	case "/healthz":
+		writeJSON(w, http.StatusOK, map[string]any{"status": "starting"})
+	case "/readyz":
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "recovering"})
+	default:
+		writeError(w, http.StatusServiceUnavailable, "server is starting (estimator recovering)")
+	}
+}
+
 func run(args []string) error {
 	fs := flag.NewFlagSet("reptserve", flag.ContinueOnError)
 	var (
@@ -183,6 +222,9 @@ func run(args []string) error {
 		walSync  = fs.String("wal-sync", "batch", "WAL sync policy: \"batch\" (sync before every ingest ack) or a duration (group sync, bounded loss window)")
 		walComp  = fs.Uint64("wal-compact-every", 500_000, "fold the WAL into an incremental checkpoint every N events (0 = never)")
 		walSeg   = fs.Int64("wal-segment-bytes", 0, "rotate WAL segments at this size (0 = 64MiB default)")
+		pprofA   = fs.String("pprof-addr", "", "serve net/http/pprof on this separate address (empty = off)")
+		accLog   = fs.Bool("access-log", false, "log every request as a structured JSON line on stderr")
+		slowLog  = fs.Duration("slow-log", time.Second, "warn-log any request slower than this (0 = off)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -201,6 +243,30 @@ func run(args []string) error {
 		}
 	}
 
+	// Listen before building the estimator: WAL recovery can take a while
+	// on a big log, and an open socket lets liveness probes (and -addr :0
+	// port discovery) work during it. Until the estimator is up the
+	// listener answers through bootHandler — /healthz 200, /readyz 503,
+	// everything else 503 — then the real API is swapped in atomically.
+	// The "listening on" banner prints only after the swap, so anything
+	// that waits for the banner (tests, scripts) sees a fully-ready
+	// server, exactly as before.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	var handler atomic.Pointer[http.Handler]
+	boot := http.Handler(bootHandler{})
+	handler.Store(&boot)
+	srv := &http.Server{
+		Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			(*handler.Load()).ServeHTTP(w, r)
+		}),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
 	est, err := newEstimator(rept.ConcurrentConfig{
 		M:            *m,
 		C:            *c,
@@ -216,19 +282,24 @@ func run(args []string) error {
 		// (the table is part of the snapshot fingerprint contract).
 		TrackDegrees: *local && *degrees,
 		BatchSize:    *batch,
+		// The telemetry bundle wires stage-latency histograms, per-shard
+		// series, and the flight recorder through the whole pipeline; the
+		// server's /metrics and /debug/flight serve from it.
+		Telemetry: rept.NewTelemetry(),
 	}, *restore, walOpt)
 	if err != nil {
+		srv.Close()
 		return err
 	}
 
 	if _, err := est.StartViews(rept.ViewConfig{Interval: *interval, EveryEdges: *vedges, TopK: *topk}); err != nil {
+		srv.Close()
 		est.Close()
 		return err
 	}
 	api := NewServer(est, *snapshot)
-	srv := &http.Server{
-		Handler:           api,
-		ReadHeaderTimeout: 10 * time.Second,
+	if *accLog || *slowLog > 0 {
+		api.SetAccessLog(slog.New(slog.NewJSONHandler(os.Stderr, nil)), *accLog, *slowLog)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -242,23 +313,38 @@ func run(args []string) error {
 			est.Position(), *walDir, *walSync)
 	}
 
-	// Listen before announcing: with -addr :0 the kernel picks the port,
-	// and the line below is how tests (and scripts) learn the real one.
-	ln, err := net.Listen("tcp", *addr)
-	if err != nil {
-		api.Stop()
-		est.Close()
-		return err
+	var psrv *http.Server
+	if *pprofA != "" {
+		pln, err := net.Listen("tcp", *pprofA)
+		if err != nil {
+			srv.Close()
+			api.Stop()
+			est.Close()
+			return fmt.Errorf("-pprof-addr: %w", err)
+		}
+		pmux := http.NewServeMux()
+		pmux.HandleFunc("/debug/pprof/", pprof.Index)
+		pmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		psrv = &http.Server{Handler: pmux, ReadHeaderTimeout: 10 * time.Second}
+		go func() { _ = psrv.Serve(pln) }()
+		// Worded to NOT contain "listening on": scripts (and the crash-test
+		// harness) find the API address by scanning for that phrase.
+		fmt.Fprintf(os.Stderr, "reptserve: pprof at http://%s/debug/pprof/\n", pln.Addr())
 	}
-	errc := make(chan error, 1)
-	go func() {
-		fmt.Fprintf(os.Stderr, "reptserve: listening on %s (m=%d c=%d shards=%d local=%v dynamic=%v)\n",
-			ln.Addr(), *m, *c, est.Shards(), *local, *dynamic)
-		errc <- srv.Serve(ln)
-	}()
+
+	live := http.Handler(api)
+	handler.Store(&live)
+	fmt.Fprintf(os.Stderr, "reptserve: listening on %s (m=%d c=%d shards=%d local=%v dynamic=%v)\n",
+		ln.Addr(), *m, *c, est.Shards(), *local, *dynamic)
 
 	select {
 	case err := <-errc:
+		if psrv != nil {
+			psrv.Close()
+		}
 		api.Stop()
 		est.Close()
 		return err
@@ -266,6 +352,9 @@ func run(args []string) error {
 	}
 
 	fmt.Fprintln(os.Stderr, "reptserve: shutting down")
+	if psrv != nil {
+		psrv.Close()
+	}
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *grace)
 	defer cancel()
 	shutdownErr := srv.Shutdown(shutdownCtx)

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"math"
 	"net/http"
 	"os"
@@ -17,6 +18,7 @@ import (
 	"time"
 
 	"rept"
+	"rept/internal/obs"
 )
 
 // ingestBatchLen is how many parsed NDJSON edges are handed to the
@@ -43,7 +45,8 @@ type edgeLine struct {
 // outside it count under "other".
 var endpoints = []string{
 	"/edges", "/estimate", "/local", "/topk", "/cc", "/query",
-	"/stats", "/metrics", "/checkpoint", "/healthz", "other",
+	"/stats", "/metrics", "/checkpoint", "/healthz", "/readyz",
+	"/debug/flight", "other",
 }
 
 // Server exposes a Concurrent REPT estimator over HTTP. All handlers are
@@ -60,7 +63,28 @@ type Server struct {
 	mux      *http.ServeMux
 	start    time.Time
 	requests atomic.Uint64
-	counters map[string]*atomic.Uint64
+	counters map[string]*obs.Counter
+
+	// tele is the estimator's telemetry bundle (or a private one when the
+	// estimator was built without ConcurrentConfig.Telemetry); its
+	// registry backs /metrics and its flight recorder /debug/flight. pipe
+	// is the stage-instrument bundle the ingest handler records parse
+	// latency into.
+	tele *rept.Telemetry
+	pipe *obs.Pipeline
+
+	// ready is the /readyz state: true once construction finished (the
+	// estimator recovered and the first view published), false again
+	// after Stop — the LB-drain signal /healthz (liveness) never sends.
+	ready atomic.Bool
+
+	// Structured request logging (SetAccessLog): accessLog receives one
+	// record per request when logAll, and a warning for requests slower
+	// than slow (0 disables the slow path). reqSeq numbers requests.
+	accessLog *slog.Logger
+	logAll    bool
+	slow      time.Duration
+	reqSeq    atomic.Uint64
 
 	// snapshotPath is the checkpoint destination (-snapshot flag); empty
 	// disables POST /checkpoint. checkpointMu serializes checkpoints so
@@ -96,18 +120,25 @@ func NewServer(est *rept.Concurrent, snapshotPath string) *Server {
 			views = est.Views()
 		}
 	}
+	tele := est.Telemetry()
+	if tele == nil {
+		// An uninstrumented estimator still gets a registry so /metrics
+		// works; the pipeline stage histograms then record only what the
+		// server itself observes (parse latency).
+		tele = rept.NewTelemetry()
+	}
 	s := &Server{
 		est:          est,
 		views:        views,
 		mux:          http.NewServeMux(),
 		start:        time.Now(),
+		tele:         tele,
+		pipe:         tele.Pipeline(),
 		snapshotPath: snapshotPath,
 		durable:      est.Durable(),
-		counters:     make(map[string]*atomic.Uint64, len(endpoints)),
+		counters:     make(map[string]*obs.Counter, len(endpoints)),
 	}
-	for _, ep := range endpoints {
-		s.counters[ep] = &atomic.Uint64{}
-	}
+	s.registerMetrics()
 	s.mux.HandleFunc("/edges", s.handleEdges)
 	s.mux.HandleFunc("/estimate", s.handleEstimate)
 	s.mux.HandleFunc("/local", s.handleLocal)
@@ -118,18 +149,159 @@ func NewServer(est *rept.Concurrent, snapshotPath string) *Server {
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/checkpoint", s.handleCheckpoint)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/readyz", s.handleReadyz)
+	s.mux.HandleFunc("/debug/flight", s.handleFlight)
+	// Construction implies the estimator recovered (WAL replay happens in
+	// ResumeDurable, before NewServer can run) and the first view
+	// published (StartViews publishes epoch 1 synchronously).
+	s.ready.Store(true)
 	return s
+}
+
+// SetAccessLog enables structured request logging on l: every request at
+// Info level when logAll, plus a Warn for any request slower than slow
+// (0 disables the slow-request path). Call before serving.
+func (s *Server) SetAccessLog(l *slog.Logger, logAll bool, slow time.Duration) {
+	s.accessLog = l
+	s.logAll = logAll
+	s.slow = slow
+}
+
+// registerMetrics installs every /metrics series on the telemetry
+// registry. All series are read at scrape time from atomics or the last
+// published view — never through a barrier — so scrapes stay cheap and
+// keep answering through shutdown. Called once per server; the registry
+// panics on duplicates, so two servers must not share one telemetry.
+func (s *Server) registerMetrics() {
+	reg := s.tele.Registry()
+	est := s.est
+	views := s.views
+	reg.CounterFunc("rept_processed_edges_total",
+		"Non-loop edge events accepted, insertions plus deletions (live).", est.Processed)
+	reg.CounterFunc("rept_deleted_edges_total",
+		"Non-loop edge deletion events accepted (live).", est.Deleted)
+	reg.CounterFunc("rept_self_loops_total",
+		"Self-loop arrivals skipped (live).", est.SelfLoops)
+	reg.GaugeFunc("rept_sampled_edges",
+		"Edges stored across all logical processors at the view prefix.",
+		func() float64 { return float64(views.View().SampledEdges) })
+	reg.CounterFunc("rept_eta_saturations_total",
+		"Per-edge eta counter clamps at the view prefix (non-zero flags an adversarially hot edge).",
+		func() uint64 { return views.View().EtaSaturations })
+	reg.GaugeFunc("rept_shards",
+		"Engine shard count.", func() float64 { return float64(est.Shards()) })
+	// rept_view_epoch and rept_view_processed_edges were historically
+	// declared counter, but both reset when the server restores from a
+	// snapshot or WAL checkpoint — they are gauges, retyped in place.
+	reg.GaugeFunc("rept_view_epoch",
+		"Epoch number of the current view (resets on restore).",
+		func() float64 { return float64(views.View().Epoch) })
+	reg.GaugeFunc("rept_view_age_seconds",
+		"Wall-clock age of the current view.",
+		func() float64 { return views.View().Age().Seconds() })
+	reg.GaugeFunc("rept_view_processed_edges",
+		"Non-loop edges at the current view's prefix (resets on restore).",
+		func() float64 { return float64(views.View().Processed) })
+	reg.GaugeFunc("rept_uptime_seconds",
+		"Server uptime.", func() float64 { return time.Since(s.start).Seconds() })
+	if s.durable {
+		reg.CounterFunc("rept_wal_appended_events_total",
+			"Events written into the write-ahead log.",
+			func() uint64 { return est.WALStats().AppendedPos })
+		reg.CounterFunc("rept_wal_durable_events_total",
+			"Events covered by a WAL sync (survive a crash).",
+			func() uint64 { return est.WALStats().DurablePos })
+		reg.CounterFunc("rept_wal_checkpoint_events_total",
+			"Events folded into the latest WAL checkpoint.",
+			func() uint64 { return est.WALStats().CheckpointPos })
+		reg.GaugeFunc("rept_wal_sync_lag_events",
+			"Appended-but-unsynced events (the crash loss window).",
+			func() float64 { st := est.WALStats(); return float64(st.AppendedPos - st.DurablePos) })
+		reg.GaugeFunc("rept_wal_segments",
+			"WAL segment files on disk, including the active one.",
+			func() float64 { return float64(est.WALStats().Segments) })
+		reg.GaugeFunc("rept_wal_active_segment_bytes",
+			"Size of the active WAL segment.",
+			func() float64 { return float64(est.WALStats().ActiveBytes) })
+		reg.GaugeFunc("rept_wal_failed",
+			"1 when the WAL has failed and durable ingest is refusing events.",
+			func() float64 {
+				if est.WALStats().Failed {
+					return 1
+				}
+				return 0
+			})
+		reg.CounterFunc("rept_wal_compaction_failures_total",
+			"Automatic WAL compactions that failed.", est.WALCompactionFailures)
+	}
+	reg.CounterFunc("rept_http_requests_all_total",
+		"HTTP requests served, all endpoints.", s.requests.Load)
+	// Deprecated alias of rept_http_requests_all_total, kept one release
+	// past the rename (the _total_all suffix violates the Prometheus
+	// naming convention; untyped because a counter may not carry a
+	// non-_total name).
+	reg.UntypedFunc("rept_http_requests_total_all",
+		"DEPRECATED: renamed rept_http_requests_all_total; this alias will be removed next release.",
+		func() float64 { return float64(s.requests.Load()) })
+	httpVec := reg.CounterVec("rept_http_requests_total",
+		"HTTP requests served per endpoint.", "endpoint")
+	// Children register in sorted order so scrapes are diff-stable.
+	eps := append([]string(nil), endpoints...)
+	sort.Strings(eps)
+	for _, ep := range eps {
+		s.counters[ep] = httpVec.With(ep)
+	}
+}
+
+// statusRecorder captures the response status and size for access logs.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	n, err := r.ResponseWriter.Write(b)
+	r.bytes += int64(n)
+	return n, err
 }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
 	if c, ok := s.counters[r.URL.Path]; ok {
-		c.Add(1)
+		c.Inc()
 	} else {
-		s.counters["other"].Add(1)
+		s.counters["other"].Inc()
 	}
-	s.mux.ServeHTTP(w, r)
+	if s.accessLog == nil {
+		s.mux.ServeHTTP(w, r)
+		return
+	}
+	id := s.reqSeq.Add(1)
+	start := time.Now()
+	rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+	s.mux.ServeHTTP(rec, r)
+	d := time.Since(start)
+	if s.slow > 0 && d >= s.slow {
+		s.accessLog.Warn("slow request",
+			"req_id", id, "method", r.Method, "path", r.URL.Path,
+			"status", rec.status, "bytes", rec.bytes,
+			"dur_ms", float64(d.Microseconds())/1e3,
+			"slow_threshold_ms", float64(s.slow.Microseconds())/1e3,
+			"remote", r.RemoteAddr)
+	} else if s.logAll {
+		s.accessLog.Info("request",
+			"req_id", id, "method", r.Method, "path", r.URL.Path,
+			"status", rec.status, "bytes", rec.bytes,
+			"dur_ms", float64(d.Microseconds())/1e3,
+			"remote", r.RemoteAddr)
+	}
 }
 
 // Stop marks the server as shutting down and waits for in-flight
@@ -138,6 +310,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // lingering connections (e.g. after an http.Server.Shutdown timeout) are
 // still being served.
 func (s *Server) Stop() {
+	s.ready.Store(false)
 	s.mu.Lock()
 	s.closing = true
 	s.mu.Unlock()
@@ -311,6 +484,10 @@ func (s *Server) handleEdges(w http.ResponseWriter, r *http.Request) {
 	// events are credited (durability is unknown for them at best) and
 	// the request fails with 500.
 	var walErr error
+	// segStart opens the current parse segment: everything between two
+	// flushes — reading the request body and decoding up to ingestBatchLen
+	// NDJSON lines — is one rept_stage_parse_seconds observation.
+	segStart := time.Now()
 	// flush hands the parsed batch to the estimator; false means the
 	// server is shutting down (503) or, on a durable server, the log
 	// refused the batch (walErr set, 500) — either way the batch's
@@ -320,6 +497,9 @@ func (s *Server) handleEdges(w http.ResponseWriter, r *http.Request) {
 		if len(batch) == 0 {
 			return true
 		}
+		d := time.Since(segStart)
+		s.pipe.Parse.ObserveDuration(d)
+		s.pipe.Flight.Record(obs.KindParse, -1, uint64(len(batch)), d)
 		credited := false
 		ok := s.estCall(func() {
 			if s.durable {
@@ -331,6 +511,7 @@ func (s *Server) handleEdges(w http.ResponseWriter, r *http.Request) {
 			}
 		})
 		batch = batch[:0]
+		segStart = time.Now()
 		if ok && credited {
 			resp.Accepted += pend.accepted
 			resp.Deleted += pend.deleted
@@ -720,7 +901,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	processed := s.est.Processed()
 	reqs := make(map[string]uint64, len(s.counters))
 	for ep, c := range s.counters {
-		reqs[ep] = c.Load()
+		reqs[ep] = c.Value()
 	}
 	writeJSON(w, http.StatusOK, statsResponse{
 		viewMeta:       metaOf(v),
@@ -749,54 +930,48 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "GET /metrics")
 		return
 	}
-	v := s.views.View()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	var b []byte
-	counter := func(name, help string, val uint64) {
-		b = fmt.Appendf(b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, val)
-	}
-	gauge := func(name, help string, val float64) {
-		b = fmt.Appendf(b, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, val)
-	}
-	counter("rept_processed_edges_total", "Non-loop edge events accepted, insertions plus deletions (live).", s.est.Processed())
-	counter("rept_deleted_edges_total", "Non-loop edge deletion events accepted (live).", s.est.Deleted())
-	counter("rept_self_loops_total", "Self-loop arrivals skipped (live).", s.est.SelfLoops())
-	gauge("rept_sampled_edges", "Edges stored across all logical processors at the view prefix.", float64(v.SampledEdges))
-	counter("rept_eta_saturations_total", "Per-edge eta counter clamps at the view prefix (non-zero flags an adversarially hot edge).", v.EtaSaturations)
-	gauge("rept_shards", "Engine shard count.", float64(s.est.Shards()))
-	counter("rept_view_epoch", "Epoch number of the current view.", v.Epoch)
-	gauge("rept_view_age_seconds", "Wall-clock age of the current view.", v.Age().Seconds())
-	counter("rept_view_processed_edges", "Non-loop edges at the current view's prefix.", v.Processed)
-	gauge("rept_uptime_seconds", "Server uptime.", time.Since(s.start).Seconds())
-	if s.durable {
-		st := s.est.WALStats()
-		counter("rept_wal_appended_events_total", "Events written into the write-ahead log.", st.AppendedPos)
-		counter("rept_wal_durable_events_total", "Events covered by a WAL sync (survive a crash).", st.DurablePos)
-		counter("rept_wal_checkpoint_events_total", "Events folded into the latest WAL checkpoint.", st.CheckpointPos)
-		gauge("rept_wal_sync_lag_events", "Appended-but-unsynced events (the crash loss window).", float64(st.AppendedPos-st.DurablePos))
-		gauge("rept_wal_segments", "WAL segment files on disk, including the active one.", float64(st.Segments))
-		gauge("rept_wal_active_segment_bytes", "Size of the active WAL segment.", float64(st.ActiveBytes))
-		failed := 0.0
-		if st.Failed {
-			failed = 1
-		}
-		gauge("rept_wal_failed", "1 when the WAL has failed and durable ingest is refusing events.", failed)
-		counter("rept_wal_compaction_failures_total", "Automatic WAL compactions that failed.", s.est.WALCompactionFailures())
-	}
-	counter("rept_http_requests_total_all", "HTTP requests served, all endpoints.", s.requests.Load())
-	// Per-endpoint counters, emitted in sorted label order so scrapes
-	// are diff-stable.
-	eps := make([]string, 0, len(s.counters))
-	for ep := range s.counters {
-		eps = append(eps, ep)
-	}
-	sort.Strings(eps)
-	b = fmt.Appendf(b, "# HELP rept_http_requests_total HTTP requests served per endpoint.\n# TYPE rept_http_requests_total counter\n")
-	for _, ep := range eps {
-		b = fmt.Appendf(b, "rept_http_requests_total{endpoint=%q} %d\n", ep, s.counters[ep].Load())
-	}
 	w.WriteHeader(http.StatusOK)
-	_, _ = w.Write(b)
+	_ = s.tele.WritePrometheus(w)
+}
+
+// handleReadyz serves GET /readyz, the load-balancer readiness signal:
+// 200 once the estimator has recovered (WAL replay done) and the first
+// view published, 503 from the moment Stop runs. Distinct from /healthz,
+// which reports liveness and keeps answering 200 through a graceful
+// drain.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if !s.ready.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"status": "draining",
+		})
+		return
+	}
+	v := s.views.View()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":    "ready",
+		"epoch":     v.Epoch,
+		"processed": v.Processed,
+	})
+}
+
+// handleFlight serves GET /debug/flight: a JSON dump of the flight
+// recorder — the last few thousand pipeline events (parse, dispatch,
+// apply, barrier, WAL append/sync, view publish) with nanosecond
+// timestamps and durations, oldest first. The dump is lock-free on the
+// recording side; a heavily concurrent writer can at worst drop a slot
+// from one dump.
+func (s *Server) handleFlight(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeError(w, http.StatusMethodNotAllowed, "GET /debug/flight")
+		return
+	}
+	events := s.tele.Flight().Events()
+	writeJSON(w, http.StatusOK, struct {
+		Recorded int               `json:"recorded"`
+		Events   []obs.FlightEvent `json:"events"`
+	}{len(events), events})
 }
 
 // checkpointResponse is the POST /checkpoint payload.

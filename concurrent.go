@@ -49,6 +49,13 @@ type ConcurrentConfig struct {
 	// QueueLen is the per-shard queue depth in batches (default 8);
 	// producers block when a shard falls this far behind.
 	QueueLen int
+	// Telemetry attaches an observability bundle (see NewTelemetry):
+	// stage-latency histograms across the ingest pipeline, per-shard
+	// series, and a flight recorder. Nil runs uninstrumented. Telemetry
+	// is operational state — it does not affect estimates, snapshots, or
+	// the WAL fingerprint — and one bundle must not be shared between
+	// estimators.
+	Telemetry *Telemetry
 }
 
 // Concurrent is a REPT estimator that is safe for concurrent use by any
@@ -62,8 +69,9 @@ type ConcurrentConfig struct {
 // stream prefix, so a Snapshot taken while producers are still adding
 // edges reflects exactly the adds that completed before it.
 type Concurrent struct {
-	sh  *shard.Sharded
-	cfg ConcurrentConfig
+	sh   *shard.Sharded
+	cfg  ConcurrentConfig
+	tele *Telemetry
 	// views is the epoch-view publisher once StartViews has run; while it
 	// is nil every read goes through a fresh barrier.
 	views atomic.Pointer[query.Publisher]
@@ -97,6 +105,7 @@ func (c ConcurrentConfig) shardConfig() shard.Config {
 		Workers:      c.Workers,
 		BatchSize:    c.BatchSize,
 		QueueLen:     c.QueueLen,
+		Obs:          c.Telemetry.obsPipeline(),
 	}
 }
 
@@ -109,7 +118,7 @@ func NewConcurrent(cfg ConcurrentConfig) (*Concurrent, error) {
 	if err != nil {
 		return nil, fmt.Errorf("rept: %w", err)
 	}
-	return &Concurrent{sh: sh, cfg: cfg}, nil
+	return &Concurrent{sh: sh, cfg: cfg, tele: cfg.Telemetry}, nil
 }
 
 // Add feeds one stream edge; self-loops are ignored. Safe for concurrent
@@ -228,7 +237,7 @@ func ResumeConcurrent(cfg ConcurrentConfig, r io.Reader) (*Concurrent, error) {
 	if err != nil {
 		return nil, fmt.Errorf("rept: %w", err)
 	}
-	return &Concurrent{sh: sh, cfg: cfg}, nil
+	return &Concurrent{sh: sh, cfg: cfg, tele: cfg.Telemetry}, nil
 }
 
 // Close stops the view publisher (when started), flushes pending edges,

@@ -210,6 +210,24 @@
 // crash-kill harness SIGKILLs the real process mid-ingest and asserts
 // zero acknowledged-event loss on restart.
 //
+// # Observability
+//
+// NewTelemetry builds the estimator's observability bundle — a
+// dependency-free metrics registry preloaded with latency histograms
+// for every pipeline stage (NDJSON parse, shard dispatch, queue wait,
+// engine apply, barrier, WAL append and fsync, view publish), per-shard
+// queue-depth/batch/throughput series, Go runtime health series, and a
+// lock-free flight recorder of recent pipeline events — and
+// ConcurrentConfig.Telemetry attaches it before construction. The
+// record path is zero-allocation (enforced by AllocsPerRun gates and
+// the hotpathalloc analyzer) and nil-guarded, so an uninstrumented
+// estimator pays one branch per site and an instrumented one stays
+// within 5% of it (gated in CI). Telemetry.WritePrometheus renders the
+// text exposition format that cmd/reptserve serves on /metrics, next to
+// /debug/flight (the flight-recorder dump) and /readyz (readiness, as
+// distinct from /healthz liveness); the format is round-trip checked by
+// the conformance parser in internal/obs.
+//
 // # Static analysis
 //
 // The invariants above — allocation-free hot paths, deterministic map

@@ -139,13 +139,19 @@ func ResumeDurable(cfg ConcurrentConfig, opt WALOptions) (*Concurrent, error) {
 		sh.Close()
 		return nil, fmt.Errorf("rept: wal replay: %w: estimator at position %d after replaying to %d", wal.ErrCorrupt, got, pos)
 	}
-	lg, err := rec.Log(wal.Options{SegmentBytes: opt.SegmentBytes})
+	wopt := wal.Options{SegmentBytes: opt.SegmentBytes}
+	if pipe := cfg.Telemetry.obsPipeline(); pipe != nil {
+		wopt.AppendHist = pipe.WALAppend
+		wopt.SyncHist = pipe.WALSync
+		wopt.Flight = pipe.Flight
+	}
+	lg, err := rec.Log(wopt)
 	if err != nil {
 		sh.Close()
 		return nil, fmt.Errorf("rept: %w", err)
 	}
 	sh.StartWAL(lg, opt.SyncInterval)
-	c := &Concurrent{sh: sh, cfg: cfg, lg: lg, compactEvery: opt.CompactEvery}
+	c := &Concurrent{sh: sh, cfg: cfg, tele: cfg.Telemetry, lg: lg, compactEvery: opt.CompactEvery}
 	if opt.Bootstrap != nil {
 		// Persist the bootstrapped state as the log's first checkpoint:
 		// without it the next recovery would find segments starting at

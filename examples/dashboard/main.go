@@ -1,0 +1,183 @@
+// Terminal dashboard for a running reptserve: scrapes /metrics on an
+// interval and prints per-stage latency quantiles, ingest throughput,
+// and shard balance — a minimal Grafana substitute built on the repo's
+// own exposition parser, and a worked example of reading the stage
+// histograms back out of a scrape.
+//
+//	reptserve -addr :8080 &
+//	go run ./examples/dashboard -addr http://localhost:8080
+//
+// Each tick prints one block:
+//
+//	stage                     count        p50        p99
+//	parse                      1203     41.0µs    312.0µs
+//	dispatch                   1203     18.2µs    101.5µs
+//	...
+//
+// The quantiles are reconstructed from the cumulative histogram buckets
+// by linear interpolation, exactly the arithmetic a Prometheus
+// histogram_quantile() would do; with 64 power-of-two buckets they are
+// order-of-magnitude accurate, which is what latency triage needs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"rept/internal/obs"
+)
+
+// stages are the pipeline histograms in flow order.
+var stages = []struct{ name, label string }{
+	{"rept_stage_parse_seconds", "parse"},
+	{"rept_stage_dispatch_seconds", "dispatch"},
+	{"rept_stage_queue_wait_seconds", "queue wait"},
+	{"rept_stage_apply_seconds", "apply"},
+	{"rept_stage_barrier_seconds", "barrier"},
+	{"rept_stage_wal_append_seconds", "wal append"},
+	{"rept_stage_wal_fsync_seconds", "wal fsync"},
+	{"rept_stage_view_publish_seconds", "view publish"},
+}
+
+func main() {
+	addr := flag.String("addr", "http://localhost:8080", "reptserve base URL")
+	interval := flag.Duration("interval", 2*time.Second, "scrape interval")
+	once := flag.Bool("once", false, "print one block and exit")
+	flag.Parse()
+
+	var lastProcessed float64
+	var lastScrape time.Time
+	for {
+		exp, err := scrape(*addr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dashboard:", err)
+			if *once {
+				os.Exit(1)
+			}
+			time.Sleep(*interval)
+			continue
+		}
+		now := time.Now()
+		printBlock(exp, lastProcessed, lastScrape, now)
+		if p, ok := exp.Sample("rept_processed_edges_total"); ok {
+			lastProcessed, lastScrape = p, now
+		}
+		if *once {
+			return
+		}
+		time.Sleep(*interval)
+	}
+}
+
+func scrape(base string) (*obs.Exposition, error) {
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET /metrics: status %d", resp.StatusCode)
+	}
+	return obs.ParseExposition(resp.Body)
+}
+
+func printBlock(exp *obs.Exposition, lastProcessed float64, lastScrape, now time.Time) {
+	processed, _ := exp.Sample("rept_processed_edges_total")
+	epoch, _ := exp.Sample("rept_view_epoch")
+	age, _ := exp.Sample("rept_view_age_seconds")
+	fmt.Printf("=== %s  processed=%.0f  epoch=%.0f  view_age=%.2fs",
+		now.Format("15:04:05"), processed, epoch, age)
+	if !lastScrape.IsZero() {
+		if dt := now.Sub(lastScrape).Seconds(); dt > 0 {
+			fmt.Printf("  ingest=%.0f edges/s", (processed-lastProcessed)/dt)
+		}
+	}
+	fmt.Println()
+
+	fmt.Printf("%-14s %10s %10s %10s\n", "stage", "count", "p50", "p99")
+	for _, st := range stages {
+		f := exp.Family(st.name)
+		if f == nil {
+			continue
+		}
+		count, _ := exp.Sample(st.name + "_count")
+		if count == 0 {
+			fmt.Printf("%-14s %10d %10s %10s\n", st.label, 0, "-", "-")
+			continue
+		}
+		fmt.Printf("%-14s %10.0f %10s %10s\n", st.label, count,
+			fmtSeconds(quantile(f, st.name, 0.50)),
+			fmtSeconds(quantile(f, st.name, 0.99)))
+	}
+
+	// Shard balance: events applied per shard, flagged when skewed.
+	if f := exp.Family("rept_shard_events_applied_total"); f != nil && len(f.Samples) > 0 {
+		var parts []string
+		var minV, maxV float64 = math.Inf(1), 0
+		for i := range f.Samples {
+			shard, _ := f.Samples[i].Get("shard")
+			v := f.Samples[i].Value
+			parts = append(parts, fmt.Sprintf("%s:%.0f", shard, v))
+			minV, maxV = math.Min(minV, v), math.Max(maxV, v)
+		}
+		sort.Strings(parts)
+		skew := ""
+		if minV > 0 && maxV/minV > 1.5 {
+			skew = "  (skewed!)"
+		}
+		fmt.Printf("shards applied: %s%s\n", strings.Join(parts, " "), skew)
+	}
+	fmt.Println()
+}
+
+// quantile reconstructs quantile q from the family's cumulative
+// _bucket samples by linear interpolation inside the straddling bucket.
+func quantile(f *obs.Family, name string, q float64) float64 {
+	type bucket struct{ le, cum float64 }
+	var bs []bucket
+	for i := range f.Samples {
+		s := &f.Samples[i]
+		if s.Name != name+"_bucket" {
+			continue
+		}
+		leStr, ok := s.Get("le")
+		if !ok {
+			continue
+		}
+		le := math.Inf(1)
+		if leStr != "+Inf" {
+			fmt.Sscanf(leStr, "%g", &le)
+		}
+		bs = append(bs, bucket{le, s.Value})
+	}
+	if len(bs) == 0 {
+		return math.NaN()
+	}
+	sort.Slice(bs, func(i, j int) bool { return bs[i].le < bs[j].le })
+	total := bs[len(bs)-1].cum
+	rank := q * total
+	prevLe, prevCum := 0.0, 0.0
+	for _, b := range bs {
+		if b.cum >= rank {
+			if b.cum == prevCum || math.IsInf(b.le, 1) {
+				return prevLe
+			}
+			return prevLe + (b.le-prevLe)*(rank-prevCum)/(b.cum-prevCum)
+		}
+		prevLe, prevCum = b.le, b.cum
+	}
+	return bs[len(bs)-1].le
+}
+
+func fmtSeconds(s float64) string {
+	if math.IsNaN(s) {
+		return "-"
+	}
+	return time.Duration(s * float64(time.Second)).Round(100 * time.Nanosecond).String()
+}

@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"rept/internal/graph"
+	"rept/internal/obs"
 )
 
 const defaultBatchSize = 2048
@@ -32,7 +33,15 @@ type Engine struct {
 	processed uint64
 	deleted   uint64
 	selfLoops uint64
+
+	applied *obs.Counter // optional telemetry: events applied, nil when off
 }
+
+// Instrument attaches an events-applied counter incremented once per
+// non-loop event the engine processes. Pass nil to detach. Call before
+// feeding events; the counter must be allocation-free to record into
+// (obs.Counter is), because apply is the hot path.
+func (e *Engine) Instrument(applied *obs.Counter) { e.applied = applied }
 
 // NewEngine builds an Engine for cfg. The hash family (one hash per
 // processor group) is derived deterministically from cfg.Seed.
@@ -134,6 +143,9 @@ func (e *Engine) apply(up graph.Update) {
 	e.processed++
 	if up.Del {
 		e.deleted++
+	}
+	if e.applied != nil {
+		e.applied.Inc()
 	}
 	if e.workers <= 1 {
 		key := graph.Key(up.U, up.V)

@@ -1,0 +1,379 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file is the scrape side of the package: a small parser for the
+// Prometheus text exposition format (version 0.0.4) plus a conformance
+// validator. It exists so the repo can gate its own /metrics output in
+// tests and CI without importing a client library, and so the example
+// dashboard can read histograms back out of a live server.
+
+// Sample is one parsed exposition line.
+type Sample struct {
+	// Name is the sample's full name, including _bucket/_sum/_count
+	// suffixes for histogram children.
+	Name string
+	// Labels holds the label pairs in declaration order.
+	Labels []Label
+	// Value is the parsed sample value.
+	Value float64
+}
+
+// Label is one name="value" pair.
+type Label struct {
+	Name, Value string
+}
+
+// Get returns the value of the named label and whether it was present.
+func (s *Sample) Get(name string) (string, bool) {
+	for _, l := range s.Labels {
+		if l.Name == name {
+			return l.Value, true
+		}
+	}
+	return "", false
+}
+
+// Family is one parsed metric family: metadata plus its samples in
+// exposition order.
+type Family struct {
+	Name    string
+	Help    string
+	Type    string // counter | gauge | histogram | summary | untyped
+	Samples []Sample
+}
+
+// Exposition is a fully parsed /metrics payload.
+type Exposition struct {
+	// Families holds the metric families in exposition order.
+	Families []Family
+	byName   map[string]*Family
+}
+
+// Family returns the named family, or nil.
+func (e *Exposition) Family(name string) *Family {
+	return e.byName[name]
+}
+
+// Sample returns the single unlabeled sample of the named family, or
+// NaN and false when the family or sample is missing.
+func (e *Exposition) Sample(name string) (float64, bool) {
+	f := e.byName[name]
+	if f == nil {
+		// Histogram children (_sum/_count) live under their base family.
+		base, suffix := histogramSuffix(name)
+		if suffix != "" {
+			f = e.byName[base]
+		}
+	}
+	if f == nil {
+		return math.NaN(), false
+	}
+	for i := range f.Samples {
+		if f.Samples[i].Name == name && len(f.Samples[i].Labels) == 0 {
+			return f.Samples[i].Value, true
+		}
+	}
+	return math.NaN(), false
+}
+
+// histogramSuffix maps a sample name to its owning family name when the
+// sample is a histogram/summary child.
+func histogramSuffix(name string) (base, suffix string) {
+	for _, s := range []string{"_bucket", "_sum", "_count"} {
+		if strings.HasSuffix(name, s) {
+			return strings.TrimSuffix(name, s), s
+		}
+	}
+	return name, ""
+}
+
+// ParseExposition parses Prometheus text exposition format. It is
+// strict about structure (metadata lines, sample syntax) and returns
+// the first syntax error with its line number; semantic rules live in
+// Validate.
+func ParseExposition(r io.Reader) (*Exposition, error) {
+	exp := &Exposition{byName: make(map[string]*Family)}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	lineNo := 0
+	family := func(name string) *Family {
+		if f := exp.byName[name]; f != nil {
+			return f
+		}
+		exp.Families = append(exp.Families, Family{Name: name})
+		f := &exp.Families[len(exp.Families)-1]
+		// Append may move the backing array; refresh every stored pointer.
+		exp.byName = make(map[string]*Family, len(exp.Families))
+		for i := range exp.Families {
+			exp.byName[exp.Families[i].Name] = &exp.Families[i]
+		}
+		return f
+	}
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") || strings.HasPrefix(line, "# TYPE ") {
+			kind := line[2:6]
+			rest := line[7:]
+			sp := strings.IndexByte(rest, ' ')
+			if sp < 0 {
+				return nil, fmt.Errorf("line %d: %s without a value", lineNo, kind)
+			}
+			name, val := rest[:sp], rest[sp+1:]
+			f := family(name)
+			if kind == "HELP" {
+				f.Help = val
+			} else {
+				f.Type = val
+			}
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue // free-form comment
+		}
+		s, err := parseSampleLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		base, _ := histogramSuffix(s.Name)
+		owner := exp.byName[base]
+		if owner == nil || (owner.Type != "histogram" && owner.Type != "summary") {
+			owner = exp.byName[s.Name]
+		}
+		if owner == nil {
+			owner = family(s.Name)
+		}
+		owner.Samples = append(owner.Samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return exp, nil
+}
+
+// parseSampleLine parses `name{l1="v1",...} value [timestamp]`.
+func parseSampleLine(line string) (Sample, error) {
+	var s Sample
+	i := 0
+	for i < len(line) && line[i] != '{' && line[i] != ' ' && line[i] != '\t' {
+		i++
+	}
+	if i == 0 {
+		return s, fmt.Errorf("sample line with empty name: %q", line)
+	}
+	s.Name = line[:i]
+	if i < len(line) && line[i] == '{' {
+		i++
+		for {
+			for i < len(line) && (line[i] == ' ' || line[i] == ',') {
+				i++
+			}
+			if i < len(line) && line[i] == '}' {
+				i++
+				break
+			}
+			j := i
+			for j < len(line) && line[j] != '=' {
+				j++
+			}
+			if j >= len(line) || j+1 >= len(line) || line[j+1] != '"' {
+				return s, fmt.Errorf("malformed label in %q", line)
+			}
+			lname := line[i:j]
+			k := j + 2
+			var val strings.Builder
+			for k < len(line) && line[k] != '"' {
+				if line[k] == '\\' && k+1 < len(line) {
+					k++
+					switch line[k] {
+					case 'n':
+						val.WriteByte('\n')
+					case '\\', '"':
+						val.WriteByte(line[k])
+					default:
+						val.WriteByte('\\')
+						val.WriteByte(line[k])
+					}
+				} else {
+					val.WriteByte(line[k])
+				}
+				k++
+			}
+			if k >= len(line) {
+				return s, fmt.Errorf("unterminated label value in %q", line)
+			}
+			s.Labels = append(s.Labels, Label{Name: lname, Value: val.String()})
+			i = k + 1
+		}
+	}
+	rest := strings.TrimSpace(line[i:])
+	if rest == "" {
+		return s, fmt.Errorf("sample %s has no value", s.Name)
+	}
+	fields := strings.Fields(rest)
+	v, err := parseExpositionFloat(fields[0])
+	if err != nil {
+		return s, fmt.Errorf("sample %s: bad value %q", s.Name, fields[0])
+	}
+	s.Value = v
+	return s, nil
+}
+
+// parseExpositionFloat accepts Go float syntax plus the exposition
+// spellings +Inf, -Inf, and NaN.
+func parseExpositionFloat(t string) (float64, error) {
+	switch t {
+	case "+Inf", "Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN", "nan":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(t, 64)
+}
+
+// labelsetKey canonicalizes a sample's identity (name + sorted labels)
+// for duplicate detection.
+func labelsetKey(s *Sample) string {
+	if len(s.Labels) == 0 {
+		return s.Name
+	}
+	pairs := make([]string, len(s.Labels))
+	for i, l := range s.Labels {
+		pairs[i] = l.Name + "=" + strconv.Quote(l.Value)
+	}
+	sort.Strings(pairs)
+	return s.Name + "{" + strings.Join(pairs, ",") + "}"
+}
+
+// Validate checks the exposition against the conformance rules the repo
+// promises: every family has HELP and TYPE; every name matches the
+// metric-name pattern; counter names end in _total and gauge names do
+// not; no duplicate series; histogram families carry a complete,
+// cumulative _bucket/_sum/_count triple whose +Inf bucket equals
+// _count. It returns every violation, not just the first.
+func (e *Exposition) Validate() []error {
+	var errs []error
+	seen := make(map[string]bool)
+	for fi := range e.Families {
+		f := &e.Families[fi]
+		if !validName(f.Name) {
+			errs = append(errs, fmt.Errorf("metric %s: name does not match %s", f.Name, namePattern))
+		}
+		if f.Help == "" {
+			errs = append(errs, fmt.Errorf("metric %s: missing # HELP", f.Name))
+		}
+		if f.Type == "" {
+			errs = append(errs, fmt.Errorf("metric %s: missing # TYPE", f.Name))
+		}
+		switch f.Type {
+		case "counter":
+			if !strings.HasSuffix(f.Name, "_total") {
+				errs = append(errs, fmt.Errorf("metric %s: counter name must end in _total", f.Name))
+			}
+		case "gauge":
+			if strings.HasSuffix(f.Name, "_total") {
+				errs = append(errs, fmt.Errorf("metric %s: gauge name must not end in _total", f.Name))
+			}
+		}
+		for si := range f.Samples {
+			s := &f.Samples[si]
+			base, suffix := histogramSuffix(s.Name)
+			if !(f.Type == "histogram" && base == f.Name && suffix != "") && s.Name != f.Name {
+				errs = append(errs, fmt.Errorf("metric %s: stray sample %s", f.Name, s.Name))
+			}
+			for _, l := range s.Labels {
+				if !validLabel(l.Name) {
+					errs = append(errs, fmt.Errorf("metric %s: label %q does not match %s", f.Name, l.Name, labelPattern))
+				}
+			}
+			key := labelsetKey(s)
+			if seen[key] {
+				errs = append(errs, fmt.Errorf("duplicate series %s", key))
+			}
+			seen[key] = true
+		}
+		if f.Type == "histogram" {
+			errs = append(errs, validateHistogram(f)...)
+		}
+	}
+	return errs
+}
+
+// validateHistogram checks one histogram family's triple.
+func validateHistogram(f *Family) []error {
+	var errs []error
+	var (
+		bounds    []float64
+		counts    []float64
+		sum       = math.NaN()
+		count     = math.NaN()
+		haveInf   bool
+		infBucket float64
+	)
+	for si := range f.Samples {
+		s := &f.Samples[si]
+		_, suffix := histogramSuffix(s.Name)
+		switch suffix {
+		case "_bucket":
+			le, ok := s.Get("le")
+			if !ok {
+				errs = append(errs, fmt.Errorf("histogram %s: _bucket without le label", f.Name))
+				continue
+			}
+			b, err := parseExpositionFloat(le)
+			if err != nil {
+				errs = append(errs, fmt.Errorf("histogram %s: bad le %q", f.Name, le))
+				continue
+			}
+			if math.IsInf(b, 1) {
+				haveInf = true
+				infBucket = s.Value
+			}
+			bounds = append(bounds, b)
+			counts = append(counts, s.Value)
+		case "_sum":
+			sum = s.Value
+		case "_count":
+			count = s.Value
+		}
+	}
+	if len(bounds) == 0 {
+		errs = append(errs, fmt.Errorf("histogram %s: no _bucket samples", f.Name))
+		return errs
+	}
+	if !haveInf {
+		errs = append(errs, fmt.Errorf("histogram %s: missing le=\"+Inf\" bucket", f.Name))
+	}
+	if math.IsNaN(sum) {
+		errs = append(errs, fmt.Errorf("histogram %s: missing _sum", f.Name))
+	}
+	if math.IsNaN(count) {
+		errs = append(errs, fmt.Errorf("histogram %s: missing _count", f.Name))
+	}
+	for i := 1; i < len(bounds); i++ {
+		if !(bounds[i] > bounds[i-1]) {
+			errs = append(errs, fmt.Errorf("histogram %s: le bounds not strictly increasing at index %d", f.Name, i))
+		}
+		if counts[i] < counts[i-1] {
+			errs = append(errs, fmt.Errorf("histogram %s: bucket counts not cumulative at index %d", f.Name, i))
+		}
+	}
+	if haveInf && !math.IsNaN(count) && infBucket != count {
+		errs = append(errs, fmt.Errorf("histogram %s: +Inf bucket (%g) != _count (%g)", f.Name, infBucket, count))
+	}
+	return errs
+}

@@ -1,0 +1,133 @@
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// histBuckets is the fixed bucket count: bucket 0 holds zero-duration
+// observations, bucket i (1..62) holds nanosecond values in
+// [2^(i-1), 2^i), and bucket 63 is the overflow for anything at or past
+// 2^62 ns (~146 years) — in practice never hit for latencies.
+const histBuckets = 64
+
+// Histogram is a log-scale latency histogram over preallocated
+// power-of-two nanosecond buckets. Observing is a bucket index
+// computation plus three atomic adds — no locks, no allocations — so a
+// histogram can sit directly on the ingest pipeline. Rendering converts
+// bounds and the sum to seconds and emits the cumulative
+// _bucket/_sum/_count triple the exposition format requires.
+type Histogram struct {
+	buckets [histBuckets]atomic.Uint64
+	count   atomic.Uint64
+	sumNs   atomic.Uint64
+}
+
+// Observe records one duration in nanoseconds.
+//
+//rept:hotpath
+func (h *Histogram) Observe(ns uint64) {
+	i := bits.Len64(ns) // 0 for ns==0, else floor(log2)+1
+	if i >= histBuckets {
+		i = histBuckets - 1
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sumNs.Add(ns)
+}
+
+// ObserveDuration records one duration. Negative durations (clock
+// steps) are clamped to zero rather than wrapping into the overflow
+// bucket.
+//
+//rept:hotpath
+func (h *Histogram) ObserveDuration(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.Observe(uint64(d))
+}
+
+// ObserveSince records the time elapsed since start.
+//
+//rept:hotpath
+func (h *Histogram) ObserveSince(start time.Time) {
+	h.ObserveDuration(time.Since(start))
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// upperNs returns the inclusive nanosecond upper bound of bucket i
+// (2^i - 1); bucket 63 has no finite bound and is rendered as +Inf.
+func upperNs(i int) uint64 { return 1<<uint(i) - 1 }
+
+// appendTo renders the cumulative exposition lines for one family name.
+// Buckets are read low-to-high while observers keep recording, so a
+// render is not an atomic snapshot; cumulative counts are clamped
+// monotone so a torn read never produces a decreasing series.
+func (h *Histogram) appendTo(b []byte, name string) []byte {
+	var cum uint64
+	for i := 0; i < histBuckets-1; i++ {
+		cum += h.buckets[i].Load()
+		b = append(b, name...)
+		b = append(b, `_bucket{le="`...)
+		b = appendFloat(b, float64(upperNs(i))/1e9)
+		b = append(b, `"} `...)
+		b = strconv.AppendUint(b, cum, 10)
+		b = append(b, '\n')
+	}
+	cum += h.buckets[histBuckets-1].Load()
+	count := h.count.Load()
+	if count < cum {
+		count = cum
+	}
+	b = append(b, name...)
+	b = append(b, `_bucket{le="+Inf"} `...)
+	b = strconv.AppendUint(b, count, 10)
+	b = append(b, '\n')
+	b = append(b, name...)
+	b = append(b, "_sum "...)
+	b = appendFloat(b, float64(h.sumNs.Load())/1e9)
+	b = append(b, '\n')
+	b = append(b, name...)
+	b = append(b, "_count "...)
+	b = strconv.AppendUint(b, count, 10)
+	b = append(b, '\n')
+	return b
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) in seconds from the
+// bucket counts, interpolating linearly within the winning bucket. Used
+// by the example dashboard; scrape-path only.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(q * float64(total)))
+	if rank == 0 {
+		rank = 1
+	}
+	var cum uint64
+	for i := 0; i < histBuckets; i++ {
+		n := h.buckets[i].Load()
+		if cum+n >= rank {
+			lo := float64(0)
+			if i > 0 {
+				lo = float64(uint64(1) << uint(i-1))
+			}
+			hi := float64(upperNs(i)) + 1
+			if i == histBuckets-1 {
+				hi = lo * 2 // open-ended overflow: assume one octave
+			}
+			frac := float64(rank-cum) / float64(n)
+			return (lo + (hi-lo)*frac) / 1e9
+		}
+		cum += n
+	}
+	return float64(upperNs(histBuckets-2)) / 1e9
+}

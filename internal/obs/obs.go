@@ -1,0 +1,23 @@
+// Package obs is the zero-allocation telemetry core: an atomic metrics
+// registry (counters, gauges, fixed-bucket log-scale histograms) with
+// Prometheus text exposition, a preallocated lock-free flight recorder
+// for post-incident forensics, and an in-repo exposition-format parser
+// used by conformance tests and the example dashboard.
+//
+// The package is dependency-free (stdlib only) and built around one
+// discipline, borrowed from the estimator it measures: all telemetry
+// state is bounded and preallocated at registration time, and the record
+// path — Counter.Add, Gauge.Set, Histogram.Observe, Flight.Record — is
+// a handful of atomic operations with zero allocations, so instruments
+// may sit directly on the ingest pipeline without perturbing the
+// zero-allocation hot path. The record paths are annotated
+// //rept:hotpath and gated by AllocsPerRun tests like the estimator's
+// own spine.
+//
+// Registration (Registry.Counter, .Histogram, ...) is NOT the hot path:
+// it locks, allocates, and panics on invalid or duplicate names, because
+// a metrics registry wired wrong should fail at startup, not at scrape
+// time. Collection (WritePrometheus) walks the registry under its lock
+// and is allocation-heavy; it is designed for scrape-rate calls, not
+// per-event ones.
+package obs

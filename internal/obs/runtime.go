@@ -1,0 +1,25 @@
+package obs
+
+import "runtime"
+
+// RegisterRuntime adds Go runtime health series to reg: goroutine
+// count, heap usage, and GC activity. One runtime.ReadMemStats runs per
+// scrape (via an OnCollect hook), shared by all the series below —
+// ReadMemStats stops the world briefly, so it must not run once per
+// series.
+func RegisterRuntime(reg *Registry) {
+	var ms runtime.MemStats
+	reg.OnCollect(func() { runtime.ReadMemStats(&ms) })
+	reg.GaugeFunc("rept_go_goroutines",
+		"Live goroutines.", func() float64 { return float64(runtime.NumGoroutine()) })
+	reg.GaugeFunc("rept_go_heap_alloc_bytes",
+		"Bytes of allocated heap objects.", func() float64 { return float64(ms.HeapAlloc) })
+	reg.GaugeFunc("rept_go_heap_sys_bytes",
+		"Bytes of heap memory obtained from the OS.", func() float64 { return float64(ms.HeapSys) })
+	reg.GaugeFunc("rept_go_heap_objects",
+		"Live heap objects.", func() float64 { return float64(ms.HeapObjects) })
+	reg.CounterFunc("rept_go_gc_cycles_total",
+		"Completed GC cycles.", func() uint64 { return uint64(ms.NumGC) })
+	reg.FloatCounterFunc("rept_go_gc_pause_seconds_total",
+		"Cumulative stop-the-world GC pause time.", func() float64 { return float64(ms.PauseTotalNs) / 1e9 })
+}

@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"rept/internal/obs"
 	"rept/internal/shard"
 )
 
@@ -31,6 +32,12 @@ type Config struct {
 	// TopK is the size of the precomputed heavy-hitter ranking (default
 	// DefaultTopK; meaningless without local tracking).
 	TopK int
+	// PublishHist, when non-nil, records the latency of every epoch
+	// materialization (barrier snapshot + view build + atomic swap).
+	PublishHist *obs.Histogram
+	// Flight, when non-nil, receives one view_publish event per epoch
+	// (value = the epoch number).
+	Flight *obs.Flight
 }
 
 // Source is the ingest side a Publisher reads from; *shard.Sharded
@@ -104,24 +111,30 @@ func (p *Publisher) Refresh() *View { return p.publish() }
 func (p *Publisher) publish() *View {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	obs := p.src.Observe()
+	start := time.Now()
+	o := p.src.Observe()
 	p.epoch++
 	v := &View{
 		Epoch:          p.epoch,
 		Taken:          time.Now(),
-		Global:         obs.Estimate.Global,
-		Variance:       obs.Estimate.Variance,
-		EtaHat:         obs.Estimate.EtaHat,
-		Processed:      obs.Processed,
-		Deleted:        obs.Deleted,
-		SelfLoops:      obs.SelfLoops,
-		SampledEdges:   obs.SampledEdges,
-		EtaSaturations: obs.EtaSaturations,
-		Local:          obs.Estimate.Local,
-		Degrees:        obs.Degrees,
+		Global:         o.Estimate.Global,
+		Variance:       o.Estimate.Variance,
+		EtaHat:         o.Estimate.EtaHat,
+		Processed:      o.Processed,
+		Deleted:        o.Deleted,
+		SelfLoops:      o.SelfLoops,
+		SampledEdges:   o.SampledEdges,
+		EtaSaturations: o.EtaSaturations,
+		Local:          o.Estimate.Local,
+		Degrees:        o.Degrees,
 	}
 	v.buildTopK(p.cfg.TopK)
 	p.cur.Store(v)
+	if p.cfg.PublishHist != nil {
+		d := time.Since(start)
+		p.cfg.PublishHist.ObserveDuration(d)
+		p.cfg.Flight.Record(obs.KindViewPublish, -1, v.Epoch, d)
+	}
 	return v
 }
 

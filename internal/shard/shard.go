@@ -26,9 +26,12 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"time"
+
 	"rept/internal/core"
 	"rept/internal/graph"
 	"rept/internal/hashing"
+	"rept/internal/obs"
 	"rept/internal/snapshot"
 )
 
@@ -80,6 +83,13 @@ type Config struct {
 	// QueueLen is the per-shard channel depth in batches (default 8).
 	// Producers block once a shard falls this far behind (backpressure).
 	QueueLen int
+	// Obs attaches pipeline telemetry: dispatch/queue-wait/apply/barrier
+	// stage histograms, per-shard queue-depth and events-applied series,
+	// and flight-recorder events. Nil disables instrumentation at zero
+	// cost on the per-event path. Obs is operational state, NOT part of
+	// the snapshot fingerprint — a snapshot taken with telemetry on
+	// restores into a coordinator with it off and vice versa.
+	Obs *obs.Pipeline
 }
 
 // Validate reports whether the configuration is usable.
@@ -250,6 +260,12 @@ type Sharded struct {
 	processed atomic.Uint64
 	deleted   atomic.Uint64
 	selfLoops atomic.Uint64
+
+	// obs is the optional pipeline telemetry (Config.Obs); batchEv holds
+	// the per-shard last-batch-size gauges, indexed like engines. Both
+	// are nil when telemetry is off.
+	obs     *obs.Pipeline
+	batchEv []*obs.Gauge
 }
 
 // New builds a Sharded coordinator and starts its shard goroutines.
@@ -302,6 +318,17 @@ func build(cfg Config, restore []snapshot.EngineState, restoreDegrees map[graph.
 		}
 		s.engines[i] = eng
 		s.chans[i] = make(chan msg, queueLen)
+	}
+	if cfg.Obs != nil {
+		s.obs = cfg.Obs
+		s.batchEv = make([]*obs.Gauge, len(s.engines))
+		for i := range s.engines {
+			lbl := obs.ShardLabel(i)
+			ch := s.chans[i]
+			s.obs.ShardQueueDepth.Func(lbl, func() float64 { return float64(len(ch)) })
+			s.batchEv[i] = s.obs.ShardBatchEvents.With(lbl)
+			s.engines[i].Instrument(s.obs.ShardApplied.With(lbl))
+		}
 	}
 	s.cur = s.getBatch()
 	s.done.Add(len(s.engines))
@@ -389,7 +416,16 @@ func (s *Sharded) run(i int) {
 			m.bar.wg.Done()
 			continue
 		}
-		eng.ApplyAll(m.b.ups)
+		if s.obs != nil {
+			start := time.Now()
+			eng.ApplyAll(m.b.ups)
+			d := time.Since(start)
+			s.obs.Apply.ObserveDuration(d)
+			s.batchEv[i].SetInt(len(m.b.ups))
+			s.obs.Flight.Record(obs.KindApply, int32(i), uint64(len(m.b.ups)), d)
+		} else {
+			eng.ApplyAll(m.b.ups)
+		}
 		if m.b.refs.Add(-1) == 0 {
 			s.putBatch(m.b)
 		}
@@ -455,6 +491,10 @@ func (s *Sharded) AddAll(edges []graph.Edge) {
 		accepted, loops uint64
 		buf             [pendInline]sendItem
 	)
+	var start time.Time
+	if s.obs != nil {
+		start = time.Now()
+	}
 	pend := buf[:0]
 	s.mu.Lock()
 	if s.closed {
@@ -477,6 +517,11 @@ func (s *Sharded) AddAll(edges []graph.Edge) {
 	s.selfLoops.Add(loops)
 	s.mu.Unlock()
 	s.sendAll(pend)
+	if s.obs != nil {
+		d := time.Since(start)
+		s.obs.Dispatch.ObserveDuration(d)
+		s.obs.Flight.Record(obs.KindDispatch, -1, accepted, d)
+	}
 }
 
 // ApplyAll feeds a slice of signed stream events in order under one
@@ -488,6 +533,10 @@ func (s *Sharded) ApplyAll(ups []graph.Update) {
 		accepted, dels, loops uint64
 		buf                   [pendInline]sendItem
 	)
+	var start time.Time
+	if s.obs != nil {
+		start = time.Now()
+	}
 	pend := buf[:0]
 	if !s.cfg.FullyDynamic {
 		for _, up := range ups {
@@ -521,6 +570,11 @@ func (s *Sharded) ApplyAll(ups []graph.Update) {
 	s.selfLoops.Add(loops)
 	s.mu.Unlock()
 	s.sendAll(pend)
+	if s.obs != nil {
+		d := time.Since(start)
+		s.obs.Dispatch.ObserveDuration(d)
+		s.obs.Flight.Record(obs.KindDispatch, -1, accepted, d)
+	}
 }
 
 // sendItem is one ticketed delivery detached under the ingest mutex and
@@ -555,6 +609,10 @@ func (s *Sharded) detachLocked() (uint64, *batch) {
 // holds no ingest mutex, so other producers keep appending meanwhile.
 func (s *Sharded) send(ticket uint64, m msg) {
 	m.ticket = ticket
+	var start time.Time
+	if s.obs != nil {
+		start = time.Now()
+	}
 	s.sendMu.Lock()
 	for s.sentSeq+1 != ticket {
 		s.sendCond.Wait()
@@ -571,6 +629,11 @@ func (s *Sharded) send(ticket uint64, m msg) {
 	s.sentSeq = ticket
 	s.sendCond.Broadcast()
 	s.sendMu.Unlock()
+	if s.obs != nil {
+		// Queue wait covers the ordered-delivery wait plus the (possibly
+		// backpressured) channel sends for this ticket.
+		s.obs.QueueWait.ObserveSince(start)
+	}
 }
 
 // sendAll delivers the pending items collected by one critical section.
@@ -597,6 +660,10 @@ func (s *Sharded) waitSent(ticket uint64) {
 // collects full engine states (for checkpoints) instead of aggregates.
 func (s *Sharded) barrier(wantStates bool) *barrier {
 	var buf [2]sendItem
+	var start time.Time
+	if s.obs != nil {
+		start = time.Now()
+	}
 	pend := buf[:0]
 	s.mu.Lock()
 	if s.closed {
@@ -627,6 +694,11 @@ func (s *Sharded) barrier(wantStates bool) *barrier {
 	s.mu.Unlock()
 	s.sendAll(pend)
 	bar.wg.Wait()
+	if s.obs != nil {
+		d := time.Since(start)
+		s.obs.Barrier.ObserveDuration(d)
+		s.obs.Flight.Record(obs.KindBarrier, -1, bar.processed, d)
+	}
 	return bar
 }
 

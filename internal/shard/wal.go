@@ -6,6 +6,7 @@ import (
 
 	"rept/internal/core"
 	"rept/internal/graph"
+	"rept/internal/obs"
 	"rept/internal/wal"
 )
 
@@ -149,6 +150,10 @@ func (s *Sharded) ApplyAllDurable(ups []graph.Update) error {
 		accepted, dels, loops uint64
 		buf                   [pendInline]sendItem
 	)
+	var start time.Time
+	if s.obs != nil {
+		start = time.Now()
+	}
 	pend := buf[:0]
 	if !s.cfg.FullyDynamic {
 		for _, up := range ups {
@@ -198,6 +203,13 @@ func (s *Sharded) ApplyAllDurable(ups []graph.Update) error {
 	w := s.wal
 	s.mu.Unlock()
 	s.sendAll(pend)
+	if s.obs != nil {
+		// Dispatch covers batching and fan-out; the durability wait below
+		// is accounted to the WAL append/fsync histograms instead.
+		d := time.Since(start)
+		s.obs.Dispatch.ObserveDuration(d)
+		s.obs.Flight.Record(obs.KindDispatch, -1, accepted, d)
+	}
 	return w.wait(wait)
 }
 

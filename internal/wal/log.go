@@ -8,8 +8,10 @@ import (
 	"io"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"rept/internal/graph"
+	"rept/internal/obs"
 )
 
 // DefaultSegmentBytes is the rotation threshold when Options leaves
@@ -22,6 +24,16 @@ type Options struct {
 	// the active segment at or past this many bytes, the segment is
 	// sealed and a fresh one started. Defaults to DefaultSegmentBytes.
 	SegmentBytes int64
+	// AppendHist, when non-nil, records the latency of every Append
+	// (record encode plus buffered write). Telemetry only; nil disables.
+	AppendHist *obs.Histogram
+	// SyncHist, when non-nil, records the latency of every Commit sync —
+	// the group-commit fsync, usually the widest bar in the pipeline.
+	SyncHist *obs.Histogram
+	// Flight, when non-nil, receives one wal_append event per Append
+	// (value = events in the record) and one wal_sync event per Commit
+	// (value = the durable stream position).
+	Flight *obs.Flight
 }
 
 // Stats is a point-in-time view of a Log's positions and size, safe to
@@ -56,6 +68,12 @@ type Log struct {
 	fp uint64
 
 	segBytes int64
+
+	// Telemetry instruments (Options.AppendHist/SyncHist/Flight); nil
+	// when off.
+	appendHist *obs.Histogram
+	syncHist   *obs.Histogram
+	flight     *obs.Flight
 
 	// Appender-owned state (single goroutine).
 	buf         []byte
@@ -93,12 +111,15 @@ func open(be Backend, fp uint64, opt Options, pos, ckptPos uint64, sealed []segm
 		segBytes = DefaultSegmentBytes
 	}
 	l := &Log{
-		be:       be,
-		fp:       fp,
-		segBytes: segBytes,
-		pos:      pos,
-		ckptPos:  ckptPos,
-		sealed:   sealed,
+		be:         be,
+		fp:         fp,
+		segBytes:   segBytes,
+		appendHist: opt.AppendHist,
+		syncHist:   opt.SyncHist,
+		flight:     opt.Flight,
+		pos:        pos,
+		ckptPos:    ckptPos,
+		sealed:     sealed,
 	}
 	// A recovered segment whose base is exactly pos would collide with
 	// the new active segment's name. Its clean extent is necessarily
@@ -156,6 +177,10 @@ func (l *Log) Append(ups []graph.Update) error {
 	if l.err != nil {
 		return l.err
 	}
+	var start time.Time
+	if l.appendHist != nil {
+		start = time.Now()
+	}
 	l.buf = l.buf[:0]
 	l.buf = append(l.buf, 0, 0, 0, 0, 0, 0, 0, 0) // length + crc backfilled below
 	var tmp [binary.MaxVarintLen64]byte
@@ -184,6 +209,11 @@ func (l *Log) Append(ups []graph.Update) error {
 	l.activeBytes += int64(len(l.buf))
 	l.statAppended.Store(l.pos)
 	l.statActiveB.Store(l.activeBytes)
+	if l.appendHist != nil {
+		d := time.Since(start)
+		l.appendHist.ObserveDuration(d)
+		l.flight.Record(obs.KindWALAppend, -1, uint64(len(ups)), d)
+	}
 	return nil
 }
 
@@ -194,10 +224,19 @@ func (l *Log) Commit() error {
 	if l.err != nil {
 		return l.err
 	}
+	var start time.Time
+	if l.syncHist != nil {
+		start = time.Now()
+	}
 	if err := l.active.Sync(); err != nil {
 		l.err = err
 		l.statFailed.Store(true)
 		return err
+	}
+	if l.syncHist != nil {
+		d := time.Since(start)
+		l.syncHist.ObserveDuration(d)
+		l.flight.Record(obs.KindWALSync, -1, l.pos, d)
 	}
 	l.statDurable.Store(l.pos)
 	if l.activeBytes >= l.segBytes {

@@ -51,11 +51,16 @@ type ViewConfig struct {
 // StartViews returns. StartViews errors if views are already running;
 // Close stops the publisher.
 func (c *Concurrent) StartViews(cfg ViewConfig) (*Views, error) {
-	p := query.NewPublisher(c.sh, query.Config{
+	qcfg := query.Config{
 		Interval:   cfg.Interval,
 		EveryEdges: cfg.EveryEdges,
 		TopK:       cfg.TopK,
-	})
+	}
+	if pipe := c.tele.obsPipeline(); pipe != nil {
+		qcfg.PublishHist = pipe.ViewPublish
+		qcfg.Flight = pipe.Flight
+	}
+	p := query.NewPublisher(c.sh, qcfg)
 	if !c.views.CompareAndSwap(nil, p) {
 		p.Close()
 		return nil, errViewsStarted
