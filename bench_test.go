@@ -207,6 +207,117 @@ func BenchmarkConcurrentPerEdge(b *testing.B) { benchConcurrentPerEdge(b, false)
 // always-on-instrumentation budget.
 func BenchmarkREPTPerEdgeInstrumented(b *testing.B) { benchConcurrentPerEdge(b, true) }
 
+// batchStream is the workload for the wholesale-ingest benchmarks: a
+// sparse Erdős–Rényi stream (2000 nodes, mean degree 8) whose working
+// set stays cache-resident, so the numbers measure the ingest path —
+// dispatch, ring hand-off, mask-pruned apply — rather than DRAM latency
+// on a growing graph. Degree 8 also keeps the presence-mask
+// intersection tight: most events visit only their storing processor.
+var batchStream = gen.Shuffle(gen.ErdosRenyi(2000, 8000, 7), 5)
+
+// benchBatchSteady drives wholesale 8192-event batches through one warm
+// Concurrent estimator: two priming passes build the graph and settle
+// every pool and table, then the timed region cycles the stream (edge
+// re-arrivals are ordinary stream events — REPT pins duplicates — so
+// the measurement is the steady-state per-event cost of the batch path,
+// free of setup-phase growth and GC traffic).
+func benchBatchSteady(b *testing.B, cfg rept.ConcurrentConfig) {
+	const span = 8192
+	est, err := rept.NewConcurrent(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer est.Close()
+	var batch rept.Batch
+	feed := func(n int) {
+		done := 0
+		for done < n {
+			for i := 0; i < len(batchStream) && done < n; i += span {
+				end := i + span
+				if end > len(batchStream) {
+					end = len(batchStream)
+				}
+				if rem := n - done; end-i > rem {
+					end = i + rem
+				}
+				batch.Reset()
+				for _, e := range batchStream[i:end] {
+					batch.Insert(e.U, e.V)
+				}
+				est.ApplyBatch(&batch)
+				done += end - i
+			}
+		}
+	}
+	feed(2 * len(batchStream))
+	b.ReportAllocs()
+	b.ResetTimer()
+	feed(b.N)
+}
+
+// BenchmarkBatchIngestPerEvent measures the steady-state per-event cost
+// of wholesale batch ingest — whole bodies through Concurrent.ApplyBatch,
+// the path an NDJSON request takes through reptserve — on one shard of
+// 64 processors in a single group (m = c = 64, counting only), the
+// engine's presence-mask fast path. CI holds it to at most half of
+// BenchmarkApplyAllPerEvent (benchdiff -pair @0.5).
+func BenchmarkBatchIngestPerEvent(b *testing.B) {
+	benchBatchSteady(b, rept.ConcurrentConfig{M: 64, C: 64, Shards: 1, Seed: 1})
+}
+
+// BenchmarkApplyAllPerEvent is the chunked-broadcast twin of
+// BenchmarkBatchIngestPerEvent: the identical stream, configuration, and
+// steady-state harness, fed through ApplyAll in 512-event request
+// chunks — the pre-wholesale ingest shape, which broadcasts every event
+// to every processor. The pair ratio is the speedup the batch path buys.
+func BenchmarkApplyAllPerEvent(b *testing.B) {
+	cfg := rept.ConcurrentConfig{M: 64, C: 64, Shards: 1, Seed: 1}
+	est, err := rept.NewConcurrent(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer est.Close()
+	ups := make([]rept.Update, len(batchStream))
+	for i, e := range batchStream {
+		ups[i] = rept.Update{U: e.U, V: e.V}
+	}
+	feed := func(n int) {
+		done := 0
+		for done < n {
+			for i := 0; i < len(ups) && done < n; i += 512 {
+				end := i + 512
+				if end > len(ups) {
+					end = len(ups)
+				}
+				if rem := n - done; end-i > rem {
+					end = i + rem
+				}
+				est.ApplyAll(ups[i:end])
+				done += end - i
+			}
+		}
+	}
+	feed(2 * len(ups))
+	b.ReportAllocs()
+	b.ResetTimer()
+	feed(b.N)
+}
+
+// benchScalingShards is the shard-scaling curve of the bench artifact:
+// the same steady-state wholesale workload with a fixed processor
+// budget (m=8, c=64, so 8 groups) spread across k engine shards. On a
+// single-core runner the curve is flat-to-rising — extra shards only
+// add hand-off work — while on a multi-core box it bends down until the
+// rings saturate memory bandwidth.
+func benchScalingShards(b *testing.B, shards int) {
+	benchBatchSteady(b, rept.ConcurrentConfig{M: 8, C: 64, Shards: shards, Seed: 1})
+}
+
+func BenchmarkScalingShards1(b *testing.B) { benchScalingShards(b, 1) }
+func BenchmarkScalingShards2(b *testing.B) { benchScalingShards(b, 2) }
+func BenchmarkScalingShards4(b *testing.B) { benchScalingShards(b, 4) }
+func BenchmarkScalingShards8(b *testing.B) { benchScalingShards(b, 8) }
+
 // BenchmarkREPTPerEdgeParallel is the same configuration spread over
 // worker goroutines.
 func BenchmarkREPTPerEdgeParallel(b *testing.B) {

@@ -19,8 +19,12 @@
 // sides come from the same run on the same hardware, so the comparison
 // is immune to the cross-hardware skips below — it is how CI bounds the
 // overhead of always-on instrumentation (the instrumented ingest
-// benchmark must stay within 5% of its uninstrumented twin). -pair
-// composes with the baseline gate or runs alone with just -new.
+// benchmark must stay within 5% of its uninstrumented twin). An entry
+// may carry an explicit ratio cap as A=B@maxRatio — e.g.
+// BenchmarkBatchIngestPerEvent=BenchmarkApplyAllPerEvent@0.5 fails
+// unless A is at least 2× faster than B — which overrides
+// -pair-threshold for that entry. -pair composes with the baseline gate
+// or runs alone with just -new.
 //
 // With -latest, the baseline is resolved through a pointer file holding
 // the committed baseline's file name (relative to the pointer's
@@ -31,10 +35,13 @@
 //
 // A benchmark listed in -bench but missing from the old file is skipped
 // with a note (the trajectory starts somewhere); missing from the new
-// file is an error (the suite lost a tracked benchmark). When the same
-// benchmark appears several times in one file (the full -benchtime=1x
-// sweep plus a dedicated longer run), the run with the most iterations
-// wins — it is the statistically meaningful one.
+// file is an error (the suite lost a tracked benchmark). Likewise, ANY
+// benchmark recorded in the baseline but absent from the fresh run is a
+// hard error — a renamed benchmark would otherwise drop out of the gate
+// silently, with the old name skipped as "no baseline" forever. When
+// the same benchmark appears several times in one file (the full
+// -benchtime=1x sweep plus a dedicated longer run), the run with the
+// most iterations wins — it is the statistically meaningful one.
 package main
 
 import (
@@ -54,7 +61,7 @@ import (
 // the insert-only, fully-dynamic, and durable (write-ahead-logged)
 // per-event costs. A benchmark missing from the old baseline is skipped
 // with a note, so newly added datapoints phase in on their first run.
-const defaultBenchmarks = "BenchmarkREPTPerEdge,BenchmarkFullyDynamicChurnPerEvent,BenchmarkREPTPerEdgeWAL"
+const defaultBenchmarks = "BenchmarkREPTPerEdge,BenchmarkFullyDynamicChurnPerEvent,BenchmarkREPTPerEdgeWAL,BenchmarkBatchIngestPerEvent"
 
 // result is one parsed benchmark line.
 type result struct {
@@ -257,15 +264,31 @@ func run(args []string) error {
 			failures = append(failures, fmt.Sprintf("%s regressed %.1f%% (threshold %.0f%%)", name, (ratio-1)*100, *threshold*100))
 		}
 	}
+	// Every benchmark the baseline recorded must appear in the fresh run:
+	// a silent disappearance is how a renamed benchmark drops out of the
+	// gate (the new name starts a fresh trajectory, the old name is never
+	// compared again).
+	var missing []string
+	for name := range oldRes {
+		if _, ok := newRes[name]; !ok {
+			missing = append(missing, name)
+		}
+	}
+	if len(missing) > 0 {
+		sort.Strings(missing)
+		return fmt.Errorf("baseline benchmark(s) missing from %s: %s — if renamed, gate the new name AND re-record the baseline (the rename otherwise silently drops the trajectory); if deleted on purpose, re-record the baseline without it", *newPath, strings.Join(missing, ", "))
+	}
 	if len(failures) > 0 {
 		return fmt.Errorf("per-event ingest regression:\n  %s", strings.Join(failures, "\n  "))
 	}
 	return nil
 }
 
-// checkPairs evaluates the -pair A=B gates against one recording: both
-// sides must be present (a dropped benchmark fails loudly, like a
-// dropped -bench entry), and A may not exceed B by more than threshold.
+// checkPairs evaluates the -pair A=B[@maxRatio] gates against one
+// recording: both sides must be present (a dropped benchmark fails
+// loudly, like a dropped -bench entry), and A may not exceed B by more
+// than threshold — or, with an explicit @maxRatio suffix, A/B may not
+// exceed that absolute ratio (e.g. @0.5 demands A at least 2× faster).
 func checkPairs(res map[string]result, pairs string, threshold float64, path string) error {
 	if pairs == "" {
 		return nil
@@ -279,7 +302,16 @@ func checkPairs(res map[string]result, pairs string, threshold float64, path str
 		a, b, ok := strings.Cut(p, "=")
 		a, b = strings.TrimSpace(a), strings.TrimSpace(b)
 		if !ok || a == "" || b == "" {
-			return fmt.Errorf("-pair entry %q is not of the form A=B", p)
+			return fmt.Errorf("-pair entry %q is not of the form A=B[@maxRatio]", p)
+		}
+		maxRatio := 1 + threshold
+		if b2, capStr, found := strings.Cut(b, "@"); found {
+			b = strings.TrimSpace(b2)
+			r, err := strconv.ParseFloat(strings.TrimSpace(capStr), 64)
+			if err != nil || r <= 0 || b == "" {
+				return fmt.Errorf("-pair entry %q: ratio cap %q is not a positive number", p, capStr)
+			}
+			maxRatio = r
 		}
 		ra, okA := res[a]
 		rb, okB := res[b]
@@ -287,9 +319,9 @@ func checkPairs(res map[string]result, pairs string, threshold float64, path str
 			return fmt.Errorf("-pair %s: %s present=%v, %s present=%v in %s (tracked benchmark dropped?)", p, a, okA, b, okB, path)
 		}
 		ratio := ra.nsOp / rb.nsOp
-		fmt.Printf("%-40s %12.1f ns/op vs %s %.1f ns/op (%+.1f%%)\n", a, ra.nsOp, b, rb.nsOp, (ratio-1)*100)
-		if ratio > 1+threshold {
-			failures = append(failures, fmt.Sprintf("%s exceeds %s by %.1f%% (threshold %.0f%%)", a, b, (ratio-1)*100, threshold*100))
+		fmt.Printf("%-40s %12.1f ns/op vs %s %.1f ns/op (ratio %.2f, max %.2f)\n", a, ra.nsOp, b, rb.nsOp, ratio, maxRatio)
+		if ratio > maxRatio {
+			failures = append(failures, fmt.Sprintf("%s is %.2f× %s, exceeding the %.2f× cap", a, ratio, b, maxRatio))
 		}
 	}
 	if len(failures) > 0 {

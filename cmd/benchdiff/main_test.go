@@ -107,11 +107,13 @@ func TestRunPassesWithinThreshold(t *testing.T) {
 		"BenchmarkREPTPerEdge-8 \\t 1000000 \\t 1000 ns/op",
 		"BenchmarkFullyDynamicChurnPerEvent-8 \\t 1000000 \\t 800 ns/op",
 		"BenchmarkREPTPerEdgeWAL-8 \\t 1000000 \\t 1500 ns/op",
+		"BenchmarkBatchIngestPerEvent-8 \\t 1000000 \\t 180 ns/op",
 	))
 	fresh := writeFile(t, dir, "new.json", jsonBench(
 		"BenchmarkREPTPerEdge-8 \\t 1000000 \\t 1200 ns/op", // +20% < 25%
 		"BenchmarkFullyDynamicChurnPerEvent-8 \\t 1000000 \\t 500 ns/op",
 		"BenchmarkREPTPerEdgeWAL-8 \\t 1000000 \\t 1600 ns/op",
+		"BenchmarkBatchIngestPerEvent-8 \\t 1000000 \\t 190 ns/op",
 	))
 	if err := run([]string{"-old", old, "-new", fresh}); err != nil {
 		t.Errorf("run failed within threshold: %v", err)
@@ -124,11 +126,13 @@ func TestRunFailsOnRegression(t *testing.T) {
 		"BenchmarkREPTPerEdge-8 \\t 1000000 \\t 1000 ns/op",
 		"BenchmarkFullyDynamicChurnPerEvent-8 \\t 1000000 \\t 800 ns/op",
 		"BenchmarkREPTPerEdgeWAL-8 \\t 1000000 \\t 1500 ns/op",
+		"BenchmarkBatchIngestPerEvent-8 \\t 1000000 \\t 180 ns/op",
 	))
 	fresh := writeFile(t, dir, "new.json", jsonBench(
 		"BenchmarkREPTPerEdge-8 \\t 1000000 \\t 1300 ns/op", // +30% > 25%
 		"BenchmarkFullyDynamicChurnPerEvent-8 \\t 1000000 \\t 800 ns/op",
 		"BenchmarkREPTPerEdgeWAL-8 \\t 1000000 \\t 1500 ns/op",
+		"BenchmarkBatchIngestPerEvent-8 \\t 1000000 \\t 180 ns/op",
 	))
 	err := run([]string{"-old", old, "-new", fresh})
 	if err == nil || !strings.Contains(err.Error(), "BenchmarkREPTPerEdge regressed") {
@@ -148,9 +152,38 @@ func TestRunMissingTrackedBenchmark(t *testing.T) {
 		t.Error("run succeeded with a tracked benchmark missing from the fresh file")
 	}
 	// A benchmark absent from the BASELINE is fine: the trajectory has to
-	// start somewhere.
-	if err := run([]string{"-old", fresh, "-new", old, "-bench", "BenchmarkREPTPerEdge"}); err != nil {
-		t.Errorf("run failed when only the baseline lacks the benchmark: %v", err)
+	// start somewhere. (The fresh run is a superset of the baseline, so
+	// the completeness scan stays quiet.)
+	superset := writeFile(t, dir, "superset.json", jsonBench(
+		"BenchmarkREPTPerEdge-8 \\t 1000000 \\t 1000 ns/op",
+		"BenchmarkOther-8 \\t 1000000 \\t 1000 ns/op",
+	))
+	if err := run([]string{"-old", old, "-new", superset, "-bench", "BenchmarkREPTPerEdge,BenchmarkOther"}); err != nil {
+		t.Errorf("run failed when only the baseline lacks a benchmark: %v", err)
+	}
+}
+
+// TestRunFailsOnBaselineBenchmarkMissing is the regression test for the
+// silent rename drop: a benchmark recorded in the baseline but absent
+// from the fresh run historically passed (the per-name loop only checks
+// the -bench list), so renaming a benchmark quietly removed it from the
+// gate. It must be a hard failure carrying a rename hint.
+func TestRunFailsOnBaselineBenchmarkMissing(t *testing.T) {
+	dir := t.TempDir()
+	old := writeFile(t, dir, "old.json", jsonBench(
+		"BenchmarkREPTPerEdge-8 \\t 1000000 \\t 1000 ns/op",
+		"BenchmarkRenamedAway-8 \\t 1000000 \\t 500 ns/op",
+	))
+	fresh := writeFile(t, dir, "new.json", jsonBench(
+		"BenchmarkREPTPerEdge-8 \\t 1000000 \\t 1000 ns/op",
+		"BenchmarkFreshName-8 \\t 1000000 \\t 480 ns/op",
+	))
+	err := run([]string{"-old", old, "-new", fresh, "-bench", "BenchmarkREPTPerEdge"})
+	if err == nil {
+		t.Fatal("run passed with a baseline benchmark missing from the fresh run")
+	}
+	if !strings.Contains(err.Error(), "BenchmarkRenamedAway") || !strings.Contains(err.Error(), "renamed") {
+		t.Errorf("error %q must name the vanished benchmark and hint at a rename", err)
 	}
 }
 
@@ -164,11 +197,13 @@ func TestRunLatestPointer(t *testing.T) {
 		"BenchmarkREPTPerEdge-8 \\t 1000000 \\t 1000 ns/op",
 		"BenchmarkFullyDynamicChurnPerEvent-8 \\t 1000000 \\t 800 ns/op",
 		"BenchmarkREPTPerEdgeWAL-8 \\t 1000000 \\t 1500 ns/op",
+		"BenchmarkBatchIngestPerEvent-8 \\t 1000000 \\t 180 ns/op",
 	))
 	fresh := writeFile(t, dir, "BENCH_new.json", jsonBench(
 		"BenchmarkREPTPerEdge-8 \\t 1000000 \\t 1300 ns/op", // +30% > 25%
 		"BenchmarkFullyDynamicChurnPerEvent-8 \\t 1000000 \\t 800 ns/op",
 		"BenchmarkREPTPerEdgeWAL-8 \\t 1000000 \\t 1500 ns/op",
+		"BenchmarkBatchIngestPerEvent-8 \\t 1000000 \\t 180 ns/op",
 	))
 	pointer := filepath.Join(dir, "LATEST")
 
@@ -231,8 +266,40 @@ func TestRunPairFailsOnOverhead(t *testing.T) {
 	))
 	err := run([]string{"-new", fresh,
 		"-pair", "BenchmarkREPTPerEdgeInstrumented=BenchmarkConcurrentPerEdge"})
-	if err == nil || !strings.Contains(err.Error(), "BenchmarkREPTPerEdgeInstrumented exceeds BenchmarkConcurrentPerEdge") {
-		t.Errorf("run = %v, want a pair-overhead failure", err)
+	if err == nil || !strings.Contains(err.Error(), "BenchmarkREPTPerEdgeInstrumented is 1.08× BenchmarkConcurrentPerEdge") {
+		t.Errorf("run = %v, want a pair-overhead failure naming both sides and the ratio", err)
+	}
+}
+
+// TestRunPairRatioCap: an A=B@maxRatio entry gates on an absolute ratio
+// instead of 1+pair-threshold — the batch-vs-per-event speedup gate
+// (@0.5 = "batch must be at least 2× faster") rides on this.
+func TestRunPairRatioCap(t *testing.T) {
+	dir := t.TempDir()
+	fresh := writeFile(t, dir, "new.json", jsonBench(
+		"BenchmarkApplyAllPerEvent-8 \\t 1000000 \\t 1000 ns/op",
+		"BenchmarkBatchIngestPerEvent-8 \\t 1000000 \\t 400 ns/op", // 0.40 ≤ 0.5
+	))
+	if err := run([]string{"-new", fresh,
+		"-pair", "BenchmarkBatchIngestPerEvent=BenchmarkApplyAllPerEvent@0.5"}); err != nil {
+		t.Errorf("pair gate failed under the explicit ratio cap: %v", err)
+	}
+
+	slow := writeFile(t, dir, "slow.json", jsonBench(
+		"BenchmarkApplyAllPerEvent-8 \\t 1000000 \\t 1000 ns/op",
+		"BenchmarkBatchIngestPerEvent-8 \\t 1000000 \\t 600 ns/op", // 0.60 > 0.5
+	))
+	err := run([]string{"-new", slow,
+		"-pair", "BenchmarkBatchIngestPerEvent=BenchmarkApplyAllPerEvent@0.5"})
+	if err == nil || !strings.Contains(err.Error(), "0.50× cap") {
+		t.Errorf("run = %v, want a failure against the 0.50× cap", err)
+	}
+
+	// A malformed cap must be a configuration error, not a silent pass.
+	err = run([]string{"-new", fresh,
+		"-pair", "BenchmarkBatchIngestPerEvent=BenchmarkApplyAllPerEvent@fast"})
+	if err == nil || !strings.Contains(err.Error(), "not a positive number") {
+		t.Errorf("run = %v, want a malformed-cap error", err)
 	}
 }
 

@@ -195,9 +195,10 @@ func TestIngestAccountingOnShutdown(t *testing.T) {
 		t.Errorf("estimator processed %d events through a stopped server", est.Processed())
 	}
 
-	// More lines than one batch: the mid-loop flush refuses too.
+	// More lines than the body-batch bound: the mid-loop flush refuses
+	// too.
 	var big strings.Builder
-	for i := 0; i < ingestBatchLen+10; i++ {
+	for i := 0; i < maxBodyBatch+10; i++ {
 		big.WriteString(`{"u":1,"v":2}` + "\n")
 	}
 	resp2, err := http.Post(ts.URL+"/edges", "application/x-ndjson", strings.NewReader(big.String()))

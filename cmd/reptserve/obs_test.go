@@ -106,19 +106,22 @@ func TestMetricsConformance(t *testing.T) {
 		}
 	}
 
-	// The all-endpoints counter was renamed to a conforming name; the old
-	// misnamed series stays one release as an untyped alias with the same
-	// value.
-	canon, ok1 := exp.Sample("rept_http_requests_all_total")
-	alias, ok2 := exp.Sample("rept_http_requests_total_all")
-	if !ok1 || !ok2 {
-		t.Fatalf("renamed counter present=%v, deprecated alias present=%v, want both", ok1, ok2)
+	// The all-endpoints counter was renamed to a conforming name; the
+	// deprecated rept_http_requests_total_all alias was kept exactly one
+	// release and must now be gone from the exposition.
+	if _, ok := exp.Sample("rept_http_requests_all_total"); !ok {
+		t.Fatal("renamed counter rept_http_requests_all_total missing")
 	}
-	if canon != alias {
-		t.Errorf("alias value %v != canonical value %v", alias, canon)
+	if f := exp.Family("rept_http_requests_total_all"); f != nil {
+		t.Errorf("deprecated alias rept_http_requests_total_all still exposed: %+v", f)
 	}
-	if f := exp.Family("rept_http_requests_total_all"); f == nil || f.Type != "untyped" || !strings.Contains(f.Help, "DEPRECATED") {
-		t.Errorf("deprecated alias must be TYPE untyped with a DEPRECATED help string, got %+v", f)
+
+	// The batch-size histogram registers with every telemetry bundle and
+	// records on each delivered batch ticket.
+	if f := exp.Family("rept_batch_events"); f == nil || f.Type != "histogram" {
+		t.Errorf("rept_batch_events must be a histogram family, got %+v", f)
+	} else if histCount(exp, "rept_batch_events") == 0 {
+		t.Error("rept_batch_events_count = 0 after ingest, want > 0")
 	}
 
 	// Every stage a non-durable ingest exercises must have recorded:

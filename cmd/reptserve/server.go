@@ -21,10 +21,13 @@ import (
 	"rept/internal/obs"
 )
 
-// ingestBatchLen is how many parsed NDJSON edges are handed to the
-// estimator per AddAll call; it bounds per-request memory regardless of
-// body size.
-const ingestBatchLen = 512
+// maxBodyBatch is the most parsed NDJSON events buffered before a
+// forced hand-off to the estimator. Whole request bodies below it are
+// ingested as ONE wholesale batch (one delivery ticket, one ring
+// message per shard — the amortization ApplyBatch exists for); it
+// bounds per-request memory for unbounded streaming bodies at ~1 MiB
+// of events.
+const maxBodyBatch = 65536
 
 // maxLineLen bounds one NDJSON line (1 MiB, matching the stream reader).
 const maxLineLen = 1 << 20
@@ -236,13 +239,9 @@ func (s *Server) registerMetrics() {
 	}
 	reg.CounterFunc("rept_http_requests_all_total",
 		"HTTP requests served, all endpoints.", s.requests.Load)
-	// Deprecated alias of rept_http_requests_all_total, kept one release
-	// past the rename (the _total_all suffix violates the Prometheus
-	// naming convention; untyped because a counter may not carry a
-	// non-_total name).
-	reg.UntypedFunc("rept_http_requests_total_all",
-		"DEPRECATED: renamed rept_http_requests_all_total; this alias will be removed next release.",
-		func() float64 { return float64(s.requests.Load()) })
+	// The deprecated rept_http_requests_total_all alias was kept exactly
+	// one release past the rename and is now gone; dashboards must use
+	// rept_http_requests_all_total.
 	httpVec := reg.CounterVec("rept_http_requests_total",
 		"HTTP requests served per endpoint.", "endpoint")
 	// Children register in sorted order so scrapes are diff-stable.
@@ -423,18 +422,17 @@ type ingestResponse struct {
 
 // ingestBuffers is the per-request scratch of handleEdges — the scanner's
 // line buffer and the event batch — pooled so steady-state ingest does
-// not allocate per request.
+// not allocate per request. The batch's backing array survives in the
+// pool (Batch.Reset keeps it), so repeat requests of similar size reach
+// a zero-allocation steady state.
 type ingestBuffers struct {
 	line  []byte
-	batch []rept.Update
+	batch rept.Batch
 }
 
 var ingestPool = sync.Pool{
 	New: func() any {
-		return &ingestBuffers{
-			line:  make([]byte, 0, 64*1024),
-			batch: make([]rept.Update, 0, ingestBatchLen),
-		}
+		return &ingestBuffers{line: make([]byte, 0, 64*1024)}
 	},
 }
 
@@ -468,7 +466,7 @@ func (s *Server) handleEdges(w http.ResponseWriter, r *http.Request) {
 	}
 	bufs := ingestPool.Get().(*ingestBuffers)
 	defer func() {
-		bufs.batch = bufs.batch[:0]
+		bufs.batch.Reset()
 		ingestPool.Put(bufs)
 	}()
 	sc := bufio.NewScanner(r.Body)
@@ -476,7 +474,8 @@ func (s *Server) handleEdges(w http.ResponseWriter, r *http.Request) {
 
 	var resp ingestResponse
 	resp.Durable = s.durable
-	batch := bufs.batch[:0]
+	batch := &bufs.batch
+	batch.Reset()
 	// pend tallies the events sitting in the unflushed batch; they are
 	// credited to resp only once a flush hands them to the estimator.
 	var pend struct{ accepted, deleted, loops int }
@@ -485,32 +484,33 @@ func (s *Server) handleEdges(w http.ResponseWriter, r *http.Request) {
 	// the request fails with 500.
 	var walErr error
 	// segStart opens the current parse segment: everything between two
-	// flushes — reading the request body and decoding up to ingestBatchLen
+	// flushes — reading the request body and decoding up to maxBodyBatch
 	// NDJSON lines — is one rept_stage_parse_seconds observation.
 	segStart := time.Now()
-	// flush hands the parsed batch to the estimator; false means the
-	// server is shutting down (503) or, on a durable server, the log
-	// refused the batch (walErr set, 500) — either way the batch's
-	// pending tallies are discarded, not reported, because the events
-	// were not accepted under the response's contract.
+	// flush hands the whole parsed body (or a maxBodyBatch-long slab of
+	// an oversized one) to the estimator as one wholesale batch; false
+	// means the server is shutting down (503) or, on a durable server,
+	// the log refused the batch (walErr set, 500) — either way the
+	// batch's pending tallies are discarded, not reported, because the
+	// events were not accepted under the response's contract.
 	flush := func() bool {
-		if len(batch) == 0 {
+		if batch.Len() == 0 {
 			return true
 		}
 		d := time.Since(segStart)
 		s.pipe.Parse.ObserveDuration(d)
-		s.pipe.Flight.Record(obs.KindParse, -1, uint64(len(batch)), d)
+		s.pipe.Flight.Record(obs.KindParse, -1, uint64(batch.Len()), d)
 		credited := false
 		ok := s.estCall(func() {
 			if s.durable {
-				walErr = s.est.ApplyAllDurable(batch)
+				walErr = s.est.ApplyBatchDurable(batch)
 				credited = walErr == nil
 			} else {
-				s.est.ApplyAll(batch)
+				s.est.ApplyBatch(batch)
 				credited = true
 			}
 		})
-		batch = batch[:0]
+		batch.Reset()
 		segStart = time.Now()
 		if ok && credited {
 			resp.Accepted += pend.accepted
@@ -588,8 +588,8 @@ func (s *Server) handleEdges(w http.ResponseWriter, r *http.Request) {
 				pend.deleted++
 			}
 		}
-		batch = append(batch, rept.Update{U: rept.NodeID(u), V: rept.NodeID(v), Del: del})
-		if len(batch) == cap(batch) && !flush() {
+		batch.Push(rept.Update{U: rept.NodeID(u), V: rept.NodeID(v), Del: del})
+		if batch.Len() >= maxBodyBatch && !flush() {
 			failFlush()
 			return
 		}

@@ -43,7 +43,12 @@
 // A Concurrent estimator spreads its C logical processors over
 // independent engine shards (whole processor groups with independent hash
 // seeds, the distributed layout of paper Section III-B) and broadcasts
-// batched edges to them through buffered channels. Snapshots are
+// batched edges to them through single-producer/single-consumer ring
+// buffers. Callers that already hold many events hand them over
+// wholesale: fill a reusable Batch and call ApplyBatch (or
+// ApplyBatchDurable with a WAL) to deliver the whole batch as one ring
+// message per shard instead of re-buffering it event by event.
+// Snapshots are
 // consistent — every shard reports at the same stream prefix — and its
 // estimates follow the same distribution as a single-caller Estimator
 // with equal M and C. cmd/reptserve wraps a Concurrent estimator in an
@@ -161,6 +166,21 @@
 // with testing.AllocsPerRun gates and a committed bench/BENCH_<sha>.json
 // trajectory (cmd/benchdiff fails CI on >25% per-event regression)
 // keeping it that way.
+//
+// The batch ingest path goes further. A wholesale batch travels from the
+// caller to each shard's consumer as ONE ticket through an SPSC ring
+// (padded head/tail indexes, brief spin then futex-style park — no
+// channel machinery on the hand-off), and each engine applies it through
+// a presence-mask fast path: a 64-bit per-node processor-membership mask
+// lets the engine visit, per edge, only the storing processor and the
+// processors holding BOTH endpoints — any other processor cannot close a
+// triangle on that event. Estimates are bit-identical to the per-event
+// path (gated by tests), and steady-state batch ingest runs at ~0.18 µs
+// per event, ≥2× faster than the chunked broadcast path (the ratio is a
+// CI gate), still at 0 allocs/op. ConcurrentConfig.HubDegree optionally
+// re-splits oversized batches around high-degree vertices so hub work
+// pipelines across shards — a granularity-only policy that never changes
+// the estimates.
 //
 // # Durability
 //

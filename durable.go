@@ -192,6 +192,28 @@ func (c *Concurrent) ApplyAllDurable(ups []Update) error {
 	return err
 }
 
+// ApplyBatchDurable is ApplyBatch with ApplyAllDurable's durability
+// barrier: the batch travels as wholesale ring deliveries (hub
+// splitting included) and the call returns only once the write-ahead
+// log acknowledges every event under the configured sync mode. Without
+// a WAL (NewConcurrent) it degrades to ApplyBatch and returns nil.
+func (c *Concurrent) ApplyBatchDurable(b *Batch) error {
+	if b == nil {
+		return nil
+	}
+	err := c.sh.ApplyBatchDurable(b.ups)
+	if err == nil && c.compactCh != nil {
+		st := c.lg.Stats()
+		if st.DurablePos-st.CheckpointPos >= c.compactEvery {
+			select {
+			case c.compactCh <- struct{}{}:
+			default: // a compaction is already pending or running
+			}
+		}
+	}
+	return err
+}
+
 // Durable reports whether a write-ahead log is attached (the estimator
 // came from ResumeDurable).
 func (c *Concurrent) Durable() bool { return c.lg != nil }

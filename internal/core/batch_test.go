@@ -1,0 +1,114 @@
+package core
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"rept/internal/gen"
+	"rept/internal/graph"
+)
+
+// batchStream builds a signed stream with deletions trailing a window
+// behind their insertions, so the mask table sees real removals (nodes
+// whose last sampled edge disappears must drop out of the mask).
+func batchStream() []graph.Update {
+	edges := gen.Shuffle(gen.HolmeKim(250, 5, 0.4, 17), 7)
+	ups := make([]graph.Update, 0, len(edges)+len(edges)/3)
+	for i, e := range edges {
+		ups = append(ups, graph.Update{U: e.U, V: e.V})
+		if i >= 30 && i%3 == 0 {
+			d := edges[i-30]
+			ups = append(ups, graph.Update{U: d.U, V: d.V, Del: true})
+		}
+	}
+	return ups
+}
+
+// TestEngineApplyBatchBitIdentical is the presence-mask correctness
+// contract: ApplyBatch must produce aggregates bit-identical to
+// ApplyAll on the same stream for every configuration — mask fast path
+// on (single worker, C <= 64), degraded off (C > 64), and worker mode —
+// with deletions, η bookkeeping, and partial groups in the mix.
+func TestEngineApplyBatchBitIdentical(t *testing.T) {
+	ups := batchStream()
+	for _, cfg := range []Config{
+		{M: 3, C: 12, Seed: 11, TrackLocal: true, FullyDynamic: true},
+		{M: 4, C: 10, Seed: 11, TrackLocal: true, TrackEta: true, FullyDynamic: true}, // partial group
+		{M: 2, C: 64, Seed: 11, FullyDynamic: true},                                   // widest mask
+		{M: 2, C: 65, Seed: 11, FullyDynamic: true},                                   // one past the mask width: fallback
+		{M: 3, C: 12, Seed: 11, Workers: 4, FullyDynamic: true},                       // worker mode: fallback
+	} {
+		ref, err := NewEngine(cfg)
+		if err != nil {
+			t.Fatalf("NewEngine(%+v): %v", cfg, err)
+		}
+		ref.ApplyAll(ups)
+
+		eng, err := NewEngine(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Deliver in uneven slabs so batch boundaries land mid-window.
+		for i := 0; i < len(ups); i += 97 {
+			hi := i + 97
+			if hi > len(ups) {
+				hi = len(ups)
+			}
+			eng.ApplyBatch(ups[i:hi])
+		}
+
+		if !reflect.DeepEqual(ref.Aggregates(), eng.Aggregates()) {
+			t.Errorf("cfg %+v: ApplyBatch aggregates diverge from ApplyAll", cfg)
+		}
+		if ref.Processed() != eng.Processed() || ref.Deleted() != eng.Deleted() || ref.SelfLoops() != eng.SelfLoops() {
+			t.Errorf("cfg %+v: tallies diverge: (%d,%d,%d) vs (%d,%d,%d)", cfg,
+				ref.Processed(), ref.Deleted(), ref.SelfLoops(),
+				eng.Processed(), eng.Deleted(), eng.SelfLoops())
+		}
+		ref.Close()
+		eng.Close()
+	}
+}
+
+// TestEngineApplyBatchAfterResume: a restored engine must rebuild its
+// presence masks from the snapshot's adjacency state — a stale or empty
+// mask table would silently skip processors on the suffix.
+func TestEngineApplyBatchAfterResume(t *testing.T) {
+	ups := batchStream()
+	half := len(ups) / 2
+	cfg := Config{M: 3, C: 12, Seed: 19, TrackLocal: true, TrackEta: true, FullyDynamic: true}
+	eng, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	eng.ApplyBatch(ups[:half])
+
+	var buf bytes.Buffer
+	if err := eng.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := ResumeEngine(cfg, bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer restored.Close()
+
+	eng.ApplyBatch(ups[half:])
+	restored.ApplyBatch(ups[half:])
+	if !reflect.DeepEqual(eng.Aggregates(), restored.Aggregates()) {
+		t.Error("restored engine diverges from the original on a batch suffix")
+	}
+
+	// Cross-check against a fresh engine fed the whole stream per-event.
+	ref, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+	ref.ApplyAll(ups)
+	if !reflect.DeepEqual(ref.Aggregates(), restored.Aggregates()) {
+		t.Error("restored engine diverges from a fresh per-event run")
+	}
+}

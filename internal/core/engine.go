@@ -1,6 +1,7 @@
 package core
 
 import (
+	"math/bits"
 	"sync"
 
 	"rept/internal/graph"
@@ -23,6 +24,13 @@ type Engine struct {
 	procs    []*proc
 	fam      []Hasher
 	seqCols  []int // per-group color scratch for the sequential path
+
+	// masks is the presence-mask table behind ApplyBatch's
+	// processor-skipping fast path, maintained by every sample mutation
+	// on every processor. Nil when the engine runs worker goroutines
+	// (the table is single-writer) or has more than 64 processors (one
+	// uint64 bit per processor).
+	masks *graph.MaskTable
 
 	workers int
 	batch   []graph.Update
@@ -63,6 +71,13 @@ func NewEngine(cfg Config) (*Engine, error) {
 	e.workers = cfg.Workers
 	if e.workers > cfg.C {
 		e.workers = cfg.C
+	}
+	if e.workers <= 1 && cfg.C <= 64 {
+		e.masks = graph.NewMaskTable()
+		for i, p := range e.procs {
+			p.masks = e.masks
+			p.maskBit = 1 << uint(i)
+		}
 	}
 	if e.workers > 1 {
 		bs := cfg.BatchSize
@@ -178,6 +193,82 @@ func (e *Engine) AddAll(edges []graph.Edge) {
 func (e *Engine) ApplyAll(ups []graph.Update) {
 	for _, up := range ups {
 		e.Apply(up)
+	}
+}
+
+// ApplyBatch feeds a slice of signed stream events in order, like
+// ApplyAll, through the presence-mask fast path: for each insertion it
+// visits the per-group storing processors (which may sample the edge)
+// plus exactly the processors whose adjacency already contains BOTH
+// endpoints, and skips the rest. A skipped processor is provably inert
+// on the event — with an endpoint absent its common-neighborhood is
+// empty, so τ/τ_v/η/η_v and the per-edge counters are all untouched —
+// which makes the skip invisible to every estimator and snapshot:
+// results stay bit-identical to ApplyAll. What changes is cost: on a
+// 1/m-sampled layout most processors hold neither endpoint, so the
+// per-event work drops from C processor visits to the handful that
+// matter.
+//
+// Deletions take the classic all-processor path unconditionally — the
+// per-processor deletion tallies (d_i/d_o/phantom) must advance on
+// every processor to keep snapshot parity.
+//
+// When the fast path is unavailable (worker mode, or C > 64) it
+// degrades to ApplyAll.
+func (e *Engine) ApplyBatch(ups []graph.Update) {
+	if e.masks == nil {
+		e.ApplyAll(ups)
+		return
+	}
+	if e.closed {
+		panic(ErrClosed)
+	}
+	for _, up := range ups {
+		if up.Del && !e.cfg.FullyDynamic {
+			panic(ErrNotDynamic)
+		}
+		if up.U == up.V {
+			e.selfLoops++
+			continue
+		}
+		e.processed++
+		if e.applied != nil {
+			e.applied.Inc()
+		}
+		key := graph.Key(up.U, up.V)
+		if up.Del {
+			e.deleted++
+			for g, h := range e.fam {
+				e.seqCols[g] = h.Color(key)
+			}
+			for _, p := range e.procs {
+				p.deleteEdge(up.U, up.V, key, e.seqCols[p.group])
+			}
+			continue
+		}
+		// Processors holding both endpoints, snapshotted BEFORE any
+		// storing processor runs: a store below may set fresh mask bits
+		// for u or v, and those processors must not be revisited for
+		// this event.
+		both := e.masks.Get(up.U) & e.masks.Get(up.V)
+		for g, h := range e.fam {
+			col := h.Color(key)
+			// Record the color for every group — including a partial
+			// group whose storing processor does not exist — because the
+			// mask loop below needs it for any processor of the group.
+			e.seqCols[g] = col
+			i := g*e.lay.m + col
+			if i < len(e.procs) {
+				e.procs[i].processEdge(up.U, up.V, key, col)
+				both &^= 1 << uint(i)
+			}
+		}
+		for both != 0 {
+			i := bits.TrailingZeros64(both)
+			both &= both - 1
+			p := e.procs[i]
+			p.processEdge(up.U, up.V, key, e.seqCols[p.group])
+		}
 	}
 }
 

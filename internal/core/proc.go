@@ -47,6 +47,13 @@ type proc struct {
 	// have been sampled, yet it is absent — i.e. it was never inserted.
 	di, do, phantom uint64
 
+	// masks, when non-nil, is the engine-wide presence-mask table
+	// (NodeID → bitmask of processors whose sampled adjacency contains
+	// the node) and maskBit is this processor's bit. Every sample
+	// mutation keeps them current; only Engine.ApplyBatch consumes them.
+	masks   *graph.MaskTable
+	maskBit uint64
+
 	scratch []graph.NodeID
 }
 
@@ -115,8 +122,19 @@ func (p *proc) processEdge(u, v graph.NodeID, key uint64, color int) {
 		}
 	}
 	if color == p.color {
-		if p.adj.Add(u, v) && p.trackEta {
-			p.tcnt.setClamped(key, n)
+		added, newU, newV := p.adj.AddReport(u, v)
+		if added {
+			if p.trackEta {
+				p.tcnt.setClamped(key, n)
+			}
+			if p.masks != nil {
+				if newU {
+					p.masks.Or(u, p.maskBit)
+				}
+				if newV {
+					p.masks.Or(v, p.maskBit)
+				}
+			}
 		}
 	}
 }
@@ -138,10 +156,19 @@ func (p *proc) processEdge(u, v graph.NodeID, key uint64, color int) {
 //rept:hotpath
 func (p *proc) deleteEdge(u, v graph.NodeID, key uint64, color int) {
 	if color == p.color {
-		if p.adj.Remove(u, v) {
+		removed, goneU, goneV := p.adj.RemoveReport(u, v)
+		if removed {
 			p.di++
 			if p.trackEta {
 				p.tcnt.del(key)
+			}
+			if p.masks != nil {
+				if goneU {
+					p.masks.AndNot(u, p.maskBit)
+				}
+				if goneV {
+					p.masks.AndNot(v, p.maskBit)
+				}
 			}
 		} else {
 			p.phantom++

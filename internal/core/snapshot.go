@@ -147,5 +147,21 @@ func (e *Engine) loadState(st *snapshot.EngineState) error {
 		}
 	}
 	e.processed, e.deleted, e.selfLoops = st.Processed, st.Deleted, st.SelfLoops
+	// The loop above loaded sampled edges through Adjacency.Add directly,
+	// bypassing the presence-mask maintenance of the live insert path, so
+	// rebuild the table wholesale before the engine takes events.
+	e.rebuildMasks()
 	return nil
+}
+
+// rebuildMasks repopulates the presence-mask table from the processors'
+// current sampled adjacencies (no-op when the fast path is disabled).
+func (e *Engine) rebuildMasks() {
+	if e.masks == nil {
+		return
+	}
+	for _, p := range e.procs {
+		bit := p.maskBit
+		p.adj.EachNode(func(u graph.NodeID) { e.masks.Or(u, bit) })
+	}
 }

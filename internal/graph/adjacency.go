@@ -52,23 +52,36 @@ func (a *Adjacency) release(u NodeID, si int32) {
 //
 //rept:hotpath
 func (a *Adjacency) Add(u, v NodeID) bool {
+	added, _, _ := a.AddReport(u, v)
+	return added
+}
+
+// AddReport is Add that additionally reports which endpoints entered the
+// structure with this edge (had no incident edge before). Presence
+// transitions are what the engine's processor-mask table is maintained
+// from, and detecting them here is free — slot assignment already knows.
+//
+//rept:hotpath
+func (a *Adjacency) AddReport(u, v NodeID) (added, newU, newV bool) {
 	if u == v {
-		return false
+		return false, false, false
 	}
 	si := a.idx.get(u)
 	if si < 0 {
 		si = a.slot(u)
 		a.sets[si].add(u, v)
+		newU = true
 	} else if !a.sets[si].add(u, v) {
-		return false
+		return false, false, false
 	}
 	sj := a.idx.get(v)
 	if sj < 0 {
 		sj = a.slot(v)
+		newV = true
 	}
 	a.sets[sj].add(v, u)
 	a.edges++
-	return true
+	return true, newU, newV
 }
 
 // Remove deletes the undirected edge {u, v}, reporting whether it existed.
@@ -76,23 +89,35 @@ func (a *Adjacency) Add(u, v NodeID) bool {
 //
 //rept:hotpath
 func (a *Adjacency) Remove(u, v NodeID) bool {
+	removed, _, _ := a.RemoveReport(u, v)
+	return removed
+}
+
+// RemoveReport is Remove that additionally reports which endpoints left
+// the structure with this edge (lost their last incident edge) — the
+// counterpart of AddReport for presence-mask maintenance.
+//
+//rept:hotpath
+func (a *Adjacency) RemoveReport(u, v NodeID) (removed, goneU, goneV bool) {
 	if u == v {
-		return false
+		return false, false, false
 	}
 	si := a.idx.get(u)
 	if si < 0 || !a.sets[si].remove(u, v) {
-		return false
+		return false, false, false
 	}
 	sj := a.idx.get(v)
 	a.sets[sj].remove(v, u)
 	a.edges--
 	if a.sets[si].deg() == 0 {
 		a.release(u, si)
+		goneU = true
 	}
 	if a.sets[sj].deg() == 0 {
 		a.release(v, sj)
+		goneV = true
 	}
-	return true
+	return true, goneU, goneV
 }
 
 // Has reports whether the undirected edge {u, v} is present.
@@ -124,6 +149,13 @@ func (a *Adjacency) Neighbors(u NodeID, fn func(w NodeID)) {
 	if si >= 0 {
 		a.sets[si].each(u, fn)
 	}
+}
+
+// EachNode calls fn for every node with at least one incident edge, in
+// unspecified order. It is the mask-rebuild walk used after a snapshot
+// restore, where edges are loaded without going through AddReport.
+func (a *Adjacency) EachNode(fn func(u NodeID)) {
+	a.idx.each(func(u NodeID, _ int32) { fn(u) })
 }
 
 // AppendEdges appends every stored edge to dst exactly once, in canonical

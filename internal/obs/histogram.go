@@ -24,6 +24,20 @@ type Histogram struct {
 	buckets [histBuckets]atomic.Uint64
 	count   atomic.Uint64
 	sumNs   atomic.Uint64
+
+	// div converts raw observed units to rendered units: 0 (the zero
+	// value) means nanoseconds→seconds (1e9), the duration default; a
+	// size histogram (Registry.SizeHistogram) sets 1 to render raw
+	// counts. Set at registration, before any concurrent access.
+	div float64
+}
+
+// divisor returns the raw→rendered unit conversion factor.
+func (h *Histogram) divisor() float64 {
+	if h.div == 0 {
+		return 1e9
+	}
+	return h.div
 }
 
 // Observe records one duration in nanoseconds.
@@ -70,12 +84,13 @@ func upperNs(i int) uint64 { return 1<<uint(i) - 1 }
 // render is not an atomic snapshot; cumulative counts are clamped
 // monotone so a torn read never produces a decreasing series.
 func (h *Histogram) appendTo(b []byte, name string) []byte {
+	div := h.divisor()
 	var cum uint64
 	for i := 0; i < histBuckets-1; i++ {
 		cum += h.buckets[i].Load()
 		b = append(b, name...)
 		b = append(b, `_bucket{le="`...)
-		b = appendFloat(b, float64(upperNs(i))/1e9)
+		b = appendFloat(b, float64(upperNs(i))/div)
 		b = append(b, `"} `...)
 		b = strconv.AppendUint(b, cum, 10)
 		b = append(b, '\n')
@@ -91,7 +106,7 @@ func (h *Histogram) appendTo(b []byte, name string) []byte {
 	b = append(b, '\n')
 	b = append(b, name...)
 	b = append(b, "_sum "...)
-	b = appendFloat(b, float64(h.sumNs.Load())/1e9)
+	b = appendFloat(b, float64(h.sumNs.Load())/div)
 	b = append(b, '\n')
 	b = append(b, name...)
 	b = append(b, "_count "...)
@@ -100,11 +115,25 @@ func (h *Histogram) appendTo(b []byte, name string) []byte {
 	return b
 }
 
-// Quantile estimates the q-quantile (0 < q <= 1) in seconds from the
-// bucket counts, interpolating linearly within the winning bucket. Used
-// by the example dashboard; scrape-path only.
+// Quantile estimates the q-quantile (0 < q <= 1) in rendered units
+// (seconds for duration histograms) from the bucket counts,
+// interpolating linearly within the winning bucket. Used by the example
+// dashboard; scrape-path only.
+//
+// The buckets are snapshotted first and the total is derived FROM the
+// snapshot: count and the bucket array cannot be read atomically as a
+// pair, and under concurrent Observe a separately loaded count can
+// exceed the bucket sum, pushing the rank past every bucket and
+// skewing the answer toward the overflow sentinel.
 func (h *Histogram) Quantile(q float64) float64 {
-	total := h.count.Load()
+	var snap [histBuckets]uint64
+	var total uint64
+	for i := range snap {
+		n := h.buckets[i].Load()
+		snap[i] = n
+		total += n
+	}
+	div := h.divisor()
 	if total == 0 {
 		return 0
 	}
@@ -113,9 +142,8 @@ func (h *Histogram) Quantile(q float64) float64 {
 		rank = 1
 	}
 	var cum uint64
-	for i := 0; i < histBuckets; i++ {
-		n := h.buckets[i].Load()
-		if cum+n >= rank {
+	for i, n := range snap {
+		if n != 0 && cum+n >= rank {
 			lo := float64(0)
 			if i > 0 {
 				lo = float64(uint64(1) << uint(i-1))
@@ -125,9 +153,9 @@ func (h *Histogram) Quantile(q float64) float64 {
 				hi = lo * 2 // open-ended overflow: assume one octave
 			}
 			frac := float64(rank-cum) / float64(n)
-			return (lo + (hi-lo)*frac) / 1e9
+			return (lo + (hi-lo)*frac) / div
 		}
 		cum += n
 	}
-	return float64(upperNs(histBuckets-2)) / 1e9
+	return float64(upperNs(histBuckets-2)) / div
 }

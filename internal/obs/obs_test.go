@@ -87,6 +87,55 @@ func TestHistogramQuantile(t *testing.T) {
 	}
 }
 
+// TestHistogramQuantileConcurrent is the regression test for the
+// torn-read panic path: Quantile used to load the total count and then
+// walk the bucket array, so observations landing between the two reads
+// made the cumulative sum overshoot the rank and the loop fall off the
+// end (returning garbage from the overflow bucket). Hammering Observe
+// while calling Quantile must always land inside the observed range.
+func TestHistogramQuantileConcurrent(t *testing.T) {
+	h := &Histogram{}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				// Alternate the two magnitudes from the sequential test so
+				// every quantile must land on one of the two bucket ranges.
+				if (uint64(i)+seed)%2 == 0 {
+					h.Observe(1000)
+				} else {
+					h.Observe(1 << 20)
+				}
+			}
+		}(uint64(w))
+	}
+	for i := 0; i < 5000; i++ {
+		for _, q := range []float64{0.01, 0.5, 0.999} {
+			// Count is bumped AFTER the bucket in Observe, so a nonzero
+			// count read before the call proves the snapshot inside
+			// Quantile sees at least one bucket — zero is then a torn read.
+			pre := h.Count()
+			v := h.Quantile(q)
+			if v == 0 && pre > 0 {
+				t.Fatalf("Quantile(%g) = 0 with %d observations", q, pre)
+			}
+			if v != 0 && (v < 0.5e-6 || v > 3e-3) {
+				t.Fatalf("Quantile(%g) = %g, outside every observed bucket", q, v)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
 func TestExpositionRoundTrip(t *testing.T) {
 	reg := NewRegistry()
 	c := reg.Counter("t_events_total", "Events seen.")
@@ -324,6 +373,7 @@ func TestPipelineRegistersStandardNames(t *testing.T) {
 	reg := NewRegistry()
 	p := NewPipeline(reg)
 	p.Parse.Observe(1000)
+	p.BatchSizes.Observe(512)
 	p.ShardApplied.With(ShardLabel(0)).Add(10)
 	p.ShardQueueDepth.With(ShardLabel(0)).SetInt(2)
 	RegisterRuntime(reg)
@@ -347,6 +397,7 @@ func TestPipelineRegistersStandardNames(t *testing.T) {
 		"rept_stage_wal_append_seconds",
 		"rept_stage_wal_fsync_seconds",
 		"rept_stage_view_publish_seconds",
+		"rept_batch_events",
 		"rept_shard_queue_depth",
 		"rept_shard_events_applied_total",
 		"rept_go_goroutines",

@@ -31,6 +31,11 @@ type Pipeline struct {
 	WALSync *Histogram
 	// ViewPublish is one epoch snapshot build + atomic swap.
 	ViewPublish *Histogram
+	// BatchSizes is the events-per-delivered-batch size histogram — the
+	// direct readout of how well callers amortize dispatch overhead
+	// (ApplyBatch should land hundreds per ticket, per-event feeding
+	// lands BatchSize at best).
+	BatchSizes *Histogram
 
 	// Flight records the last N pipeline events for /debug/flight.
 	Flight *Flight
@@ -60,9 +65,10 @@ func NewPipeline(reg *Registry) *Pipeline {
 		WALAppend:   reg.Histogram("rept_stage_wal_append_seconds", "WAL record encode and buffered write latency per batch."),
 		WALSync:     reg.Histogram("rept_stage_wal_fsync_seconds", "WAL group-commit fsync latency."),
 		ViewPublish: reg.Histogram("rept_stage_view_publish_seconds", "Epoch view build and publish latency."),
+		BatchSizes:  reg.SizeHistogram("rept_batch_events", "Events per delivered batch ticket."),
 		Flight:      NewFlight(DefaultFlightEvents),
 		ShardQueueDepth: reg.GaugeVec("rept_shard_queue_depth",
-			"Batches waiting in each shard's delivery channel.", "shard"),
+			"Batches waiting in each shard's ingest ring.", "shard"),
 		ShardBatchEvents: reg.GaugeVec("rept_shard_last_batch_events",
 			"Events in the last batch each shard applied.", "shard"),
 		ShardApplied: reg.CounterVec("rept_shard_events_applied_total",

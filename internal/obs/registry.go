@@ -340,6 +340,16 @@ func (r *Registry) Histogram(name, help string) *Histogram {
 	return h
 }
 
+// SizeHistogram registers a histogram over a dimensionless quantity
+// (e.g. events per batch): the same power-of-two buckets as Histogram,
+// rendered raw instead of through the nanoseconds→seconds conversion.
+func (r *Registry) SizeHistogram(name, help string) *Histogram {
+	f := r.register(name, help, "histogram")
+	h := &Histogram{div: 1}
+	f.hist = h
+	return h
+}
+
 // WritePrometheus renders every family in registration order in the
 // Prometheus text exposition format (version 0.0.4). Safe for
 // concurrent use; instruments keep recording during a render (each

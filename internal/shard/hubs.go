@@ -1,0 +1,117 @@
+package shard
+
+import (
+	"sync/atomic"
+
+	"rept/internal/graph"
+)
+
+// hubSet is the promoted-vertex set behind hub-aware batch routing: an
+// insert-only open-addressing table written by exactly one goroutine
+// (the degree tracker, which is the only place degrees are known) and
+// read lock-free by any number of producers inside ApplyBatch.
+//
+// Readers are deliberately "racy but benign": membership only steers
+// the batch-splitting policy, never sampling or counting, so a reader
+// that misses a vertex promoted microseconds ago merely skips one
+// split opportunity. The table pointer is swapped atomically on growth
+// and slots are written atomically, so readers always see either the
+// empty sentinel or a fully written key — never a torn value.
+type hubSet struct {
+	tbl atomic.Pointer[hubTbl]
+}
+
+// hubTbl is one immutable-size generation of the table. Slots hold
+// node+1 so that 0 is the empty sentinel for every NodeID value.
+type hubTbl struct {
+	slots []atomic.Uint64
+	mask  uint32
+	n     int // live entries; touched by the single writer only
+}
+
+const hubMinSize = 64
+
+func newHubSet() *hubSet {
+	h := &hubSet{}
+	t := &hubTbl{slots: make([]atomic.Uint64, hubMinSize), mask: hubMinSize - 1}
+	h.tbl.Store(t)
+	return h
+}
+
+// add marks u as a hub. Idempotent; single-writer only.
+func (h *hubSet) add(u graph.NodeID) {
+	t := h.tbl.Load()
+	if t.n >= len(t.slots)/2 {
+		t = h.grow(t)
+	}
+	enc := uint64(u) + 1
+	for i := hubHash(u) & t.mask; ; i = (i + 1) & t.mask {
+		switch t.slots[i].Load() {
+		case enc:
+			return
+		case 0:
+			t.slots[i].Store(enc)
+			t.n++
+			return
+		}
+	}
+}
+
+// grow doubles the table and republishes it. Entries are re-inserted
+// with plain stores into the not-yet-visible table, then the pointer
+// swap makes the new generation visible to readers atomically.
+func (h *hubSet) grow(old *hubTbl) *hubTbl {
+	t := &hubTbl{slots: make([]atomic.Uint64, len(old.slots)*2), mask: uint32(len(old.slots)*2 - 1)}
+	for i := range old.slots {
+		enc := old.slots[i].Load()
+		if enc == 0 {
+			continue
+		}
+		u := graph.NodeID(enc - 1)
+		for j := hubHash(u) & t.mask; ; j = (j + 1) & t.mask {
+			if t.slots[j].Load() == 0 {
+				t.slots[j].Store(enc)
+				t.n++
+				break
+			}
+		}
+	}
+	h.tbl.Store(t)
+	return t
+}
+
+// contains reports (possibly slightly stale) hub membership of u.
+func (h *hubSet) contains(u graph.NodeID) bool {
+	t := h.tbl.Load()
+	enc := uint64(u) + 1
+	for i := hubHash(u) & t.mask; ; i = (i + 1) & t.mask {
+		switch t.slots[i].Load() {
+		case enc:
+			return true
+		case 0:
+			return false
+		}
+	}
+}
+
+// containsAny reports whether any event in ups touches a hub vertex.
+func (h *hubSet) containsAny(ups []graph.Update) bool {
+	for _, up := range ups {
+		if h.contains(up.U) || h.contains(up.V) {
+			return true
+		}
+	}
+	return false
+}
+
+// hubHash is the slot hash (same lowbias32 mixer family as the graph
+// package's node index).
+func hubHash(u graph.NodeID) uint32 {
+	x := uint32(u)
+	x ^= x >> 16
+	x *= 0x7feb352d
+	x ^= x >> 15
+	x *= 0x846ca68b
+	x ^= x >> 16
+	return x
+}

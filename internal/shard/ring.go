@@ -1,0 +1,237 @@
+package shard
+
+import (
+	"runtime"
+	"sync/atomic"
+	"time"
+)
+
+// ring is a single-producer/single-consumer queue of msg over a
+// power-of-two slot array. It replaces the buffered channels of the
+// original fan-out: head and tail are monotonically increasing indexes
+// on their own cache lines (the consumer owns head, the producer owns
+// tail), so the steady-state hand-off is one store-release on each side
+// with no shared lock and no channel runtime overhead. The producer
+// side is serialized by the coordinator's ticket order (send delivers
+// tickets one at a time under sendMu), which is what makes the
+// single-producer contract hold with any number of ingest goroutines.
+//
+// Both sides busy-spin briefly and then park: a parked side publishes
+// its waiting flag, re-checks the condition (the flag store and the
+// re-check straddle the counterpart's publish, so a wakeup can never be
+// missed), and blocks on a capacity-1 wake channel. Spurious tokens
+// left behind by resolved races only cost an extra loop iteration.
+type ring struct {
+	buf  []msg
+	mask uint64
+
+	_    [56]byte      // keep head off the buf/mask line
+	head atomic.Uint64 // next slot to pop; advanced by the consumer only
+	_    [56]byte      // keep tail off the head line
+	tail atomic.Uint64 // next slot to push; advanced by the producer only
+	_    [56]byte
+
+	closed atomic.Bool
+
+	consumerWaiting atomic.Bool
+	producerWaiting atomic.Bool
+	consumerWake    chan struct{}
+	producerWake    chan struct{}
+}
+
+// ringSpin is how many scheduler yields a side burns before parking.
+// Parking costs two atomics plus a channel op on each side; a short
+// spin absorbs the common case where the counterpart is actively
+// draining (or filling) and the wait is sub-microsecond.
+const ringSpin = 32
+
+// newRing builds a ring with capacity rounded up to a power of two.
+func newRing(capacity int) *ring {
+	n := 1
+	for n < capacity {
+		n <<= 1
+	}
+	return &ring{
+		buf:          make([]msg, n),
+		mask:         uint64(n - 1),
+		consumerWake: make(chan struct{}, 1),
+		producerWake: make(chan struct{}, 1),
+	}
+}
+
+// Len reports how many messages are queued. It is a racy diagnostic
+// read (the queue-depth gauge); both loads are individually atomic.
+func (r *ring) Len() int {
+	t, h := r.tail.Load(), r.head.Load()
+	if t < h { // torn pair mid-pop: clamp instead of wrapping
+		return 0
+	}
+	return int(t - h)
+}
+
+// wake hands one token to a parked counterpart, if any. The CAS makes
+// the common non-parked case one atomic load; the non-blocking send
+// tolerates a stale token already in the channel (the parked side
+// consumes it and re-checks).
+func wake(waiting *atomic.Bool, ch chan struct{}) {
+	if waiting.CompareAndSwap(true, false) {
+		select {
+		case ch <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// push appends m, blocking while the ring is full (that is the
+// backpressure the channel send used to provide). It reports false
+// without enqueueing when the ring has been closed.
+func (r *ring) push(m msg) bool {
+	spins := 0
+	for {
+		if r.closed.Load() {
+			return false
+		}
+		tail := r.tail.Load()
+		if tail-r.head.Load() < uint64(len(r.buf)) {
+			r.buf[tail&r.mask] = m
+			r.tail.Store(tail + 1)
+			wake(&r.consumerWaiting, r.consumerWake)
+			return true
+		}
+		if spins < ringSpin {
+			spins++
+			runtime.Gosched()
+			continue
+		}
+		r.producerWaiting.Store(true)
+		// Re-check after publishing the flag: a pop that freed a slot (or
+		// a close) before the store fires its wake before we park; one
+		// that lands after the store sees the flag and wakes us.
+		if tail-r.head.Load() < uint64(len(r.buf)) || r.closed.Load() {
+			r.producerWaiting.Store(false)
+		} else {
+			<-r.producerWake
+		}
+		spins = 0
+	}
+}
+
+// pop removes the oldest message, blocking while the ring is empty. It
+// reports false once the ring is closed AND drained — close-then-drain
+// preserves every message pushed before close, matching the semantics
+// of ranging over a closed channel.
+func (r *ring) pop() (msg, bool) {
+	spins := 0
+	for {
+		head := r.head.Load()
+		if r.tail.Load() != head {
+			return r.take(head), true
+		}
+		if r.closed.Load() {
+			if r.tail.Load() != head { // raced with the final pushes
+				continue
+			}
+			return msg{}, false
+		}
+		if spins < ringSpin {
+			spins++
+			runtime.Gosched()
+			continue
+		}
+		r.consumerWaiting.Store(true)
+		if r.tail.Load() != head || r.closed.Load() {
+			r.consumerWaiting.Store(false)
+		} else {
+			<-r.consumerWake
+		}
+		spins = 0
+	}
+}
+
+// tryPop removes the oldest message without blocking; ok reports
+// whether one was there.
+func (r *ring) tryPop() (msg, bool) {
+	head := r.head.Load()
+	if r.tail.Load() == head {
+		return msg{}, false
+	}
+	return r.take(head), true
+}
+
+// popTimeout is pop with a deadline: timedOut reports that d elapsed
+// with the ring still open and empty. It exists for the WAL logger's
+// interval mode, whose group-commit ticks must fire even when no
+// producer is active. A non-positive d degrades to tryPop.
+func (r *ring) popTimeout(d time.Duration) (m msg, ok, timedOut bool) {
+	deadline := time.Now().Add(d)
+	spins := 0
+	for {
+		head := r.head.Load()
+		if r.tail.Load() != head {
+			return r.take(head), true, false
+		}
+		if r.closed.Load() {
+			if r.tail.Load() != head {
+				continue
+			}
+			return msg{}, false, false
+		}
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			return msg{}, false, true
+		}
+		if spins < ringSpin {
+			spins++
+			runtime.Gosched()
+			continue
+		}
+		r.consumerWaiting.Store(true)
+		if r.tail.Load() != head || r.closed.Load() {
+			r.consumerWaiting.Store(false)
+		} else {
+			t := time.NewTimer(remain)
+			select {
+			case <-r.consumerWake:
+				t.Stop()
+			case <-t.C:
+				// Disarm the flag so a later push doesn't burn a token on a
+				// consumer that is no longer parked; a racing wake leaves a
+				// spurious token, which the next park consumes harmlessly.
+				r.consumerWaiting.Store(false)
+			}
+		}
+		spins = 0
+	}
+}
+
+// take removes the message at head. The slot is cleared before the
+// head advance publishes it back to the producer, so the ring never
+// pins a released batch (or its update slice) against the GC.
+func (r *ring) take(head uint64) msg {
+	i := head & r.mask
+	m := r.buf[i]
+	r.buf[i] = msg{}
+	r.head.Store(head + 1)
+	wake(&r.producerWaiting, r.producerWake)
+	return m
+}
+
+// close marks the ring closed and wakes both sides. Messages already
+// pushed remain poppable (see pop); further pushes are refused. The
+// coordinator only closes a ring after every issued ticket has been
+// delivered, so in practice nothing is ever refused.
+func (r *ring) close() {
+	r.closed.Store(true)
+	// Unconditional tokens: a side that is between publishing its flag
+	// and parking must still find one.
+	select {
+	case r.consumerWake <- struct{}{}:
+	default:
+	}
+	select {
+	case r.producerWake <- struct{}{}:
+	default:
+	}
+	r.consumerWaiting.Store(false)
+	r.producerWaiting.Store(false)
+}

@@ -1,0 +1,175 @@
+package shard
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestRingOrderAndCapacity: FIFO order is preserved and the rounded-up
+// power-of-two capacity holds exactly that many messages before a push
+// would block.
+func TestRingOrderAndCapacity(t *testing.T) {
+	r := newRing(5) // rounds up to 8
+	if got := len(r.buf); got != 8 {
+		t.Fatalf("capacity = %d, want 8 (5 rounded up)", got)
+	}
+	for i := uint64(1); i <= 8; i++ {
+		if !r.push(msg{ticket: i}) {
+			t.Fatalf("push %d refused on an open ring", i)
+		}
+	}
+	if got := r.Len(); got != 8 {
+		t.Fatalf("Len = %d, want 8", got)
+	}
+	for i := uint64(1); i <= 8; i++ {
+		m, ok := r.tryPop()
+		if !ok || m.ticket != i {
+			t.Fatalf("pop %d = (%d, %v), want in-order ticket", i, m.ticket, ok)
+		}
+	}
+	if _, ok := r.tryPop(); ok {
+		t.Fatal("tryPop returned a message from an empty ring")
+	}
+}
+
+// TestRingBackpressure: a push against a full ring blocks until the
+// consumer frees a slot — the producer must neither drop the message nor
+// return early.
+func TestRingBackpressure(t *testing.T) {
+	r := newRing(2)
+	r.push(msg{ticket: 1})
+	r.push(msg{ticket: 2})
+
+	pushed := make(chan bool)
+	go func() {
+		pushed <- r.push(msg{ticket: 3}) // full: must block
+	}()
+	select {
+	case <-pushed:
+		t.Fatal("push into a full ring returned before a pop freed a slot")
+	case <-time.After(20 * time.Millisecond):
+	}
+	if m, ok := r.pop(); !ok || m.ticket != 1 {
+		t.Fatalf("pop = (%d, %v), want ticket 1", m.ticket, ok)
+	}
+	select {
+	case ok := <-pushed:
+		if !ok {
+			t.Fatal("blocked push reported the ring closed")
+		}
+	case <-time.After(time.Second):
+		t.Fatal("push still blocked after a slot was freed")
+	}
+	for _, want := range []uint64{2, 3} {
+		if m, ok := r.pop(); !ok || m.ticket != want {
+			t.Fatalf("pop = (%d, %v), want ticket %d", m.ticket, ok, want)
+		}
+	}
+}
+
+// TestRingCloseDrains: messages pushed before close stay poppable —
+// close-then-drain matches ranging over a closed channel — and both
+// sides observe the closed state afterwards.
+func TestRingCloseDrains(t *testing.T) {
+	r := newRing(4)
+	r.push(msg{ticket: 1})
+	r.push(msg{ticket: 2})
+	r.close()
+	if r.push(msg{ticket: 3}) {
+		t.Fatal("push succeeded on a closed ring")
+	}
+	for _, want := range []uint64{1, 2} {
+		m, ok := r.pop()
+		if !ok || m.ticket != want {
+			t.Fatalf("pop after close = (%d, %v), want ticket %d", m.ticket, ok, want)
+		}
+	}
+	if _, ok := r.pop(); ok {
+		t.Fatal("pop returned a message from a closed drained ring")
+	}
+}
+
+// TestRingCloseUnblocksConsumer: a consumer parked on an empty ring must
+// return promptly when the ring closes — shutdown must not hang on a
+// sleeping shard goroutine.
+func TestRingCloseUnblocksConsumer(t *testing.T) {
+	r := newRing(4)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if _, ok := r.pop(); ok {
+			t.Error("pop on an empty closed ring reported a message")
+		}
+	}()
+	time.Sleep(10 * time.Millisecond) // let the consumer park
+	r.close()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("consumer still parked after close")
+	}
+}
+
+// TestRingPopTimeout: popTimeout must report a timeout on an idle open
+// ring (the WAL group-commit tick), deliver a message that arrives
+// before the deadline, and report closed-and-drained like pop.
+func TestRingPopTimeout(t *testing.T) {
+	r := newRing(4)
+	start := time.Now()
+	if _, ok, timedOut := r.popTimeout(15 * time.Millisecond); ok || !timedOut {
+		t.Fatalf("popTimeout on idle ring = (ok=%v, timedOut=%v), want timeout", ok, timedOut)
+	}
+	if time.Since(start) < 15*time.Millisecond {
+		t.Fatal("popTimeout returned before the deadline")
+	}
+
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		r.push(msg{ticket: 7})
+	}()
+	m, ok, timedOut := r.popTimeout(2 * time.Second)
+	if !ok || timedOut || m.ticket != 7 {
+		t.Fatalf("popTimeout = (%d, ok=%v, timedOut=%v), want ticket 7", m.ticket, ok, timedOut)
+	}
+
+	r.close()
+	if _, ok, timedOut := r.popTimeout(time.Second); ok || timedOut {
+		t.Fatalf("popTimeout on closed ring = (ok=%v, timedOut=%v), want drained-closed", ok, timedOut)
+	}
+}
+
+// TestRingSPSCStress drives one producer against one consumer through a
+// tiny ring under the race detector: every ticket must arrive exactly
+// once, in order, exercising the park/wake paths on both sides.
+func TestRingSPSCStress(t *testing.T) {
+	const n = 100000
+	r := newRing(2) // tiny: maximizes full/empty transitions
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := uint64(1); i <= n; i++ {
+			if !r.push(msg{ticket: i}) {
+				t.Error("push refused mid-stream")
+				return
+			}
+		}
+		r.close()
+	}()
+	var got uint64
+	for {
+		m, ok := r.pop()
+		if !ok {
+			break
+		}
+		if m.ticket != got+1 {
+			t.Fatalf("ticket %d out of order after %d", m.ticket, got)
+		}
+		got = m.ticket
+	}
+	wg.Wait()
+	if got != n {
+		t.Fatalf("consumed %d tickets, want %d", got, n)
+	}
+}

@@ -14,11 +14,20 @@
 // Unlike core.Engine, whose Add must be driven by one caller, Sharded.Add
 // is safe for any number of goroutines: producers append to a shared batch
 // under a short critical section, and full batches are handed off to the
-// per-shard goroutines over buffered channels (the batched broadcast
-// pattern of core.Engine, lifted to a concurrent front door). Snapshots
-// use an in-band barrier message so every shard reports its counters at
-// exactly the same stream prefix, without stopping ingestion for longer
-// than a flush.
+// per-shard goroutines over single-producer/single-consumer ring buffers
+// (the batched broadcast pattern of core.Engine, lifted to a concurrent
+// front door; ticket-ordered delivery makes the producer side of each
+// ring single-threaded). Snapshots use an in-band barrier message so
+// every shard reports its counters at exactly the same stream prefix,
+// without stopping ingestion for longer than a flush.
+//
+// ApplyBatch is the bulk fast path: a whole caller batch becomes one
+// ticket and one ring message, and each shard engine applies it through
+// core.Engine.ApplyBatch — ticket acquisition, degree tracking, and
+// barrier bookkeeping are amortized over the entire batch instead of
+// paid per BatchSize chunk, and the engine's presence-mask skip prunes
+// the per-processor broadcast down to the processors that can actually
+// see a triangle.
 package shard
 
 import (
@@ -80,9 +89,20 @@ type Config struct {
 	// channels. Larger batches cut contention, smaller ones cut snapshot
 	// staleness.
 	BatchSize int
-	// QueueLen is the per-shard channel depth in batches (default 8).
-	// Producers block once a shard falls this far behind (backpressure).
+	// QueueLen is the per-shard ring depth in batches (default 8, rounded
+	// up to a power of two). Producers block once a shard falls this far
+	// behind (backpressure).
 	QueueLen int
+	// HubDegree enables hub-aware batch routing: once a vertex's stream
+	// degree reaches this threshold it is marked a hub, and ApplyBatch
+	// splits oversized batches containing hub events into BatchSize
+	// segments so their closing-edge work pipelines across the shard
+	// rings instead of arriving as one monolithic message. 0 disables;
+	// a positive value requires TrackDegrees (the degree table is where
+	// hubs are detected). Hub routing is an execution detail: it never
+	// changes which processor samples which edge, so estimates and
+	// snapshots are bit-identical with it on or off.
+	HubDegree int
 	// Obs attaches pipeline telemetry: dispatch/queue-wait/apply/barrier
 	// stage histograms, per-shard queue-depth and events-applied series,
 	// and flight-recorder events. Nil disables instrumentation at zero
@@ -96,6 +116,9 @@ type Config struct {
 func (c Config) Validate() error {
 	if err := (core.Config{M: c.M, C: c.C}).Validate(); err != nil {
 		return err
+	}
+	if c.HubDegree > 0 && !c.TrackDegrees {
+		return fmt.Errorf("shard: HubDegree = %d requires TrackDegrees (hubs are detected in the degree table)", c.HubDegree)
 	}
 	return nil
 }
@@ -163,10 +186,13 @@ func (c Config) shardConfigs() []core.Config {
 
 // batch is a broadcast update buffer shared read-only by all shards; the
 // last shard to release it returns it to the pool. Insert-only streams
-// fill it with Del == false events.
+// fill it with Del == false events. wholesale marks a batch produced by
+// ApplyBatch: shard engines apply it through core.Engine.ApplyBatch (the
+// mask-pruned bulk path) instead of the per-event ApplyAll loop.
 type batch struct {
-	ups  []graph.Update
-	refs atomic.Int32
+	ups       []graph.Update
+	wholesale bool
+	refs      atomic.Int32
 }
 
 // barrier asks every shard to report its aggregates (and sampled-edge
@@ -189,10 +215,10 @@ type barrier struct {
 	wg                            sync.WaitGroup
 }
 
-// msg is one item of a shard channel: either an edge batch or a barrier.
+// msg is one item of a shard ring: either an edge batch or a barrier.
 // ticket is the delivery ticket the message was sent under; the WAL
 // goroutine uses it as the durability watermark (engine shards ignore
-// it — their ordering comes from the channel sequence itself).
+// it — their ordering comes from the ring sequence itself).
 type msg struct {
 	b      *batch
 	bar    *barrier
@@ -207,15 +233,22 @@ type Sharded struct {
 	batchLen int
 
 	engines []*core.Engine
-	chans   []chan msg
-	// degCh feeds the degree tracker goroutine the same batch/barrier
+	rings   []*ring
+	// degRing feeds the degree tracker goroutine the same batch/barrier
 	// sequence as the engine shards; nil when TrackDegrees is off.
-	degCh chan msg
-	// walCh feeds the write-ahead-log goroutine the same sequence; nil
+	degRing *ring
+	// walRing feeds the write-ahead-log goroutine the same sequence; nil
 	// until StartWAL. queueLen is kept for sizing it late.
-	walCh    chan msg
+	walRing  *ring
 	wal      *walRunner
 	queueLen int
+
+	// hubs is the promoted-vertex set the degree tracker maintains once
+	// Config.HubDegree is set; nil otherwise. ApplyBatch consults it to
+	// decide whether to split an oversized batch. hubDeg caches the
+	// threshold.
+	hubs   *hubSet
+	hubDeg uint32
 
 	// mu guards cur, closed, and delivery-ticket issue. It is the ingest
 	// critical section every producer passes through, so no channel send
@@ -298,7 +331,7 @@ func build(cfg Config, restore []snapshot.EngineState, restoreDegrees map[graph.
 		batchLen: batchLen,
 		queueLen: queueLen,
 		engines:  make([]*core.Engine, len(sub)),
-		chans:    make([]chan msg, len(sub)),
+		rings:    make([]*ring, len(sub)),
 	}
 	s.free = make(chan *batch, queueLen+8)
 	s.sendCond.L = &s.sendMu
@@ -317,18 +350,22 @@ func build(cfg Config, restore []snapshot.EngineState, restoreDegrees map[graph.
 			return nil, fmt.Errorf("shard %d: %w", i, err)
 		}
 		s.engines[i] = eng
-		s.chans[i] = make(chan msg, queueLen)
+		s.rings[i] = newRing(queueLen)
 	}
 	if cfg.Obs != nil {
 		s.obs = cfg.Obs
 		s.batchEv = make([]*obs.Gauge, len(s.engines))
 		for i := range s.engines {
 			lbl := obs.ShardLabel(i)
-			ch := s.chans[i]
-			s.obs.ShardQueueDepth.Func(lbl, func() float64 { return float64(len(ch)) })
+			r := s.rings[i]
+			s.obs.ShardQueueDepth.Func(lbl, func() float64 { return float64(r.Len()) })
 			s.batchEv[i] = s.obs.ShardBatchEvents.With(lbl)
 			s.engines[i].Instrument(s.obs.ShardApplied.With(lbl))
 		}
+	}
+	if cfg.HubDegree > 0 {
+		s.hubs = newHubSet()
+		s.hubDeg = uint32(cfg.HubDegree)
 	}
 	s.cur = s.getBatch()
 	s.done.Add(len(s.engines))
@@ -336,7 +373,7 @@ func build(cfg Config, restore []snapshot.EngineState, restoreDegrees map[graph.
 		go s.run(i)
 	}
 	if cfg.TrackDegrees {
-		s.degCh = make(chan msg, queueLen)
+		s.degRing = newRing(queueLen)
 		s.done.Add(1)
 		go s.runDegrees(graph.RestoreDegreeTable(restoreDegrees))
 	}
@@ -360,6 +397,7 @@ func (s *Sharded) getBatch() *batch {
 // putBatch recycles a fully released batch buffer.
 func (s *Sharded) putBatch(b *batch) {
 	b.ups = b.ups[:0]
+	b.wholesale = false
 	select {
 	case s.free <- b:
 	default: // free list full: let the GC have it
@@ -371,7 +409,11 @@ func (s *Sharded) putBatch(b *batch) {
 // each barrier describes exactly the barrier's stream prefix.
 func (s *Sharded) runDegrees(table *graph.DegreeTable) {
 	defer s.done.Done()
-	for m := range s.degCh {
+	for {
+		m, ok := s.degRing.pop()
+		if !ok {
+			return
+		}
 		if m.bar != nil {
 			m.bar.degrees = table.Snapshot()
 			m.bar.wg.Done()
@@ -379,6 +421,17 @@ func (s *Sharded) runDegrees(table *graph.DegreeTable) {
 		}
 		for _, up := range m.b.ups {
 			table.ApplyUpdate(up)
+			if s.hubs != nil && !up.Del {
+				// Promote endpoints crossing the hub threshold. add is
+				// idempotent, so the two extra degree lookups per insert are
+				// the whole steady-state cost of hub detection.
+				if table.Degree(up.U) >= s.hubDeg {
+					s.hubs.add(up.U)
+				}
+				if table.Degree(up.V) >= s.hubDeg {
+					s.hubs.add(up.V)
+				}
+			}
 		}
 		if m.b.refs.Add(-1) == 0 {
 			s.putBatch(m.b)
@@ -389,22 +442,30 @@ func (s *Sharded) runDegrees(table *graph.DegreeTable) {
 // fanout returns the number of broadcast consumers (engine shards plus
 // the degree tracker and the WAL goroutine when enabled).
 func (s *Sharded) fanout() int {
-	n := len(s.chans)
-	if s.degCh != nil {
+	n := len(s.rings)
+	if s.degRing != nil {
 		n++
 	}
-	if s.walCh != nil {
+	if s.walRing != nil {
 		n++
 	}
 	return n
 }
 
-// run is the shard goroutine: it drains shard i's channel, feeding edge
+// run is the shard goroutine: it drains shard i's ring, feeding edge
 // batches to the shard engine and answering barriers in stream order.
+// Wholesale batches (ApplyBatch) go through the engine's mask-pruned
+// bulk path; dispatcher-accumulated batches keep the per-event loop, so
+// the historical per-event ingest behavior is untouched.
 func (s *Sharded) run(i int) {
 	defer s.done.Done()
 	eng := s.engines[i]
-	for m := range s.chans[i] {
+	r := s.rings[i]
+	for {
+		m, ok := r.pop()
+		if !ok {
+			break
+		}
 		if m.bar != nil {
 			if m.bar.states != nil {
 				m.bar.states[i] = eng.State()
@@ -418,19 +479,28 @@ func (s *Sharded) run(i int) {
 		}
 		if s.obs != nil {
 			start := time.Now()
-			eng.ApplyAll(m.b.ups)
+			s.applyToEngine(eng, m.b)
 			d := time.Since(start)
 			s.obs.Apply.ObserveDuration(d)
 			s.batchEv[i].SetInt(len(m.b.ups))
 			s.obs.Flight.Record(obs.KindApply, int32(i), uint64(len(m.b.ups)), d)
 		} else {
-			eng.ApplyAll(m.b.ups)
+			s.applyToEngine(eng, m.b)
 		}
 		if m.b.refs.Add(-1) == 0 {
 			s.putBatch(m.b)
 		}
 	}
 	eng.Close()
+}
+
+// applyToEngine routes one batch to the right engine entry point.
+func (s *Sharded) applyToEngine(eng *core.Engine, b *batch) {
+	if b.wholesale {
+		eng.ApplyBatch(b.ups)
+	} else {
+		eng.ApplyAll(b.ups)
+	}
 }
 
 // Add feeds one stream edge insertion. Safe for concurrent use;
@@ -577,8 +647,120 @@ func (s *Sharded) ApplyAll(ups []graph.Update) {
 	}
 }
 
+// ApplyBatch feeds a slice of signed stream events in order as ONE
+// wholesale delivery (or a handful of segments, see below): the whole
+// batch is copied into a pooled buffer under a single critical section,
+// gets a single delivery ticket, travels every ring as a single
+// message, and is applied by each shard engine through
+// core.Engine.ApplyBatch — the presence-mask fast path that skips
+// logical processors provably unable to close a triangle on the event.
+// Compared with ApplyAll, the per-event cost of ticket issue, ordered
+// delivery, degree tracking hand-off, and barrier bookkeeping is
+// divided by the batch length instead of by BatchSize.
+//
+// Hub-aware routing: with Config.HubDegree set, a batch longer than
+// BatchSize that touches at least one promoted (hub) vertex is split
+// into BatchSize-long segments, each its own ticket and ring message,
+// so the hub's heavy closing-edge work pipelines across the shard
+// consumers instead of serializing behind one monolithic apply. The
+// split changes delivery granularity only — event order is preserved
+// and every shard still sees every event — so results stay
+// bit-identical.
+//
+// Self-loops are skipped (and tallied) like everywhere else. Deletion
+// events require Config.FullyDynamic and panic with core.ErrNotDynamic
+// before any event is accepted. Safe for concurrent use; panics with
+// core.ErrClosed after Close.
+func (s *Sharded) ApplyBatch(ups []graph.Update) {
+	var (
+		accepted, dels, loops uint64
+		buf                   [pendInline]sendItem
+	)
+	var start time.Time
+	if s.obs != nil {
+		start = time.Now()
+	}
+	if !s.cfg.FullyDynamic {
+		for _, up := range ups {
+			if up.Del {
+				panic(core.ErrNotDynamic)
+			}
+		}
+	}
+	// Segment length: whole batch by default; BatchSize-long slices when
+	// the hub splitting policy applies. Decided outside the mutex — the
+	// hub set is read lock-free (racy by design: a vertex promoted while
+	// we scan may miss this batch's split, which only costs granularity).
+	segLen := len(ups)
+	if segLen == 0 {
+		segLen = 1
+	}
+	if s.hubs != nil && len(ups) > s.batchLen && s.hubs.containsAny(ups) {
+		segLen = s.batchLen
+	}
+	pend := buf[:0]
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		panic(core.ErrClosed)
+	}
+	// Earlier per-event Adds may sit in the shared buffer; flush them
+	// first so stream order (arrival order of critical sections) holds.
+	if len(s.cur.ups) > 0 {
+		ticket, b := s.detachLocked()
+		pend = append(pend, sendItem{ticket: ticket, m: msg{b: b}})
+	}
+	var seg *batch
+	for _, up := range ups {
+		if up.U == up.V {
+			loops++
+			continue
+		}
+		if seg == nil {
+			seg = s.getBatch()
+			seg.wholesale = true
+		}
+		seg.ups = append(seg.ups, up)
+		accepted++
+		if up.Del {
+			dels++
+		}
+		if len(seg.ups) >= segLen {
+			ticket := s.ticketLocked(seg)
+			pend = append(pend, sendItem{ticket: ticket, m: msg{b: seg}})
+			seg = nil
+		}
+	}
+	if seg != nil {
+		ticket := s.ticketLocked(seg)
+		pend = append(pend, sendItem{ticket: ticket, m: msg{b: seg}})
+	}
+	s.processed.Add(accepted)
+	s.deleted.Add(dels)
+	s.selfLoops.Add(loops)
+	s.mu.Unlock()
+	s.sendAll(pend)
+	if s.obs != nil {
+		d := time.Since(start)
+		s.obs.Dispatch.ObserveDuration(d)
+		s.obs.Flight.Record(obs.KindDispatch, -1, accepted, d)
+	}
+}
+
+// ticketLocked issues a delivery ticket for a caller-assembled batch
+// (ApplyBatch segments, which never pass through s.cur). Caller holds
+// s.mu and guarantees the batch is non-empty.
+//
+//rept:locksheld
+func (s *Sharded) ticketLocked(b *batch) uint64 {
+	b.refs.Store(int32(s.fanout()))
+	s.seq++
+	s.lastBatch = s.seq
+	return s.seq
+}
+
 // sendItem is one ticketed delivery detached under the ingest mutex and
-// pending hand-off to the consumer channels.
+// pending hand-off to the consumer rings.
 type sendItem struct {
 	ticket uint64
 	m      msg
@@ -601,12 +783,14 @@ func (s *Sharded) detachLocked() (uint64, *batch) {
 	return s.seq, b
 }
 
-// send delivers one ticketed message to every consumer channel. Tickets
+// send delivers one ticketed message to every consumer ring. Tickets
 // are delivered strictly in issue order: the sender of ticket t waits
 // until t-1 has been fully delivered, so every consumer sees the exact
-// sequence the ingest critical sections produced. Channel sends here may
-// block on a backed-up shard (that is the backpressure), but the caller
-// holds no ingest mutex, so other producers keep appending meanwhile.
+// sequence the ingest critical sections produced — and so each ring has
+// exactly one active producer at a time, which is the ring's SPSC
+// contract. Ring pushes here may block on a backed-up shard (that is
+// the backpressure), but the caller holds no ingest mutex, so other
+// producers keep appending meanwhile.
 func (s *Sharded) send(ticket uint64, m msg) {
 	m.ticket = ticket
 	var start time.Time
@@ -617,22 +801,25 @@ func (s *Sharded) send(ticket uint64, m msg) {
 	for s.sentSeq+1 != ticket {
 		s.sendCond.Wait()
 	}
-	for _, ch := range s.chans {
-		ch <- m
+	for _, r := range s.rings {
+		r.push(m)
 	}
-	if s.degCh != nil {
-		s.degCh <- m
+	if s.degRing != nil {
+		s.degRing.push(m)
 	}
-	if s.walCh != nil {
-		s.walCh <- m
+	if s.walRing != nil {
+		s.walRing.push(m)
 	}
 	s.sentSeq = ticket
 	s.sendCond.Broadcast()
 	s.sendMu.Unlock()
 	if s.obs != nil {
 		// Queue wait covers the ordered-delivery wait plus the (possibly
-		// backpressured) channel sends for this ticket.
+		// backpressured) ring pushes for this ticket.
 		s.obs.QueueWait.ObserveSince(start)
+		if m.b != nil {
+			s.obs.BatchSizes.Observe(uint64(len(m.b.ups)))
+		}
 	}
 }
 
@@ -676,11 +863,11 @@ func (s *Sharded) barrier(wantStates bool) *barrier {
 	}
 	bar := &barrier{}
 	if wantStates {
-		bar.states = make([]*snapshot.EngineState, len(s.chans))
+		bar.states = make([]*snapshot.EngineState, len(s.rings))
 	} else {
-		bar.aggs = make([]*core.Aggregates, len(s.chans))
-		bar.sampled = make([]int, len(s.chans))
-		bar.etaSat = make([]uint64, len(s.chans))
+		bar.aggs = make([]*core.Aggregates, len(s.rings))
+		bar.sampled = make([]int, len(s.rings))
+		bar.etaSat = make([]uint64, len(s.rings))
 	}
 	// The tallies are only mutated under s.mu, so this read is exactly
 	// consistent with the prefix ticketed so far: every credited event
@@ -782,18 +969,18 @@ func (s *Sharded) Close() {
 	s.sendAll(pend)
 	// closed stops new tickets from being issued, but producers that
 	// detached a batch before we flipped it may still be delivering;
-	// wait for every issued ticket before closing the channels.
+	// wait for every issued ticket before closing the rings.
 	s.waitSent(last)
-	for _, ch := range s.chans {
-		close(ch)
+	for _, r := range s.rings {
+		r.close()
 	}
-	if s.degCh != nil {
-		close(s.degCh)
+	if s.degRing != nil {
+		s.degRing.close()
 	}
-	if s.walCh != nil {
+	if s.walRing != nil {
 		// The WAL goroutine group-commits whatever is still appended but
 		// unsynced before exiting, so a clean Close loses nothing.
-		close(s.walCh)
+		s.walRing.close()
 	}
 	s.done.Wait()
 }

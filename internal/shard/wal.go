@@ -109,7 +109,7 @@ func (s *Sharded) StartWAL(lg *wal.Log, syncInterval time.Duration) {
 		s.mu.Unlock()
 		panic(core.ErrClosed)
 	}
-	if s.walCh != nil {
+	if s.walRing != nil {
 		s.mu.Unlock()
 		panic("shard: StartWAL called twice")
 	}
@@ -121,11 +121,11 @@ func (s *Sharded) StartWAL(lg *wal.Log, syncInterval time.Duration) {
 	s.mu.Unlock()
 	s.sendAll(pend)
 	// Batches detached before this point carried the old fan-out count
-	// and must be fully delivered before the WAL channel joins it.
+	// and must be fully delivered before the WAL ring joins it.
 	s.waitSent(last)
 
 	s.mu.Lock()
-	s.walCh = make(chan msg, s.queueLen)
+	s.walRing = newRing(s.queueLen)
 	s.wal = &walRunner{lg: lg, interval: syncInterval}
 	s.wal.cond.L = &s.wal.mu
 	s.done.Add(1)
@@ -167,7 +167,7 @@ func (s *Sharded) ApplyAllDurable(ups []graph.Update) error {
 		s.mu.Unlock()
 		panic(core.ErrClosed)
 	}
-	if s.walCh == nil {
+	if s.walRing == nil {
 		s.mu.Unlock()
 		s.ApplyAll(ups)
 		return nil
@@ -213,21 +213,107 @@ func (s *Sharded) ApplyAllDurable(ups []graph.Update) error {
 	return w.wait(wait)
 }
 
+// ApplyBatchDurable is ApplyBatch with the same durability barrier as
+// ApplyAllDurable: it returns only once every event it accepted is in
+// the write-ahead log — synced in per-batch mode, appended in interval
+// mode. The batch travels as wholesale segments (hub splitting
+// included) exactly like ApplyBatch, so durability costs nothing in
+// dispatch granularity: the log's group commit covers each segment the
+// moment the WAL ring drains. Without StartWAL it degrades to
+// ApplyBatch and returns nil.
+func (s *Sharded) ApplyBatchDurable(ups []graph.Update) error {
+	var (
+		accepted, dels, loops uint64
+		buf                   [pendInline]sendItem
+	)
+	var start time.Time
+	if s.obs != nil {
+		start = time.Now()
+	}
+	if !s.cfg.FullyDynamic {
+		for _, up := range ups {
+			if up.Del {
+				panic(core.ErrNotDynamic)
+			}
+		}
+	}
+	segLen := len(ups)
+	if segLen == 0 {
+		segLen = 1
+	}
+	if s.hubs != nil && len(ups) > s.batchLen && s.hubs.containsAny(ups) {
+		segLen = s.batchLen
+	}
+	pend := buf[:0]
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		panic(core.ErrClosed)
+	}
+	if s.walRing == nil {
+		s.mu.Unlock()
+		s.ApplyBatch(ups)
+		return nil
+	}
+	if len(s.cur.ups) > 0 {
+		ticket, b := s.detachLocked()
+		pend = append(pend, sendItem{ticket: ticket, m: msg{b: b}})
+	}
+	var seg *batch
+	for _, up := range ups {
+		if up.U == up.V {
+			loops++
+			continue
+		}
+		if seg == nil {
+			seg = s.getBatch()
+			seg.wholesale = true
+		}
+		seg.ups = append(seg.ups, up)
+		accepted++
+		if up.Del {
+			dels++
+		}
+		if len(seg.ups) >= segLen {
+			ticket := s.ticketLocked(seg)
+			pend = append(pend, sendItem{ticket: ticket, m: msg{b: seg}})
+			seg = nil
+		}
+	}
+	if seg != nil {
+		ticket := s.ticketLocked(seg)
+		pend = append(pend, sendItem{ticket: ticket, m: msg{b: seg}})
+	}
+	// Everything this call accepted sits at or below the last issued
+	// ticket; that is the durability watermark to wait for.
+	wait := s.lastBatch
+	s.processed.Add(accepted)
+	s.deleted.Add(dels)
+	s.selfLoops.Add(loops)
+	w := s.wal
+	s.mu.Unlock()
+	s.sendAll(pend)
+	if s.obs != nil {
+		d := time.Since(start)
+		s.obs.Dispatch.ObserveDuration(d)
+		s.obs.Flight.Record(obs.KindDispatch, -1, accepted, d)
+	}
+	return w.wait(wait)
+}
+
 // runWAL is the dedicated logger goroutine: it consumes the same
 // ticketed batch/barrier sequence as the engine shards, appends each
 // batch to the log, and group-commits — one sync covers every batch
 // drained since the last one. In per-batch mode the sync happens as soon
-// as the channel runs dry; in interval mode on a ticker, trading a
-// bounded loss window for fewer syncs.
+// as the ring runs dry; in interval mode on a period (popTimeout supplies
+// the tick), trading a bounded loss window for fewer syncs.
 func (s *Sharded) runWAL() {
 	defer s.done.Done()
 	r := s.wal
 	perBatch := r.interval <= 0
-	var tickC <-chan time.Time
+	var next time.Time
 	if !perBatch {
-		t := time.NewTicker(r.interval)
-		defer t.Stop()
-		tickC = t.C
+		next = time.Now().Add(r.interval)
 	}
 	var lastTicket uint64 // last batch ticket appended to the log
 	failed := false
@@ -262,38 +348,47 @@ func (s *Sharded) runWAL() {
 			s.putBatch(m.b)
 		}
 	}
-	open := true
-	for open {
-		select {
-		case m, ok := <-s.walCh:
-			if !ok {
-				open = false
+	for {
+		var m msg
+		var ok bool
+		if perBatch {
+			m, ok = s.walRing.pop()
+		} else {
+			var timedOut bool
+			m, ok, timedOut = s.walRing.popTimeout(time.Until(next))
+			if timedOut {
+				// The period elapsed with the ring idle: sync the open group.
+				commit()
+				next = time.Now().Add(r.interval)
+				continue
+			}
+		}
+		if !ok {
+			break
+		}
+		handle(m)
+		// Drain whatever the producers queued meanwhile: the group whose
+		// appends the next sync amortizes over.
+		for {
+			m2, ok2 := s.walRing.tryPop()
+			if !ok2 {
 				break
 			}
-			handle(m)
-			// Drain whatever the producers queued meanwhile: the group
-			// whose appends the next sync amortizes over.
-		drain:
-			for {
-				select {
-				case m2, ok2 := <-s.walCh:
-					if !ok2 {
-						open = false
-						break drain
-					}
-					handle(m2)
-				default:
-					break drain
-				}
-			}
-			if perBatch {
-				commit()
-			} else if dirty && !failed {
-				// Interval mode acknowledges on append.
-				r.publish(lastTicket, 0)
-			}
-		case <-tickC:
+			handle(m2)
+		}
+		if perBatch {
 			commit()
+			continue
+		}
+		if dirty && !failed {
+			// Interval mode acknowledges on append.
+			r.publish(lastTicket, 0)
+		}
+		if !time.Now().Before(next) {
+			// A busy ring keeps popTimeout from ever timing out; honor the
+			// period here so the loss window stays bounded under load.
+			commit()
+			next = time.Now().Add(r.interval)
 		}
 	}
 	// Shutdown: make everything appended durable regardless of mode.
