@@ -1,0 +1,251 @@
+package rept_test
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"rept"
+	"rept/internal/control"
+	"rept/internal/exper"
+	"rept/internal/gen"
+)
+
+// TestAccuracyAfterDownsample is the statistical gate for the adaptive
+// control plane's one irreversible action: over 40 independent hash-family
+// seeds on a churn stream with a mid-stream Downsample(1), the estimator
+// must still match the exact net triangle count of the final live graph.
+// The adaptation rescales every counter by the REPT unbiasing factor and
+// re-partitions the sample under the tightened keep filter, so any error
+// in the rescale arithmetic, the eviction sweep, or the effective-m
+// plumbing shifts the error distribution far outside these gates.
+//
+// The variance windows bracket the mixed process: events processed before
+// the adaptation contribute at the original partition size m and are then
+// thinned, events after it at m_eff = 2m, so the empirical MSE must sit
+// between the closed-form variance at m (scaled by the usual 0.35 noise
+// floor) and the variance at m_eff (scaled by the usual 2.2 ceiling). The
+// bias gate is 4.5 standard errors at m_eff. Stream and seeds are fixed;
+// the test is fully deterministic.
+func TestAccuracyAfterDownsample(t *testing.T) {
+	base := gen.Shuffle(gen.HolmeKim(800, 5, 0.35, 77), 123)
+	ups := exper.DynStream(base, exper.DynOptions{Pattern: exper.Reinsert, DeleteFrac: 0.35, ReinsertFrac: 0.85, Seed: 99})
+	ref := exper.DynCountExact(ups, false)
+	if frac := float64(ref.Deletes) / float64(ref.Events); frac < 0.30 {
+		t.Fatalf("deletion fraction = %.3f, need >= 0.30 for a meaningful churn gate", frac)
+	}
+	tau := float64(ref.Tau)
+	if tau < 500 {
+		t.Fatalf("net graph too sparse for a meaningful bound: τ = %v", tau)
+	}
+	cut := len(ups) * 3 / 5
+
+	const seeds = 40
+	cases := []struct {
+		name string
+		m, c int
+	}{
+		// Only downsample-legal layouts (no η tracking): full groups and a
+		// single undersized group. The partial-group combination refuses
+		// Downsample by design — see TestDownsampleRefusedOnEtaConfig.
+		{"FullGroups_M8_C32", 8, 32},
+		{"SingleGroup_M16_C8", 16, 8},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			varBase := rept.TheoreticalVariance(tc.m, tc.c, ref.A, ref.B/2)
+			varEff := rept.TheoreticalVariance(2*tc.m, tc.c, ref.A, ref.B/2)
+			if !(varBase > 0) || !(varEff > varBase) {
+				t.Fatalf("variance bounds: base %v, effective %v", varBase, varEff)
+			}
+			var sumErr, sumSq float64
+			for seed := int64(1); seed <= seeds; seed++ {
+				est, err := rept.NewConcurrent(rept.ConcurrentConfig{M: tc.m, C: tc.c, Seed: seed, FullyDynamic: true})
+				if err != nil {
+					t.Fatal(err)
+				}
+				est.ApplyAll(ups[:cut])
+				if err := est.Downsample(1); err != nil {
+					t.Fatal(err)
+				}
+				est.ApplyAll(ups[cut:])
+				if got := est.SampleShift(); got != 1 {
+					t.Fatalf("SampleShift = %d after Downsample(1), want 1", got)
+				}
+				d := est.Global() - tau
+				est.Close()
+				sumErr += d
+				sumSq += d * d
+			}
+			mse := sumSq / seeds
+			bias := sumErr / seeds
+			t.Logf("net τ=%.0f A=%.0f B=%.0f: MSE = %.1f (Var[m]=%.1f, Var[m_eff]=%.1f), bias = %.1f",
+				tau, ref.A, ref.B, mse, varBase, varEff, bias)
+
+			if mse > 2.2*varEff {
+				t.Errorf("empirical MSE %.1f exceeds post-adaptation variance %.1f by ratio %.2f (> 2.2): the downsample rescale has regressed", mse, varEff, mse/varEff)
+			}
+			if mse < 0.35*varBase {
+				t.Errorf("empirical MSE %.1f implausibly below pre-adaptation variance %.1f (ratio %.2f < 0.35): sampling is likely broken", mse, varBase, mse/varBase)
+			}
+			if gate := 4.5 * math.Sqrt(varEff/seeds); math.Abs(bias) > gate {
+				t.Errorf("empirical bias %.1f exceeds %.1f (4.5 standard errors): the estimator is no longer unbiased after adaptation", bias, gate)
+			}
+		})
+	}
+}
+
+// TestDownsampleRefusedOnEtaConfig: a layout with a partial processor
+// group tracks η, whose per-edge closing counters cannot be rescaled, so
+// Downsample must refuse with ErrEtaDownsample — and leave the estimator
+// fully usable.
+func TestDownsampleRefusedOnEtaConfig(t *testing.T) {
+	est, err := rept.NewConcurrent(rept.ConcurrentConfig{M: 6, C: 15, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer est.Close()
+	est.AddAll(gen.HolmeKim(200, 4, 0.3, 9))
+	if err := est.Downsample(1); !errors.Is(err, rept.ErrEtaDownsample) {
+		t.Fatalf("Downsample on an η config = %v, want ErrEtaDownsample", err)
+	}
+	if got := est.SampleShift(); got != 0 {
+		t.Fatalf("SampleShift = %d after a refused Downsample, want 0", got)
+	}
+	if g := est.Global(); !(g > 0) {
+		t.Fatalf("estimator unusable after refused Downsample: Global = %v", g)
+	}
+}
+
+// TestMemStatsSurface: the public accounting surface — component
+// breakdown, process-memory total, and the sampling diagnostics the
+// controller publishes.
+func TestMemStatsSurface(t *testing.T) {
+	est, err := rept.NewConcurrent(rept.ConcurrentConfig{
+		M: 4, C: 8, Seed: 5, TrackLocal: true, TrackDegrees: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer est.Close()
+	est.AddAll(gen.Shuffle(gen.HolmeKim(1000, 6, 0.4, 3), 13))
+	est.Snapshot() // barrier: pending capacity transitions land
+
+	ms := est.MemStats()
+	for _, comp := range []string{"adjacency", "counters", "degrees", "rings"} {
+		if ms.ByComponent[comp] <= 0 {
+			t.Errorf("component %q = %d bytes after ingest, want > 0", comp, ms.ByComponent[comp])
+		}
+	}
+	var heap int64
+	for comp, b := range ms.ByComponent {
+		if comp != "wal_segments" {
+			heap += b
+		}
+	}
+	if ms.HeapBytes != heap {
+		t.Errorf("HeapBytes = %d, component sum = %d", ms.HeapBytes, heap)
+	}
+	if ms.WALSegmentBytes != 0 {
+		t.Errorf("WALSegmentBytes = %d without a WAL, want 0", ms.WALSegmentBytes)
+	}
+	if got, tot := est.MemTotalBytes(), ms.HeapBytes; got != tot {
+		t.Errorf("MemTotalBytes = %d, MemStats.HeapBytes = %d", got, tot)
+	}
+
+	if p := est.SampleProbability(); p != 0.25 {
+		t.Errorf("SampleProbability = %v at M=4 shift=0, want 0.25", p)
+	}
+	vb0 := est.VarianceBound()
+	if !(vb0 > 0) {
+		t.Fatalf("VarianceBound = %v on a triangle-rich stream, want > 0", vb0)
+	}
+	if err := est.Downsample(1); err != nil {
+		t.Fatal(err)
+	}
+	if p := est.SampleProbability(); p != 0.125 {
+		t.Errorf("SampleProbability = %v after Downsample(1), want 0.125", p)
+	}
+	if vb1 := est.VarianceBound(); !(vb1 > vb0) {
+		t.Errorf("VarianceBound = %v after Downsample(1), want > pre-adaptation %v (accuracy was traded for memory)", vb1, vb0)
+	}
+}
+
+// TestControllerChurnSoak drives the real estimator under the real
+// controller on a churn stream with a budget between the incompressible
+// floor and the unconstrained footprint: the controller must adapt at
+// least once, the ledger total must end at or under the budget, and the
+// published variance bound must record the accuracy that was traded.
+func TestControllerChurnSoak(t *testing.T) {
+	base := gen.Shuffle(gen.HolmeKim(2500, 8, 0.4, 21), 5)
+	ups := exper.DynStream(base, exper.DynOptions{Pattern: exper.Reinsert, DeleteFrac: 0.25, ReinsertFrac: 0.7, Seed: 8})
+
+	build := func() *rept.Concurrent {
+		est, err := rept.NewConcurrent(rept.ConcurrentConfig{
+			M: 4, C: 8, Seed: 17, TrackLocal: true, FullyDynamic: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return est
+	}
+
+	// Calibration pass: the unconstrained footprint and its sample-bearing
+	// share fix a budget that genuinely forces adaptation yet stays above
+	// the incompressible floor (rings, batches, masks).
+	ref := build()
+	ref.ApplyAll(ups)
+	ref.Snapshot()
+	ms := ref.MemStats()
+	full := ms.HeapBytes
+	sampleBytes := ms.ByComponent["adjacency"] + ms.ByComponent["counters"]
+	ref.Close()
+	if sampleBytes <= 0 || full <= sampleBytes {
+		t.Fatalf("calibration: full=%d sample-bearing=%d", full, sampleBytes)
+	}
+	budget := full - sampleBytes/2
+	t.Logf("unconstrained footprint %d bytes (%d sample-bearing); budget %d", full, sampleBytes, budget)
+
+	est := build()
+	defer est.Close()
+	vb0 := -1.0
+	ctrl := control.New(control.Config{
+		Budget:      budget,
+		MemTotal:    est.MemTotalBytes,
+		Processed:   est.Processed,
+		SampleShift: est.SampleShift,
+		Downsample:  est.Downsample,
+	})
+	const chunks = 20
+	for i := 0; i < chunks; i++ {
+		lo, hi := i*len(ups)/chunks, (i+1)*len(ups)/chunks
+		est.ApplyAll(ups[lo:hi])
+		est.Snapshot() // quiesce: Downsample from a tick needs a drained pipeline
+		if vb0 < 0 && i == chunks/2 {
+			vb0 = est.VarianceBound()
+		}
+		ctrl.Tick()
+	}
+	// Drain any residual pressure the tail of the stream re-created.
+	for i := 0; i < 8 && est.MemTotalBytes() > budget; i++ {
+		est.Snapshot()
+		ctrl.Tick()
+	}
+
+	if got := ctrl.Adaptations(); got < 1 {
+		t.Fatalf("Adaptations = %d under a %d-byte budget (unconstrained %d), want >= 1", got, budget, full)
+	}
+	if got := est.SampleShift(); got < 1 {
+		t.Fatalf("SampleShift = %d after %d adaptations, want >= 1", got, ctrl.Adaptations())
+	}
+	if got := est.MemTotalBytes(); got > budget {
+		t.Errorf("ledger total %d exceeds budget %d after the soak", got, budget)
+	}
+	if vb := est.VarianceBound(); vb0 > 0 && !(vb > vb0) {
+		t.Errorf("VarianceBound = %v after adaptation, want > mid-stream %v", vb, vb0)
+	}
+	st := ctrl.Status()
+	if st.SampleShift != est.SampleShift() {
+		t.Errorf("controller reports shift %d, estimator %d", st.SampleShift, est.SampleShift())
+	}
+}

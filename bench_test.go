@@ -20,6 +20,8 @@ import (
 	"rept/internal/exper"
 	"rept/internal/gen"
 	"rept/internal/graph"
+	"rept/internal/mem"
+	"rept/internal/shard"
 )
 
 // benchProfile is the quick profile with a fixed tiny scale so benchmark
@@ -301,6 +303,62 @@ func BenchmarkApplyAllPerEvent(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	feed(b.N)
+}
+
+// benchShardIngest is the steady-state harness for the accounting-cost
+// pair below, one level under Concurrent: a shard coordinator fed the
+// wholesale batchStream through ApplyBatch in 8192-event bodies, with
+// the byte ledger attached or absent. Concurrent always creates a
+// ledger, so the unaccounted baseline only exists at this level — which
+// is also where every ledger charge site lives.
+func benchShardIngest(b *testing.B, ac *mem.Accountant) {
+	const span = 8192
+	s, err := shard.New(shard.Config{M: 64, C: 64, Shards: 1, Seed: 1, Mem: ac})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	ups := make([]graph.Update, len(batchStream))
+	for i, e := range batchStream {
+		ups[i] = graph.Update{U: e.U, V: e.V}
+	}
+	feed := func(n int) {
+		done := 0
+		for done < n {
+			for i := 0; i < len(ups) && done < n; i += span {
+				end := i + span
+				if end > len(ups) {
+					end = len(ups)
+				}
+				if rem := n - done; end-i > rem {
+					end = i + rem
+				}
+				s.ApplyBatch(ups[i:end])
+				done += end - i
+			}
+		}
+	}
+	feed(2 * len(ups))
+	b.ReportAllocs()
+	b.ResetTimer()
+	feed(b.N)
+}
+
+// BenchmarkIngestAccountedPerEvent is the wholesale ingest path with the
+// memory ledger attached — the configuration every Concurrent estimator
+// runs. Its pair twin below is the identical workload with no ledger;
+// CI holds the ratio to 1.02 (benchdiff -pair @1.02), the accounting
+// budget: charges land only at capacity transitions, so a warm steady
+// state must be ledger-silent.
+func BenchmarkIngestAccountedPerEvent(b *testing.B) {
+	benchShardIngest(b, mem.New())
+}
+
+// BenchmarkIngestUnaccountedPerEvent is the unaccounted baseline of the
+// accounting-cost pair: the same coordinator, stream, and harness with a
+// nil ledger, so every charge site compiles to the nil-receiver no-op.
+func BenchmarkIngestUnaccountedPerEvent(b *testing.B) {
+	benchShardIngest(b, nil)
 }
 
 // benchScalingShards is the shard-scaling curve of the bench artifact:

@@ -1,6 +1,7 @@
 // Command benchdiff compares two benchmark recordings produced by
 // `go test -json -bench ...` and fails when a tracked benchmark's
-// ns-per-op regressed beyond a threshold. It is the CI guardrail that
+// ns-per-op — or, when the recordings carry -benchmem columns, its
+// bytes-per-op — regressed beyond a threshold. It is the CI guardrail that
 // keeps the per-event ingest trajectory from silently rotting: the bench
 // step records BENCH_<sha>.json into bench/ on every main push, and the
 // gate compares each fresh run against the last committed recording.
@@ -25,6 +26,14 @@
 // unless A is at least 2× faster than B — which overrides
 // -pair-threshold for that entry. -pair composes with the baseline gate
 // or runs alone with just -new.
+//
+// When the recordings carry B/op columns (run the benchmarks with
+// -benchmem), both gate kinds also bound bytes-per-op: the baseline gate
+// at the same relative -threshold and the pair gate at the same ratio
+// cap, each with a 16-byte absolute slack so 0 B/op baselines stay
+// enforceable without dividing by zero. A baseline recorded before
+// -benchmem has no byte column; byte gating phases in with a note on its
+// first -benchmem run, exactly like a benchmark with no baseline.
 //
 // With -latest, the baseline is resolved through a pointer file holding
 // the committed baseline's file name (relative to the pointer's
@@ -67,6 +76,11 @@ const defaultBenchmarks = "BenchmarkREPTPerEdge,BenchmarkFullyDynamicChurnPerEve
 type result struct {
 	iters int64
 	nsOp  float64
+	// bOp is the -benchmem bytes-per-operation column; hasB records
+	// whether the line carried one (older recordings predate -benchmem,
+	// and their byte gates phase in rather than fail).
+	bOp  float64
+	hasB bool
 }
 
 // recording is one parsed BENCH file: best result per benchmark plus the
@@ -83,8 +97,17 @@ type testEvent struct {
 	Output  string `json:"Output"`
 }
 
-// benchLine matches "BenchmarkName-8   12345   678.9 ns/op ...".
-var benchLine = regexp.MustCompile(`^(Benchmark[^\s-]+)(?:-\d+)?\s+(\d+)\s+([0-9.]+) ns/op`)
+// benchLine matches "BenchmarkName-8   12345   678.9 ns/op   12 B/op ..."
+// (the B/op column appears only under -benchmem).
+var benchLine = regexp.MustCompile(`^(Benchmark[^\s-]+)(?:-\d+)?\s+(\d+)\s+([0-9.]+) ns/op(?:\s+([0-9.]+) B/op)?`)
+
+// bytesSlack is the absolute bytes-per-event allowance on top of every
+// relative B/op gate. Per-event allocation costs are near-integer and
+// often exactly 0, where a pure ratio is undefined (0/0) and a single
+// stray cache-line-sized allocation would be an infinite regression; the
+// slack turns "must not grow by more than X%" into "…and never minds
+// noise smaller than one allocator size class".
+const bytesSlack = 16
 
 // parseFile extracts the best (highest-iteration) result per benchmark
 // name from a go test -json stream, plus the "cpu:" banner. One
@@ -151,8 +174,14 @@ func parseFile(path string) (recording, error) {
 			if err1 != nil || err2 != nil {
 				continue
 			}
+			r := result{iters: iters, nsOp: nsOp}
+			if m[4] != "" {
+				if bOp, err := strconv.ParseFloat(m[4], 64); err == nil {
+					r.bOp, r.hasB = bOp, true
+				}
+			}
 			if prev, ok := rec.results[m[1]]; !ok || iters > prev.iters {
-				rec.results[m[1]] = result{iters: iters, nsOp: nsOp}
+				rec.results[m[1]] = r
 			}
 		}
 	}
@@ -263,6 +292,20 @@ func run(args []string) error {
 		if ratio > 1+*threshold {
 			failures = append(failures, fmt.Sprintf("%s regressed %.1f%% (threshold %.0f%%)", name, (ratio-1)*100, *threshold*100))
 		}
+		// Bytes-per-event rides the same gate once both sides record it:
+		// the relative threshold plus an absolute one-size-class slack, so
+		// a 0 B/op baseline stays enforceable without a division by zero.
+		switch {
+		case !nw.hasB:
+			// Fresh run without -benchmem: nothing to gate.
+		case !old.hasB:
+			fmt.Printf("%-40s %25.0f B/op (no byte baseline; trajectory starts here)\n", name, nw.bOp)
+		default:
+			fmt.Printf("%-40s %12.0f -> %9.0f B/op\n", name, old.bOp, nw.bOp)
+			if nw.bOp > old.bOp*(1+*threshold)+bytesSlack {
+				failures = append(failures, fmt.Sprintf("%s bytes/event regressed %.0f -> %.0f B/op (threshold %.0f%% + %dB)", name, old.bOp, nw.bOp, *threshold*100, bytesSlack))
+			}
+		}
 	}
 	// Every benchmark the baseline recorded must appear in the fresh run:
 	// a silent disappearance is how a renamed benchmark drops out of the
@@ -322,6 +365,13 @@ func checkPairs(res map[string]result, pairs string, threshold float64, path str
 		fmt.Printf("%-40s %12.1f ns/op vs %s %.1f ns/op (ratio %.2f, max %.2f)\n", a, ra.nsOp, b, rb.nsOp, ratio, maxRatio)
 		if ratio > maxRatio {
 			failures = append(failures, fmt.Sprintf("%s is %.2f× %s, exceeding the %.2f× cap", a, ratio, b, maxRatio))
+		}
+		// The byte columns pair-gate under the same cap (plus the absolute
+		// slack) when both sides recorded them — for the accounted-vs-
+		// unaccounted ingest pair both sides must be 0 B/op in steady
+		// state, and this is the gate that notices when one stops being so.
+		if ra.hasB && rb.hasB && ra.bOp > rb.bOp*maxRatio+bytesSlack {
+			failures = append(failures, fmt.Sprintf("%s allocates %.0f B/op vs %s at %.0f B/op (cap %.2f× + %dB)", a, ra.bOp, b, rb.bOp, maxRatio, bytesSlack))
 		}
 	}
 	if len(failures) > 0 {

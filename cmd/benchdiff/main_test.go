@@ -96,7 +96,7 @@ func TestRunSkipsCrossHardware(t *testing.T) {
 		"BenchmarkREPTPerEdge-8 \\t 1000000 \\t 9999 ns/op",
 		"BenchmarkFullyDynamicChurnPerEvent-8 \\t 1000000 \\t 9999 ns/op",
 	))
-	if err := run([]string{"-old", old, "-new", fresh}); err != nil {
+	if err := run([]string{"-old", old, "-new", fresh, "-bench", "BenchmarkREPTPerEdge"}); err != nil {
 		t.Errorf("cross-hardware comparison failed instead of skipping: %v", err)
 	}
 }
@@ -115,7 +115,7 @@ func TestRunPassesWithinThreshold(t *testing.T) {
 		"BenchmarkREPTPerEdgeWAL-8 \\t 1000000 \\t 1600 ns/op",
 		"BenchmarkBatchIngestPerEvent-8 \\t 1000000 \\t 190 ns/op",
 	))
-	if err := run([]string{"-old", old, "-new", fresh}); err != nil {
+	if err := run([]string{"-old", old, "-new", fresh, "-bench", "BenchmarkREPTPerEdge"}); err != nil {
 		t.Errorf("run failed within threshold: %v", err)
 	}
 }
@@ -134,7 +134,7 @@ func TestRunFailsOnRegression(t *testing.T) {
 		"BenchmarkREPTPerEdgeWAL-8 \\t 1000000 \\t 1500 ns/op",
 		"BenchmarkBatchIngestPerEvent-8 \\t 1000000 \\t 180 ns/op",
 	))
-	err := run([]string{"-old", old, "-new", fresh})
+	err := run([]string{"-old", old, "-new", fresh, "-bench", "BenchmarkREPTPerEdge"})
 	if err == nil || !strings.Contains(err.Error(), "BenchmarkREPTPerEdge regressed") {
 		t.Errorf("run = %v, want a regression failure naming BenchmarkREPTPerEdge", err)
 	}
@@ -148,7 +148,7 @@ func TestRunMissingTrackedBenchmark(t *testing.T) {
 	fresh := writeFile(t, dir, "new.json", jsonBench(
 		"BenchmarkOther-8 \\t 1000000 \\t 1000 ns/op",
 	))
-	if err := run([]string{"-old", old, "-new", fresh}); err == nil {
+	if err := run([]string{"-old", old, "-new", fresh, "-bench", "BenchmarkREPTPerEdge"}); err == nil {
 		t.Error("run succeeded with a tracked benchmark missing from the fresh file")
 	}
 	// A benchmark absent from the BASELINE is fine: the trajectory has to
@@ -335,5 +335,130 @@ func TestRunPairComposesWithBaseline(t *testing.T) {
 		"-pair", "BenchmarkREPTPerEdgeInstrumented=BenchmarkConcurrentPerEdge"})
 	if err == nil || !strings.Contains(err.Error(), "pair regression") {
 		t.Errorf("run = %v, want the pair failure to surface alongside a clean baseline", err)
+	}
+}
+
+// TestParseFileBytesColumn: the -benchmem B/op column is parsed when
+// present and its absence is recorded, so byte gating can phase in.
+func TestParseFileBytesColumn(t *testing.T) {
+	dir := t.TempDir()
+	path := writeFile(t, dir, "b.json", jsonBench(
+		"BenchmarkREPTPerEdge-8 \\t 1000000 \\t 700.5 ns/op \\t 12 B/op \\t 1 allocs/op",
+		"BenchmarkFullyDynamicChurnPerEvent-8 \\t 1000000 \\t 450 ns/op \\t 0 B/op \\t 0 allocs/op",
+		"BenchmarkREPTPerEdgeWAL-8 \\t 1000000 \\t 1500 ns/op",
+	))
+	rec, err := parseFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := rec.results["BenchmarkREPTPerEdge"]; !r.hasB || r.bOp != 12 {
+		t.Errorf("BenchmarkREPTPerEdge = %+v, want 12 B/op recorded", r)
+	}
+	if r := rec.results["BenchmarkFullyDynamicChurnPerEvent"]; !r.hasB || r.bOp != 0 {
+		t.Errorf("zero-alloc benchmark = %+v, want an explicit 0 B/op", r)
+	}
+	if r := rec.results["BenchmarkREPTPerEdgeWAL"]; r.hasB {
+		t.Errorf("no-benchmem line = %+v, want hasB=false", r)
+	}
+}
+
+// baselinePair builds matched old/new recordings for the byte-gate
+// baseline tests: identical ns/op everywhere (timing never trips), byte
+// columns as given (empty string = no -benchmem column).
+func baselinePair(t *testing.T, dir, oldB, newB string) (string, string) {
+	t.Helper()
+	line := func(b string) string {
+		s := " \\t 1000000 \\t 1000 ns/op"
+		if b != "" {
+			s += " \\t " + b + " B/op"
+		}
+		return s
+	}
+	old := writeFile(t, dir, "old.json", jsonBench(
+		"BenchmarkREPTPerEdge-8"+line(oldB),
+	))
+	fresh := writeFile(t, dir, "new.json", jsonBench(
+		"BenchmarkREPTPerEdge-8"+line(newB),
+	))
+	return old, fresh
+}
+
+// TestRunBytesBaselineGate: B/op regressions beyond threshold+slack fail
+// the baseline gate even when ns/op is unchanged; small absolute byte
+// growth inside the slack passes (per-event byte costs are near-integer
+// noise around allocator size classes).
+func TestRunBytesBaselineGate(t *testing.T) {
+	dir := t.TempDir()
+
+	// 0 -> 12 B/op: inside the 16-byte slack, passes.
+	old, fresh := baselinePair(t, dir, "0", "12")
+	if err := run([]string{"-old", old, "-new", fresh, "-bench", "BenchmarkREPTPerEdge"}); err != nil {
+		t.Errorf("run = %v, want growth inside the byte slack to pass", err)
+	}
+
+	// 0 -> 64 B/op: a real new allocation on a zero baseline, fails.
+	dir2 := t.TempDir()
+	old, fresh = baselinePair(t, dir2, "0", "64")
+	err := run([]string{"-old", old, "-new", fresh, "-bench", "BenchmarkREPTPerEdge"})
+	if err == nil || !strings.Contains(err.Error(), "B/op") {
+		t.Errorf("run = %v, want a bytes/event regression failure", err)
+	}
+
+	// 1000 -> 1100 B/op: +10% < 25% threshold, passes.
+	dir3 := t.TempDir()
+	old, fresh = baselinePair(t, dir3, "1000", "1100")
+	if err := run([]string{"-old", old, "-new", fresh, "-bench", "BenchmarkREPTPerEdge"}); err != nil {
+		t.Errorf("run = %v, want +10%% bytes within the 25%% threshold to pass", err)
+	}
+
+	// 1000 -> 1500 B/op: +50% > 25%, fails.
+	dir4 := t.TempDir()
+	old, fresh = baselinePair(t, dir4, "1000", "1500")
+	err = run([]string{"-old", old, "-new", fresh, "-bench", "BenchmarkREPTPerEdge"})
+	if err == nil || !strings.Contains(err.Error(), "B/op") {
+		t.Errorf("run = %v, want a bytes/event regression failure at +50%%", err)
+	}
+}
+
+// TestRunBytesPhaseIn: a baseline recorded before -benchmem has no byte
+// column; the first -benchmem run must start the byte trajectory with a
+// note instead of failing — and the reverse (fresh run without
+// -benchmem) must not gate bytes at all.
+func TestRunBytesPhaseIn(t *testing.T) {
+	dir := t.TempDir()
+	old, fresh := baselinePair(t, dir, "", "4096")
+	if err := run([]string{"-old", old, "-new", fresh, "-bench", "BenchmarkREPTPerEdge"}); err != nil {
+		t.Errorf("run = %v, want a byte-less baseline to phase in cleanly", err)
+	}
+	dir2 := t.TempDir()
+	old, fresh = baselinePair(t, dir2, "4096", "")
+	if err := run([]string{"-old", old, "-new", fresh, "-bench", "BenchmarkREPTPerEdge"}); err != nil {
+		t.Errorf("run = %v, want a byte-less fresh run to skip byte gating", err)
+	}
+}
+
+// TestRunPairBytesGate: the within-run pair gate bounds A's B/op against
+// B's under the same ratio cap plus the absolute slack — the
+// accounted-vs-unaccounted ingest pair proves "the ledger costs neither
+// time nor allocation" through this gate.
+func TestRunPairBytesGate(t *testing.T) {
+	dir := t.TempDir()
+	fresh := writeFile(t, dir, "new.json", jsonBench(
+		"BenchmarkIngestUnaccountedPerEvent-8 \\t 1000000 \\t 1000 ns/op \\t 0 B/op",
+		"BenchmarkIngestAccountedPerEvent-8 \\t 1000000 \\t 1010 ns/op \\t 0 B/op",
+	))
+	if err := run([]string{"-new", fresh,
+		"-pair", "BenchmarkIngestAccountedPerEvent=BenchmarkIngestUnaccountedPerEvent@1.02"}); err != nil {
+		t.Errorf("run = %v, want a 0 B/op pair within the 1.02 cap to pass", err)
+	}
+
+	alloc := writeFile(t, dir, "alloc.json", jsonBench(
+		"BenchmarkIngestUnaccountedPerEvent-8 \\t 1000000 \\t 1000 ns/op \\t 0 B/op",
+		"BenchmarkIngestAccountedPerEvent-8 \\t 1000000 \\t 1010 ns/op \\t 128 B/op",
+	))
+	err := run([]string{"-new", alloc,
+		"-pair", "BenchmarkIngestAccountedPerEvent=BenchmarkIngestUnaccountedPerEvent@1.02"})
+	if err == nil || !strings.Contains(err.Error(), "allocates") {
+		t.Errorf("run = %v, want a pair byte failure when the accounted side allocates", err)
 	}
 }

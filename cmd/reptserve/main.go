@@ -9,6 +9,7 @@
 //	          [-snapshot state.snap] [-restore state.snap]
 //	          [-wal-dir walspool [-wal-sync batch|250ms]
 //	           [-wal-compact-every 500000] [-wal-segment-bytes 67108864]]
+//	          [-mem-budget 256MiB [-mem-headroom 0.1] [-mem-tick 1s]]
 //
 // Endpoints:
 //
@@ -83,6 +84,24 @@
 // an EMPTY log directory from a legacy snapshot file — the one-time
 // migration path from snapshot-only deployments.
 //
+// Memory budgets: -mem-budget puts the estimator under an adaptive
+// byte budget. Every storage layer reports its backing bytes to an
+// always-on ledger (rept_mem_bytes{component=...} in /metrics, the
+// "memory" block of /stats); the controller polls the ledger every
+// -mem-tick and, when accounted memory crosses the soft watermark
+// (budget minus -mem-headroom), degrades in a fixed order: the top-K
+// ranking shrinks first (restored when pressure clears), then the
+// sampling probability itself is halved stream-consistently with REPT's
+// unbiasing rescale — the estimate stays unbiased, the variance bound
+// (rept_variance_bound) steps up, and memory falls. Only at the HARD
+// budget does the server shed: POST /edges answers 429 with Retry-After
+// until degradation catches up — a healthy-server backpressure signal,
+// distinct from the 503 shutdown path, and queries keep serving
+// throughout (readiness stays 200, with the budget posture in the
+// /readyz body). Downsampling refuses η-tracking configurations (-eta,
+// or -c neither a multiple of -m nor below it): the controller then
+// degrades top-K only and otherwise sheds.
+//
 // Observability: /metrics renders every series from the estimator's
 // telemetry bundle (see rept.NewTelemetry) — ingest tallies, WAL
 // positions, per-shard queue depth and throughput, and latency
@@ -111,11 +130,14 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"sync/atomic"
 	"syscall"
 	"time"
 
 	"rept"
+	"rept/internal/control"
 )
 
 func main() {
@@ -160,6 +182,47 @@ func newEstimator(cfg rept.ConcurrentConfig, restorePath string, walOpt rept.WAL
 		return nil, fmt.Errorf("restore %s: %w", restorePath, err)
 	}
 	return est, nil
+}
+
+// parseByteSize parses a human byte count for -mem-budget: a plain
+// integer is bytes; K/M/G/T suffixes are binary multiples, with an
+// optional "i" and/or "B" (64M == 64Mi == 64MiB == 64*2^20), case-
+// insensitive.
+func parseByteSize(s string) (int64, error) {
+	t := strings.TrimSpace(s)
+	if t == "" {
+		return 0, fmt.Errorf("empty size")
+	}
+	upper := strings.ToUpper(t)
+	upper = strings.TrimSuffix(upper, "B")
+	upper = strings.TrimSuffix(upper, "I")
+	mult := int64(1)
+	if n := len(upper); n > 0 {
+		switch upper[n-1] {
+		case 'K':
+			mult = 1 << 10
+		case 'M':
+			mult = 1 << 20
+		case 'G':
+			mult = 1 << 30
+		case 'T':
+			mult = 1 << 40
+		}
+		if mult > 1 {
+			upper = upper[:n-1]
+		}
+	}
+	v, err := strconv.ParseInt(strings.TrimSpace(upper), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("%q is not a byte size (want e.g. 67108864, 64M, 64MiB): %v", s, err)
+	}
+	if v <= 0 {
+		return 0, fmt.Errorf("size must be positive (got %q)", s)
+	}
+	if v > (1<<63-1)/mult {
+		return 0, fmt.Errorf("%q overflows", s)
+	}
+	return v * mult, nil
 }
 
 // parseWALSync maps the -wal-sync flag onto WALOptions.SyncInterval:
@@ -226,6 +289,9 @@ func run(args []string) error {
 		pprofA   = fs.String("pprof-addr", "", "serve net/http/pprof on this separate address (empty = off)")
 		accLog   = fs.Bool("access-log", false, "log every request as a structured JSON line on stderr")
 		slowLog  = fs.Duration("slow-log", time.Second, "warn-log any request slower than this (0 = off)")
+		memBud   = fs.String("mem-budget", "", "adaptive memory budget with optional byte suffix (e.g. 64MiB, 256M, 1G); enables the control plane: top-K shrinking, sampling downsample, 429 load shedding (empty = off)")
+		memHead  = fs.Float64("mem-headroom", 0.10, "soft-watermark fraction of -mem-budget: degradation starts at budget*(1-headroom)")
+		memTick  = fs.Duration("mem-tick", time.Second, "memory controller evaluation period (one corrective action per tick)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -304,6 +370,35 @@ func run(args []string) error {
 		api.SetAccessLog(slog.New(slog.NewJSONHandler(os.Stderr, nil)), *accLog, *slowLog)
 	}
 
+	// Adaptive memory control plane (-mem-budget): an online controller
+	// polls the estimator's byte ledger on -mem-tick and degrades in a
+	// fixed order — top-K first, then the sampling probability itself —
+	// shedding ingest with 429 only when the hard budget is reached.
+	var ctrl *control.Controller
+	if *memBud != "" {
+		budget, err := parseByteSize(*memBud)
+		if err != nil {
+			srv.Close()
+			api.Stop()
+			est.Close()
+			return fmt.Errorf("-mem-budget: %w", err)
+		}
+		vw := est.Views()
+		ctrl = control.New(control.Config{
+			Budget:         budget,
+			Headroom:       *memHead,
+			MemTotal:       est.MemTotalBytes,
+			Processed:      est.Processed,
+			SampleShift:    est.SampleShift,
+			Downsample:     est.Downsample,
+			TopK:           vw.TopK,
+			SetTopK:        vw.SetTopK,
+			ConfiguredTopK: *topk,
+			ViewAge:        func() time.Duration { return vw.View().Age() },
+		})
+		api.SetController(ctrl)
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
@@ -337,6 +432,34 @@ func run(args []string) error {
 		fmt.Fprintf(os.Stderr, "reptserve: pprof at http://%s/debug/pprof/\n", pln.Addr())
 	}
 
+	// The controller ticks only while the live API serves; its Tick calls
+	// back into the estimator, so every exit path stops it BEFORE est.Close.
+	stopCtrl := func() {}
+	if ctrl != nil {
+		tick := *memTick
+		if tick <= 0 {
+			tick = time.Second
+		}
+		stopc := make(chan struct{})
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			t := time.NewTicker(tick)
+			defer t.Stop()
+			for {
+				select {
+				case <-stopc:
+					return
+				case <-t.C:
+					ctrl.Tick()
+				}
+			}
+		}()
+		stopCtrl = func() { close(stopc); <-done }
+		fmt.Fprintf(os.Stderr, "reptserve: memory budget %s (headroom %.0f%%, tick %v)\n",
+			*memBud, *memHead*100, tick)
+	}
+
 	live := http.Handler(api)
 	handler.Store(&live)
 	fmt.Fprintf(os.Stderr, "reptserve: listening on %s (m=%d c=%d shards=%d local=%v dynamic=%v)\n",
@@ -347,6 +470,7 @@ func run(args []string) error {
 		if psrv != nil {
 			psrv.Close()
 		}
+		stopCtrl()
 		api.Stop()
 		est.Close()
 		return err
@@ -354,6 +478,7 @@ func run(args []string) error {
 	}
 
 	fmt.Fprintln(os.Stderr, "reptserve: shutting down")
+	stopCtrl()
 	if psrv != nil {
 		psrv.Close()
 	}

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"rept"
+	"rept/internal/control"
 	"rept/internal/obs"
 )
 
@@ -100,6 +101,12 @@ type Server struct {
 	// turns into a 500 with the events NOT counted as accepted.
 	durable bool
 
+	// ctrl is the adaptive memory controller (-mem-budget); nil without a
+	// budget. When set, /edges sheds with 429 + Retry-After while the
+	// controller reports budget overrun — distinct from the 503 shutdown
+	// path — and /stats and /readyz carry the budget posture.
+	ctrl *control.Controller
+
 	// mu guards estimator access against Stop: handlers hold the read
 	// lock around each estimator call, Stop takes the write lock to
 	// drain them before the estimator is closed underneath.
@@ -161,6 +168,32 @@ func NewServer(est *rept.Concurrent, snapshotPath string) *Server {
 	return s
 }
 
+// SetController attaches the adaptive memory controller and registers
+// its /metrics series (budget, adaptation and shed counters). Call
+// before serving, at most once; the ingest handler, /stats, and /readyz
+// consult the controller from then on. The caller owns the controller's
+// tick loop — the server only reads its state.
+func (s *Server) SetController(c *control.Controller) {
+	s.ctrl = c
+	reg := s.tele.Registry()
+	st := c.Status()
+	reg.GaugeFunc("rept_mem_budget_bytes",
+		"Hard memory budget (-mem-budget); ingest sheds at or above it.",
+		func() float64 { return float64(st.Budget) })
+	reg.GaugeFunc("rept_mem_soft_limit_bytes",
+		"Soft watermark (budget minus headroom); degradation starts here.",
+		func() float64 { return float64(st.SoftLimit) })
+	reg.GaugeFunc("rept_mem_state",
+		"Controller posture: 0 normal, 1 pressure (degrading), 2 shedding.",
+		func() float64 { return float64(c.State()) })
+	reg.CounterFunc("rept_adaptations_total",
+		"Sampling-probability downsample events driven by the memory controller.",
+		c.Adaptations)
+	reg.CounterFunc("rept_shed_requests_total",
+		"Ingest requests refused with 429 under the memory budget.",
+		c.ShedTotal)
+}
+
 // SetAccessLog enables structured request logging on l: every request at
 // Info level when logAll, plus a Warn for any request slower than slow
 // (0 disables the slow-request path). Call before serving.
@@ -207,6 +240,35 @@ func (s *Server) registerMetrics() {
 		func() float64 { return float64(views.View().Processed) })
 	reg.GaugeFunc("rept_uptime_seconds",
 		"Server uptime.", func() float64 { return time.Since(s.start).Seconds() })
+	// Memory ledger: one snapshot per scrape (OnCollect), fanned out into
+	// per-component series — accounting is always on, so these register
+	// unconditionally.
+	var memSnap rept.MemStats
+	reg.OnCollect(func() { memSnap = est.MemStats() })
+	memVec := reg.GaugeVec("rept_mem_bytes",
+		"Accounted backing bytes by storage component (capacity-granular ledger).",
+		"component")
+	comps := make([]string, 0, len(est.MemStats().ByComponent))
+	for name := range est.MemStats().ByComponent {
+		comps = append(comps, name)
+	}
+	sort.Strings(comps)
+	for _, name := range comps {
+		name := name
+		memVec.Func(name, func() float64 { return float64(memSnap.ByComponent[name]) })
+	}
+	reg.GaugeFunc("rept_mem_heap_bytes",
+		"Accounted process-memory total (every component except wal_segments); the budget is enforced against this.",
+		func() float64 { return float64(memSnap.HeapBytes) })
+	reg.GaugeFunc("rept_sample_shift",
+		"Cumulative downsampling shift k: effective p = 1/(m*2^k).",
+		func() float64 { return float64(est.SampleShift()) })
+	reg.GaugeFunc("rept_sample_probability",
+		"Effective per-edge sampling probability after adaptation.",
+		est.SampleProbability)
+	reg.GaugeFunc("rept_variance_bound",
+		"Plug-in variance bound of the global estimate at the effective sampling probability; steps up after every adaptation.",
+		est.VarianceBound)
 	if s.durable {
 		reg.CounterFunc("rept_wal_appended_events_total",
 			"Events written into the write-ahead log.",
@@ -226,6 +288,9 @@ func (s *Server) registerMetrics() {
 		reg.GaugeFunc("rept_wal_active_segment_bytes",
 			"Size of the active WAL segment.",
 			func() float64 { return float64(est.WALStats().ActiveBytes) })
+		reg.GaugeFunc("rept_wal_live_bytes",
+			"Live log bytes on disk: sealed clean extents plus the active segment (compaction shrinks it).",
+			func() float64 { return float64(est.WALStats().LiveBytes) })
 		reg.GaugeFunc("rept_wal_failed",
 			"1 when the WAL has failed and durable ingest is refusing events.",
 			func() float64 {
@@ -456,6 +521,16 @@ func (s *Server) handleEdges(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost && r.Method != http.MethodDelete {
 		w.Header().Set("Allow", "POST, DELETE")
 		writeError(w, http.StatusMethodNotAllowed, "POST (insert) or DELETE (remove) NDJSON edge lines to /edges")
+		return
+	}
+	// Load shedding: the memory controller refuses ingest BEFORE the body
+	// is read — 429 + Retry-After while the budget is overrun, distinct
+	// from the 503 shutdown path (the server is healthy and still serving
+	// queries; the client should back off and retry).
+	if c := s.ctrl; c != nil && c.ShouldShed() {
+		c.CountShed()
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "memory budget exceeded; ingest is shedding while the estimator adapts (retry shortly)")
 		return
 	}
 	defaultDel := r.Method == http.MethodDelete
@@ -838,6 +913,47 @@ type statsResponse struct {
 	Requests       map[string]uint64 `json:"requests"`
 	// WAL is the write-ahead-log report; present only with -wal-dir.
 	WAL *walStatsJSON `json:"wal,omitempty"`
+	// Memory is the accounted-bytes ledger breakdown (always present —
+	// accounting is always on).
+	Memory *memStatsJSON `json:"memory"`
+	// Budget is the adaptive controller's report; present only with
+	// -mem-budget.
+	Budget *control.Status `json:"budget,omitempty"`
+}
+
+// memStatsJSON is the /stats memory block: the component ledger plus the
+// adaptive-sampling state it feeds.
+type memStatsJSON struct {
+	// ByComponent maps component names (adjacency, counters, degrees,
+	// masks, rings, batches, wal_buffers, wal_segments, views) to
+	// accounted backing bytes.
+	ByComponent map[string]int64 `json:"byComponent"`
+	// HeapBytes is the process-memory total the budget is enforced
+	// against; WALSegmentBytes the disk-class live log footprint.
+	HeapBytes       int64 `json:"heapBytes"`
+	WALSegmentBytes int64 `json:"walSegmentBytes,omitempty"`
+	// SampleShift/SampleProbability describe the effective sampling after
+	// adaptation; VarianceBound is the plug-in accuracy price paid for it
+	// (omitted when undefined).
+	SampleShift       int      `json:"sampleShift"`
+	SampleProbability float64  `json:"sampleProbability"`
+	VarianceBound     *float64 `json:"varianceBound,omitempty"`
+}
+
+// memStats assembles the /stats memory block.
+func (s *Server) memStats() *memStatsJSON {
+	ms := s.est.MemStats()
+	out := &memStatsJSON{
+		ByComponent:       ms.ByComponent,
+		HeapBytes:         ms.HeapBytes,
+		WALSegmentBytes:   ms.WALSegmentBytes,
+		SampleShift:       s.est.SampleShift(),
+		SampleProbability: s.est.SampleProbability(),
+	}
+	if vb := s.est.VarianceBound(); !math.IsNaN(vb) && !math.IsInf(vb, 0) {
+		out.VarianceBound = &vb
+	}
+	return out
 }
 
 // walStatsJSON is the /stats write-ahead-log block. All positions count
@@ -917,6 +1033,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Uptime:         time.Since(s.start).Round(time.Millisecond).String(),
 		Requests:       reqs,
 		WAL:            s.walStats(),
+		Memory:         s.memStats(),
+		Budget:         s.budgetStatus(),
 	})
 }
 
@@ -935,11 +1053,23 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	_ = s.tele.WritePrometheus(w)
 }
 
+// budgetStatus returns the controller's point-in-time report, or nil
+// without -mem-budget.
+func (s *Server) budgetStatus() *control.Status {
+	if s.ctrl == nil {
+		return nil
+	}
+	st := s.ctrl.Status()
+	return &st
+}
+
 // handleReadyz serves GET /readyz, the load-balancer readiness signal:
 // 200 once the estimator has recovered (WAL replay done) and the first
 // view published, 503 from the moment Stop runs. Distinct from /healthz,
 // which reports liveness and keeps answering 200 through a graceful
-// drain.
+// drain. With -mem-budget the response carries the budget posture —
+// shedding does NOT flip readiness (queries still serve; only ingest is
+// refused, per-request, with 429).
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	if !s.ready.Load() {
 		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
@@ -948,30 +1078,59 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	v := s.views.View()
-	writeJSON(w, http.StatusOK, map[string]any{
+	resp := map[string]any{
 		"status":    "ready",
 		"epoch":     v.Epoch,
 		"processed": v.Processed,
-	})
+	}
+	if s.ctrl != nil {
+		resp["budget"] = map[string]any{
+			"state":    s.ctrl.State().String(),
+			"shedding": s.ctrl.ShouldShed(),
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
+// defaultFlightEvents is the /debug/flight response cap when no ?n= is
+// given: recent enough for a postmortem tail without shipping the whole
+// multi-thousand-entry ring on every curl.
+const defaultFlightEvents = 1024
+
 // handleFlight serves GET /debug/flight: a JSON dump of the flight
-// recorder — the last few thousand pipeline events (parse, dispatch,
-// apply, barrier, WAL append/sync, view publish) with nanosecond
-// timestamps and durations, oldest first. The dump is lock-free on the
-// recording side; a heavily concurrent writer can at worst drop a slot
-// from one dump.
+// recorder — recent pipeline events (parse, dispatch, apply, barrier,
+// WAL append/sync, view publish) with nanosecond timestamps and
+// durations, oldest first. ?n= caps the dump to the NEWEST n events
+// (default 1024; n larger than the ring returns everything recorded).
+// "recorded" always reports the full ring occupancy, so a truncated
+// dump is recognizable as one. The dump is lock-free on the recording
+// side; a heavily concurrent writer can at worst drop a slot from one
+// dump.
 func (s *Server) handleFlight(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		w.Header().Set("Allow", http.MethodGet)
 		writeError(w, http.StatusMethodNotAllowed, "GET /debug/flight")
 		return
 	}
+	n := defaultFlightEvents
+	if q := r.URL.Query().Get("n"); q != "" {
+		nq, err := strconv.Atoi(q)
+		if err != nil || nq < 0 {
+			writeError(w, http.StatusBadRequest, "n must be a non-negative integer")
+			return
+		}
+		n = nq
+	}
 	events := s.tele.Flight().Events()
+	recorded := len(events)
+	if n < recorded {
+		events = events[recorded-n:] // keep the newest n (events are oldest-first)
+	}
 	writeJSON(w, http.StatusOK, struct {
 		Recorded int               `json:"recorded"`
+		Returned int               `json:"returned"`
 		Events   []obs.FlightEvent `json:"events"`
-	}{len(events), events})
+	}{recorded, len(events), events})
 }
 
 // checkpointResponse is the POST /checkpoint payload.

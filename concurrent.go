@@ -7,6 +7,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"rept/internal/mem"
 	"rept/internal/query"
 	"rept/internal/shard"
 	"rept/internal/wal"
@@ -81,6 +82,11 @@ type Concurrent struct {
 	sh   *shard.Sharded
 	cfg  ConcurrentConfig
 	tele *Telemetry
+	// acct is the per-component byte ledger every storage layer reports
+	// to; always non-nil (see MemStats). Purely observational: accounting
+	// happens at capacity-change moments, never per event, and the
+	// estimator's output is bit-identical with or without it.
+	acct *mem.Accountant
 	// views is the epoch-view publisher once StartViews has run; while it
 	// is nil every read goes through a fresh barrier.
 	views atomic.Pointer[query.Publisher]
@@ -124,11 +130,14 @@ var errViewsStarted = errors.New("rept: views already started")
 
 // NewConcurrent builds a concurrency-safe REPT estimator.
 func NewConcurrent(cfg ConcurrentConfig) (*Concurrent, error) {
-	sh, err := shard.New(cfg.shardConfig())
+	ac := mem.New()
+	scfg := cfg.shardConfig()
+	scfg.Mem = ac
+	sh, err := shard.New(scfg)
 	if err != nil {
 		return nil, fmt.Errorf("rept: %w", err)
 	}
-	return &Concurrent{sh: sh, cfg: cfg, tele: cfg.Telemetry}, nil
+	return &Concurrent{sh: sh, cfg: cfg, tele: cfg.Telemetry, acct: ac}, nil
 }
 
 // Add feeds one stream edge; self-loops are ignored. Safe for concurrent
@@ -260,11 +269,14 @@ func (c *Concurrent) WriteSnapshot(w io.Writer) error { return c.sh.WriteSnapsho
 // BatchSize, and QueueLen may differ. Mismatches are rejected with an
 // error wrapping ErrSnapshotMismatch.
 func ResumeConcurrent(cfg ConcurrentConfig, r io.Reader) (*Concurrent, error) {
-	sh, err := shard.Resume(cfg.shardConfig(), r)
+	ac := mem.New()
+	scfg := cfg.shardConfig()
+	scfg.Mem = ac
+	sh, err := shard.Resume(scfg, r)
 	if err != nil {
 		return nil, fmt.Errorf("rept: %w", err)
 	}
-	return &Concurrent{sh: sh, cfg: cfg, tele: cfg.Telemetry}, nil
+	return &Concurrent{sh: sh, cfg: cfg, tele: cfg.Telemetry, acct: ac}, nil
 }
 
 // Close stops the view publisher (when started), flushes pending edges,

@@ -230,6 +230,38 @@
 // crash-kill harness SIGKILLs the real process mid-ingest and asserts
 // zero acknowledged-event loss on restart.
 //
+// # Memory accounting and adaptive budgets
+//
+// Every flat storage layer under a Concurrent estimator — adjacency
+// arenas, counter and presence-mask tables, ingest rings, recycled batch
+// buffers, the degree table, published query views, WAL buffers —
+// reports its backing bytes to an atomic per-component ledger at
+// capacity-change moments only (growth, rehash, spill promotion,
+// eviction sweep), never per event: the ingest hot path stays
+// allocation-free and ledger-silent while the ledger tracks the real
+// footprint at capacity granularity. Concurrent.MemStats returns the
+// breakdown, Concurrent.MemTotalBytes the cheap total; accounting is
+// purely observational and estimates are bit-identical with it on or
+// off. WAL segment bytes are tracked in the same ledger but classed as
+// disk, excluded from the process-memory total.
+//
+// The ledger is what makes an online memory budget enforceable.
+// Concurrent.Downsample halves the sampling probability
+// stream-consistently across every shard — stored edges are re-tested
+// under the thinned keep filter and evicted, counters are rescaled by
+// the REPT unbiasing factor, and the freed structures are compacted so
+// the bytes actually return. The estimator stays unbiased at the
+// effective partition size m_eff = M·2^shift (SampleShift,
+// SampleProbability); its variance rises, and VarianceBound publishes
+// the Theorem 3 bound at the current effective layout so the accuracy
+// spent is always visible. η-tracking configurations cannot rescale
+// their per-edge closing counters and refuse with ErrEtaDownsample.
+// cmd/reptserve wires the loop together under -mem-budget: an adaptive
+// controller ticks against the ledger, shrinks the top-K ranking first,
+// downsamples next, and at the hard budget sheds ingest with HTTP 429 +
+// Retry-After (queries and readiness keep serving), reporting every
+// state transition through /stats, /readyz, and /metrics.
+//
 // # Observability
 //
 // NewTelemetry builds the estimator's observability bundle — a

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"rept/internal/graph"
+	"rept/internal/mem"
 	"rept/internal/shard"
 	"rept/internal/wal"
 )
@@ -100,7 +101,9 @@ func ResumeDurable(cfg ConcurrentConfig, opt WALOptions) (*Concurrent, error) {
 			return nil, fmt.Errorf("rept: %w", err)
 		}
 	}
+	ac := mem.New()
 	scfg := cfg.shardConfig()
+	scfg.Mem = ac
 	rec, err := wal.Recover(be, scfg.FingerprintHash())
 	if err != nil {
 		return nil, fmt.Errorf("rept: wal recovery: %w", err)
@@ -139,7 +142,7 @@ func ResumeDurable(cfg ConcurrentConfig, opt WALOptions) (*Concurrent, error) {
 		sh.Close()
 		return nil, fmt.Errorf("rept: wal replay: %w: estimator at position %d after replaying to %d", wal.ErrCorrupt, got, pos)
 	}
-	wopt := wal.Options{SegmentBytes: opt.SegmentBytes}
+	wopt := wal.Options{SegmentBytes: opt.SegmentBytes, Mem: ac}
 	if pipe := cfg.Telemetry.obsPipeline(); pipe != nil {
 		wopt.AppendHist = pipe.WALAppend
 		wopt.SyncHist = pipe.WALSync
@@ -151,7 +154,7 @@ func ResumeDurable(cfg ConcurrentConfig, opt WALOptions) (*Concurrent, error) {
 		return nil, fmt.Errorf("rept: %w", err)
 	}
 	sh.StartWAL(lg, opt.SyncInterval)
-	c := &Concurrent{sh: sh, cfg: cfg, tele: cfg.Telemetry, lg: lg, compactEvery: opt.CompactEvery}
+	c := &Concurrent{sh: sh, cfg: cfg, tele: cfg.Telemetry, acct: ac, lg: lg, compactEvery: opt.CompactEvery}
 	if opt.Bootstrap != nil {
 		// Persist the bootstrapped state as the log's first checkpoint:
 		// without it the next recovery would find segments starting at

@@ -1,0 +1,208 @@
+package control
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// fakeEstimator is a scriptable callback target: memory is set by the
+// test between ticks, and every degradation callback records itself.
+type fakeEstimator struct {
+	mem       int64
+	processed uint64
+	shift     int
+	topK      int
+	downErr   error
+	downCalls int
+}
+
+func (f *fakeEstimator) config(budget int64) Config {
+	return Config{
+		Budget:    budget,
+		MemTotal:  func() int64 { return f.mem },
+		Processed: func() uint64 { return f.processed },
+		SampleShift: func() int {
+			return f.shift
+		},
+		Downsample: func(extra int) error {
+			f.downCalls++
+			if f.downErr != nil {
+				return f.downErr
+			}
+			f.shift += extra
+			return nil
+		},
+		TopK:           func() int { return f.topK },
+		SetTopK:        func(k int) { f.topK = k },
+		ConfiguredTopK: 100,
+	}
+}
+
+// TestLadderOrder: under pressure the controller shrinks top-K to the
+// floor first — one halving per tick — and only then starts
+// downsampling, one shift per tick.
+func TestLadderOrder(t *testing.T) {
+	f := &fakeEstimator{mem: 950, topK: 100}
+	c := New(f.config(1000)) // soft limit 900
+
+	wantK := []int{50, 25, 12, 10}
+	for i, k := range wantK {
+		c.Tick()
+		if f.topK != k {
+			t.Fatalf("tick %d: topK = %d, want %d", i+1, f.topK, k)
+		}
+		if f.downCalls != 0 {
+			t.Fatalf("tick %d: downsampled before top-K reached the floor", i+1)
+		}
+		if got := c.State(); got != StatePressure {
+			t.Fatalf("tick %d: state = %v, want pressure", i+1, got)
+		}
+	}
+	// Floor reached: the next ticks downsample, one shift each.
+	for i := 1; i <= 3; i++ {
+		c.Tick()
+		if f.shift != i {
+			t.Fatalf("post-floor tick %d: shift = %d, want %d", i, f.shift, i)
+		}
+	}
+	if got := c.Adaptations(); got != 3 {
+		t.Fatalf("Adaptations = %d, want 3", got)
+	}
+	if c.ShouldShed() {
+		t.Fatal("pressure (below hard budget) must not shed")
+	}
+}
+
+// TestShedThresholds: shedding flips on exactly at the hard budget and
+// off again once memory drops below it.
+func TestShedThresholds(t *testing.T) {
+	f := &fakeEstimator{mem: 100, topK: 10}
+	c := New(f.config(1000))
+
+	c.Tick()
+	if c.ShouldShed() || c.State() != StateNormal {
+		t.Fatalf("normal memory: shed=%v state=%v", c.ShouldShed(), c.State())
+	}
+	f.mem = 1000 // exactly at the budget: shed
+	c.Tick()
+	if !c.ShouldShed() || c.State() != StateShedding {
+		t.Fatalf("at budget: shed=%v state=%v, want shedding", c.ShouldShed(), c.State())
+	}
+	f.mem = 999 // below hard, above soft: degrade but accept
+	c.Tick()
+	if c.ShouldShed() || c.State() != StatePressure {
+		t.Fatalf("below budget: shed=%v state=%v, want pressure", c.ShouldShed(), c.State())
+	}
+	c.CountShed()
+	c.CountShed()
+	if got := c.ShedTotal(); got != 2 {
+		t.Fatalf("ShedTotal = %d, want 2", got)
+	}
+}
+
+// TestRestoreDoublesTopK: once memory is back under the soft watermark,
+// top-K doubles per tick back toward the configured depth — and the
+// sample shift is never restored.
+func TestRestoreDoublesTopK(t *testing.T) {
+	f := &fakeEstimator{mem: 950, topK: 100}
+	c := New(f.config(1000))
+	for i := 0; i < 6; i++ { // 4 shrinks to the floor, 2 downsamples
+		c.Tick()
+	}
+	if f.topK != 10 || f.shift != 2 {
+		t.Fatalf("after degradation: topK=%d shift=%d, want 10, 2", f.topK, f.shift)
+	}
+	f.mem = 100
+	wantK := []int{20, 40, 80, 100, 100}
+	for i, k := range wantK {
+		c.Tick()
+		if f.topK != k {
+			t.Fatalf("restore tick %d: topK = %d, want %d", i+1, f.topK, k)
+		}
+	}
+	if f.shift != 2 {
+		t.Fatalf("restore changed the sample shift to %d; the probability must only ratchet down", f.shift)
+	}
+	if c.State() != StateNormal {
+		t.Fatalf("state = %v, want normal", c.State())
+	}
+}
+
+// TestStickyDownsampleError: a Downsample failure (η-tracking config)
+// permanently disables further attempts; the controller keeps working
+// otherwise (state transitions, shedding) and reports the error in
+// Status.
+func TestStickyDownsampleError(t *testing.T) {
+	boom := errors.New("eta config cannot downsample")
+	f := &fakeEstimator{mem: 950, topK: 10, downErr: boom}
+	c := New(f.config(1000))
+
+	for i := 0; i < 5; i++ {
+		c.Tick()
+	}
+	if f.downCalls != 1 {
+		t.Fatalf("Downsample called %d times, want 1 (the error is sticky)", f.downCalls)
+	}
+	if c.Adaptations() != 0 {
+		t.Fatalf("Adaptations = %d after a refused downsample, want 0", c.Adaptations())
+	}
+	st := c.Status()
+	if st.LastError == "" {
+		t.Fatal("Status.LastError empty after a refused downsample")
+	}
+	f.mem = 1000
+	c.Tick()
+	if !c.ShouldShed() {
+		t.Fatal("controller with a dead downsample path must still shed at the budget")
+	}
+}
+
+// TestMaxShiftCap: downsampling stops at MaxShift even when pressure
+// persists.
+func TestMaxShiftCap(t *testing.T) {
+	f := &fakeEstimator{mem: 950, topK: 1}
+	cfg := f.config(1000)
+	cfg.MinTopK = 1
+	cfg.MaxShift = 3
+	c := New(cfg)
+	for i := 0; i < 10; i++ {
+		c.Tick()
+	}
+	if f.shift != 3 {
+		t.Fatalf("shift = %d, want the MaxShift cap 3", f.shift)
+	}
+}
+
+// TestStatusReport: the report carries the watermarks, posture, rate
+// window, and view age.
+func TestStatusReport(t *testing.T) {
+	f := &fakeEstimator{mem: 400, topK: 100}
+	cfg := f.config(1000)
+	cfg.ViewAge = func() time.Duration { return 250 * time.Millisecond }
+	c := New(cfg)
+	c.Tick()
+	st := c.Status()
+	if st.Budget != 1000 || st.SoftLimit != 900 {
+		t.Fatalf("watermarks: budget=%d soft=%d, want 1000, 900", st.Budget, st.SoftLimit)
+	}
+	if st.State != "normal" || st.MemBytes != 400 {
+		t.Fatalf("state=%q mem=%d, want normal, 400", st.State, st.MemBytes)
+	}
+	if st.TopK != 100 || st.ViewAgeMS != 250 {
+		t.Fatalf("topK=%d viewAge=%dms, want 100, 250", st.TopK, st.ViewAgeMS)
+	}
+}
+
+// TestNoViewPublisher: with nil TopK callbacks the controller skips the
+// analytics rung and goes straight to downsampling.
+func TestNoViewPublisher(t *testing.T) {
+	f := &fakeEstimator{mem: 950}
+	cfg := f.config(1000)
+	cfg.TopK, cfg.SetTopK = nil, nil
+	c := New(cfg)
+	c.Tick()
+	if f.shift != 1 {
+		t.Fatalf("shift = %d after one tick without a publisher, want 1", f.shift)
+	}
+}

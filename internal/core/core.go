@@ -28,6 +28,7 @@ import (
 	"fmt"
 
 	"rept/internal/hashing"
+	"rept/internal/mem"
 )
 
 // MaxM bounds the sampling denominator m; colors are stored in uint16 by
@@ -73,6 +74,11 @@ type Config struct {
 	// default seeded 64-bit mixer family. Used by the hash-quality
 	// ablation experiment; production callers should leave it nil.
 	HashFamily func(masterSeed uint64, count, m int) []Hasher
+	// Mem, when non-nil, is the byte ledger the engine's storage layers
+	// (adjacency arenas, counter tables, mask tables) report their backing
+	// bytes to at capacity-change moments. Purely observational: estimates
+	// are bit-identical with or without it, gated by test.
+	Mem *mem.Accountant
 }
 
 // Hasher maps canonical edge keys to colors in [0, m). Implementations
@@ -101,6 +107,11 @@ var ErrClosed = errors.New("core: engine is closed")
 // ErrNotDynamic is panicked when a deletion is fed to an engine built
 // without Config.FullyDynamic.
 var ErrNotDynamic = errors.New("core: deletions require Config.FullyDynamic")
+
+// ErrEtaDownsample is returned by Downsample on engines that track η: the
+// per-edge closing counters accumulate against the historical sample and
+// have no sound rescale, so adaptive resampling is unavailable there.
+var ErrEtaDownsample = errors.New("core: cannot downsample an engine tracking η (per-edge closing counters have no sound rescale)")
 
 // layout captures the processor-group structure for (m, c).
 type layout struct {

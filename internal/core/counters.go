@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"rept/internal/hashing"
+	"rept/internal/mem"
 )
 
 // ctab is the per-processor edge→counter table behind proc.tcnt: an open-
@@ -36,6 +37,11 @@ type ctab struct {
 	live   int // entries with a real key
 	used   int // live + tombstones
 	sat    uint64
+	// ac/acBytes reconcile the table's footprint (main plus spare buffers)
+	// against the byte ledger at init and rehash — the only moments
+	// capacity changes — so the per-event paths never touch the ledger.
+	ac      *mem.Accountant
+	acBytes int64
 }
 
 // satcount is a per-edge closing counter that clamps at the int32 bounds
@@ -55,7 +61,19 @@ const (
 	ctabMinInt32 = int32(math.MinInt32)
 )
 
-func newCtab() *ctab { return &ctab{} }
+func newCtab(ac *mem.Accountant) *ctab { return &ctab{ac: ac} }
+
+// ctabSlotBytes is the accounted size of one bucket across the parallel
+// key (uint64) and value (satcount) arrays.
+const ctabSlotBytes = 12
+
+// reaccount reconciles the ledger with the table's current capacity,
+// called only from the cold init/rehash transitions.
+func (t *ctab) reaccount() {
+	b := int64(len(t.keys)+len(t.spareK)) * ctabSlotBytes
+	t.ac.Add(mem.CompCounters, b-t.acBytes)
+	t.acBytes = b
+}
 
 // len returns the number of live entries.
 func (t *ctab) len() int { return t.live }
@@ -84,6 +102,7 @@ func (t *ctab) get(k uint64) int32 {
 func (t *ctab) init() {
 	t.keys = make([]uint64, ctabMinSize)
 	t.vals = make([]satcount, ctabMinSize)
+	t.reaccount()
 }
 
 // slot returns the index holding k, inserting a zero-valued entry
@@ -219,6 +238,7 @@ func (t *ctab) rehash() {
 		t.live++
 		t.used++
 	}
+	t.reaccount()
 }
 
 // toMap exports the live entries as a plain map, the snapshot path.

@@ -14,7 +14,7 @@ import (
 // and purge rehashes.
 func TestCtabMatchesMap(t *testing.T) {
 	rng := rand.New(rand.NewPCG(3, 9))
-	ct := newCtab()
+	ct := newCtab(nil)
 	naive := make(map[uint64]int32)
 	keys := make([]uint64, 200)
 	for i := range keys {
@@ -73,7 +73,7 @@ func TestCtabMatchesMap(t *testing.T) {
 // overflow guard for adversarially hot edges.
 func TestCtabSaturation(t *testing.T) {
 	k := graph.Key(1, 2)
-	ct := newCtab()
+	ct := newCtab(nil)
 	ct.setClamped(k, math.MaxInt32-1)
 	if old, cur := ct.bump(k, 1); old != math.MaxInt32-1 || cur != math.MaxInt32 {
 		t.Fatalf("bump to max = (%d, %d)", old, cur)
@@ -177,7 +177,7 @@ func TestRestoreRejectsTcntWithoutEta(t *testing.T) {
 // working set must not grow the table (tombstone slots are reused), the
 // property that keeps fully-dynamic steady state allocation-free.
 func TestCtabTombstoneChurnStaysCompact(t *testing.T) {
-	ct := newCtab()
+	ct := newCtab(nil)
 	keys := make([]uint64, 64)
 	for i := range keys {
 		keys[i] = graph.Key(graph.NodeID(i), graph.NodeID(100+i))

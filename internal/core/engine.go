@@ -1,10 +1,12 @@
 package core
 
 import (
+	"fmt"
 	"math/bits"
 	"sync"
 
 	"rept/internal/graph"
+	"rept/internal/hashing"
 	"rept/internal/obs"
 )
 
@@ -42,6 +44,10 @@ type Engine struct {
 	deleted   uint64
 	selfLoops uint64
 
+	// shift is the cumulative sample down-shift applied by Downsample;
+	// the effective sampling denominator is M·2^shift.
+	shift uint
+
 	applied *obs.Counter // optional telemetry: events applied, nil when off
 }
 
@@ -64,8 +70,10 @@ func NewEngine(cfg Config) (*Engine, error) {
 	e := &Engine{cfg: cfg, lay: lay, trackEta: trackEta, fam: fam}
 	e.seqCols = make([]int, lay.groups)
 	e.procs = make([]*proc, cfg.C)
+	downSeeds := downSeedFamily(uint64(cfg.Seed), lay.groups)
 	for i := range e.procs {
-		e.procs[i] = newProc(lay.groupOf(i), lay.colorOf(i), cfg.TrackLocal, trackEta)
+		g := lay.groupOf(i)
+		e.procs[i] = newProc(g, lay.colorOf(i), cfg.TrackLocal, trackEta, downSeeds[g], cfg.Mem)
 	}
 
 	e.workers = cfg.Workers
@@ -74,6 +82,9 @@ func NewEngine(cfg Config) (*Engine, error) {
 	}
 	if e.workers <= 1 && cfg.C <= 64 {
 		e.masks = graph.NewMaskTable()
+		if cfg.Mem != nil {
+			e.masks.SetAccountant(cfg.Mem)
+		}
 		for i, p := range e.procs {
 			p.masks = e.masks
 			p.maskBit = 1 << uint(i)
@@ -300,7 +311,7 @@ func (e *Engine) Aggregates() *Aggregates {
 	if e.workers > 1 {
 		e.flush()
 	}
-	agg := &Aggregates{M: e.cfg.M, C: e.cfg.C, TauProc: make([]int64, e.cfg.C)}
+	agg := &Aggregates{M: e.cfg.M, C: e.cfg.C, Shift: int(e.shift), TauProc: make([]int64, e.cfg.C)}
 	if e.trackEta {
 		agg.EtaProc = make([]int64, e.cfg.C)
 	}
@@ -312,6 +323,7 @@ func (e *Engine) Aggregates() *Aggregates {
 		}
 	}
 	for i, p := range e.procs {
+		p.reaccountLocal()
 		agg.TauProc[i] = p.tau
 		if e.trackEta {
 			agg.EtaProc[i] = p.eta
@@ -425,6 +437,125 @@ func (e *Engine) SampledEdges() int {
 	}
 	return total
 }
+
+// maxSampleShift bounds the cumulative down-shift: the effective
+// denominator M·2^shift stays far from int overflow and the keep filter's
+// bit extraction stays well-defined.
+const maxSampleShift = 32
+
+// downSeedFamily derives one downsample-filter seed per processor group
+// from the master seed. The derivation chain is salted so it is disjoint
+// from the color-hash family chain (which consumes SplitMix64 values of
+// the raw seed): the keep filter must be independent of the partition
+// hashes or admission would correlate with color.
+func downSeedFamily(masterSeed uint64, groups int) []uint64 {
+	state := masterSeed ^ 0xd6e8feb86659fd93 // salt: distinct derivation chain
+	out := make([]uint64, groups)
+	for i := range out {
+		out[i] = hashing.SplitMix64(&state)
+	}
+	return out
+}
+
+// scaleHalfAway divides x by 2^s rounding half away from zero — the
+// deterministic counter rescale used by Downsample. Plain >> would round
+// toward −∞, biasing rescaled counters downward on positive mass and
+// upward on negative mass.
+func scaleHalfAway(x int64, s uint) int64 {
+	if s == 0 {
+		return x
+	}
+	half := int64(1) << (s - 1)
+	if x >= 0 {
+		return (x + half) >> s
+	}
+	return -((-x + half) >> s)
+}
+
+// Downsample halves the sampling probability extra more times: the
+// effective probability drops from p/2^shift to p/2^(shift+extra) and the
+// effective denominator rises to M·2^(shift+extra). It is the
+// memory-pressure adaptation of the control plane — TRIÈST keeps memory
+// fixed by reservoir-evicting per edge; REPT's hash partition instead
+// re-partitions wholesale, in one deterministic sweep:
+//
+//   - every stored edge failing the tightened keep filter is evicted from
+//     its processor's adjacency (the filter is monotone in shift, so
+//     surviving edges are exactly a fresh 2^-extra re-sample of the
+//     sample, and a re-arriving key reproduces the same decision);
+//   - τ⁽ⁱ⁾ and the per-node τ⁽ⁱ⁾_v are rescaled by ρ² = 2^(−2·extra)
+//     with deterministic half-away-from-zero rounding, since each counts
+//     wedge pairs whose joint retention probability shrank by ρ².
+//
+// The rescaled counters keep E[m_eff²·Στ⁽ⁱ⁾/c] = τ (up to ±½ rounding per
+// counter), so estimates remain unbiased at the new effective denominator;
+// Aggregates carry the shift and Estimate evaluates the pooled estimator
+// at m_eff.
+//
+// Downsample refuses engines that track η: the per-edge closing counters
+// count events against the historical sample and cannot be rescaled
+// soundly (a controller degrades to top-K shrinking and load shedding on
+// such configurations). It also requires a quiescent engine — the caller
+// must not be feeding events concurrently, the same contract as State.
+func (e *Engine) Downsample(extra int) error {
+	if e.closed {
+		return ErrClosed
+	}
+	if extra <= 0 {
+		return fmt.Errorf("core: Downsample(%d): extra must be >= 1", extra)
+	}
+	if e.trackEta {
+		return ErrEtaDownsample
+	}
+	newShift := e.shift + uint(extra)
+	if newShift > maxSampleShift {
+		return fmt.Errorf("core: Downsample: cumulative shift %d exceeds max %d", newShift, maxSampleShift)
+	}
+	if e.workers > 1 {
+		e.flush()
+	}
+	s := 2 * uint(extra)
+	var buf []graph.Edge
+	for _, p := range e.procs {
+		p.shift = newShift
+		buf = p.adj.AppendEdges(buf[:0])
+		for _, ed := range buf {
+			if p.keeps(graph.Key(ed.U, ed.V)) {
+				continue
+			}
+			_, goneU, goneV := p.adj.RemoveReport(ed.U, ed.V)
+			if p.masks != nil {
+				if goneU {
+					p.masks.AndNot(ed.U, p.maskBit)
+				}
+				if goneV {
+					p.masks.AndNot(ed.V, p.maskBit)
+				}
+			}
+		}
+		p.tau = scaleHalfAway(p.tau, s)
+		for v, t := range p.tauV {
+			if t2 := scaleHalfAway(t, s); t2 != 0 {
+				p.tauV[v] = t2
+			} else {
+				delete(p.tauV, v)
+			}
+		}
+		// Thinning evicted most stored edges but the retained capacities —
+		// arena slack, spill slices, oversized tables — would keep every
+		// byte resident (and on the ledger). Compacting is what turns the
+		// statistical adaptation into an actual memory release.
+		p.adj.Compact()
+		p.reaccountLocal()
+	}
+	e.shift = newShift
+	return nil
+}
+
+// SampleShift returns the cumulative down-shift applied by Downsample
+// (0 for an engine that never adapted). The effective sampling
+// probability is 1/(M·2^shift).
+func (e *Engine) SampleShift() int { return int(e.shift) }
 
 // Close stops the worker goroutines. The engine must not be used after
 // Close. Close is idempotent.

@@ -21,7 +21,12 @@ import (
 // hold transiently negative τ⁽ⁱ⁾/η⁽ⁱ⁾ (see proc); insert-only streams
 // never produce negative values.
 type Aggregates struct {
-	M, C    int
+	M, C int
+	// Shift is the cumulative sample down-shift the counters were gathered
+	// under (see Engine.Downsample): the effective sampling denominator is
+	// M·2^Shift. Non-zero Shift implies η was not tracked and routes the
+	// estimate through the pooled estimator at the effective denominator.
+	Shift   int
 	TauProc []int64
 	EtaProc []int64
 
@@ -58,7 +63,15 @@ type Estimate struct {
 // Estimate evaluates the paper's estimators on the gathered counters.
 func (a *Aggregates) Estimate() Estimate {
 	lay := newLayout(a.M, a.C)
-	m := float64(a.M)
+	if a.Shift > 0 {
+		// Downsampled counters: the group structure of the original layout
+		// no longer partitions the effective denominator m·2^Shift into
+		// whole groups, so every processor is treated as one partial-class
+		// cell at the effective denominator and combine evaluates the
+		// pooled estimator m_eff²·Στ/c — unbiased for any processor count.
+		lay = layout{m: a.M << uint(a.Shift), c: a.C, c2: a.C, groups: 1}
+	}
+	m := float64(lay.m)
 
 	var sum1, sum2, etaSum int64
 	for i, t := range a.TauProc {
@@ -168,6 +181,12 @@ func (a *Aggregates) SanityCheck() error {
 	}
 	if a.EtaProc != nil && len(a.EtaProc) != a.C {
 		return fmt.Errorf("core: EtaProc has %d entries, want C=%d", len(a.EtaProc), a.C)
+	}
+	if a.Shift != 0 && a.EtaProc != nil {
+		return fmt.Errorf("core: Shift=%d with η counters present (downsampling is unavailable under η tracking)", a.Shift)
+	}
+	if a.Shift < 0 {
+		return fmt.Errorf("core: negative Shift=%d", a.Shift)
 	}
 	return nil
 }

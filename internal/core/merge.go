@@ -33,6 +33,7 @@ func MergeGroups(shards ...*Aggregates) (*Aggregates, error) {
 		return nil, fmt.Errorf("core: MergeGroups needs at least one shard")
 	}
 	m := shards[0].M
+	shift := shards[0].Shift
 	total := 0
 	allEta := true
 	allEtaV := true
@@ -40,6 +41,9 @@ func MergeGroups(shards ...*Aggregates) (*Aggregates, error) {
 	for i, s := range shards {
 		if s.M != m {
 			return nil, fmt.Errorf("core: shard %d has M=%d, want %d", i, s.M, m)
+		}
+		if s.Shift != shift {
+			return nil, fmt.Errorf("core: shard %d has sample shift %d, want %d (shards must downsample in lockstep)", i, s.Shift, shift)
 		}
 		if err := s.SanityCheck(); err != nil {
 			return nil, err
@@ -58,7 +62,7 @@ func MergeGroups(shards ...*Aggregates) (*Aggregates, error) {
 			anyLocal = true
 		}
 	}
-	out := &Aggregates{M: m, C: total, TauProc: make([]int64, 0, total)}
+	out := &Aggregates{M: m, C: total, Shift: shift, TauProc: make([]int64, 0, total)}
 	if allEta {
 		out.EtaProc = make([]int64, 0, total)
 	}

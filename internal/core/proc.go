@@ -1,6 +1,10 @@
 package core
 
-import "rept/internal/graph"
+import (
+	"rept/internal/graph"
+	"rept/internal/hashing"
+	"rept/internal/mem"
+)
 
 // proc is the state of one logical REPT processor in the parallel Engine.
 // It sees every stream edge (to count semi-triangles closed against its
@@ -54,17 +58,37 @@ type proc struct {
 	masks   *graph.MaskTable
 	maskBit uint64
 
+	// shift is the cumulative sample down-shift (see Engine.Downsample):
+	// the effective sampling probability is p/2^shift, realized by the
+	// extra keep filter in keeps. downSeed seeds that filter, derived per
+	// group so different groups stay mutually independent after
+	// downsampling, exactly as their color hashes are.
+	shift    uint
+	downSeed uint64
+
 	scratch []graph.NodeID
+
+	// ac/acLocal reconcile the per-node counter maps (tauV, etaV) against
+	// the byte ledger under mem.CompCounters. The maps mutate on the hot
+	// path, so the reconciliation runs only at the engine's drain points
+	// (Aggregates, State, Downsample) — the ledger for this slice of
+	// CompCounters is barrier-fresh rather than transition-exact, which is
+	// what its consumers (metrics scrapes, controller ticks) need.
+	ac      *mem.Accountant
+	acLocal int64
 }
 
-func newProc(group, color int, trackLocal, trackEta bool) *proc {
+func newProc(group, color int, trackLocal, trackEta bool, downSeed uint64, ac *mem.Accountant) *proc {
 	p := &proc{
 		group:      group,
 		color:      color,
 		trackLocal: trackLocal,
 		trackEta:   trackEta,
+		downSeed:   downSeed,
 		adj:        graph.NewAdjacency(),
+		ac:         ac,
 	}
+	p.adj.SetAccountant(ac)
 	if trackLocal {
 		p.tauV = make(map[graph.NodeID]int64)
 		if trackEta {
@@ -72,9 +96,34 @@ func newProc(group, color int, trackLocal, trackEta bool) *proc {
 		}
 	}
 	if trackEta {
-		p.tcnt = newCtab()
+		p.tcnt = newCtab(ac)
 	}
 	return p
+}
+
+// localCounterEntryBytes is the amortized accounting estimate for one
+// per-node counter map entry (4-byte NodeID key, 8-byte int64 value, plus
+// Go map bucket overhead — same convention as the view maps).
+const localCounterEntryBytes = 28
+
+// reaccountLocal reconciles the per-node counter maps' footprint against
+// the ledger. Called only from the engine's drain points, never per event.
+func (p *proc) reaccountLocal() {
+	b := int64(len(p.tauV)+len(p.etaV)) * localCounterEntryBytes
+	p.ac.Add(mem.CompCounters, b-p.acLocal)
+	p.acLocal = b
+}
+
+// keeps reports whether the extra downsample filter admits the edge: the
+// top shift bits of an independent mix of the key must be zero, so the
+// admitted fraction is exactly 2^-shift and admission is monotone in
+// shift (an edge kept at shift k+1 was kept at shift k). With shift 0 —
+// the lifetime state of every engine that never downsamples — it is a
+// single predictable branch on the hot path.
+//
+//rept:hotpath
+func (p *proc) keeps(key uint64) bool {
+	return p.shift == 0 || hashing.Mix64(key^p.downSeed)>>(64-p.shift) == 0
 }
 
 // processEdge implements UpdateTriangleCNT / UpdateTrianglePairCNT from
@@ -121,7 +170,7 @@ func (p *proc) processEdge(u, v graph.NodeID, key uint64, color int) {
 			}
 		}
 	}
-	if color == p.color {
+	if color == p.color && p.keeps(key) {
 		added, newU, newV := p.adj.AddReport(u, v)
 		if added {
 			if p.trackEta {
@@ -155,7 +204,7 @@ func (p *proc) processEdge(u, v graph.NodeID, key uint64, color int) {
 //
 //rept:hotpath
 func (p *proc) deleteEdge(u, v graph.NodeID, key uint64, color int) {
-	if color == p.color {
+	if color == p.color && p.keeps(key) {
 		removed, goneU, goneV := p.adj.RemoveReport(u, v)
 		if removed {
 			p.di++

@@ -42,9 +42,11 @@ func (e *Engine) State() *snapshot.EngineState {
 		Processed:   e.processed,
 		Deleted:     e.deleted,
 		SelfLoops:   e.selfLoops,
+		SampleShift: int(e.shift),
 		Procs:       make([]snapshot.ProcState, len(e.procs)),
 	}
 	for i, p := range e.procs {
+		p.reaccountLocal()
 		ps := &st.Procs[i]
 		ps.Tau, ps.Eta = p.tau, p.eta
 		ps.Di, ps.Do, ps.Phantom = p.di, p.do, p.phantom
@@ -101,6 +103,16 @@ func (e *Engine) loadState(st *snapshot.EngineState) error {
 	}
 	if len(st.Procs) != len(e.procs) {
 		return fmt.Errorf("%w: %d processor records, want C=%d", snapshot.ErrCorrupt, len(st.Procs), len(e.procs))
+	}
+	if st.SampleShift < 0 || st.SampleShift > maxSampleShift {
+		return fmt.Errorf("%w: sample shift %d out of range [0, %d]", snapshot.ErrCorrupt, st.SampleShift, maxSampleShift)
+	}
+	if st.SampleShift > 0 && e.trackEta {
+		return fmt.Errorf("%w: sample shift %d on an η-tracking configuration (downsampling is unavailable there)", snapshot.ErrCorrupt, st.SampleShift)
+	}
+	e.shift = uint(st.SampleShift)
+	for _, p := range e.procs {
+		p.shift = e.shift
 	}
 	for i, p := range e.procs {
 		ps := &st.Procs[i]

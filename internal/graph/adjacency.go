@@ -1,5 +1,16 @@
 package graph
 
+import (
+	"unsafe"
+
+	"rept/internal/mem"
+)
+
+// nsetBytes is the arena cost of one neighbor-set header (the inline
+// neighbors and the slice headers; spill and table backing arrays are
+// accounted separately at their own growth transitions).
+const nsetBytes = int64(unsafe.Sizeof(nset{}))
+
 // Adjacency is a dynamic undirected adjacency structure supporting edge
 // insertion, removal (needed by reservoir-based samplers and fully-dynamic
 // streams) and common-neighbor enumeration in O(min(deg u, deg v))
@@ -18,12 +29,21 @@ type Adjacency struct {
 	sets  []nset
 	freed []int32
 	edges int
+	// ac is the optional byte ledger (nil: unaccounted). It is consulted
+	// only at capacity transitions — arena growth, index rehash, spill/
+	// promote/grow — never per event.
+	ac *mem.Accountant
 }
 
 // NewAdjacency returns an empty adjacency structure.
 func NewAdjacency() *Adjacency {
 	return &Adjacency{}
 }
+
+// SetAccountant attaches the byte ledger. Call it right after
+// construction, before any edges are added, or the ledger misses the
+// capacity that already exists.
+func (a *Adjacency) SetAccountant(ac *mem.Accountant) { a.ac = ac }
 
 // slot returns the arena slot for a new node, recycling freed slots.
 func (a *Adjacency) slot(u NodeID) int32 {
@@ -33,17 +53,25 @@ func (a *Adjacency) slot(u NodeID) int32 {
 		a.freed = a.freed[:n-1]
 	} else {
 		si = int32(len(a.sets))
+		prevCap := cap(a.sets)
 		a.sets = append(a.sets, nset{})
+		if c := cap(a.sets); c != prevCap {
+			a.ac.Add(mem.CompAdjacency, int64(c-prevCap)*nsetBytes)
+		}
 	}
-	a.idx.put(u, si)
+	a.idx.put(u, si, a.ac)
 	return si
 }
 
 // release drops a node whose last neighbor was removed.
 func (a *Adjacency) release(u NodeID, si int32) {
-	a.sets[si].reset()
+	a.sets[si].reset(a.ac)
 	a.idx.del(u)
+	prevCap := cap(a.freed)
 	a.freed = append(a.freed, si)
+	if c := cap(a.freed); c != prevCap {
+		a.ac.Add(mem.CompAdjacency, int64(c-prevCap)*4)
+	}
 }
 
 // Add inserts the undirected edge {u, v}. It returns false (and does
@@ -69,9 +97,9 @@ func (a *Adjacency) AddReport(u, v NodeID) (added, newU, newV bool) {
 	si := a.idx.get(u)
 	if si < 0 {
 		si = a.slot(u)
-		a.sets[si].add(u, v)
+		a.sets[si].add(u, v, a.ac)
 		newU = true
-	} else if !a.sets[si].add(u, v) {
+	} else if !a.sets[si].add(u, v, a.ac) {
 		return false, false, false
 	}
 	sj := a.idx.get(v)
@@ -79,7 +107,7 @@ func (a *Adjacency) AddReport(u, v NodeID) (added, newU, newV bool) {
 		sj = a.slot(v)
 		newV = true
 	}
-	a.sets[sj].add(v, u)
+	a.sets[sj].add(v, u, a.ac)
 	a.edges++
 	return true, newU, newV
 }
@@ -189,6 +217,44 @@ func (a *Adjacency) CommonNeighbors(u, v NodeID, dst []NodeID) []NodeID {
 		return dst
 	}
 	return intersect(&a.sets[si], u, &a.sets[sj], v, dst)
+}
+
+// footprint returns the bytes currently on the ledger for this structure,
+// recomputed from capacities. It mirrors the incremental charge sites
+// exactly: the arena and free list by capacity, the node index by table
+// length, and every arena entry's spill capacity and promoted-table length
+// (freed slots retain their spill capacity, so they count too).
+func (a *Adjacency) footprint() int64 {
+	b := int64(cap(a.sets))*nsetBytes +
+		int64(cap(a.freed))*4 +
+		int64(len(a.idx.ents))*idxEntryBytes
+	for i := range a.sets {
+		s := &a.sets[i]
+		b += int64(cap(s.small))*nodeIDBytes + int64(len(s.table))*nodeIDBytes
+	}
+	return b
+}
+
+// Compact rebuilds the structure into right-sized backing storage: a fresh
+// arena with no freed slots, a node index sized for the current node
+// count, and per-node sets holding exactly their surviving neighbors. It
+// exists for the moment after a bulk eviction (Engine.Downsample thins the
+// sample 2^extra-fold) when the retained capacities — arena slack, spill
+// slices, oversized promoted tables — no longer reflect the contents;
+// without it, downsampling would shed sample state while the ledger (and
+// the process) kept every byte. The rebuild is deterministic in the
+// current contents and O(edges); callers pay it only at adaptation events,
+// never per stream event.
+func (a *Adjacency) Compact() {
+	edges := a.AppendEdges(make([]Edge, 0, a.edges))
+	a.ac.Add(mem.CompAdjacency, -a.footprint())
+	a.idx = nodeIndex{}
+	a.sets = nil
+	a.freed = nil
+	a.edges = 0
+	for _, e := range edges {
+		a.Add(e.U, e.V)
+	}
 }
 
 // CommonCount returns |N(u) ∩ N(v)| without materializing the

@@ -152,6 +152,21 @@ func (t *DegreeTable) Nodes() int { return len(t.deg) }
 // tables undercount by the edges inserted before the checkpoint.
 func (t *DegreeTable) Edges() int { return t.seen.n }
 
+// degMapEntryBytes is the amortized accounting estimate for one degree
+// map entry: 8 bytes of key+value plus Go map bucket overhead. Map
+// capacity is not observable, so the degree table is accounted by this
+// estimate, reconciled batch-wise by its owner rather than hooked at
+// growth sites like the flat structures.
+const degMapEntryBytes = 24
+
+// FootprintBytes estimates the table's backing bytes: the degree map at
+// an amortized per-entry cost plus the live-edge membership table (whose
+// capacity IS observable). Callers reconcile the ledger against it once
+// per batch, off the per-event path.
+func (t *DegreeTable) FootprintBytes() int64 {
+	return int64(len(t.deg))*degMapEntryBytes + int64(len(t.seen.keys))*8
+}
+
 // Snapshot returns a copy of the table as a plain map, the export path
 // used by barrier snapshots and checkpoints. The copy is independent of
 // subsequent AddEdge calls.

@@ -1,5 +1,14 @@
 package graph
 
+import (
+	"unsafe"
+
+	"rept/internal/mem"
+)
+
+// maskEntryBytes is the accounted size of one mask-table slot.
+const maskEntryBytes = int64(unsafe.Sizeof(maskEntry{}))
+
 // MaskTable maps a NodeID to a 64-bit processor-presence bitmask: bit i
 // is set while logical processor i's sampled adjacency contains the
 // node. The single-engine batch path reads it to skip processors that
@@ -20,6 +29,7 @@ package graph
 type MaskTable struct {
 	ents []maskEntry
 	n    int
+	ac   *mem.Accountant
 }
 
 type maskEntry struct {
@@ -32,6 +42,13 @@ const maskMinSize = 16
 // NewMaskTable returns an empty mask table.
 func NewMaskTable() *MaskTable {
 	return &MaskTable{ents: make([]maskEntry, maskMinSize)}
+}
+
+// SetAccountant attaches the byte ledger, immediately accounting the
+// capacity that already exists; later growth reports its own deltas.
+func (t *MaskTable) SetAccountant(ac *mem.Accountant) {
+	t.ac = ac
+	ac.Add(mem.CompMasks, int64(len(t.ents))*maskEntryBytes)
 }
 
 // Get returns u's presence mask, 0 if u is on no processor.
@@ -117,6 +134,7 @@ func (t *MaskTable) AndNot(u NodeID, bit uint64) {
 // grow doubles the table and re-inserts every live entry.
 func (t *MaskTable) grow() {
 	old := t.ents
+	t.ac.Add(mem.CompMasks, int64(len(old))*maskEntryBytes)
 	t.ents = make([]maskEntry, len(old)*2)
 	mask := uint32(len(t.ents) - 1)
 	for _, e := range old {

@@ -1,5 +1,7 @@
 package graph
 
+import "rept/internal/mem"
+
 // This file implements the flat storage behind Adjacency: an open-
 // addressing node index (NodeID → arena slot) over an arena of per-node
 // neighbor sets. A set stores its first few neighbors inline in the
@@ -11,6 +13,14 @@ package graph
 // contiguous uint32 storage, so the per-edge hot path — two index
 // lookups plus one intersection — touches a handful of cache lines and
 // allocates nothing once capacity exists.
+
+// Accounted element sizes of the flat adjacency storage (see
+// mem.CompAdjacency): NodeID is uint32, idxEntry packs a NodeID and an
+// int32 slot in one word.
+const (
+	nodeIDBytes   = 4
+	idxEntryBytes = 8
+)
 
 // inlineCap is how many neighbors live directly in the arena entry. Most
 // nodes of a 1/m-sampled adjacency have only a couple of neighbors, so
@@ -64,8 +74,12 @@ func (s *nset) sorted() []NodeID {
 
 // reset empties the set for arena reuse, keeping the spill slice's
 // capacity (promoted tables are dropped: a recycled slot usually hosts a
-// fresh low-degree node).
-func (s *nset) reset() {
+// fresh low-degree node). The dropped table's bytes leave the ledger; the
+// retained spill capacity stays on it, because the memory stays resident.
+func (s *nset) reset(ac *mem.Accountant) {
+	if s.table != nil {
+		ac.Add(mem.CompAdjacency, -int64(len(s.table))*nodeIDBytes)
+	}
 	s.small = s.small[:0]
 	s.table = nil
 	s.n = 0
@@ -116,10 +130,11 @@ func (s *nset) has(owner, w NodeID) bool {
 // itself is rejected (self-loops never reach the set, and the owner id is
 // the table-mode empty sentinel). Growth transitions (spill, promote,
 // grow) live in separate cold functions; the steady-state body allocates
-// nothing.
+// nothing, and the ledger (ac) is touched only on the capacity-changing
+// branches — never per event.
 //
 //rept:hotpath
-func (s *nset) add(owner, w NodeID) bool {
+func (s *nset) add(owner, w NodeID, ac *mem.Accountant) bool {
 	if w == owner {
 		return false
 	}
@@ -135,12 +150,16 @@ func (s *nset) add(owner, w NodeID) bool {
 			copy(s.inl[i+1:s.n+1], s.inl[i:s.n])
 			s.inl[i] = w
 		case s.small == nil:
-			s.spill(i, w)
+			s.spill(i, w, ac)
 		case len(s.small) >= promoteDeg:
-			s.promote(owner)
-			return s.add(owner, w)
+			s.promote(owner, ac)
+			return s.add(owner, w, ac)
 		default:
+			prevCap := cap(s.small)
 			s.small = append(s.small, 0)
+			if c := cap(s.small); c != prevCap {
+				ac.Add(mem.CompAdjacency, int64(c-prevCap)*nodeIDBytes)
+			}
 			copy(s.small[i+1:], s.small[i:])
 			s.small[i] = w
 		}
@@ -148,7 +167,7 @@ func (s *nset) add(owner, w NodeID) bool {
 		return true
 	}
 	if int(s.n) >= len(s.table)*3/4 {
-		s.grow(owner, len(s.table)*2)
+		s.grow(owner, len(s.table)*2, ac)
 	}
 	mask := uint32(len(s.table) - 1)
 	for i := mix32(uint32(w)) & mask; ; i = (i + 1) & mask {
@@ -223,16 +242,18 @@ func (s *nset) remove(owner, w NodeID) bool {
 // inserting w at position i. It is the one-time growth transition out of
 // add's inline layout, kept as a separate cold function so add itself
 // stays allocation-free under the //rept:hotpath gate.
-func (s *nset) spill(i int, w NodeID) {
+func (s *nset) spill(i int, w NodeID, ac *mem.Accountant) {
 	s.small = make([]NodeID, 0, 2*inlineCap)
+	ac.Add(mem.CompAdjacency, int64(cap(s.small))*nodeIDBytes)
 	s.small = append(s.small, s.inl[:i]...)
 	s.small = append(s.small, w)
 	s.small = append(s.small, s.inl[i:s.n]...)
 }
 
 // promote migrates the sorted slice into a fresh open-addressing table.
-func (s *nset) promote(owner NodeID) {
+func (s *nset) promote(owner NodeID, ac *mem.Accountant) {
 	old := s.small
+	ac.Add(mem.CompAdjacency, int64(4*promoteDeg-cap(old))*nodeIDBytes)
 	s.small = nil
 	s.n = 0
 	s.table = make([]NodeID, 4*promoteDeg)
@@ -240,13 +261,14 @@ func (s *nset) promote(owner NodeID) {
 		s.table[i] = owner
 	}
 	for _, w := range old {
-		s.add(owner, w)
+		s.add(owner, w, ac)
 	}
 }
 
 // grow rehashes the table into size slots (a power of two).
-func (s *nset) grow(owner NodeID, size int) {
+func (s *nset) grow(owner NodeID, size int, ac *mem.Accountant) {
 	old := s.table
+	ac.Add(mem.CompAdjacency, int64(size-len(old))*nodeIDBytes)
 	s.table = make([]NodeID, size)
 	for i := range s.table {
 		s.table[i] = owner
@@ -254,7 +276,7 @@ func (s *nset) grow(owner NodeID, size int) {
 	s.n = 0
 	for _, w := range old {
 		if w != owner {
-			s.add(owner, w)
+			s.add(owner, w, ac)
 		}
 	}
 }
@@ -442,11 +464,12 @@ func (ix *nodeIndex) get(u NodeID) int32 {
 }
 
 // put inserts u → slot. u must be absent.
-func (ix *nodeIndex) put(u NodeID, slot int32) {
+func (ix *nodeIndex) put(u NodeID, slot int32, ac *mem.Accountant) {
 	if len(ix.ents) == 0 {
 		ix.ents = make([]idxEntry, indexMinSize)
+		ac.Add(mem.CompAdjacency, int64(indexMinSize)*idxEntryBytes)
 	} else if ix.n >= len(ix.ents)/2 {
-		ix.grow(len(ix.ents) * 2)
+		ix.grow(len(ix.ents)*2, ac)
 	}
 	mask := uint32(len(ix.ents) - 1)
 	i := mix32(uint32(u)) & mask
@@ -481,13 +504,14 @@ func (ix *nodeIndex) del(u NodeID) {
 }
 
 // grow rehashes into size slots (a power of two ≥ current).
-func (ix *nodeIndex) grow(size int) {
+func (ix *nodeIndex) grow(size int, ac *mem.Accountant) {
 	old := ix.ents
+	ac.Add(mem.CompAdjacency, int64(size-len(old))*idxEntryBytes)
 	ix.ents = make([]idxEntry, size)
 	ix.n = 0
 	for _, e := range old {
 		if e.slot1 != 0 {
-			ix.put(e.key, e.slot1-1)
+			ix.put(e.key, e.slot1-1, nil)
 		}
 	}
 }

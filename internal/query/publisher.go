@@ -4,7 +4,9 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+	"unsafe"
 
+	"rept/internal/mem"
 	"rept/internal/obs"
 	"rept/internal/shard"
 )
@@ -38,6 +40,11 @@ type Config struct {
 	// Flight, when non-nil, receives one view_publish event per epoch
 	// (value = the epoch number).
 	Flight *obs.Flight
+	// Mem, when non-nil, receives the published view's payload bytes under
+	// mem.CompViews, reconciled at every epoch swap. Only the CURRENT view
+	// is charged — superseded views a reader still retains are that
+	// reader's liability. Observational only.
+	Mem *mem.Accountant
 }
 
 // Source is the ingest side a Publisher reads from; *shard.Sharded
@@ -61,10 +68,18 @@ type Publisher struct {
 
 	cur atomic.Pointer[View]
 
+	// topK is the live ranking size: initialized from Config.TopK, shrunk
+	// (or restored) at runtime by the adaptive memory controller via
+	// SetTopK. Takes effect at the next publication.
+	topK atomic.Int64
+
 	// mu serializes publications (the periodic loop and explicit Refresh
 	// calls) so epoch numbers increase monotonically with their prefixes.
-	mu    sync.Mutex
-	epoch uint64
+	// acViews, guarded by it, is the current view's payload bytes as last
+	// reported under mem.CompViews.
+	mu      sync.Mutex
+	epoch   uint64
+	acViews int64
 
 	stop chan struct{}
 	done chan struct{}
@@ -86,13 +101,31 @@ func NewPublisher(src Source, cfg Config) *Publisher {
 		stop: make(chan struct{}),
 		done: make(chan struct{}),
 	}
+	p.topK.Store(int64(cfg.TopK))
 	p.publish()
 	go p.loop()
 	return p
 }
 
-// Config returns the normalized configuration.
+// Config returns the normalized configuration. Config.TopK is the
+// configured ranking size; TopK reports the live one.
 func (p *Publisher) Config() Config { return p.cfg }
+
+// TopK returns the live ranking size used by the next publication.
+func (p *Publisher) TopK() int { return int(p.topK.Load()) }
+
+// SetTopK changes the ranking size of subsequent publications, clamped to
+// at least 1. The adaptive memory controller uses it to cheapen views
+// under memory pressure (the ranking is the view's only sized-by-choice
+// payload) and to restore the configured size when pressure clears. It
+// does not republish — the new size takes effect at the next epoch (call
+// Refresh to force one).
+func (p *Publisher) SetTopK(k int) {
+	if k < 1 {
+		k = 1
+	}
+	p.topK.Store(int64(k))
+}
 
 // View returns the current epoch view: an atomic pointer load, lock-free
 // and barrier-free, never blocked by ingest or by a publication in
@@ -128,14 +161,36 @@ func (p *Publisher) publish() *View {
 		Local:          o.Estimate.Local,
 		Degrees:        o.Degrees,
 	}
-	v.buildTopK(p.cfg.TopK)
+	v.buildTopK(int(p.topK.Load()))
 	p.cur.Store(v)
+	if fp := viewFootprint(v); fp != p.acViews {
+		p.cfg.Mem.Add(mem.CompViews, fp-p.acViews)
+		p.acViews = fp
+	}
 	if p.cfg.PublishHist != nil {
 		d := time.Since(start)
 		p.cfg.PublishHist.ObserveDuration(d)
 		p.cfg.Flight.Record(obs.KindViewPublish, -1, v.Epoch, d)
 	}
 	return v
+}
+
+// Amortized per-entry accounting estimates for the view maps (payload
+// plus Go map bucket overhead, same convention as the degree table's
+// accounting): τ̂_v entries carry a 4-byte key and 8-byte value, degree
+// entries 4+4.
+const (
+	localMapEntryBytes  = 28
+	degreeMapEntryBytes = 24
+)
+
+// viewFootprint estimates one view's owned payload bytes: its τ̂_v and
+// degree map copies plus the precomputed ranking. Scalar fields are noise
+// next to the maps and are ignored.
+func viewFootprint(v *View) int64 {
+	return int64(len(v.Local))*localMapEntryBytes +
+		int64(len(v.Degrees))*degreeMapEntryBytes +
+		int64(cap(v.TopK))*int64(unsafe.Sizeof(NodeStat{}))
 }
 
 // loop republishes on the configured triggers until Close. It polls at a
@@ -189,7 +244,13 @@ func (p *Publisher) Close() {
 	p.once.Do(func() { close(p.stop) })
 	<-p.done
 	// Serialize with a publish() still holding the barrier so callers may
-	// close the Source immediately after Close returns.
+	// close the Source immediately after Close returns, and return the
+	// current view's ledger charge (the view stays readable, but the
+	// publisher no longer owns its footprint).
 	p.mu.Lock()
-	p.mu.Unlock() //nolint // empty critical section IS the synchronization
+	if p.acViews != 0 {
+		p.cfg.Mem.Add(mem.CompViews, -p.acViews)
+		p.acViews = 0
+	}
+	p.mu.Unlock()
 }

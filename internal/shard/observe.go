@@ -44,7 +44,7 @@ type Observation struct {
 //
 //rept:deterministic
 func (s *Sharded) Observe() Observation {
-	bar := s.barrier(false)
+	bar := s.barrier(false, 0)
 	agg, err := core.MergeGroups(bar.aggs...)
 	if err != nil {
 		// shardConfigs guarantees the MergeGroups preconditions, so this

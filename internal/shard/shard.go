@@ -34,14 +34,24 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"unsafe"
 
 	"time"
 
 	"rept/internal/core"
 	"rept/internal/graph"
 	"rept/internal/hashing"
+	"rept/internal/mem"
 	"rept/internal/obs"
 	"rept/internal/snapshot"
+)
+
+// Accounted sizes of the flat ingest structures: one ring slot and one
+// batch-buffer event. Both are reported to the byte ledger only at
+// construction / recycle transitions, never on the per-event path.
+const (
+	msgBytes    = int64(unsafe.Sizeof(msg{}))
+	updateBytes = int64(unsafe.Sizeof(graph.Update{}))
 )
 
 const (
@@ -110,6 +120,13 @@ type Config struct {
 	// the snapshot fingerprint — a snapshot taken with telemetry on
 	// restores into a coordinator with it off and vice versa.
 	Obs *obs.Pipeline
+	// Mem, when non-nil, is the byte ledger every storage layer under the
+	// coordinator reports to: the shard engines' adjacency arenas, counter
+	// and mask tables, the ingest rings, the recycled batch buffers, and
+	// the degree table. Purely observational — estimates are bit-identical
+	// with or without it — and, like Obs, operational state outside the
+	// snapshot fingerprint.
+	Mem *mem.Accountant
 }
 
 // Validate reports whether the configuration is usable.
@@ -179,6 +196,7 @@ func (c Config) shardConfigs() []core.Config {
 			FullyDynamic: c.FullyDynamic,
 			TrackEta:     trackEta,
 			Workers:      c.Workers,
+			Mem:          c.Mem,
 		}
 	}
 	return out
@@ -193,6 +211,10 @@ type batch struct {
 	ups       []graph.Update
 	wholesale bool
 	refs      atomic.Int32
+	// acCap is the buffer capacity (in events) last reported to the byte
+	// ledger; putBatch reconciles against it so wholesale batches that
+	// outgrew their pooled capacity are re-accounted off the hot path.
+	acCap int64
 }
 
 // barrier asks every shard to report its aggregates (and sampled-edge
@@ -205,6 +227,13 @@ type barrier struct {
 	sampled []int
 	etaSat  []uint64
 	states  []*snapshot.EngineState
+	// downshift, when positive, asks every shard engine to Downsample by
+	// that many halvings at the barrier prefix; errs collects each shard's
+	// outcome. The in-band delivery is what makes the adaptation
+	// stream-consistent: every shard re-partitions at exactly the same
+	// prefix, so estimates stay merge-compatible (equal shift everywhere).
+	downshift int
+	errs      []error
 	// degrees is the degree tracker's table copy at the barrier prefix;
 	// nil when degree tracking is off.
 	degrees map[graph.NodeID]uint32
@@ -294,6 +323,14 @@ type Sharded struct {
 	deleted   atomic.Uint64
 	selfLoops atomic.Uint64
 
+	// sampleShift is the coordinator-level cumulative down-shift, advanced
+	// by Downsample after every shard adapted; read lock-free by the
+	// control plane.
+	sampleShift atomic.Int64
+
+	// acct is the optional byte ledger (Config.Mem); nil-safe throughout.
+	acct *mem.Accountant
+
 	// obs is the optional pipeline telemetry (Config.Obs); batchEv holds
 	// the per-shard last-batch-size gauges, indexed like engines. Both
 	// are nil when telemetry is off.
@@ -332,6 +369,7 @@ func build(cfg Config, restore []snapshot.EngineState, restoreDegrees map[graph.
 		queueLen: queueLen,
 		engines:  make([]*core.Engine, len(sub)),
 		rings:    make([]*ring, len(sub)),
+		acct:     cfg.Mem,
 	}
 	s.free = make(chan *batch, queueLen+8)
 	s.sendCond.L = &s.sendMu
@@ -350,8 +388,21 @@ func build(cfg Config, restore []snapshot.EngineState, restoreDegrees map[graph.
 			return nil, fmt.Errorf("shard %d: %w", i, err)
 		}
 		s.engines[i] = eng
-		s.rings[i] = newRing(queueLen)
+		s.rings[i] = s.newAccountedRing(queueLen)
 	}
+	// Restored shards carry their snapshot's sample shift; they must agree
+	// (they were checkpointed at one barrier) for merged estimates to be
+	// well-defined.
+	shift := s.engines[0].SampleShift()
+	for i, eng := range s.engines[1:] {
+		if eng.SampleShift() != shift {
+			for _, prev := range s.engines {
+				prev.Close()
+			}
+			return nil, fmt.Errorf("shard: %w: shard %d has sample shift %d, shard 0 has %d", snapshot.ErrCorrupt, i+1, eng.SampleShift(), shift)
+		}
+	}
+	s.sampleShift.Store(int64(shift))
 	if cfg.Obs != nil {
 		s.obs = cfg.Obs
 		s.batchEv = make([]*obs.Gauge, len(s.engines))
@@ -373,11 +424,20 @@ func build(cfg Config, restore []snapshot.EngineState, restoreDegrees map[graph.
 		go s.run(i)
 	}
 	if cfg.TrackDegrees {
-		s.degRing = newRing(queueLen)
+		s.degRing = s.newAccountedRing(queueLen)
 		s.done.Add(1)
 		go s.runDegrees(graph.RestoreDegreeTable(restoreDegrees))
 	}
 	return s, nil
+}
+
+// newAccountedRing builds a consumer ring and reports its slot array to
+// the byte ledger (ring capacity is fixed for the ring's lifetime, so
+// construction is the only accounting moment).
+func (s *Sharded) newAccountedRing(capacity int) *ring {
+	r := newRing(capacity)
+	s.acct.Add(mem.CompRings, int64(len(r.buf))*msgBytes)
+	return r
 }
 
 // getBatch returns a recycled batch buffer, allocating only when the
@@ -390,17 +450,28 @@ func (s *Sharded) getBatch() *batch {
 	case b := <-s.free:
 		return b
 	default:
-		return &batch{ups: make([]graph.Update, 0, s.batchLen)}
+		b := &batch{ups: make([]graph.Update, 0, s.batchLen)}
+		b.acCap = int64(cap(b.ups))
+		s.acct.Add(mem.CompBatches, b.acCap*updateBytes)
+		return b
 	}
 }
 
-// putBatch recycles a fully released batch buffer.
+// putBatch recycles a fully released batch buffer, reconciling the
+// ledger when the buffer's capacity drifted (wholesale batches append
+// past the pooled capacity) and crediting back buffers the full free
+// list drops to the GC.
 func (s *Sharded) putBatch(b *batch) {
 	b.ups = b.ups[:0]
 	b.wholesale = false
+	if c := int64(cap(b.ups)); c != b.acCap {
+		s.acct.Add(mem.CompBatches, (c-b.acCap)*updateBytes)
+		b.acCap = c
+	}
 	select {
 	case s.free <- b:
 	default: // free list full: let the GC have it
+		s.acct.Add(mem.CompBatches, -b.acCap*updateBytes)
 	}
 }
 
@@ -409,13 +480,21 @@ func (s *Sharded) putBatch(b *batch) {
 // each barrier describes exactly the barrier's stream prefix.
 func (s *Sharded) runDegrees(table *graph.DegreeTable) {
 	defer s.done.Done()
+	// acBytes is the table footprint last reported to the ledger; map
+	// capacity is not observable, so the table is reconciled against its
+	// FootprintBytes estimate once per batch instead of hooked at growth.
+	var acBytes int64
 	for {
 		m, ok := s.degRing.pop()
 		if !ok {
 			return
 		}
 		if m.bar != nil {
-			m.bar.degrees = table.Snapshot()
+			// Downsample-only barriers skip the table copy: degrees track
+			// the full stream and are untouched by resampling.
+			if m.bar.aggs != nil || m.bar.states != nil {
+				m.bar.degrees = table.Snapshot()
+			}
 			m.bar.wg.Done()
 			continue
 		}
@@ -432,6 +511,10 @@ func (s *Sharded) runDegrees(table *graph.DegreeTable) {
 					s.hubs.add(up.V)
 				}
 			}
+		}
+		if fp := table.FootprintBytes(); fp != acBytes {
+			s.acct.Add(mem.CompDegrees, fp-acBytes)
+			acBytes = fp
 		}
 		if m.b.refs.Add(-1) == 0 {
 			s.putBatch(m.b)
@@ -467,9 +550,12 @@ func (s *Sharded) run(i int) {
 			break
 		}
 		if m.bar != nil {
+			if m.bar.downshift > 0 {
+				m.bar.errs[i] = eng.Downsample(m.bar.downshift)
+			}
 			if m.bar.states != nil {
 				m.bar.states[i] = eng.State()
-			} else {
+			} else if m.bar.aggs != nil {
 				m.bar.aggs[i] = eng.Aggregates()
 				m.bar.sampled[i] = eng.SampledEdges()
 				m.bar.etaSat[i] = eng.EtaSaturations()
@@ -844,8 +930,10 @@ func (s *Sharded) waitSent(ticket uint64) {
 // immediately after them, so no later Add can slip between the flush and
 // the barrier on any shard: both tickets are issued inside one critical
 // section and send delivers tickets in issue order. With wantStates it
-// collects full engine states (for checkpoints) instead of aggregates.
-func (s *Sharded) barrier(wantStates bool) *barrier {
+// collects full engine states (for checkpoints) instead of aggregates;
+// with downshift > 0 it is a downsample barrier — every shard adapts at
+// the barrier prefix and reports only its outcome, no aggregates.
+func (s *Sharded) barrier(wantStates bool, downshift int) *barrier {
 	var buf [2]sendItem
 	var start time.Time
 	if s.obs != nil {
@@ -861,10 +949,16 @@ func (s *Sharded) barrier(wantStates bool) *barrier {
 		ticket, b := s.detachLocked()
 		pend = append(pend, sendItem{ticket: ticket, m: msg{b: b}})
 	}
-	bar := &barrier{}
-	if wantStates {
+	bar := &barrier{downshift: downshift}
+	if downshift > 0 {
+		bar.errs = make([]error, len(s.rings))
+	}
+	switch {
+	case wantStates:
 		bar.states = make([]*snapshot.EngineState, len(s.rings))
-	} else {
+	case downshift > 0:
+		// Adaptation-only: no per-shard report beyond errs.
+	default:
 		bar.aggs = make([]*core.Aggregates, len(s.rings))
 		bar.sampled = make([]int, len(s.rings))
 		bar.etaSat = make([]uint64, len(s.rings))
@@ -892,7 +986,7 @@ func (s *Sharded) barrier(wantStates bool) *barrier {
 // Aggregates drains in-flight edges and merges every shard's counters at
 // a single consistent stream prefix. The coordinator stays usable.
 func (s *Sharded) Aggregates() *core.Aggregates {
-	bar := s.barrier(false)
+	bar := s.barrier(false, 0)
 	agg, err := core.MergeGroups(bar.aggs...)
 	if err != nil {
 		// shardConfigs guarantees the MergeGroups preconditions (equal M,
@@ -913,7 +1007,7 @@ func (s *Sharded) Snapshot() core.Estimate {
 // all shards' logical processors (expected ≈ C·|E|/M), a memory
 // diagnostic. It drains in-flight edges like Snapshot.
 func (s *Sharded) SampledEdges() int {
-	bar := s.barrier(false)
+	bar := s.barrier(false, 0)
 	total := 0
 	for _, n := range bar.sampled {
 		total += n
@@ -925,13 +1019,44 @@ func (s *Sharded) SampledEdges() int {
 // clamped at the int32 boundary across all shards (see
 // core.Engine.EtaSaturations). It drains in-flight edges like Snapshot.
 func (s *Sharded) EtaSaturations() uint64 {
-	bar := s.barrier(false)
+	bar := s.barrier(false, 0)
 	var n uint64
 	for _, v := range bar.etaSat {
 		n += v
 	}
 	return n
 }
+
+// Downsample halves the sampling probability extra more times on every
+// shard engine, at one consistent stream prefix: the request travels the
+// rings as an in-band barrier, so each shard re-partitions after exactly
+// the edges broadcast before the call and merged estimates stay
+// well-defined (equal shift on every shard, which MergeGroups enforces).
+// See core.Engine.Downsample for the statistical contract. It fails with
+// core.ErrEtaDownsample on η-tracking configurations — validated up
+// front, before any shard is touched. Safe for concurrent use with
+// ingest; events accepted after the call see the tightened filter.
+func (s *Sharded) Downsample(extra int) error {
+	if extra <= 0 {
+		return fmt.Errorf("shard: Downsample(%d): extra must be >= 1", extra)
+	}
+	c1, c2 := s.cfg.C/s.cfg.M, s.cfg.C%s.cfg.M
+	if s.cfg.TrackEta || (c1 > 0 && c2 > 0) {
+		return core.ErrEtaDownsample
+	}
+	bar := s.barrier(false, extra)
+	for _, err := range bar.errs {
+		if err != nil {
+			return err
+		}
+	}
+	s.sampleShift.Add(int64(extra))
+	return nil
+}
+
+// SampleShift returns the coordinator's cumulative sample down-shift:
+// the effective sampling probability is 1/(M·2^shift). Lock-free.
+func (s *Sharded) SampleShift() int { return int(s.sampleShift.Load()) }
 
 // Processed returns the number of non-loop events (insertions plus
 // deletions) accepted so far. It counts arrivals, including events still

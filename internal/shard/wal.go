@@ -125,7 +125,7 @@ func (s *Sharded) StartWAL(lg *wal.Log, syncInterval time.Duration) {
 	s.waitSent(last)
 
 	s.mu.Lock()
-	s.walRing = newRing(s.queueLen)
+	s.walRing = s.newAccountedRing(s.queueLen)
 	s.wal = &walRunner{lg: lg, interval: syncInterval}
 	s.wal.cond.L = &s.wal.mu
 	s.done.Add(1)

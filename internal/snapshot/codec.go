@@ -20,6 +20,9 @@ type encoder struct {
 	crc hash.Hash32
 	buf [binary.MaxVarintLen64]byte
 	err error
+	// version is the format version this encoder emits, chosen by the
+	// writer entry points (the oldest version representing the state).
+	version uint64
 }
 
 func newEncoder(w io.Writer) *encoder {
@@ -72,9 +75,10 @@ func (e *encoder) u64(x uint64) {
 	e.write(e.buf[:8])
 }
 
-func (e *encoder) header(kind byte) {
+func (e *encoder) header(kind byte, version uint64) {
+	e.version = version
 	e.write(magic[:])
-	e.uvarint(Version)
+	e.uvarint(version)
 	e.byte(kind)
 }
 
@@ -103,6 +107,11 @@ func (e *encoder) engineBody(st *EngineState) {
 	e.uvarint(st.Processed)
 	e.uvarint(st.Deleted)
 	e.uvarint(st.SelfLoops)
+	if e.version >= 4 {
+		e.uvarint(uint64(st.SampleShift))
+	} else if st.SampleShift != 0 {
+		e.fail(fmt.Errorf("snapshot: sample shift %d cannot be written at version %d", st.SampleShift, e.version))
+	}
 	for i := range st.Procs {
 		p := &st.Procs[i]
 		e.svarint(p.Tau)
@@ -393,6 +402,16 @@ func (d *decoder) engineBody() (*EngineState, error) {
 	}
 	if st.SelfLoops, err = d.uvarint("selfLoops"); err != nil {
 		return nil, err
+	}
+	if d.version >= 4 {
+		shift, err := d.uvarint("sampleShift")
+		if err != nil {
+			return nil, err
+		}
+		if shift > 63 {
+			return nil, fmt.Errorf("%w: sample shift %d out of range [0, 63]", ErrCorrupt, shift)
+		}
+		st.SampleShift = int(shift)
 	}
 	st.Procs = make([]ProcState, 0, min(st.C, maxPrealloc))
 	for i := 0; i < st.C; i++ {

@@ -87,9 +87,16 @@ func TestShardedDegreesCorruption(t *testing.T) {
 
 func TestVersionBounds(t *testing.T) {
 	data := encodeSharded(t, testShardedState())
-	// Byte 8 is the single-byte version varint.
-	if data[8] != Version {
-		t.Fatalf("version byte = %d, want %d", data[8], Version)
+	// Byte 8 is the single-byte version varint. Writers emit the oldest
+	// representable version: 3 while no engine carries a sample shift,
+	// Version (4) once one does.
+	if data[8] != 3 {
+		t.Fatalf("version byte = %d, want 3 for a shift-free state", data[8])
+	}
+	shifted := testShardedState()
+	shifted.Shards[0].SampleShift = 2
+	if sb := encodeSharded(t, shifted)[8]; sb != Version {
+		t.Fatalf("version byte = %d, want %d for a downsampled state", sb, Version)
 	}
 	data[8] = 0
 	if _, err := ReadSharded(bytes.NewReader(data)); err == nil || !strings.Contains(err.Error(), "version 0") {

@@ -12,7 +12,8 @@
 // A snapshot is
 //
 //	magic   "REPTSNAP"            (8 bytes)
-//	version uvarint               (currently 2; readers accept 1 and 2)
+//	version uvarint               (see Version; writers emit the oldest
+//	                               version representing the state)
 //	kind    byte                  (1 = single engine, 2 = sharded)
 //	payload                       (kind-specific, see below)
 //	crc32   IEEE, little-endian   (4 bytes, over everything above)
@@ -26,7 +27,8 @@
 //
 // The engine payload is the fingerprint (M, C, seed, trackLocal,
 // trackEta and, since version 3, fullyDynamic), the processed, deleted
-// (version ≥ 3) and self-loop tallies, and then C processor records:
+// (version ≥ 3) and self-loop tallies, the sample down-shift (version
+// ≥ 4), and then C processor records:
 // τ⁽ⁱ⁾, η⁽ⁱ⁾, the random-pairing deletion counters d_i/d_o/phantom
 // (version ≥ 3), the sorted sampled edge keys, the τ⁽ⁱ⁾_v and η⁽ⁱ⁾_v
 // maps, and the per-edge triangle counters. Version 3 made every
@@ -66,11 +68,16 @@ import (
 	"rept/internal/graph"
 )
 
-// Version is the format version this build writes. Readers accept every
-// version in [1, Version]: version 2 added the coordinator degree table
-// to sharded payloads; version 3 added fully-dynamic streams (signed
-// counters, deletion tallies, and the random-pairing d_i/d_o counters).
-const Version = 3
+// Version is the highest format version this build writes and reads.
+// Readers accept every version in [1, Version]: version 2 added the
+// coordinator degree table to sharded payloads; version 3 added
+// fully-dynamic streams (signed counters, deletion tallies, and the
+// random-pairing d_i/d_o counters); version 4 added the per-engine
+// sample down-shift written by adaptive resampling. Writers emit the
+// OLDEST version that can represent the state — version 3 whenever no
+// engine has downsampled — so snapshots stay byte-identical with older
+// builds until the new feature is actually exercised.
+const Version = 4
 
 // Snapshot kinds.
 const (
@@ -198,7 +205,37 @@ type ProcState struct {
 type EngineState struct {
 	Fingerprint
 	Processed, Deleted, SelfLoops uint64
-	Procs                         []ProcState
+	// SampleShift is the cumulative sample down-shift applied by adaptive
+	// resampling (core.Engine.Downsample): the sampled edge sets below were
+	// drawn at the effective probability 1/(M·2^SampleShift). Written since
+	// format version 4; snapshots of engines that never downsampled are
+	// emitted as version 3 and decode with SampleShift 0. Deliberately NOT
+	// part of the fingerprint: the shift is estimator state (like the
+	// counters), not configuration — a resumed engine re-adapts under its
+	// own controller.
+	SampleShift int
+	Procs       []ProcState
+}
+
+// maxEngineShift returns the highest SampleShift across engines, the
+// value that decides whether a writer needs version 4.
+func maxEngineShift(engines []EngineState) int {
+	s := 0
+	for i := range engines {
+		if engines[i].SampleShift > s {
+			s = engines[i].SampleShift
+		}
+	}
+	return s
+}
+
+// writeVersion picks the oldest format version that represents states
+// with the given maximum sample shift.
+func writeVersion(maxShift int) uint64 {
+	if maxShift != 0 {
+		return 4
+	}
+	return 3
 }
 
 // ShardedState is the barrier-consistent state of a shard.Sharded
@@ -230,7 +267,7 @@ func WriteEngine(w io.Writer, st *EngineState) error {
 		return fmt.Errorf("snapshot: engine state has %d processors, fingerprint says C=%d", len(st.Procs), st.C)
 	}
 	e := newEncoder(w)
-	e.header(KindEngine)
+	e.header(KindEngine, writeVersion(st.SampleShift))
 	e.engineBody(st)
 	e.trailer()
 	return e.err
@@ -248,7 +285,7 @@ func WriteSharded(w io.Writer, st *ShardedState) error {
 		return fmt.Errorf("snapshot: sharded state has %d shards, header says %d", len(st.Shards), st.ShardCount)
 	}
 	e := newEncoder(w)
-	e.header(KindSharded)
+	e.header(KindSharded, writeVersion(maxEngineShift(st.Shards)))
 	e.fingerprint(st.Fingerprint)
 	e.uvarint(uint64(st.ShardCount))
 	e.uvarint(st.Processed)

@@ -1,0 +1,163 @@
+package wal
+
+import (
+	"io"
+	"testing"
+
+	"rept/internal/mem"
+)
+
+// sumBackendBytes totals the on-media size of every live file in the
+// backend whose name looks like a segment.
+func segmentDiskBytes(t *testing.T, be *MemBackend) int64 {
+	t.Helper()
+	names, err := be.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for _, n := range names {
+		if _, ok := parseSegName(n); !ok {
+			continue
+		}
+		data, ok := be.Bytes(n)
+		if !ok {
+			t.Fatalf("segment %s listed but unreadable", n)
+		}
+		total += int64(len(data))
+	}
+	return total
+}
+
+// TestStatsLiveBytes: LiveBytes tracks the clean on-disk footprint —
+// sealed extents plus the active segment — exactly, across rotation,
+// recovery, and compaction; and the accountant's wal_segments entry
+// follows it.
+func TestStatsLiveBytes(t *testing.T) {
+	be := NewMemBackend()
+	ac := mem.New()
+	// Tiny segments force rotations.
+	lg, _, _ := openFresh(t, be, 0, Options{SegmentBytes: 512, Mem: ac})
+
+	ups := testUpdates(300, 42)
+	appendBatches(t, lg, ups, 32)
+
+	st := lg.Stats()
+	if st.LiveBytes <= 0 {
+		t.Fatalf("LiveBytes = %d after %d events, want > 0", st.LiveBytes, len(ups))
+	}
+	if st.Segments < 2 {
+		t.Fatalf("Segments = %d with 512-byte rotation, want several", st.Segments)
+	}
+	if disk := segmentDiskBytes(t, be); st.LiveBytes != disk {
+		t.Fatalf("LiveBytes = %d, backend holds %d segment bytes (no crash, so they must match)", st.LiveBytes, disk)
+	}
+	if got := ac.Bytes(mem.CompWALSegments); got != st.LiveBytes {
+		t.Fatalf("ledger wal_segments = %d, Stats.LiveBytes = %d", got, st.LiveBytes)
+	}
+	// Disk-class bytes must not count toward the process-memory total.
+	if total := ac.MemoryTotal(); total >= st.LiveBytes {
+		t.Fatalf("MemoryTotal %d includes disk-class segment bytes %d", total, st.LiveBytes)
+	}
+
+	// Close returns every ledger charge.
+	if err := lg.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := ac.Bytes(mem.CompWALSegments); got != 0 {
+		t.Fatalf("ledger wal_segments = %d after Close, want 0", got)
+	}
+	if got := ac.Bytes(mem.CompWALBuffers); got != 0 {
+		t.Fatalf("ledger wal_buffers = %d after Close, want 0", got)
+	}
+
+	// Recovery reconstructs the same footprint from the directory: the
+	// sealed clean extents are re-measured by replay, the fresh active
+	// segment starts at its header.
+	ac2 := mem.New()
+	lg2, pos, _ := openFresh(t, be, 0, Options{SegmentBytes: 512, Mem: ac2})
+	if pos != uint64(len(ups)) {
+		t.Fatalf("recovered to %d, want %d", pos, len(ups))
+	}
+	st2 := lg2.Stats()
+	if disk := segmentDiskBytes(t, be); st2.LiveBytes != disk {
+		t.Fatalf("recovered LiveBytes = %d, backend holds %d", st2.LiveBytes, disk)
+	}
+	if got := ac2.Bytes(mem.CompWALSegments); got != st2.LiveBytes {
+		t.Fatalf("recovered ledger wal_segments = %d, LiveBytes = %d", got, st2.LiveBytes)
+	}
+
+	// Compaction trims sealed segments: LiveBytes and the ledger drop by
+	// exactly the trimmed extents.
+	if err := lg2.Compact(func(w io.Writer) (uint64, error) {
+		_, err := w.Write([]byte("snapshot-stand-in"))
+		return uint64(len(ups)), err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	st3 := lg2.Stats()
+	if st3.LiveBytes >= st2.LiveBytes {
+		t.Fatalf("LiveBytes %d did not shrink from %d after compaction", st3.LiveBytes, st2.LiveBytes)
+	}
+	if disk := segmentDiskBytes(t, be); st3.LiveBytes != disk {
+		t.Fatalf("post-compaction LiveBytes = %d, backend holds %d", st3.LiveBytes, disk)
+	}
+	if got := ac2.Bytes(mem.CompWALSegments); got != st3.LiveBytes {
+		t.Fatalf("post-compaction ledger wal_segments = %d, LiveBytes = %d", got, st3.LiveBytes)
+	}
+	if err := lg2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := ac2.Bytes(mem.CompWALSegments); got != 0 {
+		t.Fatalf("ledger wal_segments = %d after second Close, want 0", got)
+	}
+}
+
+// TestLiveBytesExcludesTornTail: a torn tail (simulated crash mid-append)
+// is not part of the clean extent the next recovery reports.
+func TestLiveBytesExcludesTornTail(t *testing.T) {
+	be := NewMemBackend()
+	lg, _, _ := openFresh(t, be, 0, Options{Mem: mem.New()})
+	ups := testUpdates(64, 7)
+	appendBatches(t, lg, ups, 16)
+	if err := lg.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tear 3 bytes off the (only) segment's end: the last record becomes
+	// a torn tail.
+	names, err := be.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seg string
+	for _, n := range names {
+		if _, ok := parseSegName(n); ok {
+			seg = n
+		}
+	}
+	if seg == "" {
+		t.Fatal("no segment file found")
+	}
+	full, _ := be.Bytes(seg)
+	if err := be.Tear(seg, 3); err != nil {
+		t.Fatal(err)
+	}
+
+	ac := mem.New()
+	lg2, pos, _ := openFresh(t, be, 0, Options{Mem: ac})
+	defer lg2.Close()
+	if pos >= uint64(len(ups)) {
+		t.Fatalf("recovered to %d despite a torn tail, want < %d", pos, len(ups))
+	}
+	st := lg2.Stats()
+	// The sealed clean extent must be strictly shorter than the original
+	// file (the torn record is excluded), and the ledger must agree.
+	sealedClean := st.LiveBytes - st.ActiveBytes
+	if sealedClean >= int64(len(full)) {
+		t.Fatalf("clean extent %d not shorter than pre-tear segment %d", sealedClean, len(full))
+	}
+	if got := ac.Bytes(mem.CompWALSegments); got != st.LiveBytes {
+		t.Fatalf("ledger wal_segments = %d, LiveBytes = %d", got, st.LiveBytes)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"rept/internal/graph"
+	"rept/internal/mem"
 	"rept/internal/obs"
 )
 
@@ -34,6 +35,13 @@ type Options struct {
 	// (value = events in the record) and one wal_sync event per Commit
 	// (value = the durable stream position).
 	Flight *obs.Flight
+	// Mem, when non-nil, receives the log's byte accounting: the reused
+	// group-commit record buffer under mem.CompWALBuffers (heap), and the
+	// live segment bytes owned by this log — sealed clean extents plus
+	// the active segment — under mem.CompWALSegments (disk-class, so it
+	// is excluded from the accountant's MemoryTotal). Observational only;
+	// never part of the statistical fingerprint.
+	Mem *mem.Accountant
 }
 
 // Stats is a point-in-time view of a Log's positions and size, safe to
@@ -53,6 +61,12 @@ type Stats struct {
 	Segments int
 	// ActiveBytes is the byte size of the active (unsealed) segment.
 	ActiveBytes int64
+	// LiveBytes is the total byte size of the log's live data: the clean
+	// extents of every sealed segment plus the active segment. Torn tail
+	// bytes left behind by a crash are excluded (the next recovery
+	// discards them), so this is the floor of the directory's footprint,
+	// and exactly what Compact can shrink.
+	LiveBytes int64
 	// Failed reports a sticky append/sync error: the log stopped
 	// accepting writes and every durable ingest since has been refused.
 	Failed bool
@@ -75,6 +89,13 @@ type Log struct {
 	syncHist   *obs.Histogram
 	flight     *obs.Flight
 
+	// acct receives byte accounting (Options.Mem; nil-safe). acBuf is the
+	// record buffer capacity last reported under CompWALBuffers
+	// (appender-owned); segment bytes flow to CompWALSegments wherever
+	// sealedBytes/activeBytes change.
+	acct  *mem.Accountant
+	acBuf int64
+
 	// Appender-owned state (single goroutine).
 	buf         []byte
 	active      File
@@ -83,11 +104,13 @@ type Log struct {
 	pos         uint64
 	err         error
 
-	// mu guards the sealed-segment list and checkpoint position, shared
-	// between the appender (rotation) and Compact (trimming).
-	mu      sync.Mutex
-	sealed  []segment
-	ckptPos uint64
+	// mu guards the sealed-segment list, its total clean-extent bytes,
+	// and the checkpoint position, shared between the appender (rotation)
+	// and Compact (trimming).
+	mu          sync.Mutex
+	sealed      []segment
+	sealedBytes int64
+	ckptPos     uint64
 
 	// compactMu serializes whole Compact calls: two at once would race on
 	// the shared checkpoint temp-file name.
@@ -99,6 +122,7 @@ type Log struct {
 	statCkpt     atomic.Uint64
 	statSegments atomic.Int64
 	statActiveB  atomic.Int64
+	statSealedB  atomic.Int64
 	statFailed   atomic.Bool
 }
 
@@ -117,6 +141,7 @@ func open(be Backend, fp uint64, opt Options, pos, ckptPos uint64, sealed []segm
 		appendHist: opt.AppendHist,
 		syncHist:   opt.SyncHist,
 		flight:     opt.Flight,
+		acct:       opt.Mem,
 		pos:        pos,
 		ckptPos:    ckptPos,
 		sealed:     sealed,
@@ -132,6 +157,11 @@ func open(be Backend, fp uint64, opt Options, pos, ckptPos uint64, sealed []segm
 			return nil, fmt.Errorf("wal: removing empty segment %s: %w", last.name, err)
 		}
 	}
+	for _, s := range l.sealed {
+		l.sealedBytes += s.bytes
+	}
+	l.statSealedB.Store(l.sealedBytes)
+	l.acct.Add(mem.CompWALSegments, l.sealedBytes)
 	if err := l.startSegment(pos); err != nil {
 		return nil, err
 	}
@@ -162,6 +192,7 @@ func (l *Log) startSegment(base uint64) error {
 	l.activeBase = base
 	l.activeBytes = headerLen
 	l.statActiveB.Store(headerLen)
+	l.acct.Add(mem.CompWALSegments, headerLen)
 	return nil
 }
 
@@ -209,6 +240,11 @@ func (l *Log) Append(ups []graph.Update) error {
 	l.activeBytes += int64(len(l.buf))
 	l.statAppended.Store(l.pos)
 	l.statActiveB.Store(l.activeBytes)
+	l.acct.Add(mem.CompWALSegments, int64(len(l.buf)))
+	if c := int64(cap(l.buf)); c != l.acBuf {
+		l.acct.Add(mem.CompWALBuffers, c-l.acBuf)
+		l.acBuf = c
+	}
 	if l.appendHist != nil {
 		d := time.Since(start)
 		l.appendHist.ObserveDuration(d)
@@ -255,7 +291,9 @@ func (l *Log) rotate() error {
 		return fmt.Errorf("wal: sealing segment: %w", err)
 	}
 	l.mu.Lock()
-	l.sealed = append(l.sealed, segment{name: segName(l.activeBase), base: l.activeBase, end: l.pos})
+	l.sealed = append(l.sealed, segment{name: segName(l.activeBase), base: l.activeBase, end: l.pos, bytes: l.activeBytes})
+	l.sealedBytes += l.activeBytes
+	l.statSealedB.Store(l.sealedBytes)
 	l.mu.Unlock()
 	if err := l.startSegment(l.pos); err != nil {
 		l.err = err
@@ -307,11 +345,14 @@ func (l *Log) Compact(write func(io.Writer) (uint64, error)) error {
 	for _, s := range l.sealed {
 		if s.end <= l.ckptPos {
 			trim = append(trim, s)
+			l.sealedBytes -= s.bytes
+			l.acct.Add(mem.CompWALSegments, -s.bytes)
 		} else {
 			kept = append(kept, s)
 		}
 	}
 	l.sealed = kept
+	l.statSealedB.Store(l.sealedBytes)
 	l.mu.Unlock()
 	var firstErr error
 	for _, s := range trim {
@@ -331,6 +372,7 @@ func (l *Log) Stats() Stats {
 		CheckpointPos: l.statCkpt.Load(),
 		Segments:      int(l.statSegments.Load()),
 		ActiveBytes:   l.statActiveB.Load(),
+		LiveBytes:     l.statSealedB.Load() + l.statActiveB.Load(),
 		Failed:        l.statFailed.Load(),
 	}
 }
@@ -360,6 +402,17 @@ func (l *Log) Close() error {
 	if l.err == nil {
 		l.err = errClosed
 	}
+	// Return the log's ledger charges: the record buffer is garbage now,
+	// and the segment bytes stop being this process's liability (a
+	// reopening recovery re-accounts whatever survives on disk).
+	l.acct.Add(mem.CompWALBuffers, -l.acBuf)
+	l.acBuf = 0
+	l.mu.Lock()
+	live := l.sealedBytes + l.activeBytes
+	l.sealedBytes = 0
+	l.mu.Unlock()
+	l.acct.Add(mem.CompWALSegments, -live)
+	l.activeBytes = 0
 	return ret
 }
 

@@ -124,7 +124,11 @@ func (r *Recovered) replaySegment(seg *segment, pos uint64, last bool, apply fun
 		return seg.base, fmt.Errorf("wal: opening segment %s: %w", seg.name, err)
 	}
 	defer f.Close()
-	hdr, err := readHeader(f, r.fp)
+	// Count bytes as they are consumed so the clean extent's byte length
+	// (snapshotted after each fully decoded record) can feed the reopened
+	// log's live-size accounting.
+	cr := &countingReader{r: f}
+	hdr, err := readHeader(cr, r.fp)
 	if err == errTorn {
 		// A half-written header can only be the youngest segment,
 		// created moments before the crash with nothing acknowledged
@@ -140,8 +144,9 @@ func (r *Recovered) replaySegment(seg *segment, pos uint64, last bool, apply fun
 	if hdr.base != seg.base {
 		return seg.base, fmt.Errorf("%w: segment %s declares base position %d in its header", ErrCorrupt, seg.name, hdr.base)
 	}
+	seg.bytes = cr.n
 	segPos := seg.base
-	rr := recordReader{r: f}
+	rr := recordReader{r: cr}
 	for {
 		rec, err := rr.next()
 		if err == io.EOF {
@@ -179,7 +184,22 @@ func (r *Recovered) replaySegment(seg *segment, pos uint64, last bool, apply fun
 			pos = end
 		}
 		segPos = end
+		seg.bytes = cr.n
 	}
+}
+
+// countingReader counts the bytes consumed from the underlying reader.
+// replaySegment snapshots the count after each fully decoded record, so a
+// torn tail's partial bytes never enter the clean extent.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
 }
 
 // Log reopens the directory for appending: a fresh active segment is

@@ -254,4 +254,9 @@ type segment struct {
 	// filled in by Replay (end == base for an unscanned or empty
 	// segment).
 	end uint64
+	// bytes is the byte length of the clean extent (header plus cleanly
+	// decoded records), filled in by Replay for recovered segments and by
+	// rotation for segments sealed in this process. Torn tail bytes are
+	// excluded — they are dead weight the next recovery discards.
+	bytes int64
 }

@@ -55,6 +55,7 @@ func (c *Concurrent) StartViews(cfg ViewConfig) (*Views, error) {
 		Interval:   cfg.Interval,
 		EveryEdges: cfg.EveryEdges,
 		TopK:       cfg.TopK,
+		Mem:        c.acct,
 	}
 	if pipe := c.tele.obsPipeline(); pipe != nil {
 		qcfg.PublishHist = pipe.ViewPublish
